@@ -1,0 +1,68 @@
+// Command suri rewrites a CET-enabled x86-64 PIE binary with the SURI
+// pipeline. The output binary preserves every original section at its
+// original address and executes from a freshly symbolized copy of the
+// code.
+//
+// Usage:
+//
+//	suri [-o out.bin] [-ignore-ehframe] [-stats] [-sprime] input.bin
+//
+// Produce inputs with surigen, run outputs with surirun.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	suri "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default: <input>.suri)")
+	ignoreEh := flag.Bool("ignore-ehframe", false, "do not use call frame information (§4.3.3)")
+	stats := flag.Bool("stats", false, "print pipeline statistics")
+	sprime := flag.Bool("sprime", false, "print the symbolized assembly S' to stdout")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: suri [flags] input.bin")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	bin, err := os.ReadFile(in)
+	fail(err)
+
+	res, err := suri.Rewrite(bin, suri.Options{IgnoreEhFrame: *ignoreEh})
+	fail(err)
+
+	dest := *out
+	if dest == "" {
+		dest = in + ".suri"
+	}
+	fail(os.WriteFile(dest, res.Binary, 0o755))
+	fmt.Printf("rewrote %s (%d bytes) -> %s (%d bytes)\n", in, len(bin), dest, len(res.Binary))
+
+	if *stats {
+		s := res.Stats
+		fmt.Printf("blocks %d, entries %d, instructions %d (copied %d + added %d)\n",
+			s.Blocks, s.Entries, s.Instructions, s.CopiedInstructions, s.AddedInstructions)
+		fmt.Printf("pointers: %d code (endbr64-verified), %d pinned to original layout\n",
+			s.CodePointers, s.PinnedPointers)
+		fmt.Printf("jump tables: %d symbolized, %d need dynamic base identification, %d entries isolated\n",
+			s.Tables, s.MultiBase, s.TableEntries)
+		fmt.Printf("relocations retargeted: %d; new text at %#x\n",
+			s.AdjustedRelas, res.Layout.NewTextAddr)
+	}
+	if *sprime {
+		fmt.Print(core.Render(res.SPrime, nil))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suri:", err)
+		os.Exit(1)
+	}
+}

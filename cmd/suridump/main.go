@@ -1,0 +1,95 @@
+// Command suridump disassembles a binary and prints its superset CFG:
+// harvested entries, blocks, discovered jump tables, and (with -dis) the
+// full instruction listing.
+//
+// Usage:
+//
+//	suridump [-dis] [-no-ehframe] prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cfg"
+	"repro/internal/elfx"
+)
+
+func main() {
+	dis := flag.Bool("dis", false, "print full disassembly")
+	noEh := flag.Bool("no-ehframe", false, "ignore call frame information")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: suridump [flags] prog.bin")
+		os.Exit(2)
+	}
+	bin, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+	f, err := elfx.Read(bin)
+	fail(err)
+
+	fmt.Printf("entry %#x, PIE %v, CET %v\n", f.Entry, f.IsPIE(), f.HasCET())
+	for _, s := range f.Sections {
+		fmt.Printf("  section %-20s %#8x..%#8x %s\n", s.Name, s.Addr, s.Addr+s.Size, secFlags(s))
+	}
+
+	opts := cfg.DefaultOptions()
+	opts.UseEhFrame = !*noEh
+	g, err := cfg.Build(f, opts)
+	fail(err)
+
+	st := g.Stats()
+	fmt.Printf("\nsuperset CFG: %d entries, %d blocks (%d invalid), %d instructions\n",
+		st.Entries, st.Blocks, st.Invalid, st.Instructions)
+	fmt.Printf("jump tables: %d (%d need dynamic base identification), %d over-approximated entries\n\n",
+		st.Tables, st.MultiBase, st.TableEntries)
+
+	for _, t := range g.Tables {
+		fmt.Printf("table: jmp @%#x, load @%#x, base reg %s, bases %#x\n",
+			t.JmpAddr, t.LoadAddr, t.BaseReg, t.Bases)
+		for _, b := range t.Bases {
+			fmt.Printf("  base %#x: %d entries\n", b, len(t.Entries[b]))
+		}
+	}
+
+	if *dis {
+		fmt.Println()
+		for _, b := range g.SortedBlocks() {
+			marker := ""
+			if g.IsEntry(b.Addr) {
+				marker = "  <entry>"
+			}
+			if b.Invalid {
+				marker += "  <invalid>"
+			}
+			fmt.Printf("block %#x%s\n", b.Addr, marker)
+			addrs := b.InstAddrs()
+			for i, in := range b.Insts {
+				fmt.Printf("  %#8x: %s\n", addrs[i], in)
+			}
+		}
+	}
+}
+
+func secFlags(s *elfx.Section) string {
+	out := ""
+	if s.Flags&elfx.SHFWrite != 0 {
+		out += "W"
+	}
+	if s.Flags&elfx.SHFExecinstr != 0 {
+		out += "X"
+	}
+	if s.Type == elfx.SHTNobits {
+		out += " (nobits)"
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suridump:", err)
+		os.Exit(1)
+	}
+}

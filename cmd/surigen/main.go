@@ -1,0 +1,89 @@
+// Command surigen generates a benchmark program and compiles it into a
+// CET-enabled x86-64 PIE ELF binary — the input format the rest of the
+// toolchain consumes.
+//
+// Usage:
+//
+//	surigen [-seed 1] [-size small|medium|large] [-compiler gcc-11|gcc-13|clang-10|clang-13]
+//	        [-linker ld|gold] [-opt O0..Ofast] [-no-cet] [-no-ehframe] [-o prog.bin] [-inputs]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/prog"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed")
+	size := flag.String("size", "medium", "program size: small|medium|large")
+	compiler := flag.String("compiler", "gcc-11", "compiler style")
+	linker := flag.String("linker", "ld", "linker style: ld|gold")
+	opt := flag.String("opt", "O2", "optimization level: O0|O1|O2|O3|Os|Ofast")
+	noCET := flag.Bool("no-cet", false, "build without CET markers")
+	noEh := flag.Bool("no-ehframe", false, "build without unwind tables")
+	out := flag.String("o", "prog.bin", "output binary path")
+	inputs := flag.Bool("inputs", false, "also write <out>.input0.. files with the test inputs")
+	flag.Parse()
+
+	shape := map[string]prog.Shape{
+		"small":  {Funcs: 3, Switches: 1, Globals: 4, MainLoop: 12, Stmts: 6, NumInputs: 2},
+		"medium": {Funcs: 5, Switches: 2, Globals: 6, MainLoop: 18, Stmts: 9, NumInputs: 3},
+		"large":  {Funcs: 8, Switches: 3, Globals: 9, MainLoop: 24, Stmts: 12, NumInputs: 3},
+	}[*size]
+	if shape.Funcs == 0 {
+		fail(fmt.Errorf("unknown size %q", *size))
+	}
+
+	cfg := cc.Config{CET: !*noCET, EhFrame: !*noEh}
+	switch *compiler {
+	case "gcc-11":
+		cfg.Compiler = cc.GCC11
+	case "gcc-13":
+		cfg.Compiler = cc.GCC13
+	case "clang-10":
+		cfg.Compiler = cc.Clang10
+	case "clang-13":
+		cfg.Compiler = cc.Clang13
+	default:
+		fail(fmt.Errorf("unknown compiler %q", *compiler))
+	}
+	if *linker == "gold" {
+		cfg.Linker = cc.Gold
+	}
+	opts := map[string]cc.OptLevel{"O0": cc.O0, "O1": cc.O1, "O2": cc.O2, "O3": cc.O3, "Os": cc.Os, "Ofast": cc.Ofast}
+	lvl, ok := opts[*opt]
+	if !ok {
+		fail(fmt.Errorf("unknown optimization level %q", *opt))
+	}
+	cfg.Opt = lvl
+
+	p := prog.Generate(fmt.Sprintf("gen_%d", *seed), *seed, shape)
+	bin, err := cc.Compile(p.Module, cfg)
+	fail(err)
+	fail(os.WriteFile(*out, bin, 0o755))
+	fmt.Printf("wrote %s (%d bytes, %s, seed %d)\n", *out, len(bin), cfg, *seed)
+
+	if *inputs {
+		for i, in := range p.Inputs {
+			buf := make([]byte, 0, len(in)*8)
+			for _, v := range in {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+			name := fmt.Sprintf("%s.input%d", *out, i)
+			fail(os.WriteFile(name, buf, 0o644))
+			fmt.Printf("wrote %s (%v)\n", name, in)
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surigen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Command surirun executes an ELF binary in the repository's x86-64
+// emulator, with CET enforcement when the binary declares IBT+SHSTK.
+//
+// Usage:
+//
+//	surirun [-in file] [-bias 0x10000000] [-steps] [-no-cet] prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/emu"
+)
+
+func main() {
+	inFile := flag.String("in", "", "stdin bytes (file path)")
+	bias := flag.Uint64("bias", 0, "PIE load bias (0 = default)")
+	steps := flag.Bool("steps", false, "print retired instruction count")
+	noCET := flag.Bool("no-cet", false, "disable CET enforcement")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: surirun [flags] prog.bin")
+		os.Exit(2)
+	}
+	bin, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+
+	var input []byte
+	if *inFile != "" {
+		input, err = os.ReadFile(*inFile)
+		fail(err)
+	}
+
+	res, err := emu.Run(bin, emu.Options{
+		Bias: *bias, Input: input, Shadow: true, DisableCET: *noCET,
+	})
+	if res != nil {
+		os.Stdout.Write(res.Stdout)
+		os.Stderr.Write(res.Stderr)
+	}
+	fail(err)
+	if *steps {
+		fmt.Fprintf(os.Stderr, "[%d instructions retired]\n", res.Steps)
+	}
+	os.Exit(res.Exit)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surirun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,408 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/x86"
+)
+
+// Reloc is a rebase relocation with R_X86_64_RELATIVE semantics: the
+// 8-byte word at link-time address Offset holds Addend, and a loader that
+// maps the image at base B must store B+Addend there.
+type Reloc struct {
+	Offset uint64
+	Addend uint64
+}
+
+// OutSection is one placed section of an assembled program.
+type OutSection struct {
+	Name  string
+	Flags SectionFlags
+	Addr  uint64
+	Size  uint64
+	Align uint64
+	Data  []byte // nil for Nobits sections
+}
+
+// Result is the output of Assemble.
+type Result struct {
+	Sections []OutSection
+	Symbols  map[string]uint64
+	Relocs   []Reloc
+}
+
+// Symbol looks up a defined symbol.
+func (r *Result) Symbol(name string) (uint64, bool) {
+	v, ok := r.Symbols[name]
+	return v, ok
+}
+
+// SectionData returns the named output section, or nil.
+func (r *Result) SectionData(name string) *OutSection {
+	for i := range r.Sections {
+		if r.Sections[i].Name == name {
+			return &r.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Assemble lays out the program starting at base, resolves all symbolic
+// operands, and returns the placed sections, the symbol table, and the
+// rebase relocations for Quad items.
+//
+// Branch relaxation is grow-only: every JMP/JCC with a symbolic target
+// starts in its rel8 form and is promoted to rel32 when the displacement
+// does not fit; promotion is never undone, so layout converges even in the
+// presence of alignment padding.
+func Assemble(p *Program, base uint64) (*Result, error) {
+	a := assembler{prog: p, base: base, long: make(map[[2]int]bool)}
+	return a.run()
+}
+
+type assembler struct {
+	prog *Program
+	base uint64
+	long map[[2]int]bool // (section, item) -> branch forced to rel32
+
+	syms   map[string]uint64
+	addrs  [][]uint64 // per section, per item
+	starts []uint64   // per section start address
+	ends   []uint64   // per section end address
+}
+
+const maxRelaxRounds = 64
+
+func (a *assembler) run() (*Result, error) {
+	for round := 0; ; round++ {
+		if round > maxRelaxRounds {
+			return nil, fmt.Errorf("asm: branch relaxation did not converge after %d rounds", maxRelaxRounds)
+		}
+		if err := a.layout(); err != nil {
+			return nil, err
+		}
+		grown, err := a.growBranches()
+		if err != nil {
+			return nil, err
+		}
+		if !grown {
+			break
+		}
+	}
+	return a.emit()
+}
+
+// layout assigns addresses to every item and defines all symbols under the
+// current relaxation state.
+func (a *assembler) layout() error {
+	a.syms = make(map[string]uint64)
+	for _, set := range a.prog.Sets {
+		if _, dup := a.syms[set.Name]; dup {
+			return fmt.Errorf("asm: duplicate symbol %q", set.Name)
+		}
+		a.syms[set.Name] = set.Addr
+	}
+	a.addrs = make([][]uint64, len(a.prog.Sections))
+	a.starts = make([]uint64, len(a.prog.Sections))
+	a.ends = make([]uint64, len(a.prog.Sections))
+
+	cursor := a.base
+	for si, s := range a.prog.Sections {
+		align := s.Align
+		if align == 0 {
+			align = 1
+		}
+		cursor = alignUp(cursor, align)
+		if s.HasAddr {
+			if s.Addr < cursor {
+				return fmt.Errorf("asm: section %s fixed at %#x overlaps previous section ending at %#x",
+					s.Name, s.Addr, cursor)
+			}
+			cursor = s.Addr
+		}
+		a.starts[si] = cursor
+		a.addrs[si] = make([]uint64, len(s.Items))
+		for ii, it := range s.Items {
+			a.addrs[si][ii] = cursor
+			if lbl, ok := it.(Label); ok {
+				if _, dup := a.syms[lbl.Name]; dup {
+					return fmt.Errorf("asm: duplicate symbol %q in section %s", lbl.Name, s.Name)
+				}
+				a.syms[lbl.Name] = cursor
+				continue
+			}
+			n, err := a.itemSize(si, ii, it, cursor)
+			if err != nil {
+				return fmt.Errorf("asm: section %s item %d: %w", s.Name, ii, err)
+			}
+			cursor += n
+		}
+		a.ends[si] = cursor
+	}
+	return nil
+}
+
+func (a *assembler) itemSize(si, ii int, it Item, addr uint64) (uint64, error) {
+	switch v := it.(type) {
+	case Ins:
+		in := v.X
+		if v.Sym != "" {
+			if _, isRel := in.Src.(x86.Rel); isRel && (in.Op == x86.JMP || in.Op == x86.JCC) {
+				in.Src = x86.Rel(0)
+				in.LongBranch = a.long[[2]int{si, ii}]
+			}
+		}
+		n, err := x86.EncodedLen(in)
+		return uint64(n), err
+	case Bytes:
+		return uint64(len(v.Data)), nil
+	case Quad, QuadLit:
+		return 8, nil
+	case LongLit, LongDiff:
+		return 4, nil
+	case AlignTo:
+		if v.N == 0 {
+			return 0, nil
+		}
+		return alignUp(addr, v.N) - addr, nil
+	case Space:
+		return v.N, nil
+	}
+	return 0, fmt.Errorf("unknown item type %T", it)
+}
+
+// growBranches promotes any symbolic rel8 branch whose displacement no
+// longer fits. It reports whether anything changed.
+func (a *assembler) growBranches() (bool, error) {
+	grown := false
+	for si, s := range a.prog.Sections {
+		for ii, it := range s.Items {
+			v, ok := it.(Ins)
+			if !ok || v.Sym == "" {
+				continue
+			}
+			if _, isRel := v.X.Src.(x86.Rel); !isRel || (v.X.Op != x86.JMP && v.X.Op != x86.JCC) {
+				continue
+			}
+			key := [2]int{si, ii}
+			if a.long[key] {
+				continue
+			}
+			target, ok := a.syms[v.Sym]
+			if !ok {
+				return false, fmt.Errorf("asm: undefined symbol %q in section %s", v.Sym, s.Name)
+			}
+			size, err := a.itemSize(si, ii, it, a.addrs[si][ii])
+			if err != nil {
+				return false, err
+			}
+			rel := int64(target) + v.Add - int64(a.addrs[si][ii]+size)
+			if rel < -128 || rel > 127 {
+				a.long[key] = true
+				grown = true
+			}
+		}
+	}
+	return grown, nil
+}
+
+func (a *assembler) emit() (*Result, error) {
+	res := &Result{Symbols: a.syms}
+	for si, s := range a.prog.Sections {
+		start := a.starts[si]
+		out := OutSection{
+			Name:  s.Name,
+			Flags: s.Flags,
+			Addr:  start,
+			Size:  a.ends[si] - start,
+			Align: maxU64(s.Align, 1),
+		}
+		if s.Flags&Nobits != 0 {
+			for ii, it := range s.Items {
+				switch it.(type) {
+				case Label, Space, AlignTo:
+				default:
+					return nil, fmt.Errorf("asm: section %s item %d: data item in nobits section", s.Name, ii)
+				}
+			}
+			res.Sections = append(res.Sections, out)
+			continue
+		}
+		data := make([]byte, 0, out.Size)
+		for ii, it := range s.Items {
+			addr := a.addrs[si][ii]
+			b, relocs, err := a.emitItem(si, ii, it, addr)
+			if err != nil {
+				return nil, fmt.Errorf("asm: section %s item %d (%s): %w", s.Name, ii, ItemString(it), err)
+			}
+			data = append(data, b...)
+			res.Relocs = append(res.Relocs, relocs...)
+		}
+		if uint64(len(data)) != out.Size {
+			return nil, fmt.Errorf("asm: section %s: emitted %d bytes, layout said %d", s.Name, len(data), out.Size)
+		}
+		out.Data = data
+		res.Sections = append(res.Sections, out)
+	}
+	sort.Slice(res.Relocs, func(i, j int) bool { return res.Relocs[i].Offset < res.Relocs[j].Offset })
+	return res, nil
+}
+
+func (a *assembler) emitItem(si, ii int, it Item, addr uint64) ([]byte, []Reloc, error) {
+	switch v := it.(type) {
+	case Label:
+		return nil, nil, nil
+	case Ins:
+		return a.emitIns(si, ii, v, addr)
+	case Bytes:
+		return v.Data, nil, nil
+	case Quad:
+		target, ok := a.resolve(v.Sym)
+		if !ok {
+			return nil, nil, fmt.Errorf("undefined symbol %q", v.Sym)
+		}
+		val := uint64(int64(target) + v.Add)
+		return binary.LittleEndian.AppendUint64(nil, val), []Reloc{{Offset: addr, Addend: val}}, nil
+	case QuadLit:
+		return binary.LittleEndian.AppendUint64(nil, uint64(v)), nil, nil
+	case LongLit:
+		return binary.LittleEndian.AppendUint32(nil, uint32(v)), nil, nil
+	case LongDiff:
+		plus, ok := a.resolve(v.Plus)
+		if !ok {
+			return nil, nil, fmt.Errorf("undefined symbol %q", v.Plus)
+		}
+		minus, ok := a.resolve(v.Minus)
+		if !ok {
+			return nil, nil, fmt.Errorf("undefined symbol %q", v.Minus)
+		}
+		diff := int64(plus) - int64(minus) + v.Add
+		if diff < -1<<31 || diff > 1<<31-1 {
+			return nil, nil, fmt.Errorf("difference %s-%s = %#x exceeds 32 bits", v.Plus, v.Minus, diff)
+		}
+		return binary.LittleEndian.AppendUint32(nil, uint32(int32(diff))), nil, nil
+	case AlignTo:
+		size, _ := a.itemSize(si, ii, it, addr)
+		sec := a.prog.Sections[si]
+		if sec.Flags&Exec != 0 {
+			return x86.NopBytes(int(size)), nil, nil
+		}
+		return make([]byte, size), nil, nil
+	case Space:
+		return make([]byte, v.N), nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown item type %T", it)
+}
+
+func (a *assembler) emitIns(si, ii int, v Ins, addr uint64) ([]byte, []Reloc, error) {
+	in := v.X
+	if v.DispPlus != "" || v.DispMinus != "" {
+		return a.emitInsDiff(v)
+	}
+	if v.Sym == "" {
+		b, err := x86.Encode(in)
+		return b, nil, err
+	}
+	target, ok := a.resolve(v.Sym)
+	if !ok {
+		return nil, nil, fmt.Errorf("undefined symbol %q", v.Sym)
+	}
+	size, err := a.itemSize(si, ii, v, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	dest := int64(target) + v.Add
+	rel := dest - int64(addr+size)
+
+	if _, isRel := in.Src.(x86.Rel); isRel {
+		if rel < -1<<31 || rel > 1<<31-1 {
+			return nil, nil, fmt.Errorf("branch to %q out of rel32 range (%#x)", v.Sym, rel)
+		}
+		in.Src = x86.Rel(int32(rel))
+		in.LongBranch = a.long[[2]int{si, ii}]
+		b, err := x86.Encode(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		if uint64(len(b)) != size {
+			return nil, nil, fmt.Errorf("branch size drifted: assumed %d, got %d", size, len(b))
+		}
+		return b, nil, nil
+	}
+
+	m, ok := in.MemArg()
+	if !ok || !m.Rip {
+		return nil, nil, fmt.Errorf("symbolic operand %q on instruction without relative operand: %s", v.Sym, in)
+	}
+	if rel < -1<<31 || rel > 1<<31-1 {
+		return nil, nil, fmt.Errorf("RIP reference to %q out of disp32 range (%#x)", v.Sym, rel)
+	}
+	m.Disp = int32(rel)
+	if _, isMem := in.Dst.(x86.Mem); isMem {
+		in.Dst = m
+	} else {
+		in.Src = m
+	}
+	b, err := x86.Encode(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(b)) != size {
+		return nil, nil, fmt.Errorf("RIP operand size drifted: assumed %d, got %d", size, len(b))
+	}
+	return b, nil, nil
+}
+
+// emitInsDiff encodes an instruction whose memory displacement carries a
+// symbol difference.
+func (a *assembler) emitInsDiff(v Ins) ([]byte, []Reloc, error) {
+	plus, ok := a.resolve(v.DispPlus)
+	if !ok {
+		return nil, nil, fmt.Errorf("undefined symbol %q", v.DispPlus)
+	}
+	minus, ok := a.resolve(v.DispMinus)
+	if !ok {
+		return nil, nil, fmt.Errorf("undefined symbol %q", v.DispMinus)
+	}
+	in := v.X
+	m, ok := in.MemArg()
+	if !ok || m.Rip {
+		return nil, nil, fmt.Errorf("displacement difference requires a non-RIP memory operand: %s", in)
+	}
+	if !m.Wide {
+		return nil, nil, fmt.Errorf("displacement difference requires a Wide memory operand: %s", in)
+	}
+	diff := int64(m.Disp) + int64(plus) - int64(minus)
+	if diff < -1<<31 || diff > 1<<31-1 {
+		return nil, nil, fmt.Errorf("displacement %s-%s = %#x exceeds 32 bits", v.DispPlus, v.DispMinus, diff)
+	}
+	m.Disp = int32(diff)
+	if _, isMem := in.Dst.(x86.Mem); isMem {
+		in.Dst = m
+	} else {
+		in.Src = m
+	}
+	b, err := x86.Encode(in)
+	return b, nil, err
+}
+
+func (a *assembler) resolve(name string) (uint64, bool) {
+	v, ok := a.syms[name]
+	return v, ok
+}
+
+func alignUp(v, align uint64) uint64 {
+	if align <= 1 {
+		return v
+	}
+	return (v + align - 1) &^ (align - 1)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package baseline_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/baseline/ddisasm"
+	"repro/internal/baseline/egalito"
+	"repro/internal/cc"
+	"repro/internal/emu"
+	"repro/internal/mini"
+	"repro/internal/prog"
+)
+
+func inputBytes(vals []int64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// benign is a program without the hard symbolization traps: no composite
+// expressions exercised (O0/O1), tables guarded. Baselines should handle
+// it.
+func benign() *mini.Module {
+	return &mini.Module{
+		Name: "benign",
+		Globals: []*mini.Global{
+			{Name: "arr", Elem: 8, Count: 8, Init: []int64{1, 2, 3, 4, 5, 6, 7, 8}},
+		},
+		Funcs: []*mini.Func{
+			{Name: "sq", NParams: 1, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Mul, L: mini.Var("p0"), R: mini.Var("p0")}}}},
+			{
+				Name:   "main",
+				Locals: []string{"i", "s"},
+				Body: []mini.Stmt{
+					mini.Assign{Name: "i", E: mini.Const(0)},
+					mini.Assign{Name: "s", E: mini.Const(0)},
+					mini.While{
+						Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(8)},
+						Body: []mini.Stmt{
+							mini.Assign{Name: "s", E: mini.Bin{Op: mini.Add, L: mini.Var("s"),
+								R: mini.Call{Name: "sq", Args: []mini.Expr{mini.LoadG{G: "arr", Idx: mini.Var("i")}}}}},
+							mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}},
+						},
+					},
+					mini.Print{E: mini.Var("s")},
+				},
+			},
+		},
+	}
+}
+
+func runPair(t *testing.T, name string, orig, rewritten []byte, input []int64) (same bool) {
+	t.Helper()
+	a, err := emu.Run(orig, emu.Options{Input: inputBytes(input)})
+	if err != nil {
+		t.Fatalf("%s: original run: %v", name, err)
+	}
+	b, err := emu.Run(rewritten, emu.Options{Input: inputBytes(input)})
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(a.Stdout, b.Stdout) && a.Exit == b.Exit
+}
+
+func TestBaselinesHandleBenignBinary(t *testing.T) {
+	cfg := cc.Config{Compiler: cc.GCC11, Linker: cc.LD, Opt: cc.O1, CET: true, EhFrame: true}
+	bin, err := cc.Compile(benign(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tool := range []baseline.Rewriter{ddisasm.New(), egalito.New()} {
+		res, err := tool.Rewrite(bin)
+		if err != nil {
+			t.Fatalf("%s failed to rewrite benign binary: %v", tool.Name(), err)
+		}
+		if !runPair(t, tool.Name(), bin, res.Binary, nil) {
+			t.Errorf("%s broke the benign binary", tool.Name())
+		}
+	}
+}
+
+// TestBaselinesFailOnTraps: on the trap-rich generated corpus at O2+,
+// the baselines must exhibit failures (either refusing to rewrite or
+// producing behaviourally wrong binaries) on a meaningful fraction of
+// programs, while remaining correct on some too.
+func TestBaselinesFailOnTraps(t *testing.T) {
+	ccfg := cc.Config{Compiler: cc.GCC11, Linker: cc.LD, Opt: cc.O2, CET: true, EhFrame: true}
+	tools := []baseline.Rewriter{ddisasm.New(), egalito.New()}
+	fails := map[string]int{}
+	oks := map[string]int{}
+	const n = 8
+	for seed := int64(500); seed < 500+n; seed++ {
+		p := prog.Generate("trap", seed, prog.Shape{
+			Funcs: 4, Switches: 2, Globals: 5, MainLoop: 10, Stmts: 6, NumInputs: 2,
+		})
+		bin, err := cc.Compile(p.Module, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tool := range tools {
+			res, err := tool.Rewrite(bin)
+			if err != nil {
+				fails[tool.Name()]++
+				continue
+			}
+			good := true
+			for _, in := range p.Inputs {
+				if !runPair(t, tool.Name(), bin, res.Binary, in) {
+					good = false
+					break
+				}
+			}
+			if good {
+				oks[tool.Name()]++
+			} else {
+				fails[tool.Name()]++
+			}
+		}
+	}
+	for _, tool := range tools {
+		t.Logf("%s: %d ok, %d failed of %d", tool.Name(), oks[tool.Name()], fails[tool.Name()], n)
+		if fails[tool.Name()] == 0 {
+			t.Errorf("%s never failed on the trap corpus at O2 — baselines must show their documented unsoundness", tool.Name())
+		}
+	}
+}
+
+func TestEgalitoRequiresEhFrame(t *testing.T) {
+	ccfg := cc.DefaultConfig()
+	ccfg.EhFrame = false
+	bin, err := cc.Compile(benign(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = egalito.New().Rewrite(bin)
+	if err == nil || !strings.Contains(err.Error(), "unwind") {
+		t.Errorf("egalito accepted a binary without .eh_frame: %v", err)
+	}
+}
+
+func TestToolNames(t *testing.T) {
+	if ddisasm.New().Name() != "ddisasm" || egalito.New().Name() != "egalito" {
+		t.Error("tool names wrong")
+	}
+}

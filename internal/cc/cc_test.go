@@ -1,0 +1,356 @@
+package cc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/mini"
+)
+
+// inputBytes converts 64-bit input values to the byte stream read_i64
+// consumes.
+func inputBytes(vals []int64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// runBoth compiles the module under cfg, executes it in the emulator, and
+// checks stdout and exit code against the reference interpreter.
+func runBoth(t *testing.T, m *mini.Module, cfg Config, input []int64) {
+	t.Helper()
+	want, err := mini.Run(m, input)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	bin, err := Compile(m, cfg)
+	if err != nil {
+		t.Fatalf("compile (%s): %v", cfg, err)
+	}
+	res, err := emu.Run(bin, emu.Options{Input: inputBytes(input), Shadow: cfg.ASan})
+	if err != nil {
+		t.Fatalf("emu (%s): %v\nstdout so far: %q", cfg, err, res.Stdout)
+	}
+	if !bytes.Equal(res.Stdout, want.Output) {
+		t.Errorf("%s: stdout = %q, want %q", cfg, res.Stdout, want.Output)
+	}
+	if res.Exit != want.Exit {
+		t.Errorf("%s: exit = %d, want %d", cfg, res.Exit, want.Exit)
+	}
+}
+
+func helloModule() *mini.Module {
+	return &mini.Module{
+		Name: "hello",
+		Funcs: []*mini.Func{{
+			Name: "main",
+			Body: []mini.Stmt{
+				mini.Print{E: mini.Const(42)},
+				mini.Print{E: mini.Const(-7)},
+				mini.Print{E: mini.Const(0)},
+				mini.Return{E: mini.Const(3)},
+			},
+		}},
+	}
+}
+
+func TestCompileHello(t *testing.T) {
+	runBoth(t, helloModule(), DefaultConfig(), nil)
+}
+
+func TestCompileAllConfigs(t *testing.T) {
+	m := &mini.Module{
+		Name: "mix",
+		Globals: []*mini.Global{
+			{Name: "garr", Elem: 8, Count: 6, Init: []int64{5, 10, 15, 20, 25, 30}},
+			{Name: "gbytes", Elem: 1, Count: 8, Init: []int64{200, 100}},
+			{Name: "gw", Elem: 4, Count: 4, Init: []int64{-3, 7}},
+			{Name: "gz", Elem: 8, Count: 4}, // .bss
+			{Name: "ops", FuncTable: []string{"inc", "dbl"}},
+			{Name: "p", PtrInit: &mini.PtrInit{Target: "garr", ByteOff: 16}},
+		},
+		Funcs: []*mini.Func{
+			{Name: "inc", NParams: 1, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Add, L: mini.Var("p0"), R: mini.Const(1)}},
+			}},
+			{Name: "dbl", NParams: 1, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Mul, L: mini.Var("p0"), R: mini.Const(2)}},
+			}},
+			{Name: "fact", NParams: 1, Body: []mini.Stmt{
+				mini.If{
+					Cond: mini.Bin{Op: mini.Le, L: mini.Var("p0"), R: mini.Const(1)},
+					Then: []mini.Stmt{mini.Return{E: mini.Const(1)}},
+				},
+				mini.Return{E: mini.Bin{Op: mini.Mul, L: mini.Var("p0"),
+					R: mini.Call{Name: "fact", Args: []mini.Expr{
+						mini.Bin{Op: mini.Sub, L: mini.Var("p0"), R: mini.Const(1)}}}}},
+			}},
+			{
+				Name:   "main",
+				Locals: []string{"i", "acc"},
+				Arrays: []mini.LocalArray{{Name: "buf", Elem: 8, Count: 4}},
+				Body: []mini.Stmt{
+					// Global array traffic (S6/S7 patterns).
+					mini.Assign{Name: "i", E: mini.Const(0)},
+					mini.Assign{Name: "acc", E: mini.Const(0)},
+					mini.While{
+						Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(6)},
+						Body: []mini.Stmt{
+							mini.Assign{Name: "acc", E: mini.Bin{Op: mini.Add, L: mini.Var("acc"),
+								R: mini.LoadG{G: "garr", Idx: mini.Var("i")}}},
+							mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}},
+						},
+					},
+					mini.Print{E: mini.Var("acc")},
+					mini.Print{E: mini.LoadG{G: "gbytes", Idx: mini.Const(0)}},
+					mini.Print{E: mini.LoadG{G: "gw", Idx: mini.Const(0)}},
+					mini.StoreG{G: "gz", Idx: mini.Const(2), E: mini.Const(77)},
+					mini.Print{E: mini.LoadG{G: "gz", Idx: mini.Const(2)}},
+					// Pointer global (S2 pattern).
+					mini.Print{E: mini.LoadP{P: "p", Idx: mini.Const(0)}},
+					mini.StoreP{P: "p", Idx: mini.Const(1), E: mini.Const(99)},
+					mini.Print{E: mini.LoadG{G: "garr", Idx: mini.Const(3)}},
+					// Local array.
+					mini.StoreL{Arr: "buf", Idx: mini.Const(1), E: mini.Const(13)},
+					mini.Print{E: mini.LoadL{Arr: "buf", Idx: mini.Const(1)}},
+					// Function pointers (S1).
+					mini.Print{E: mini.CallPtr{Table: "ops", Idx: mini.ReadInput{},
+						Args: []mini.Expr{mini.Const(10)}}},
+					// Recursion, division, shifts.
+					mini.Print{E: mini.Call{Name: "fact", Args: []mini.Expr{mini.Const(8)}}},
+					mini.Print{E: mini.Bin{Op: mini.Div, L: mini.Const(-100), R: mini.Const(7)}},
+					mini.Print{E: mini.Bin{Op: mini.Mod, L: mini.Const(-100), R: mini.Const(7)}},
+					mini.Print{E: mini.Bin{Op: mini.Shl, L: mini.ReadInput{}, R: mini.Const(3)}},
+					mini.Print{E: mini.Bin{Op: mini.Shr, L: mini.Const(-64), R: mini.Const(4)}},
+					// Switch with enough cases for a jump table.
+					mini.Switch{
+						E: mini.ReadInput{},
+						Cases: []mini.SwitchCase{
+							{Val: 0, Body: []mini.Stmt{mini.Print{E: mini.Const(1000)}}},
+							{Val: 1, Body: []mini.Stmt{mini.Print{E: mini.Const(1001)}}},
+							{Val: 2, Body: []mini.Stmt{mini.Print{E: mini.Const(1002)}}},
+							{Val: 3, Body: []mini.Stmt{mini.Print{E: mini.Const(1003)}}},
+							{Val: 4, Body: []mini.Stmt{mini.Print{E: mini.Const(1004)}}},
+							{Val: 5, Body: []mini.Stmt{mini.Print{E: mini.Const(1005)}}},
+						},
+						Default: []mini.Stmt{mini.Print{E: mini.Const(-1)}},
+					},
+					mini.Return{E: mini.Const(0)},
+				},
+			},
+		},
+	}
+	for _, cfg := range AllConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			for _, input := range [][]int64{{0, 5, 2}, {1, -3, 5}, {0, 7, 99}} {
+				runBoth(t, m, cfg, input)
+			}
+		})
+	}
+}
+
+func TestCompleteSwitchNoBoundsCheck(t *testing.T) {
+	// A masked switch covering the whole range: the compiler must omit
+	// the bounds check at -O1+ and the program must still be correct.
+	m := &mini.Module{
+		Name: "masked",
+		Funcs: []*mini.Func{{
+			Name:   "main",
+			Locals: []string{"i", "v"},
+			Body: []mini.Stmt{
+				mini.Assign{Name: "i", E: mini.Const(0)},
+				mini.While{
+					Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(16)},
+					Body: []mini.Stmt{
+						mini.Assign{Name: "v", E: mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(7)}},
+						mini.Switch{
+							E:        mini.Var("v"),
+							Complete: true,
+							Cases: []mini.SwitchCase{
+								{Val: 0, Body: []mini.Stmt{mini.Print{E: mini.Const(100)}}},
+								{Val: 1, Body: []mini.Stmt{mini.Print{E: mini.Const(101)}}},
+								{Val: 2, Body: []mini.Stmt{mini.Print{E: mini.Const(102)}}},
+								{Val: 3, Body: []mini.Stmt{mini.Print{E: mini.Const(103)}}},
+								{Val: 4, Body: []mini.Stmt{mini.Print{E: mini.Const(104)}}},
+								{Val: 5, Body: []mini.Stmt{mini.Print{E: mini.Const(105)}}},
+								{Val: 6, Body: []mini.Stmt{mini.Print{E: mini.Const(106)}}},
+								{Val: 7, Body: []mini.Stmt{mini.Print{E: mini.Const(107)}}},
+							},
+						},
+						mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}},
+					},
+				},
+			},
+		}},
+	}
+	for _, opt := range []OptLevel{O0, O1, O2, O3, Os, Ofast} {
+		cfg := DefaultConfig()
+		cfg.Opt = opt
+		runBoth(t, m, cfg, nil)
+	}
+}
+
+func TestCompileIsCETPIE(t *testing.T) {
+	bin, err := Compile(helloModule(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := parseELF(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasCET() {
+		t.Error("binary is not CET-enabled")
+	}
+	if !f.IsPIE() {
+		t.Error("binary is not PIE")
+	}
+	// Without CET flag the note must say so.
+	cfg := DefaultConfig()
+	cfg.CET = false
+	bin2, err := Compile(helloModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := parseELF(bin2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.HasCET() {
+		t.Error("non-CET build reports CET")
+	}
+}
+
+func TestPIEBiasIndependence(t *testing.T) {
+	// The same binary must behave identically at different load biases —
+	// the definition of position independence.
+	bin, err := Compile(helloModule(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := emu.Run(bin, emu.Options{Bias: 0x1000_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := emu.Run(bin, emu.Options{Bias: 0x2345_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Stdout, b.Stdout) || a.Exit != b.Exit {
+		t.Errorf("bias-dependent behaviour: %q/%d vs %q/%d", a.Stdout, a.Exit, b.Stdout, b.Exit)
+	}
+}
+
+func TestEhFramePresence(t *testing.T) {
+	bin, err := Compile(helloModule(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := parseELF(bin)
+	if f.Section(".eh_frame") == nil {
+		t.Error("default build lacks .eh_frame")
+	}
+
+	cfg := DefaultConfig()
+	cfg.EhFrame = false
+	bin2, err := Compile(helloModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := parseELF(bin2)
+	if f2.Section(".eh_frame") != nil {
+		t.Error("-fno-unwind build has .eh_frame")
+	}
+	// And it must still run.
+	res, err := emu.Run(bin2, emu.Options{})
+	if err != nil || res.Exit != 3 {
+		t.Errorf("no-unwind binary: %v exit %d", err, res.Exit)
+	}
+}
+
+func TestLinkerLayoutsDiffer(t *testing.T) {
+	m := helloModule()
+	cfgLD := DefaultConfig()
+	cfgGold := DefaultConfig()
+	cfgGold.Linker = Gold
+	binLD, err := Compile(m, cfgLD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binGold, err := Compile(m, cfgGold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fLD, _ := parseELF(binLD)
+	fGold, _ := parseELF(binGold)
+	tLD := fLD.Section(".text").Addr
+	rLD := fLD.Section(".rodata").Addr
+	tGold := fGold.Section(".text").Addr
+	rGold := fGold.Section(".rodata").Addr
+	if (tLD < rLD) == (tGold < rGold) {
+		t.Errorf("linker layouts identical: ld text=%#x ro=%#x; gold text=%#x ro=%#x",
+			tLD, rLD, tGold, rGold)
+	}
+	// Both must run.
+	for _, bin := range [][]byte{binLD, binGold} {
+		if res, err := emu.Run(bin, emu.Options{}); err != nil || res.Exit != 3 {
+			t.Errorf("layout run failed: %v", err)
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	m := helloModule()
+	a, err := Compile(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("compilation is not deterministic")
+	}
+}
+
+func TestCompilerStylesDiffer(t *testing.T) {
+	// The four compiler styles must produce observably different binaries
+	// (the corpus-diversity requirement of §4.1.1).
+	m := helloModule()
+	bins := map[CompilerStyle][]byte{}
+	for _, comp := range []CompilerStyle{GCC11, GCC13, Clang10, Clang13} {
+		cfg := DefaultConfig()
+		cfg.Compiler = comp
+		bin, err := Compile(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bins[comp] = bin
+	}
+	if bytes.Equal(bins[GCC11], bins[Clang10]) {
+		t.Error("gcc and clang builds are byte-identical")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []*mini.Module{
+		{Name: "dupvar", Funcs: []*mini.Func{{Name: "main", Locals: []string{"x", "x"}}}},
+		{Name: "unknowncall", Funcs: []*mini.Func{{Name: "main",
+			Body: []mini.Stmt{mini.ExprStmt{E: mini.Call{Name: "nope"}}}}}},
+		{Name: "badglobal", Funcs: []*mini.Func{{Name: "main",
+			Body: []mini.Stmt{mini.Print{E: mini.LoadG{G: "nope", Idx: mini.Const(0)}}}}}},
+		{Name: "badtable", Globals: []*mini.Global{{Name: "t", FuncTable: []string{"nope"}}},
+			Funcs: []*mini.Func{{Name: "main"}}},
+	}
+	for _, m := range bad {
+		if _, err := Compile(m, DefaultConfig()); err == nil {
+			t.Errorf("module %s compiled despite error", m.Name)
+		}
+	}
+}

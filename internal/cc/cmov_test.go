@@ -1,0 +1,53 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/elfx"
+	"repro/internal/mini"
+	"repro/internal/x86"
+)
+
+func TestCmovEmitted(t *testing.T) {
+	m := &mini.Module{
+		Name: "cm",
+		Funcs: []*mini.Func{{
+			Name: "main", Locals: []string{"a", "b"},
+			Body: []mini.Stmt{
+				mini.Assign{Name: "a", E: mini.ReadInput{}},
+				mini.If{Cond: mini.Bin{Op: mini.Lt, L: mini.Var("a"), R: mini.Const(10)},
+					Then: []mini.Stmt{mini.Assign{Name: "b", E: mini.Const(1)}},
+					Else: []mini.Stmt{mini.Assign{Name: "b", E: mini.Var("a")}}},
+				mini.Print{E: mini.Var("b")},
+			},
+		}},
+	}
+	cfg := Config{Compiler: Clang13, Linker: LD, Opt: O2, CET: true, EhFrame: true}
+	bin, err := Compile(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := elfx.Read(bin)
+	text := f.Section(".text")
+	found := false
+	for off := 0; off < len(text.Data); {
+		in, n, err := x86.Decode(text.Data[off:])
+		if err != nil {
+			off++
+			continue
+		}
+		if in.Op == x86.CMOVCC {
+			found = true
+		}
+		off += n
+	}
+	if !found {
+		t.Error("clang -O2 build contains no cmov")
+	}
+	runBoth(t, m, cfg, []int64{5})
+	runBoth(t, m, cfg, []int64{50})
+	// GCC style must not emit cmov for the same input.
+	gcfg := cfg
+	gcfg.Compiler = GCC11
+	runBoth(t, m, gcfg, []int64{5})
+}

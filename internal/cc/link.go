@@ -1,0 +1,189 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/ehframe"
+	"repro/internal/elfx"
+)
+
+const pageSize = elfx.PageSize
+
+// link assembles the program, lays sections out in the selected linker's
+// order, synthesizes the metadata sections (.eh_frame, .rela.dyn,
+// .dynamic, .note.gnu.property), and serializes the ELF file.
+func link(prog *asm.Program, cfg Config, funcs []string) ([]byte, error) {
+	orderSections(prog, cfg.Linker)
+
+	res, err := asm.Assemble(prog, pageSize)
+	if err != nil {
+		return nil, err
+	}
+
+	entry, ok := res.Symbol("_start")
+	if !ok {
+		return nil, fmt.Errorf("no _start symbol")
+	}
+
+	// Image end across all alloc sections (including .bss memsz).
+	var imageEnd uint64
+	for _, s := range res.Sections {
+		if end := s.Addr + s.Size; end > imageEnd {
+			imageEnd = end
+		}
+	}
+	metaBase := alignUp(imageEnd, pageSize)
+
+	// .eh_frame.
+	var ehData []byte
+	ehAddr := metaBase
+	cursor := metaBase
+	if cfg.EhFrame {
+		ranges := make([]ehframe.FuncRange, 0, len(funcs))
+		for _, fn := range funcs {
+			start, ok1 := res.Symbol(fn)
+			end, ok2 := res.Symbol(fn + "$end")
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("function %s lacks start/end symbols", fn)
+			}
+			ranges = append(ranges, ehframe.FuncRange{Start: start, Size: end - start})
+		}
+		ehData = ehframe.Build(ehAddr, ranges)
+		cursor = alignUp(ehAddr+uint64(len(ehData)), 8)
+	}
+
+	// .rela.dyn from the assembler's rebase relocations.
+	relas := make([]elfx.Rela, len(res.Relocs))
+	for i, r := range res.Relocs {
+		relas[i] = elfx.Rela{Off: r.Offset, Type: elfx.RX8664Relative, Addend: int64(r.Addend)}
+	}
+	relaData := elfx.BuildRela(relas)
+	relaAddr := cursor
+	cursor = alignUp(relaAddr+uint64(len(relaData)), 8)
+
+	// .dynamic.
+	dynData := elfx.BuildDynamic([][2]uint64{
+		{uint64(elfx.DTRela), relaAddr},
+		{uint64(elfx.DTRelasz), uint64(len(relaData))},
+		{uint64(elfx.DTRelaent), elfx.RelaSize},
+	})
+	dynAddr := cursor
+	cursor = alignUp(dynAddr+uint64(len(dynData)), 8)
+
+	// .note.gnu.property (CET marker).
+	noteData := elfx.BuildGNUProperty(cfg.CET, cfg.CET)
+	noteAddr := cursor
+
+	f := &elfx.File{Type: elfx.ETDyn, Entry: entry}
+
+	for _, s := range res.Sections {
+		sec := &elfx.Section{
+			Name:  s.Name,
+			Type:  elfx.SHTProgbits,
+			Flags: elfx.SHFAlloc,
+			Addr:  s.Addr,
+			Size:  s.Size,
+			Align: s.Align,
+			Data:  s.Data,
+		}
+		if s.Flags&asm.Write != 0 {
+			sec.Flags |= elfx.SHFWrite
+		}
+		if s.Flags&asm.Exec != 0 {
+			sec.Flags |= elfx.SHFExecinstr
+		}
+		if s.Flags&asm.Nobits != 0 {
+			sec.Type = elfx.SHTNobits
+			sec.Data = nil
+		}
+		f.Sections = append(f.Sections, sec)
+	}
+	if cfg.EhFrame {
+		f.Sections = append(f.Sections, &elfx.Section{
+			Name: ".eh_frame", Type: elfx.SHTProgbits, Flags: elfx.SHFAlloc,
+			Addr: ehAddr, Size: uint64(len(ehData)), Align: 8, Data: ehData,
+		})
+	}
+	f.Sections = append(f.Sections,
+		&elfx.Section{
+			Name: ".rela.dyn", Type: elfx.SHTRela, Flags: elfx.SHFAlloc,
+			Addr: relaAddr, Size: uint64(len(relaData)), Align: 8,
+			Entsize: elfx.RelaSize, Data: relaData,
+		},
+		&elfx.Section{
+			Name: ".dynamic", Type: elfx.SHTDynamic, Flags: elfx.SHFAlloc,
+			Addr: dynAddr, Size: uint64(len(dynData)), Align: 8,
+			Entsize: 16, Data: dynData,
+		},
+		&elfx.Section{
+			Name: ".note.gnu.property", Type: elfx.SHTNote, Flags: elfx.SHFAlloc,
+			Addr: noteAddr, Size: uint64(len(noteData)), Align: 8, Data: noteData,
+		},
+	)
+
+	f.Segments = elfx.BuildLoadSegments(f.Sections)
+	f.Segments = append(f.Segments,
+		&elfx.Segment{
+			Type: elfx.PTDynamic, Flags: elfx.PFR,
+			Off: dynAddr, Vaddr: dynAddr,
+			Filesz: uint64(len(dynData)), Memsz: uint64(len(dynData)), Align: 8,
+		},
+		&elfx.Segment{
+			Type: elfx.PTNote, Flags: elfx.PFR,
+			Off: noteAddr, Vaddr: noteAddr,
+			Filesz: uint64(len(noteData)), Memsz: uint64(len(noteData)), Align: 8,
+		},
+		&elfx.Segment{
+			Type: elfx.PTGNUProperty, Flags: elfx.PFR,
+			Off: noteAddr, Vaddr: noteAddr,
+			Filesz: uint64(len(noteData)), Memsz: uint64(len(noteData)), Align: 8,
+		},
+	)
+
+	return elfx.Write(f)
+}
+
+// orderSections arranges the program's sections in the linker's layout
+// and page-aligns permission-group boundaries.
+func orderSections(prog *asm.Program, linker LinkerStyle) {
+	byName := make(map[string]*asm.Section)
+	for _, s := range prog.Sections {
+		byName[s.Name] = s
+	}
+	var order []string
+	switch linker {
+	case Gold:
+		// gold places read-only data ahead of code.
+		order = []string{".rodata", ".text", ".data.rel.ro", ".data", ".bss"}
+	default:
+		order = []string{".text", ".rodata", ".data.rel.ro", ".data", ".bss"}
+	}
+	var sections []*asm.Section
+	for _, name := range order {
+		if s, ok := byName[name]; ok {
+			sections = append(sections, s)
+			delete(byName, name)
+		}
+	}
+	// Any extra sections keep their original relative order at the end.
+	for _, s := range prog.Sections {
+		if byName[s.Name] == s {
+			sections = append(sections, s)
+		}
+	}
+	prog.Sections = sections
+
+	// Page-align permission-group leaders: first section, first exec
+	// change, first writable section.
+	var prevFlags asm.SectionFlags
+	for i, s := range prog.Sections {
+		perm := s.Flags & (asm.Exec | asm.Write)
+		if i == 0 || perm != prevFlags {
+			s.Align = pageSize
+		}
+		prevFlags = perm
+	}
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

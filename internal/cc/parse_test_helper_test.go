@@ -1,0 +1,6 @@
+package cc
+
+import "repro/internal/elfx"
+
+// parseELF is a test helper to read a compiled image.
+func parseELF(bin []byte) (*elfx.File, error) { return elfx.Read(bin) }

@@ -1,0 +1,167 @@
+package cc
+
+import (
+	"repro/internal/x86"
+)
+
+// Syscall numbers implemented by the emulator (Linux x86-64 numbering).
+const (
+	SysRead  = 0
+	SysWrite = 1
+	SysExit  = 60
+)
+
+// emitRuntime emits the minimal freestanding runtime every binary carries
+// (the static-libc stand-in): _start, decimal printing, character output,
+// and 8-byte input reads. All runtime routines are ordinary functions
+// with CET markers and frame setup, indistinguishable from user code at
+// the byte level — exactly what a reassembler faces.
+func (g *gen) emitRuntime() {
+	g.emitStart()
+	g.emitPrintI64()
+	g.emitPrintChar()
+	g.emitReadI64()
+	if g.cfg.ASan {
+		g.emitASanRuntime()
+	}
+}
+
+func (g *gen) beginFunc(name string) {
+	g.text.Align2(g.cfg.funcAlign())
+	g.text.L(name)
+	g.funcRanges = append(g.funcRanges, name)
+	if g.cfg.CET {
+		g.t(x86.Inst{Op: x86.ENDBR64})
+	}
+}
+
+func (g *gen) endFunc(name string) {
+	g.text.L(name + "$end")
+}
+
+func (g *gen) emitStart() {
+	g.beginFunc("_start")
+	// Align the stack and clear the frame pointer like crt0.
+	g.t(x86.Inst{Op: x86.XOR, W: 4, Dst: x86.RBP, Src: x86.RBP})
+	g.t(x86.Inst{Op: x86.AND, W: 8, Dst: x86.RSP, Src: x86.Imm(-16)})
+	if g.cfg.ASan {
+		g.ts(x86.Inst{Op: x86.CALL, Src: x86.Rel(0)}, "asan_init", 0)
+	}
+	g.ts(x86.Inst{Op: x86.CALL, Src: x86.Rel(0)}, "main", 0)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDI, Src: x86.RAX})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.Imm(SysExit)})
+	g.t(x86.Inst{Op: x86.SYSCALL})
+	g.t(x86.Inst{Op: x86.HLT}) // unreachable
+	g.endFunc("_start")
+}
+
+// emitPrintI64 prints RDI as signed decimal plus newline via write(2).
+func (g *gen) emitPrintI64() {
+	pos := ".Lpi64_pos"
+	loop := ".Lpi64_loop"
+	nosign := ".Lpi64_nosign"
+
+	g.beginFunc("print_i64")
+	g.t(x86.Inst{Op: x86.PUSH, Src: x86.RBP})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RBP, Src: x86.RSP})
+	g.t(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.RSP, Src: x86.Imm(64)})
+
+	// RSI points one past the last byte written; start with '\n'.
+	g.t(x86.Inst{Op: x86.LEA, W: 8, Dst: x86.RSI,
+		Src: x86.Mem{Base: x86.RBP, Index: x86.NoReg, Disp: -8}})
+	g.t(x86.Inst{Op: x86.MOV, W: 1, Dst: x86.Mem{Base: x86.RSI, Index: x86.NoReg}, Src: x86.Imm('\n')})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.RDI})
+	g.t(x86.Inst{Op: x86.XOR, W: 4, Dst: x86.R9, Src: x86.R9})
+	g.t(x86.Inst{Op: x86.TEST, W: 8, Dst: x86.RAX, Src: x86.RAX})
+	g.ts(x86.Inst{Op: x86.JCC, Cond: x86.CondNS, Src: x86.Rel(0)}, pos, 0)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.R9, Src: x86.Imm(1)})
+	g.t(x86.Inst{Op: x86.NEG, W: 8, Dst: x86.RAX})
+	g.text.L(pos)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RCX, Src: x86.Imm(10)})
+	g.text.L(loop)
+	g.t(x86.Inst{Op: x86.CQO, W: 8})
+	g.t(x86.Inst{Op: x86.IDIV, W: 8, Dst: x86.RCX})
+	g.t(x86.Inst{Op: x86.ADD, W: 8, Dst: x86.RDX, Src: x86.Imm('0')})
+	g.t(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.RSI, Src: x86.Imm(1)})
+	g.t(x86.Inst{Op: x86.MOV, W: 1, Dst: x86.Mem{Base: x86.RSI, Index: x86.NoReg}, Src: x86.RDX})
+	g.t(x86.Inst{Op: x86.TEST, W: 8, Dst: x86.RAX, Src: x86.RAX})
+	g.ts(x86.Inst{Op: x86.JCC, Cond: x86.CondNE, Src: x86.Rel(0)}, loop, 0)
+	g.t(x86.Inst{Op: x86.TEST, W: 8, Dst: x86.R9, Src: x86.R9})
+	g.ts(x86.Inst{Op: x86.JCC, Cond: x86.CondE, Src: x86.Rel(0)}, nosign, 0)
+	g.t(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.RSI, Src: x86.Imm(1)})
+	g.t(x86.Inst{Op: x86.MOV, W: 1, Dst: x86.Mem{Base: x86.RSI, Index: x86.NoReg}, Src: x86.Imm('-')})
+	g.text.L(nosign)
+	// write(1, RSI, (RBP-7) - RSI)
+	g.t(x86.Inst{Op: x86.LEA, W: 8, Dst: x86.RDX,
+		Src: x86.Mem{Base: x86.RBP, Index: x86.NoReg, Disp: -7}})
+	g.t(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.RDX, Src: x86.RSI})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDI, Src: x86.Imm(1)})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.Imm(SysWrite)})
+	g.t(x86.Inst{Op: x86.SYSCALL})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RSP, Src: x86.RBP})
+	g.t(x86.Inst{Op: x86.POP, Dst: x86.RBP})
+	g.t(x86.Inst{Op: x86.RET})
+	g.endFunc("print_i64")
+}
+
+func (g *gen) emitPrintChar() {
+	g.beginFunc("print_char")
+	g.t(x86.Inst{Op: x86.PUSH, Src: x86.RBP})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RBP, Src: x86.RSP})
+	g.t(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.RSP, Src: x86.Imm(16)})
+	g.t(x86.Inst{Op: x86.MOV, W: 1,
+		Dst: x86.Mem{Base: x86.RBP, Index: x86.NoReg, Disp: -1}, Src: x86.RDI})
+	g.t(x86.Inst{Op: x86.LEA, W: 8, Dst: x86.RSI,
+		Src: x86.Mem{Base: x86.RBP, Index: x86.NoReg, Disp: -1}})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDX, Src: x86.Imm(1)})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDI, Src: x86.Imm(1)})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.Imm(SysWrite)})
+	g.t(x86.Inst{Op: x86.SYSCALL})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RSP, Src: x86.RBP})
+	g.t(x86.Inst{Op: x86.POP, Dst: x86.RBP})
+	g.t(x86.Inst{Op: x86.RET})
+	g.endFunc("print_char")
+}
+
+// emitReadI64 reads 8 little-endian bytes from stdin into RAX; a short
+// read returns 0 (the input stream is a multiple of 8 bytes by
+// construction, so short means exhausted).
+func (g *gen) emitReadI64() {
+	zero := ".Lri64_zero"
+	done := ".Lri64_done"
+
+	g.beginFunc("read_i64")
+	g.t(x86.Inst{Op: x86.PUSH, Src: x86.RBP})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RBP, Src: x86.RSP})
+	g.t(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.RSP, Src: x86.Imm(16)})
+	g.t(x86.Inst{Op: x86.MOV, W: 8,
+		Dst: x86.Mem{Base: x86.RBP, Index: x86.NoReg, Disp: -8}, Src: x86.Imm(0)})
+	g.t(x86.Inst{Op: x86.LEA, W: 8, Dst: x86.RSI,
+		Src: x86.Mem{Base: x86.RBP, Index: x86.NoReg, Disp: -8}})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDX, Src: x86.Imm(8)})
+	g.t(x86.Inst{Op: x86.XOR, W: 4, Dst: x86.RDI, Src: x86.RDI})
+	g.t(x86.Inst{Op: x86.XOR, W: 4, Dst: x86.RAX, Src: x86.RAX})
+	g.t(x86.Inst{Op: x86.SYSCALL})
+	g.t(x86.Inst{Op: x86.CMP, W: 8, Dst: x86.RAX, Src: x86.Imm(8)})
+	g.ts(x86.Inst{Op: x86.JCC, Cond: x86.CondNE, Src: x86.Rel(0)}, zero, 0)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX,
+		Src: x86.Mem{Base: x86.RBP, Index: x86.NoReg, Disp: -8}})
+	g.ts(x86.Inst{Op: x86.JMP, Src: x86.Rel(0)}, done, 0)
+	g.text.L(zero)
+	g.t(x86.Inst{Op: x86.XOR, W: 4, Dst: x86.RAX, Src: x86.RAX})
+	g.text.L(done)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RSP, Src: x86.RBP})
+	g.t(x86.Inst{Op: x86.POP, Dst: x86.RBP})
+	g.t(x86.Inst{Op: x86.RET})
+	g.endFunc("read_i64")
+}
+
+// RuntimeFuncNames lists the reserved runtime symbols; workload
+// generators must not reuse them for user functions.
+func RuntimeFuncNames(asan bool) []string {
+	names := []string{"_start", "print_i64", "print_char", "read_i64"}
+	if asan {
+		names = append(names, "asan_set", "asan_report", "asan_init")
+	}
+	return names
+}

@@ -1,0 +1,366 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/ehframe"
+	"repro/internal/elfx"
+	"repro/internal/x86"
+)
+
+// TableBounds selects how jump-table extents are determined.
+type TableBounds int
+
+// Table bounding policies.
+const (
+	// BoundsFunction is SURI's over-approximation (§3.2.2): accept
+	// entries while they resolve inside the current function boundary.
+	BoundsFunction TableBounds = iota
+
+	// BoundsText is the classic heuristic (Ddisasm-style): accept
+	// entries while they resolve anywhere in the text section. It
+	// over-reads past real tables into adjacent plausible data (Fig. 3).
+	BoundsText
+
+	// BoundsCmp trusts the bounds-check comparison preceding the
+	// dispatch (Egalito-style): the table has cmp-immediate+1 entries.
+	// Dispatches without a comparison (bounds-check-free complete
+	// switches) cannot be sized and, under StrictTables, abort the
+	// build — the baseline's assertion failure.
+	BoundsCmp
+)
+
+// Options configure superset CFG construction.
+type Options struct {
+	// UseEhFrame harvests function entries from call frame information
+	// when present (§3.2.1). Disabling it models the §4.3.3 experiment.
+	UseEhFrame bool
+
+	// MaxBlockInsts bounds a single block's decode (bogus-path guard).
+	MaxBlockInsts int
+
+	// MaxTableEntries bounds the over-approximation of one jump table.
+	MaxTableEntries int
+
+	// Bounds selects the jump-table extent policy (baselines override).
+	Bounds TableBounds
+
+	// StrictTables aborts the build when a table cannot be sized under
+	// the selected policy (models baseline assertion failures).
+	StrictTables bool
+}
+
+// DefaultOptions is the standard SURI configuration.
+func DefaultOptions() Options {
+	return Options{UseEhFrame: true, MaxBlockInsts: 20000, MaxTableEntries: 1024}
+}
+
+// endbrBytes is the byte pattern of endbr64; pointer classification is a
+// pure byte-pattern check, as §5.1 discusses.
+var endbrBytes = []byte{0xF3, 0x0F, 0x1E, 0xFA}
+
+// IsEndbr reports whether the bytes at addr in the file form endbr64.
+func IsEndbr(f *elfx.File, addr uint64) bool {
+	sec, off := sectionAt(f, addr)
+	if sec == nil || sec.Data == nil || off+4 > uint64(len(sec.Data)) {
+		return false
+	}
+	return bytes.Equal(sec.Data[off:off+4], endbrBytes)
+}
+
+// sectionAt finds the alloc section containing addr.
+func sectionAt(f *elfx.File, addr uint64) (*elfx.Section, uint64) {
+	for _, s := range f.Sections {
+		if s.Flags&elfx.SHFAlloc == 0 {
+			continue
+		}
+		if addr >= s.Addr && addr < s.Addr+s.Size {
+			return s, addr - s.Addr
+		}
+	}
+	return nil, 0
+}
+
+type ownerRef struct {
+	block *Block
+	idx   int
+}
+
+type builder struct {
+	f    *elfx.File
+	text *elfx.Section
+	opts Options
+	g    *Graph
+
+	owner    map[uint64]ownerRef
+	entrySet map[uint64]bool
+	work     []uint64
+
+	// knownBases records every candidate table base seen so far; the
+	// BoundsCmp fallback uses them as scan barriers.
+	knownBases  map[uint64]bool
+	useBarriers bool
+}
+
+// Build constructs the superset CFG of a CET-enabled PIE binary.
+func Build(f *elfx.File, opts Options) (*Graph, error) {
+	if opts.MaxBlockInsts == 0 {
+		opts.MaxBlockInsts = 20000
+	}
+	if opts.MaxTableEntries == 0 {
+		opts.MaxTableEntries = 1024
+	}
+	text, err := textSection(f)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		f: f, text: text, opts: opts,
+		g: &Graph{
+			Blocks:    make(map[uint64]*Block),
+			TextStart: text.Addr,
+			TextEnd:   text.Addr + text.Size,
+			File:      f,
+		},
+		owner:      make(map[uint64]ownerRef),
+		entrySet:   make(map[uint64]bool),
+		knownBases: make(map[uint64]bool),
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+func (b *builder) run() error {
+	b.harvestInitialEntries()
+
+	// Outer fixpoint (§3.2.2): decoding can harvest new entries (which
+	// tighten or widen function bounds) and discover new indirect edges,
+	// which requires re-running the jump-table dataflow.
+	for round := 0; ; round++ {
+		if round > 64 {
+			return fmt.Errorf("cfg: construction did not converge")
+		}
+		b.drain()
+		grew := b.harvestFromCode()
+		b.drain()
+		changed, err := b.analyzeAllTables()
+		if err != nil {
+			return err
+		}
+		b.drain()
+		if !grew && !changed && len(b.work) == 0 {
+			break
+		}
+	}
+	sort.Slice(b.g.Entries, func(i, j int) bool { return b.g.Entries[i] < b.g.Entries[j] })
+	sort.Slice(b.g.Tables, func(i, j int) bool { return b.g.Tables[i].JmpAddr < b.g.Tables[j].JmpAddr })
+	b.g.invalidatePreds()
+	return nil
+}
+
+// harvestInitialEntries collects the determinate entry points (§3.2.1):
+// the ELF entry, relocated code pointers, and .eh_frame ranges.
+func (b *builder) harvestInitialEntries() {
+	b.addEntry(b.f.Entry)
+
+	if sec := b.f.Section(".rela.dyn"); sec != nil {
+		for _, r := range elfx.ParseRela(sec.Data) {
+			if r.Type != elfx.RX8664Relative {
+				continue
+			}
+			t := uint64(r.Addend)
+			if b.inText(t) && IsEndbr(b.f, t) {
+				b.addEntry(t)
+			}
+		}
+	}
+
+	if b.opts.UseEhFrame {
+		if sec := b.f.Section(".eh_frame"); sec != nil {
+			if ranges, err := ehframe.Parse(sec.Addr, sec.Data); err == nil {
+				for _, fr := range ranges {
+					if b.inText(fr.Start) {
+						b.addEntry(fr.Start)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) inText(addr uint64) bool {
+	return addr >= b.g.TextStart && addr < b.g.TextEnd
+}
+
+func (b *builder) addEntry(addr uint64) bool {
+	if !b.inText(addr) || b.entrySet[addr] {
+		return false
+	}
+	b.entrySet[addr] = true
+	b.g.Entries = append(b.g.Entries, addr)
+	sort.Slice(b.g.Entries, func(i, j int) bool { return b.g.Entries[i] < b.g.Entries[j] })
+	b.enqueue(addr)
+	return true
+}
+
+func (b *builder) enqueue(addr uint64) {
+	if b.inText(addr) {
+		b.work = append(b.work, addr)
+	}
+}
+
+func (b *builder) drain() {
+	for len(b.work) > 0 {
+		addr := b.work[len(b.work)-1]
+		b.work = b.work[:len(b.work)-1]
+		b.ensureBlock(addr)
+	}
+}
+
+// ensureBlock makes addr a block start: reusing, splitting (Figure 5), or
+// decoding fresh.
+func (b *builder) ensureBlock(addr uint64) *Block {
+	if blk, ok := b.g.Blocks[addr]; ok {
+		return blk
+	}
+	if ref, ok := b.owner[addr]; ok && ref.idx > 0 {
+		return b.split(ref.block, ref.idx)
+	}
+	return b.decode(addr)
+}
+
+// split cuts block y before instruction idx, creating the tail block and
+// fall-through edge (the Figure 5 discover/split/merge sequence).
+func (b *builder) split(y *Block, idx int) *Block {
+	addrs := y.InstAddrs()
+	cut := addrs[idx]
+	z := &Block{
+		Addr:    cut,
+		Insts:   append([]x86.Inst(nil), y.Insts[idx:]...),
+		Sizes:   append([]int(nil), y.Sizes[idx:]...),
+		Succs:   y.Succs,
+		Fall:    y.Fall,
+		HasFall: y.HasFall,
+		Invalid: y.Invalid,
+		Table:   y.Table,
+	}
+	y.Insts = y.Insts[:idx]
+	y.Sizes = y.Sizes[:idx]
+	y.Succs = nil
+	y.Fall = cut
+	y.HasFall = true
+	y.Invalid = false
+	y.Table = nil
+	b.g.Blocks[cut] = z
+	for i := idx; i < len(addrs); i++ {
+		b.owner[addrs[i]] = ownerRef{block: z, idx: i - idx}
+	}
+	if z.Table != nil {
+		z.Table.BlockAdr = cut
+	}
+	b.g.invalidatePreds()
+	return z
+}
+
+// decode disassembles a fresh block starting at addr.
+func (b *builder) decode(addr uint64) *Block {
+	blk := &Block{Addr: addr}
+	b.g.Blocks[addr] = blk
+	b.g.invalidatePreds()
+
+	cur := addr
+	for {
+		if cur != addr {
+			// Merge into an existing block or boundary (Figure 5c).
+			if _, ok := b.g.Blocks[cur]; ok {
+				blk.Fall = cur
+				blk.HasFall = true
+				return blk
+			}
+			if ref, ok := b.owner[cur]; ok && ref.block != blk {
+				b.split(ref.block, ref.idx)
+				blk.Fall = cur
+				blk.HasFall = true
+				return blk
+			}
+		}
+		if !b.inText(cur) || len(blk.Insts) >= b.opts.MaxBlockInsts {
+			blk.Invalid = true
+			return blk
+		}
+		off := cur - b.text.Addr
+		in, size, err := x86.Decode(b.text.Data[off:])
+		if err != nil {
+			blk.Invalid = true
+			return blk
+		}
+		b.owner[cur] = ownerRef{block: blk, idx: len(blk.Insts)}
+		blk.Insts = append(blk.Insts, in)
+		blk.Sizes = append(blk.Sizes, size)
+		next := cur + uint64(size)
+
+		switch in.Op {
+		case x86.RET, x86.UD2, x86.HLT, x86.INT3:
+			return blk
+		case x86.JMP:
+			if tgt, ok := in.BranchTarget(cur, size); ok {
+				if b.inText(tgt) {
+					blk.Succs = append(blk.Succs, tgt)
+					b.enqueue(tgt)
+				} else {
+					blk.Invalid = true
+				}
+			}
+			// Indirect jumps are resolved later by table analysis.
+			return blk
+		case x86.JCC:
+			if tgt, ok := in.BranchTarget(cur, size); ok && b.inText(tgt) {
+				blk.Succs = append(blk.Succs, tgt)
+				b.enqueue(tgt)
+			} else {
+				blk.Invalid = true
+				return blk
+			}
+			blk.Fall = next
+			blk.HasFall = true
+			b.enqueue(next)
+			return blk
+		case x86.CALL:
+			// Calls do not end blocks: the fall-through edge is included
+			// without non-returning analysis (§3.2.2). Direct call
+			// targets are function entries.
+			if tgt, ok := in.BranchTarget(cur, size); ok {
+				if b.inText(tgt) {
+					b.addEntry(tgt)
+				} else {
+					blk.Invalid = true
+					return blk
+				}
+			}
+		}
+		cur = next
+	}
+}
+
+// harvestFromCode applies the conservative entry heuristics over the code
+// decoded so far (§3.2.1): RIP-relative references to endbr64.
+func (b *builder) harvestFromCode() bool {
+	grew := false
+	for _, blk := range b.g.SortedBlocks() {
+		addrs := blk.InstAddrs()
+		for i, in := range blk.Insts {
+			if t, ok := in.RipTarget(addrs[i], blk.Sizes[i]); ok {
+				if b.inText(t) && IsEndbr(b.f, t) {
+					if b.addEntry(t) {
+						grew = true
+					}
+				}
+			}
+		}
+	}
+	return grew
+}

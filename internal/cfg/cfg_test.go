@@ -1,0 +1,243 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/elfx"
+	"repro/internal/emu"
+	"repro/internal/mini"
+)
+
+// switchModule has a dense masked switch (jump table without bounds
+// check at -O1+), function pointers, and recursion.
+func switchModule() *mini.Module {
+	cases := make([]mini.SwitchCase, 8)
+	for i := range cases {
+		cases[i] = mini.SwitchCase{Val: int64(i), Body: []mini.Stmt{mini.Print{E: mini.Const(int64(100 + i))}}}
+	}
+	return &mini.Module{
+		Name: "sw",
+		Globals: []*mini.Global{
+			{Name: "ops", FuncTable: []string{"f1", "f2"}},
+			// Figure 3 trap: plausible-looking data adjacent to jump tables.
+			{Name: "decoys", Elem: 4, Count: 4, Init: []int64{-64, -32, -16, -8}, ReadOnly: true},
+		},
+		Funcs: []*mini.Func{
+			{Name: "f1", NParams: 1, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Add, L: mini.Var("p0"), R: mini.Const(1)}}}},
+			{Name: "f2", NParams: 1, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Mul, L: mini.Var("p0"), R: mini.Const(3)}}}},
+			{
+				Name:   "main",
+				Locals: []string{"i"},
+				Body: []mini.Stmt{
+					mini.Assign{Name: "i", E: mini.Const(0)},
+					mini.While{
+						Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(20)},
+						Body: []mini.Stmt{
+							mini.Switch{
+								E:        mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(7)},
+								Complete: true,
+								Cases:    cases,
+							},
+							mini.Print{E: mini.CallPtr{Table: "ops",
+								Idx:  mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(1)},
+								Args: []mini.Expr{mini.Var("i")}}},
+							mini.Print{E: mini.LoadG{G: "decoys", Idx: mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(3)}}},
+							mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}},
+						},
+					},
+				},
+			},
+		},
+	}
+}
+
+func buildGraph(t *testing.T, ccfg cc.Config, opts Options) (*Graph, []byte) {
+	t.Helper()
+	bin, err := cc.Compile(switchModule(), ccfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f, err := elfx.Read(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(f, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g, bin
+}
+
+func TestBuildBasics(t *testing.T) {
+	g, _ := buildGraph(t, cc.DefaultConfig(), DefaultOptions())
+	if len(g.Blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	// _start, runtime (3 funcs), f1, f2, main at minimum.
+	if len(g.Entries) < 7 {
+		t.Errorf("only %d entries harvested", len(g.Entries))
+	}
+	if len(g.Tables) == 0 {
+		t.Error("no jump tables discovered")
+	}
+	for _, tbl := range g.Tables {
+		if len(tbl.Bases) == 0 {
+			t.Errorf("table at %#x has no bases", tbl.JmpAddr)
+		}
+		for base, entries := range tbl.Entries {
+			if len(entries) < 8 {
+				t.Errorf("table base %#x has %d entries, want >= 8 (over-approximation)", base, len(entries))
+			}
+		}
+	}
+}
+
+// TestSupersetProperty is the core §3.2 invariant: every address the
+// original binary executes on any test input must be an instruction in
+// the superset CFG.
+func TestSupersetProperty(t *testing.T) {
+	for _, ccfg := range cc.AllConfigs() {
+		ccfg := ccfg
+		t.Run(ccfg.String(), func(t *testing.T) {
+			g, bin := buildGraph(t, ccfg, DefaultOptions())
+			known := g.InstructionSet()
+
+			m, err := emu.Load(bin, emu.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var missing []uint64
+			m.TraceFn = func(addr uint64) {
+				orig := addr - emu.DefaultBias
+				if !known[orig] && len(missing) < 5 {
+					missing = append(missing, orig)
+				}
+			}
+			if err := m.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(missing) > 0 {
+				t.Errorf("executed addresses missing from superset CFG: %#x", missing)
+			}
+		})
+	}
+}
+
+func TestFuncBounds(t *testing.T) {
+	g, _ := buildGraph(t, cc.DefaultConfig(), DefaultOptions())
+	for _, e := range g.Entries {
+		start, end := g.FuncBounds(e)
+		if start != e {
+			t.Errorf("FuncBounds(%#x) start = %#x", e, start)
+		}
+		if end <= e {
+			t.Errorf("FuncBounds(%#x) end = %#x", e, end)
+		}
+		if !g.IsEntry(e) {
+			t.Errorf("IsEntry(%#x) = false", e)
+		}
+	}
+	if g.IsEntry(g.TextEnd + 100) {
+		t.Error("IsEntry beyond text")
+	}
+}
+
+func TestNoEhFrameStillCovers(t *testing.T) {
+	// Without call frame information the CFG must still be a superset
+	// (§4.3.3), just bigger.
+	ccfg := cc.DefaultConfig()
+	ccfg.EhFrame = false
+	g, bin := buildGraph(t, ccfg, Options{UseEhFrame: false})
+	known := g.InstructionSet()
+	m, err := emu.Load(bin, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := 0
+	m.TraceFn = func(addr uint64) {
+		if !known[addr-emu.DefaultBias] {
+			miss++
+		}
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if miss > 0 {
+		t.Errorf("%d executed instructions missing from CFG without eh_frame", miss)
+	}
+}
+
+func TestEhFrameTightensGraph(t *testing.T) {
+	// With unwind info the builder should harvest at least as many
+	// entries as without it (§4.3.3: fewer entries -> wider bounds ->
+	// more over-approximated instructions).
+	bin, err := cc.Compile(switchModule(), cc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := elfx.Read(bin)
+	with, err := Build(f, Options{UseEhFrame: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Build(f, Options{UseEhFrame: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Entries) < len(without.Entries) {
+		t.Errorf("eh_frame harvested fewer entries: %d vs %d", len(with.Entries), len(without.Entries))
+	}
+	// Tighter function bounds must not over-approximate jump tables more:
+	// total table entries with eh_frame <= without.
+	if with.Stats().TableEntries > without.Stats().TableEntries {
+		t.Errorf("eh_frame over-approximated more table entries: %d vs %d",
+			with.Stats().TableEntries, without.Stats().TableEntries)
+	}
+	// Note: total instruction count can go either way on small modules
+	// (FDE entries pull in dead functions); the §4.3.3 "+20% instructions
+	// without CFI" effect is measured on full corpora by the eval harness.
+}
+
+func TestStatsAndHelpers(t *testing.T) {
+	g, _ := buildGraph(t, cc.DefaultConfig(), DefaultOptions())
+	st := g.Stats()
+	if st.Blocks != len(g.Blocks) || st.Entries != len(g.Entries) || st.Tables != len(g.Tables) {
+		t.Errorf("stats mismatch: %+v", st)
+	}
+	if st.Instructions == 0 || st.TableEntries == 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+	blocks := g.SortedBlocks()
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i-1].Addr >= blocks[i].Addr {
+			t.Fatal("SortedBlocks not sorted")
+		}
+	}
+	// Every non-invalid block ending in jcc must have a fall-through.
+	for _, b := range blocks {
+		if b.Invalid || len(b.Insts) == 0 {
+			continue
+		}
+		last := b.Insts[len(b.Insts)-1]
+		if last.Op.IsBranch() && !last.Op.IsTerminator() && !b.HasFall {
+			t.Errorf("block %#x ends in %v without fall-through", b.Addr, last)
+		}
+	}
+}
+
+func TestIsEndbr(t *testing.T) {
+	_, bin := buildGraph(t, cc.DefaultConfig(), DefaultOptions())
+	f, _ := elfx.Read(bin)
+	if !IsEndbr(f, f.Entry) {
+		t.Error("entry point is not endbr64")
+	}
+	if IsEndbr(f, f.Entry+1) {
+		t.Error("misaligned endbr64 detected")
+	}
+	if IsEndbr(f, 0xdeadbeef) {
+		t.Error("unmapped address reported as endbr64")
+	}
+}

@@ -1,0 +1,186 @@
+// Package core orchestrates the SURI pipeline (§3.1, Figure 4):
+//
+//	Superset CFG Builder -> CFG Serializer -> Pointer Repairer ->
+//	Superset Symbolizer -> (user instrumentation of S') -> Emitter
+//
+// The root package of this module re-exports the public API.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/elfx"
+	"repro/internal/emit"
+	"repro/internal/repair"
+	"repro/internal/serialize"
+	"repro/internal/symbolize"
+)
+
+// ErrNotCETPIE is returned for binaries outside SURI's problem scope
+// (§2.1): only CET-enabled PIE binaries are rewritten.
+var ErrNotCETPIE = errors.New("suri: target must be a CET-enabled PIE binary")
+
+// Instrumenter edits S' — the serialized, repaired, symbolized code —
+// before emission. Implementations may insert synthesized entries
+// anywhere; they must not reorder or delete original entries.
+type Instrumenter func(entries []serialize.Entry) ([]serialize.Entry, error)
+
+// Options configure a rewrite.
+type Options struct {
+	// IgnoreEhFrame makes the CFG builder skip call frame information
+	// even when present (the §4.3.3 ablation).
+	IgnoreEhFrame bool
+
+	// Instrument, if set, edits S' (§3.1 step 4: "users can modify S'
+	// at this stage").
+	Instrument Instrumenter
+
+	// AllowNonCET skips the problem-scope check (used by experiments).
+	AllowNonCET bool
+}
+
+// Stats aggregates the pipeline measurements reported in §4.2.4/§4.3.1.
+type Stats struct {
+	// Graph statistics.
+	Blocks       int
+	Entries      int
+	Instructions int
+
+	// Serialized code.
+	CopiedInstructions int
+	AddedInstructions  int
+
+	// Pointer repair.
+	CodePointers   int
+	PinnedPointers int
+
+	// Jump tables.
+	Tables         int
+	MultiBase      int // dispatch sites needing if-then-else (§3.5.2)
+	TableEntries   int // over-approximated entries in isolated tables
+	AdjustedRelas  int
+	RewrittenBytes int
+}
+
+// Result is a completed rewrite.
+type Result struct {
+	// Binary is the rewritten ELF image.
+	Binary []byte
+
+	// SPrime is the final instrumented assembly stream (for inspection;
+	// render with Render).
+	SPrime []serialize.Entry
+
+	// Graph is the superset CFG.
+	Graph *cfg.Graph
+
+	// Layout describes the new sections.
+	Layout *emit.Layout
+
+	Stats Stats
+}
+
+// Rewrite runs the full SURI pipeline over a binary image.
+func Rewrite(bin []byte, opts Options) (*Result, error) {
+	f, err := elfx.Read(bin)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.AllowNonCET && (!f.IsPIE() || !f.HasCET()) {
+		return nil, ErrNotCETPIE
+	}
+	copts := cfg.DefaultOptions()
+	copts.UseEhFrame = !opts.IgnoreEhFrame
+
+	// 1. Superset CFG Builder.
+	g, err := cfg.Build(f, copts)
+	if err != nil {
+		return nil, fmt.Errorf("suri: cfg: %w", err)
+	}
+
+	// 2. CFG Serializer.
+	entries := serialize.Serialize(g)
+
+	// 3. Pointer Repairer.
+	rep, err := repair.Repair(entries, g)
+	if err != nil {
+		return nil, fmt.Errorf("suri: repair: %w", err)
+	}
+	if _, err := repair.Audit(entries, g); err != nil {
+		return nil, fmt.Errorf("suri: %w", err)
+	}
+
+	// 4. Superset Symbolizer.
+	entries, sym, err := symbolize.Symbolize(entries, g)
+	if err != nil {
+		return nil, fmt.Errorf("suri: symbolize: %w", err)
+	}
+
+	// User instrumentation of S'.
+	if opts.Instrument != nil {
+		entries, err = opts.Instrument(entries)
+		if err != nil {
+			return nil, fmt.Errorf("suri: instrumentation: %w", err)
+		}
+	}
+
+	// 5. Emitter.
+	sets := make(map[string]uint64, len(rep.Sets)+len(sym.Sets))
+	for k, v := range rep.Sets {
+		sets[k] = v
+	}
+	for k, v := range sym.Sets {
+		sets[k] = v
+	}
+	out, layout, err := emit.Emit(emit.Input{
+		Graph:      g,
+		Entries:    entries,
+		TableItems: sym.TableItems,
+		Sets:       sets,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("suri: emit: %w", err)
+	}
+
+	orig, synth := serialize.Count(entries)
+	gst := g.Stats()
+	return &Result{
+		Binary: out,
+		SPrime: entries,
+		Graph:  g,
+		Layout: layout,
+		Stats: Stats{
+			Blocks:             gst.Blocks,
+			Entries:            gst.Entries,
+			Instructions:       gst.Instructions,
+			CopiedInstructions: orig,
+			AddedInstructions:  synth,
+			CodePointers:       rep.CodePointers,
+			PinnedPointers:     rep.Pinned,
+			Tables:             sym.Tables,
+			MultiBase:          sym.MultiBase,
+			TableEntries:       sym.NewEntries,
+			AdjustedRelas:      layout.AdjustedRelas,
+			RewrittenBytes:     len(out),
+		},
+	}, nil
+}
+
+// Render prints S' in GNU-as-like text for inspection.
+func Render(entries []serialize.Entry, sets map[string]uint64) string {
+	var prog asm.Program
+	for name, addr := range sets {
+		prog.Sets = append(prog.Sets, asm.Set{Name: name, Addr: addr})
+	}
+	sec := prog.Section(".suri.text", asm.Alloc|asm.Exec)
+	for _, e := range entries {
+		for _, l := range e.Labels {
+			sec.L(l)
+		}
+		sec.Items = append(sec.Items, asm.Ins{X: e.Inst, Sym: e.Target, Add: e.Addend})
+	}
+	return asm.Print(&prog)
+}

@@ -1,0 +1,266 @@
+// Package ehframe writes and reads the .eh_frame call-frame-information
+// section in its real DWARF wire format (CIE/FDE records, ULEB128/SLEB128
+// fields, DW_EH_PE_pcrel|sdata4 pointer encoding).
+//
+// The compiler uses it to emit unwind tables (present by default in
+// modern toolchains, §6.3); SURI's superset CFG builder uses the FDE
+// [initial_location, initial_location+address_range) intervals as an
+// optional source of function entry points (§3.2.1). Per the paper,
+// the information is an accelerator, never a correctness requirement.
+package ehframe
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+var le = binary.LittleEndian
+
+// FuncRange describes one FDE: a function's code interval.
+type FuncRange struct {
+	Start uint64
+	Size  uint64
+}
+
+// Pointer encodings (subset).
+const (
+	pePCRel  = 0x10
+	peSData4 = 0x0B
+	peFDEEnc = pePCRel | peSData4
+)
+
+// AppendULEB appends a ULEB128-encoded value.
+func AppendULEB(b []byte, v uint64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			c |= 0x80
+		}
+		b = append(b, c)
+		if v == 0 {
+			return b
+		}
+	}
+}
+
+// AppendSLEB appends an SLEB128-encoded value.
+func AppendSLEB(b []byte, v int64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		done := (v == 0 && c&0x40 == 0) || (v == -1 && c&0x40 != 0)
+		if !done {
+			c |= 0x80
+		}
+		b = append(b, c)
+		if done {
+			return b
+		}
+	}
+}
+
+// ReadULEB decodes a ULEB128 value, returning it and the bytes consumed.
+func ReadULEB(b []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7F) << shift
+		if b[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+		shift += 7
+		if shift > 63 {
+			break
+		}
+	}
+	return 0, 0, fmt.Errorf("ehframe: truncated ULEB128")
+}
+
+// ReadSLEB decodes an SLEB128 value.
+func ReadSLEB(b []byte) (int64, int, error) {
+	var v int64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		v |= int64(b[i]&0x7F) << shift
+		shift += 7
+		if b[i]&0x80 == 0 {
+			if shift < 64 && b[i]&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, i + 1, nil
+		}
+		if shift > 63 {
+			break
+		}
+	}
+	return 0, 0, fmt.Errorf("ehframe: truncated SLEB128")
+}
+
+// Build serializes an .eh_frame section for the given function ranges.
+// sectionAddr is the virtual address where the section will be placed
+// (needed because FDE initial_location uses pc-relative encoding).
+func Build(sectionAddr uint64, funcs []FuncRange) []byte {
+	var out []byte
+
+	// CIE.
+	cie := []byte{1}                   // version
+	cie = append(cie, 'z', 'R', 0)     // augmentation
+	cie = AppendULEB(cie, 1)           // code alignment factor
+	cie = AppendSLEB(cie, -8)          // data alignment factor
+	cie = AppendULEB(cie, 16)          // return address register (RA)
+	cie = AppendULEB(cie, 1)           // augmentation data length
+	cie = append(cie, peFDEEnc)        // FDE pointer encoding
+	cie = append(cie, 0x0c, 0x07, 8)   // DW_CFA_def_cfa RSP+8
+	cie = append(cie, 0x90|0x10, 0x01) // DW_CFA_offset RA, cfa-8
+	for len(cie)%8 != 4 {
+		cie = append(cie, 0) // DW_CFA_nop padding; total record 8-aligned
+	}
+	out = le.AppendUint32(out, uint32(len(cie)+4)) // length
+	out = le.AppendUint32(out, 0)                  // CIE id
+	out = append(out, cie...)
+
+	// FDEs.
+	for _, f := range funcs {
+		fde := make([]byte, 0, 24)
+		// pc_begin: pcrel sdata4, relative to the pc_begin field itself.
+		// The field sits 8 bytes into the FDE record (after length and
+		// CIE pointer).
+		fieldAddr := sectionAddr + uint64(len(out)) + 8
+		fde = le.AppendUint32(fde, uint32(int32(int64(f.Start)-int64(fieldAddr))))
+		fde = le.AppendUint32(fde, uint32(f.Size))
+		fde = AppendULEB(fde, 0) // augmentation data length
+		for (len(fde)+8)%8 != 0 {
+			fde = append(fde, 0) // DW_CFA_nop
+		}
+		out = le.AppendUint32(out, uint32(len(fde)+4))
+		// CIE pointer: distance from this field back to the CIE start.
+		out = le.AppendUint32(out, uint32(len(out)))
+		out = append(out, fde...)
+	}
+
+	// Terminator.
+	out = le.AppendUint32(out, 0)
+	return out
+}
+
+// Parse walks an .eh_frame section placed at sectionAddr and returns the
+// function ranges of all FDEs. Unknown CIE augmentations or encodings
+// other than pcrel|sdata4 are rejected; malformed records end the walk
+// with an error. A nil or empty section yields no ranges.
+func Parse(sectionAddr uint64, data []byte) ([]FuncRange, error) {
+	var funcs []FuncRange
+	type cieInfo struct{ enc byte }
+	cies := make(map[uint64]cieInfo)
+
+	pos := uint64(0)
+	for pos+4 <= uint64(len(data)) {
+		length := uint64(le.Uint32(data[pos:]))
+		if length == 0 {
+			break // terminator
+		}
+		if length == 0xFFFFFFFF {
+			return nil, fmt.Errorf("ehframe: 64-bit DWARF records unsupported")
+		}
+		recStart := pos
+		body := pos + 4
+		end := body + length
+		if end > uint64(len(data)) {
+			return nil, fmt.Errorf("ehframe: record at %#x overruns section", pos)
+		}
+		id := le.Uint32(data[body:])
+		if id == 0 {
+			enc, err := parseCIE(data[body+4 : end])
+			if err != nil {
+				return nil, fmt.Errorf("ehframe: CIE at %#x: %w", recStart, err)
+			}
+			cies[recStart] = cieInfo{enc: enc}
+		} else {
+			cieStart := body - uint64(id)
+			ci, ok := cies[cieStart]
+			if !ok {
+				return nil, fmt.Errorf("ehframe: FDE at %#x references unknown CIE", recStart)
+			}
+			if ci.enc != peFDEEnc {
+				return nil, fmt.Errorf("ehframe: unsupported pointer encoding %#x", ci.enc)
+			}
+			if body+12 > end {
+				return nil, fmt.Errorf("ehframe: FDE at %#x too short", recStart)
+			}
+			fieldAddr := sectionAddr + body + 4
+			delta := int32(le.Uint32(data[body+4:]))
+			start := uint64(int64(fieldAddr) + int64(delta))
+			size := uint64(le.Uint32(data[body+8:]))
+			funcs = append(funcs, FuncRange{Start: start, Size: size})
+		}
+		pos = end
+	}
+	return funcs, nil
+}
+
+// parseCIE extracts the FDE pointer encoding from a CIE body (after the
+// id field).
+func parseCIE(b []byte) (byte, error) {
+	if len(b) < 1 || b[0] != 1 {
+		return 0, fmt.Errorf("unsupported CIE version")
+	}
+	b = b[1:]
+	// Augmentation string.
+	augEnd := -1
+	for i, c := range b {
+		if c == 0 {
+			augEnd = i
+			break
+		}
+	}
+	if augEnd < 0 {
+		return 0, fmt.Errorf("unterminated augmentation string")
+	}
+	aug := string(b[:augEnd])
+	b = b[augEnd+1:]
+
+	// code alignment, data alignment, return register.
+	if _, n, err := ReadULEB(b); err != nil {
+		return 0, err
+	} else {
+		b = b[n:]
+	}
+	if _, n, err := ReadSLEB(b); err != nil {
+		return 0, err
+	} else {
+		b = b[n:]
+	}
+	if _, n, err := ReadULEB(b); err != nil {
+		return 0, err
+	} else {
+		b = b[n:]
+	}
+
+	if aug == "" {
+		return 0, fmt.Errorf("CIE without augmentation data")
+	}
+	if aug[0] != 'z' {
+		return 0, fmt.Errorf("unsupported augmentation %q", aug)
+	}
+	augLen, n, err := ReadULEB(b)
+	if err != nil {
+		return 0, err
+	}
+	b = b[n:]
+	if uint64(len(b)) < augLen {
+		return 0, fmt.Errorf("augmentation data overruns CIE")
+	}
+	augData := b[:augLen]
+	for _, c := range aug[1:] {
+		switch c {
+		case 'R':
+			if len(augData) < 1 {
+				return 0, fmt.Errorf("missing R encoding byte")
+			}
+			return augData[0], nil
+		default:
+			return 0, fmt.Errorf("unsupported augmentation letter %q", c)
+		}
+	}
+	return 0, fmt.Errorf("augmentation lacks R")
+}

@@ -1,0 +1,129 @@
+package ehframe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	funcs := []FuncRange{
+		{Start: 0x1000, Size: 0x40},
+		{Start: 0x1040, Size: 0x123},
+		{Start: 0x2000, Size: 0x8},
+	}
+	const secAddr = 0x4000
+	data := Build(secAddr, funcs)
+	got, err := Parse(secAddr, data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(got) != len(funcs) {
+		t.Fatalf("got %d ranges, want %d", len(got), len(funcs))
+	}
+	for i := range funcs {
+		if got[i] != funcs[i] {
+			t.Errorf("range %d: got %+v, want %+v", i, got[i], funcs[i])
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if got, err := Parse(0, nil); err != nil || len(got) != 0 {
+		t.Errorf("Parse(nil) = %v, %v", got, err)
+	}
+	// Just a terminator.
+	if got, err := Parse(0, []byte{0, 0, 0, 0}); err != nil || len(got) != 0 {
+		t.Errorf("Parse(terminator) = %v, %v", got, err)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	// Record length overrunning the section.
+	bad := []byte{0xFF, 0x00, 0x00, 0x00, 1, 2, 3}
+	if _, err := Parse(0, bad); err == nil {
+		t.Error("overrunning record accepted")
+	}
+	// FDE referencing a missing CIE.
+	bad2 := []byte{
+		0x08, 0, 0, 0, // length 8
+		0x44, 0, 0, 0, // cie pointer: nonsense
+		0, 0, 0, 0,
+	}
+	if _, err := Parse(0, bad2); err == nil {
+		t.Error("dangling FDE accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := r.Intn(20)
+		secAddr := uint64(r.Intn(1 << 24))
+		funcs := make([]FuncRange, n)
+		cursor := uint64(r.Intn(1 << 20))
+		for i := range funcs {
+			funcs[i] = FuncRange{Start: cursor, Size: uint64(1 + r.Intn(1<<16))}
+			cursor += funcs[i].Size + uint64(r.Intn(64))
+		}
+		data := Build(secAddr, funcs)
+		got, err := Parse(secAddr, data)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		if len(got) != len(funcs) {
+			t.Fatalf("got %d, want %d", len(got), len(funcs))
+		}
+		for i := range funcs {
+			if got[i] != funcs[i] {
+				t.Fatalf("range %d: got %+v, want %+v", i, got[i], funcs[i])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLEB128(t *testing.T) {
+	uvals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 + 5}
+	for _, v := range uvals {
+		b := AppendULEB(nil, v)
+		got, n, err := ReadULEB(b)
+		if err != nil || got != v || n != len(b) {
+			t.Errorf("ULEB(%d): got %d (n=%d, err=%v)", v, got, n, err)
+		}
+	}
+	svals := []int64{0, 1, -1, 63, 64, -64, -65, 127, -128, 1 << 20, -(1 << 20), -8}
+	for _, v := range svals {
+		b := AppendSLEB(nil, v)
+		got, n, err := ReadSLEB(b)
+		if err != nil || got != v || n != len(b) {
+			t.Errorf("SLEB(%d): got %d (n=%d, err=%v)", v, got, n, err)
+		}
+	}
+	if _, _, err := ReadULEB([]byte{0x80, 0x80}); err == nil {
+		t.Error("truncated ULEB accepted")
+	}
+	if _, _, err := ReadSLEB([]byte{0x80}); err == nil {
+		t.Error("truncated SLEB accepted")
+	}
+}
+
+func TestQuickLEB(t *testing.T) {
+	fu := func(v uint64) bool {
+		got, n, err := ReadULEB(AppendULEB(nil, v))
+		return err == nil && got == v && n > 0
+	}
+	if err := quick.Check(fu, nil); err != nil {
+		t.Error(err)
+	}
+	fs := func(v int64) bool {
+		got, n, err := ReadSLEB(AppendSLEB(nil, v))
+		return err == nil && got == v && n > 0
+	}
+	if err := quick.Check(fs, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package elfx reads and writes ELF64 x86-64 files at the byte level.
+//
+// It exists instead of debug/elf because the pipeline needs to *produce*
+// ELF binaries (the compiler and the emitter) and to perform the surgical
+// edits of §3.6 — appending sections and segments to an existing binary,
+// flipping segment permissions, moving the entry point, and rewriting
+// relocation entries — none of which the stdlib reader supports. The
+// format subset is genuine ELF: files written here are parseable by
+// debug/elf (tests verify this).
+package elfx
+
+import "sort"
+
+// ELF constants (only the subset this repository uses).
+const (
+	// File types.
+	ETDyn uint16 = 3 // shared object / PIE
+
+	// Machine.
+	EMX8664 uint16 = 62
+
+	// Program header types.
+	PTLoad        uint32 = 1
+	PTDynamic     uint32 = 2
+	PTNote        uint32 = 4
+	PTGNUProperty uint32 = 0x6474e553
+
+	// Program header flags.
+	PFX uint32 = 1
+	PFW uint32 = 2
+	PFR uint32 = 4
+
+	// Section header types.
+	SHTNull     uint32 = 0
+	SHTProgbits uint32 = 1
+	SHTSymtab   uint32 = 2
+	SHTStrtab   uint32 = 3
+	SHTRela     uint32 = 4
+	SHTNobits   uint32 = 8
+	SHTDynamic  uint32 = 6
+	SHTNote     uint32 = 7
+
+	// Section flags.
+	SHFWrite     uint64 = 1
+	SHFAlloc     uint64 = 2
+	SHFExecinstr uint64 = 4
+
+	// Relocation types.
+	RX8664Relative uint32 = 8
+
+	// Dynamic tags.
+	DTNull    int64 = 0
+	DTRela    int64 = 7
+	DTRelasz  int64 = 8
+	DTRelaent int64 = 9
+	DTFlags   int64 = 30
+
+	// GNU property note constants.
+	NTGNUPropertyType0         uint32 = 5
+	GNUPropertyX86Feature1And  uint32 = 0xc0000002
+	GNUPropertyX86FeatureIBT   uint32 = 1 << 0
+	GNUPropertyX86FeatureSHSTK uint32 = 1 << 1
+
+	// Layout.
+	EhdrSize = 64
+	PhdrSize = 56
+	ShdrSize = 64
+	RelaSize = 24
+	PageSize = 0x1000
+)
+
+// Section is an ELF section.
+type Section struct {
+	Name    string
+	Type    uint32
+	Flags   uint64
+	Addr    uint64
+	Off     uint64 // assigned by Write; preserved by Read
+	Size    uint64
+	Link    uint32
+	Info    uint32
+	Align   uint64
+	Entsize uint64
+	Data    []byte // nil for SHTNobits
+}
+
+// Segment is an ELF program header entry.
+type Segment struct {
+	Type   uint32
+	Flags  uint32
+	Off    uint64
+	Vaddr  uint64
+	Filesz uint64
+	Memsz  uint64
+	Align  uint64
+}
+
+// Rela is a relocation entry with an explicit addend.
+type Rela struct {
+	Off    uint64
+	Type   uint32
+	Sym    uint32
+	Addend int64
+}
+
+// File is a parsed or to-be-written ELF file.
+type File struct {
+	Type     uint16
+	Entry    uint64
+	Sections []*Section // excludes the null section and .shstrtab
+	Segments []*Segment
+	Raw      []byte // original bytes when parsed by Read; nil otherwise
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for _, s := range f.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// MaxVaddr returns the highest mapped virtual address across PT_LOAD
+// segments, rounded up to page size.
+func (f *File) MaxVaddr() uint64 {
+	var max uint64
+	for _, seg := range f.Segments {
+		if seg.Type != PTLoad {
+			continue
+		}
+		if end := seg.Vaddr + seg.Memsz; end > max {
+			max = end
+		}
+	}
+	return (max + PageSize - 1) &^ (PageSize - 1)
+}
+
+// HasCET reports whether the file's .note.gnu.property section declares
+// both IBT and SHSTK support — the definition of "CET-enabled" in §2.3.
+func (f *File) HasCET() bool {
+	sec := f.Section(".note.gnu.property")
+	if sec == nil {
+		return false
+	}
+	ibt, shstk := ParseGNUProperty(sec.Data)
+	return ibt && shstk
+}
+
+// IsPIE reports whether the file is a position-independent executable.
+func (f *File) IsPIE() bool { return f.Type == ETDyn }
+
+// BuildLoadSegments merges address-adjacent alloc sections with equal
+// permissions into PT_LOAD segments (offset == vaddr layout).
+func BuildLoadSegments(sections []*Section) []*Segment {
+	alloc := make([]*Section, 0, len(sections))
+	for _, s := range sections {
+		if s.Flags&SHFAlloc != 0 {
+			alloc = append(alloc, s)
+		}
+	}
+	sort.Slice(alloc, func(i, j int) bool { return alloc[i].Addr < alloc[j].Addr })
+
+	var segs []*Segment
+	var cur *Segment
+	var curPerm uint32
+	for _, s := range alloc {
+		perm := uint32(PFR)
+		if s.Flags&SHFWrite != 0 {
+			perm |= PFW
+		}
+		if s.Flags&SHFExecinstr != 0 {
+			perm |= PFX
+		}
+		if cur == nil || perm != curPerm {
+			cur = &Segment{
+				Type: PTLoad, Flags: perm,
+				Off: s.Addr, Vaddr: s.Addr, Align: PageSize,
+			}
+			curPerm = perm
+			segs = append(segs, cur)
+		}
+		end := s.Addr + s.Size
+		cur.Memsz = end - cur.Vaddr
+		if s.Type != SHTNobits {
+			cur.Filesz = end - cur.Vaddr
+		}
+	}
+	return segs
+}

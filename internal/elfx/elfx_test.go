@@ -1,0 +1,185 @@
+package elfx
+
+import (
+	"bytes"
+	"debug/elf"
+	"testing"
+)
+
+// sample builds a small but representative PIE file.
+func sample() *File {
+	note := BuildGNUProperty(true, true)
+	text := bytes.Repeat([]byte{0x90}, 0x40)
+	rodata := []byte("hello\x00")
+	rela := BuildRela([]Rela{{Off: 0x3000, Type: RX8664Relative, Addend: 0x1010}})
+	dyn := BuildDynamic([][2]uint64{
+		{uint64(DTRela), 0x2800},
+		{uint64(DTRelasz), uint64(len(rela))},
+		{uint64(DTRelaent), RelaSize},
+	})
+
+	f := &File{
+		Type:  ETDyn,
+		Entry: 0x1000,
+		Sections: []*Section{
+			{Name: ".note.gnu.property", Type: SHTNote, Flags: SHFAlloc, Addr: 0x400, Size: uint64(len(note)), Align: 8, Data: note},
+			{Name: ".text", Type: SHTProgbits, Flags: SHFAlloc | SHFExecinstr, Addr: 0x1000, Size: uint64(len(text)), Align: 16, Data: text},
+			{Name: ".rodata", Type: SHTProgbits, Flags: SHFAlloc, Addr: 0x2000, Size: uint64(len(rodata)), Align: 8, Data: rodata},
+			{Name: ".rela.dyn", Type: SHTRela, Flags: SHFAlloc, Addr: 0x2800, Size: uint64(len(rela)), Align: 8, Entsize: RelaSize, Data: rela},
+			{Name: ".dynamic", Type: SHTDynamic, Flags: SHFAlloc | SHFWrite, Addr: 0x2900, Size: uint64(len(dyn)), Align: 8, Entsize: 16, Data: dyn},
+			{Name: ".data", Type: SHTProgbits, Flags: SHFAlloc | SHFWrite, Addr: 0x3000, Size: 16, Align: 8, Data: make([]byte, 16)},
+			{Name: ".bss", Type: SHTNobits, Flags: SHFAlloc | SHFWrite, Addr: 0x3010, Size: 0x100, Align: 8},
+		},
+		Segments: []*Segment{
+			{Type: PTLoad, Flags: PFR | PFX, Off: 0x1000, Vaddr: 0x1000, Filesz: 0x40, Memsz: 0x40, Align: PageSize},
+			{Type: PTLoad, Flags: PFR, Off: 0x2000, Vaddr: 0x2000, Filesz: 0x918, Memsz: 0x918, Align: PageSize},
+			{Type: PTLoad, Flags: PFR | PFW, Off: 0x3000, Vaddr: 0x3000, Filesz: 0x10, Memsz: 0x110, Align: PageSize},
+			{Type: PTNote, Flags: PFR, Off: 0x400, Vaddr: 0x400, Filesz: uint64(len(note)), Memsz: uint64(len(note)), Align: 8},
+			{Type: PTDynamic, Flags: PFR | PFW, Off: 0x2900, Vaddr: 0x2900, Filesz: uint64(len(dyn)), Memsz: uint64(len(dyn)), Align: 8},
+		},
+	}
+	return f
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := sample()
+	b, err := Write(f)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g, err := Read(b)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.Type != f.Type || g.Entry != f.Entry {
+		t.Errorf("header mismatch: %+v", g)
+	}
+	if len(g.Sections) != len(f.Sections) {
+		t.Fatalf("got %d sections, want %d", len(g.Sections), len(f.Sections))
+	}
+	for i, s := range f.Sections {
+		r := g.Sections[i]
+		if r.Name != s.Name || r.Addr != s.Addr || r.Size != s.Size || r.Type != s.Type || r.Flags != s.Flags {
+			t.Errorf("section %d: got %+v, want %+v", i, r, s)
+		}
+		if s.Type != SHTNobits && !bytes.Equal(r.Data, s.Data) {
+			t.Errorf("section %s data mismatch", s.Name)
+		}
+	}
+	if len(g.Segments) != len(f.Segments) {
+		t.Fatalf("got %d segments, want %d", len(g.Segments), len(f.Segments))
+	}
+	for i, seg := range f.Segments {
+		r := g.Segments[i]
+		if *r != *seg {
+			t.Errorf("segment %d: got %+v, want %+v", i, r, seg)
+		}
+	}
+}
+
+// TestStdlibParses validates our writer against the independent stdlib
+// ELF reader.
+func TestStdlibParses(t *testing.T) {
+	b, err := Write(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := elf.NewFile(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("debug/elf rejected our output: %v", err)
+	}
+	defer ef.Close()
+	if ef.Type != elf.ET_DYN || ef.Machine != elf.EM_X86_64 {
+		t.Errorf("stdlib sees type=%v machine=%v", ef.Type, ef.Machine)
+	}
+	sec := ef.Section(".text")
+	if sec == nil {
+		t.Fatal("stdlib cannot find .text")
+	}
+	data, err := sec.Data()
+	if err != nil || len(data) != 0x40 {
+		t.Errorf(".text via stdlib: %d bytes, err %v", len(data), err)
+	}
+	if len(ef.Progs) != 5 {
+		t.Errorf("stdlib sees %d program headers, want 5", len(ef.Progs))
+	}
+}
+
+func TestGNUProperty(t *testing.T) {
+	for _, tt := range []struct{ ibt, shstk bool }{{true, true}, {true, false}, {false, true}, {false, false}} {
+		note := BuildGNUProperty(tt.ibt, tt.shstk)
+		ibt, shstk := ParseGNUProperty(note)
+		if ibt != tt.ibt || shstk != tt.shstk {
+			t.Errorf("roundtrip(%v,%v) = (%v,%v)", tt.ibt, tt.shstk, ibt, shstk)
+		}
+	}
+	if ibt, shstk := ParseGNUProperty([]byte{1, 2, 3}); ibt || shstk {
+		t.Error("malformed note parsed as CET")
+	}
+}
+
+func TestHasCET(t *testing.T) {
+	f := sample()
+	if !f.HasCET() {
+		t.Error("sample should be CET-enabled")
+	}
+	if !f.IsPIE() {
+		t.Error("sample should be PIE")
+	}
+	f.Section(".note.gnu.property").Data = BuildGNUProperty(true, false)
+	if f.HasCET() {
+		t.Error("IBT-only binary reported as fully CET-enabled")
+	}
+}
+
+func TestRelaRoundTrip(t *testing.T) {
+	in := []Rela{
+		{Off: 0x1000, Type: RX8664Relative, Addend: 0x2000},
+		{Off: 0x1008, Type: RX8664Relative, Addend: -8},
+	}
+	out := ParseRela(BuildRela(in))
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDynamicRoundTrip(t *testing.T) {
+	in := [][2]uint64{{uint64(DTRela), 0x1234}, {uint64(DTRelasz), 48}}
+	out := ParseDynamic(BuildDynamic(in))
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Errorf("got %v, want %v", out, in)
+	}
+}
+
+func TestMaxVaddr(t *testing.T) {
+	f := sample()
+	if got := f.MaxVaddr(); got != 0x4000 {
+		t.Errorf("MaxVaddr = %#x, want 0x4000", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, []byte("hello"), make([]byte, 100)} {
+		if _, err := Read(b); err == nil {
+			t.Errorf("Read(%d bytes) succeeded", len(b))
+		}
+	}
+}
+
+func TestWriteRejectsOverlap(t *testing.T) {
+	f := &File{
+		Type: ETDyn,
+		Sections: []*Section{
+			{Name: ".a", Type: SHTProgbits, Flags: SHFAlloc, Addr: 0x1000, Size: 0x200, Data: make([]byte, 0x200)},
+			{Name: ".b", Type: SHTProgbits, Flags: SHFAlloc, Addr: 0x1100, Size: 0x10, Data: make([]byte, 0x10)},
+		},
+	}
+	if _, err := Write(f); err == nil {
+		t.Error("overlapping sections accepted")
+	}
+}

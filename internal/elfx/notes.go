@@ -1,0 +1,135 @@
+package elfx
+
+// BuildGNUProperty builds the contents of a .note.gnu.property section
+// declaring the x86 ISA features (IBT and/or SHSTK) of a CET-enabled
+// binary, in the same wire format GNU ld emits.
+func BuildGNUProperty(ibt, shstk bool) []byte {
+	var feature uint32
+	if ibt {
+		feature |= GNUPropertyX86FeatureIBT
+	}
+	if shstk {
+		feature |= GNUPropertyX86FeatureSHSTK
+	}
+	// Note header: namesz=4 ("GNU\0"), descsz=16, type=NT_GNU_PROPERTY_TYPE_0.
+	out := make([]byte, 0, 32)
+	out = le.AppendUint32(out, 4)
+	out = le.AppendUint32(out, 16)
+	out = le.AppendUint32(out, NTGNUPropertyType0)
+	out = append(out, 'G', 'N', 'U', 0)
+	// Property: pr_type, pr_datasz=4, data, 4 bytes pad to 8-alignment.
+	out = le.AppendUint32(out, GNUPropertyX86Feature1And)
+	out = le.AppendUint32(out, 4)
+	out = le.AppendUint32(out, feature)
+	out = le.AppendUint32(out, 0)
+	return out
+}
+
+// ParseGNUProperty extracts the IBT and SHSTK feature bits from a
+// .note.gnu.property section body. Malformed input yields false, false.
+func ParseGNUProperty(data []byte) (ibt, shstk bool) {
+	pos := 0
+	for pos+12 <= len(data) {
+		namesz := int(le.Uint32(data[pos:]))
+		descsz := int(le.Uint32(data[pos+4:]))
+		typ := le.Uint32(data[pos+8:])
+		pos += 12
+		nameEnd := pos + (namesz+3)&^3
+		if nameEnd > len(data) {
+			return false, false
+		}
+		name := data[pos:min(pos+namesz, len(data))]
+		pos = nameEnd
+		descEnd := pos + (descsz+7)&^7
+		if pos+descsz > len(data) {
+			return false, false
+		}
+		desc := data[pos : pos+descsz]
+		if typ == NTGNUPropertyType0 && string(name) == "GNU\x00" {
+			// Walk properties inside the descriptor.
+			d := 0
+			for d+8 <= len(desc) {
+				prType := le.Uint32(desc[d:])
+				prSz := int(le.Uint32(desc[d+4:]))
+				d += 8
+				if d+prSz > len(desc) {
+					break
+				}
+				if prType == GNUPropertyX86Feature1And && prSz >= 4 {
+					feat := le.Uint32(desc[d:])
+					ibt = feat&GNUPropertyX86FeatureIBT != 0
+					shstk = feat&GNUPropertyX86FeatureSHSTK != 0
+				}
+				d += (prSz + 7) &^ 7
+			}
+		}
+		if descEnd > len(data) {
+			break
+		}
+		pos = descEnd
+	}
+	return ibt, shstk
+}
+
+// BuildRela serializes relocation entries in ELF64 RELA format.
+func BuildRela(rels []Rela) []byte {
+	out := make([]byte, 0, len(rels)*RelaSize)
+	for _, r := range rels {
+		out = le.AppendUint64(out, r.Off)
+		out = le.AppendUint64(out, uint64(r.Sym)<<32|uint64(r.Type))
+		out = le.AppendUint64(out, uint64(r.Addend))
+	}
+	return out
+}
+
+// ParseRela parses an ELF64 RELA section body.
+func ParseRela(data []byte) []Rela {
+	n := len(data) / RelaSize
+	out := make([]Rela, 0, n)
+	for i := 0; i < n; i++ {
+		o := i * RelaSize
+		info := le.Uint64(data[o+8:])
+		out = append(out, Rela{
+			Off:    le.Uint64(data[o:]),
+			Type:   uint32(info),
+			Sym:    uint32(info >> 32),
+			Addend: int64(le.Uint64(data[o+16:])),
+		})
+	}
+	return out
+}
+
+// BuildDynamic serializes a .dynamic section body from tag/value pairs,
+// appending the terminating DT_NULL entry.
+func BuildDynamic(entries [][2]uint64) []byte {
+	out := make([]byte, 0, (len(entries)+1)*16)
+	for _, e := range entries {
+		out = le.AppendUint64(out, e[0])
+		out = le.AppendUint64(out, e[1])
+	}
+	out = le.AppendUint64(out, 0)
+	out = le.AppendUint64(out, 0)
+	return out
+}
+
+// ParseDynamic returns the tag/value pairs of a .dynamic section body,
+// stopping at DT_NULL.
+func ParseDynamic(data []byte) [][2]uint64 {
+	var out [][2]uint64
+	for o := 0; o+16 <= len(data); o += 16 {
+		tag := le.Uint64(data[o:])
+		val := le.Uint64(data[o+8:])
+		if tag == 0 {
+			break
+		}
+		out = append(out, [2]uint64{tag, val})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

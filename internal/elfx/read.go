@@ -1,0 +1,113 @@
+package elfx
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotELF is returned for files without a valid ELF64 little-endian
+// x86-64 header.
+var ErrNotELF = errors.New("elfx: not an ELF64 x86-64 file")
+
+// Read parses an ELF file produced by this package (or any ELF64 LE
+// x86-64 binary using the same subset). The null section and .shstrtab
+// are stripped so that Read(Write(f)) mirrors f. The raw input is
+// retained in File.Raw.
+func Read(b []byte) (*File, error) {
+	if len(b) < EhdrSize || b[0] != 0x7F || b[1] != 'E' || b[2] != 'L' || b[3] != 'F' {
+		return nil, ErrNotELF
+	}
+	if b[4] != 2 || b[5] != 1 {
+		return nil, ErrNotELF
+	}
+	if le.Uint16(b[18:]) != EMX8664 {
+		return nil, ErrNotELF
+	}
+
+	f := &File{
+		Type:  le.Uint16(b[16:]),
+		Entry: le.Uint64(b[24:]),
+		Raw:   b,
+	}
+
+	phoff := le.Uint64(b[32:])
+	shoff := le.Uint64(b[40:])
+	phnum := int(le.Uint16(b[56:]))
+	shnum := int(le.Uint16(b[60:]))
+	shstrndx := int(le.Uint16(b[62:]))
+
+	for i := 0; i < phnum; i++ {
+		o := phoff + uint64(i*PhdrSize)
+		if o+PhdrSize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfx: program header %d out of range", i)
+		}
+		f.Segments = append(f.Segments, &Segment{
+			Type:   le.Uint32(b[o:]),
+			Flags:  le.Uint32(b[o+4:]),
+			Off:    le.Uint64(b[o+8:]),
+			Vaddr:  le.Uint64(b[o+16:]),
+			Filesz: le.Uint64(b[o+32:]),
+			Memsz:  le.Uint64(b[o+40:]),
+			Align:  le.Uint64(b[o+48:]),
+		})
+	}
+
+	type rawShdr struct {
+		name            uint32
+		typ             uint32
+		flags           uint64
+		addr, off, size uint64
+		link, info      uint32
+		align, entsize  uint64
+	}
+	raws := make([]rawShdr, shnum)
+	for i := 0; i < shnum; i++ {
+		o := shoff + uint64(i*ShdrSize)
+		if o+ShdrSize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfx: section header %d out of range", i)
+		}
+		raws[i] = rawShdr{
+			name: le.Uint32(b[o:]), typ: le.Uint32(b[o+4:]), flags: le.Uint64(b[o+8:]),
+			addr: le.Uint64(b[o+16:]), off: le.Uint64(b[o+24:]), size: le.Uint64(b[o+32:]),
+			link: le.Uint32(b[o+40:]), info: le.Uint32(b[o+44:]),
+			align: le.Uint64(b[o+48:]), entsize: le.Uint64(b[o+56:]),
+		}
+	}
+	if shstrndx >= len(raws) {
+		return nil, fmt.Errorf("elfx: shstrndx %d out of range", shstrndx)
+	}
+	strs := raws[shstrndx]
+	if strs.off+strs.size > uint64(len(b)) {
+		return nil, fmt.Errorf("elfx: shstrtab out of range")
+	}
+	strtab := b[strs.off : strs.off+strs.size]
+	nameAt := func(off uint32) string {
+		if uint64(off) >= uint64(len(strtab)) {
+			return ""
+		}
+		end := off
+		for end < uint32(len(strtab)) && strtab[end] != 0 {
+			end++
+		}
+		return string(strtab[off:end])
+	}
+
+	for i, r := range raws {
+		if i == 0 || i == shstrndx {
+			continue
+		}
+		s := &Section{
+			Name: nameAt(r.name), Type: r.typ, Flags: r.flags,
+			Addr: r.addr, Off: r.off, Size: r.size,
+			Link: r.link, Info: r.info, Align: r.align, Entsize: r.entsize,
+		}
+		if r.typ != SHTNobits {
+			if r.off+r.size > uint64(len(b)) {
+				return nil, fmt.Errorf("elfx: section %s data out of range", s.Name)
+			}
+			s.Data = b[r.off : r.off+r.size]
+		}
+		f.Sections = append(f.Sections, s)
+	}
+	return f, nil
+}

@@ -1,0 +1,153 @@
+package elfx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+var le = binary.LittleEndian
+
+// Write serializes the file. Alloc sections are written at file offset ==
+// virtual address, which keeps the loader's page-congruence requirement
+// trivially satisfied (our PIE images start their first section at or
+// above 0x1000, leaving room for the headers). Non-alloc sections follow
+// the highest alloc offset; the section header table goes last.
+//
+// The writer appends the null section and .shstrtab automatically; f must
+// not contain them.
+func Write(f *File) ([]byte, error) {
+	for _, s := range f.Sections {
+		if s.Name == ".shstrtab" || s.Name == "" {
+			return nil, fmt.Errorf("elfx: section %q must not be supplied by the caller", s.Name)
+		}
+	}
+
+	// Order alloc sections by address to validate layout.
+	alloc := make([]*Section, 0, len(f.Sections))
+	for _, s := range f.Sections {
+		if s.Flags&SHFAlloc != 0 {
+			alloc = append(alloc, s)
+		}
+	}
+	sort.Slice(alloc, func(i, j int) bool { return alloc[i].Addr < alloc[j].Addr })
+
+	headerEnd := uint64(EhdrSize + PhdrSize*len(f.Segments))
+	end := headerEnd
+	for _, s := range alloc {
+		if s.Type == SHTNobits {
+			s.Off = end // conventional: nobits sections carry the current offset
+			continue
+		}
+		if s.Addr < end {
+			return nil, fmt.Errorf("elfx: section %s at vaddr %#x overlaps file content ending at %#x",
+				s.Name, s.Addr, end)
+		}
+		s.Off = s.Addr
+		end = s.Off + s.Size
+	}
+
+	// Non-alloc sections after the alloc image.
+	for _, s := range f.Sections {
+		if s.Flags&SHFAlloc != 0 {
+			continue
+		}
+		end = align8(end)
+		s.Off = end
+		if s.Type != SHTNobits {
+			end += s.Size
+		}
+	}
+
+	// Build .shstrtab.
+	shstr := []byte{0}
+	nameOff := map[string]uint32{"": 0}
+	names := make([]string, 0, len(f.Sections)+1)
+	for _, s := range f.Sections {
+		names = append(names, s.Name)
+	}
+	names = append(names, ".shstrtab")
+	for _, n := range names {
+		if _, ok := nameOff[n]; ok {
+			continue
+		}
+		nameOff[n] = uint32(len(shstr))
+		shstr = append(shstr, n...)
+		shstr = append(shstr, 0)
+	}
+	end = align8(end)
+	shstrOff := end
+	end += uint64(len(shstr))
+
+	end = align8(end)
+	shoff := end
+	numSections := len(f.Sections) + 2 // null + shstrtab
+	end += uint64(ShdrSize * numSections)
+
+	out := make([]byte, end)
+
+	// ELF header.
+	copy(out, []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	le.PutUint16(out[16:], f.Type)
+	le.PutUint16(out[18:], EMX8664)
+	le.PutUint32(out[20:], 1) // version
+	le.PutUint64(out[24:], f.Entry)
+	le.PutUint64(out[32:], EhdrSize) // phoff
+	le.PutUint64(out[40:], shoff)
+	le.PutUint32(out[48:], 0) // flags
+	le.PutUint16(out[52:], EhdrSize)
+	le.PutUint16(out[54:], PhdrSize)
+	le.PutUint16(out[56:], uint16(len(f.Segments)))
+	le.PutUint16(out[58:], ShdrSize)
+	le.PutUint16(out[60:], uint16(numSections))
+	le.PutUint16(out[62:], uint16(numSections-1)) // shstrndx (last)
+
+	// Program headers.
+	for i, seg := range f.Segments {
+		o := EhdrSize + i*PhdrSize
+		le.PutUint32(out[o:], seg.Type)
+		le.PutUint32(out[o+4:], seg.Flags)
+		le.PutUint64(out[o+8:], seg.Off)
+		le.PutUint64(out[o+16:], seg.Vaddr)
+		le.PutUint64(out[o+24:], seg.Vaddr) // paddr
+		le.PutUint64(out[o+32:], seg.Filesz)
+		le.PutUint64(out[o+40:], seg.Memsz)
+		le.PutUint64(out[o+48:], seg.Align)
+	}
+
+	// Section data.
+	for _, s := range f.Sections {
+		if s.Type == SHTNobits || len(s.Data) == 0 {
+			continue
+		}
+		if uint64(len(s.Data)) != s.Size {
+			return nil, fmt.Errorf("elfx: section %s: data length %d != size %d", s.Name, len(s.Data), s.Size)
+		}
+		copy(out[s.Off:], s.Data)
+	}
+	copy(out[shstrOff:], shstr)
+
+	// Section header table: index 0 is the null section.
+	writeShdr := func(idx int, name uint32, s *Section) {
+		o := shoff + uint64(idx*ShdrSize)
+		le.PutUint32(out[o:], name)
+		le.PutUint32(out[o+4:], s.Type)
+		le.PutUint64(out[o+8:], s.Flags)
+		le.PutUint64(out[o+16:], s.Addr)
+		le.PutUint64(out[o+24:], s.Off)
+		le.PutUint64(out[o+32:], s.Size)
+		le.PutUint32(out[o+40:], s.Link)
+		le.PutUint32(out[o+44:], s.Info)
+		le.PutUint64(out[o+48:], s.Align)
+		le.PutUint64(out[o+56:], s.Entsize)
+	}
+	for i, s := range f.Sections {
+		writeShdr(i+1, nameOff[s.Name], s)
+	}
+	writeShdr(numSections-1, nameOff[".shstrtab"], &Section{
+		Type: SHTStrtab, Off: shstrOff, Size: uint64(len(shstr)), Align: 1,
+	})
+	return out, nil
+}
+
+func align8(v uint64) uint64 { return (v + 7) &^ 7 }

@@ -1,0 +1,524 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/x86"
+)
+
+// ErrDivide is the #DE fault.
+var ErrDivide = errors.New("emu: divide error")
+
+func widthBits(w uint8) uint { return uint(w) * 8 }
+
+func truncate(v uint64, w uint8) uint64 {
+	if w >= 8 {
+		return v
+	}
+	return v & (1<<widthBits(w) - 1)
+}
+
+func signExtend(v uint64, w uint8) uint64 {
+	switch w {
+	case 1:
+		return uint64(int64(int8(v)))
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	default:
+		return v
+	}
+}
+
+func signBit(v uint64, w uint8) bool { return v>>(widthBits(w)-1)&1 == 1 }
+
+// getReg reads a register at the given width (zero-extended).
+func (m *Machine) getReg(r x86.Reg, w uint8) uint64 {
+	return truncate(m.Regs[r], w)
+}
+
+// setReg writes a register with x86 width semantics: 64-bit writes are
+// full, 32-bit writes zero the upper half, 8-bit writes merge.
+func (m *Machine) setReg(r x86.Reg, v uint64, w uint8) {
+	switch w {
+	case 8:
+		m.Regs[r] = v
+	case 4:
+		m.Regs[r] = v & 0xFFFFFFFF
+	case 2:
+		m.Regs[r] = m.Regs[r]&^0xFFFF | v&0xFFFF
+	case 1:
+		m.Regs[r] = m.Regs[r]&^0xFF | v&0xFF
+	default:
+		m.Regs[r] = v
+	}
+}
+
+// memAddr computes the effective address of a memory operand; next is the
+// address of the following instruction (for RIP-relative operands).
+func (m *Machine) memAddr(mem x86.Mem, next uint64) uint64 {
+	if mem.Rip {
+		return next + uint64(int64(mem.Disp))
+	}
+	addr := uint64(int64(mem.Disp))
+	if mem.Base.Valid() {
+		addr += m.Regs[mem.Base]
+	}
+	if mem.Index.Valid() {
+		addr += m.Regs[mem.Index] * uint64(mem.Scale)
+	}
+	return addr
+}
+
+// readArg evaluates an operand at width w (zero-extended raw bits).
+func (m *Machine) readArg(a x86.Arg, w uint8, next uint64) (uint64, error) {
+	switch v := a.(type) {
+	case x86.Reg:
+		return m.getReg(v, w), nil
+	case x86.Imm:
+		return truncate(uint64(int64(v)), w), nil
+	case x86.Mem:
+		return m.Mem.ReadU64(m.memAddr(v, next), int(w))
+	}
+	return 0, fmt.Errorf("unreadable operand %v", a)
+}
+
+// writeArg stores a value to a register or memory operand at width w.
+func (m *Machine) writeArg(a x86.Arg, v uint64, w uint8, next uint64) error {
+	switch d := a.(type) {
+	case x86.Reg:
+		m.setReg(d, v, w)
+		return nil
+	case x86.Mem:
+		return m.Mem.WriteU64(m.memAddr(d, next), v, int(w))
+	}
+	return fmt.Errorf("unwritable operand %v", a)
+}
+
+func parity(v uint64) bool { return bits.OnesCount8(uint8(v))%2 == 0 }
+
+func (m *Machine) setResultFlags(r uint64, w uint8) {
+	m.Flags.ZF = r == 0
+	m.Flags.SF = signBit(r, w)
+	m.Flags.PF = parity(r)
+}
+
+func (m *Machine) addFlags(a, b, r uint64, w uint8) {
+	if w == 8 {
+		m.Flags.CF = r < a
+	} else {
+		m.Flags.CF = (a+b)>>widthBits(w) != 0
+	}
+	m.Flags.OF = signBit(^(a^b)&(a^r), w)
+	m.setResultFlags(r, w)
+}
+
+func (m *Machine) subFlags(a, b, r uint64, w uint8) {
+	m.Flags.CF = a < b
+	m.Flags.OF = signBit((a^b)&(a^r), w)
+	m.setResultFlags(r, w)
+}
+
+func (m *Machine) logicFlags(r uint64, w uint8) {
+	m.Flags.CF = false
+	m.Flags.OF = false
+	m.setResultFlags(r, w)
+}
+
+const defaultWidth = 8
+
+func opWidth(w uint8) uint8 {
+	if w == 0 {
+		return defaultWidth
+	}
+	return w
+}
+
+func (m *Machine) exec(in x86.Inst, size int) error {
+	next := m.RIP + uint64(size)
+	w := opWidth(in.W)
+
+	switch in.Op {
+	case x86.NOP, x86.ENDBR64:
+		m.RIP = next
+		return nil
+
+	case x86.HLT:
+		return errors.New("hlt executed")
+	case x86.UD2:
+		return errors.New("ud2 executed")
+	case x86.INT3:
+		return errors.New("int3 executed")
+
+	case x86.SYSCALL:
+		m.RIP = next
+		return m.syscall()
+
+	case x86.MOV:
+		v, err := m.readArg(in.Src, w, next)
+		if err != nil {
+			return err
+		}
+		if err := m.writeArg(in.Dst, v, w, next); err != nil {
+			return err
+		}
+		m.RIP = next
+		return nil
+
+	case x86.MOVZX:
+		v, err := m.readArg(in.Src, in.SrcW, next)
+		if err != nil {
+			return err
+		}
+		if err := m.writeArg(in.Dst, v, w, next); err != nil {
+			return err
+		}
+		m.RIP = next
+		return nil
+
+	case x86.MOVSX, x86.MOVSXD:
+		v, err := m.readArg(in.Src, in.SrcW, next)
+		if err != nil {
+			return err
+		}
+		if err := m.writeArg(in.Dst, truncate(signExtend(v, in.SrcW), w), w, next); err != nil {
+			return err
+		}
+		m.RIP = next
+		return nil
+
+	case x86.LEA:
+		mem, ok := in.Src.(x86.Mem)
+		if !ok {
+			return errors.New("lea without memory operand")
+		}
+		m.setReg(in.Dst.(x86.Reg), m.memAddr(mem, next), w)
+		m.RIP = next
+		return nil
+
+	case x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR, x86.CMP, x86.TEST:
+		return m.execALU(in, w, next)
+
+	case x86.IMUL:
+		return m.execIMul(in, w, next)
+
+	case x86.IDIV:
+		return m.execIDiv(in, w, next)
+
+	case x86.CQO:
+		if w == 8 {
+			m.Regs[x86.RDX] = uint64(int64(m.Regs[x86.RAX]) >> 63)
+		} else {
+			m.setReg(x86.RDX, uint64(int32(m.Regs[x86.RAX])>>31), 4)
+		}
+		m.RIP = next
+		return nil
+
+	case x86.NEG:
+		a, err := m.readArg(in.Dst, w, next)
+		if err != nil {
+			return err
+		}
+		r := truncate(-a, w)
+		if err := m.writeArg(in.Dst, r, w, next); err != nil {
+			return err
+		}
+		m.subFlags(0, a, r, w)
+		m.RIP = next
+		return nil
+
+	case x86.NOT:
+		a, err := m.readArg(in.Dst, w, next)
+		if err != nil {
+			return err
+		}
+		if err := m.writeArg(in.Dst, truncate(^a, w), w, next); err != nil {
+			return err
+		}
+		m.RIP = next
+		return nil
+
+	case x86.SHL, x86.SHR, x86.SAR:
+		return m.execShift(in, w, next)
+
+	case x86.PUSH:
+		v, err := m.readArg(in.Src, 8, next)
+		if err != nil {
+			return err
+		}
+		m.Regs[x86.RSP] -= 8
+		if err := m.Mem.WriteU64(m.Regs[x86.RSP], v, 8); err != nil {
+			return err
+		}
+		m.RIP = next
+		return nil
+
+	case x86.POP:
+		v, err := m.Mem.ReadU64(m.Regs[x86.RSP], 8)
+		if err != nil {
+			return err
+		}
+		m.Regs[x86.RSP] += 8
+		m.setReg(in.Dst.(x86.Reg), v, 8)
+		m.RIP = next
+		return nil
+
+	case x86.JMP:
+		if rel, ok := in.Src.(x86.Rel); ok {
+			m.RIP = next + uint64(int64(rel))
+			return nil
+		}
+		target, err := m.readArg(in.Src, 8, next)
+		if err != nil {
+			return err
+		}
+		if m.EnforceCET && !in.NoTrack {
+			m.expectEndbr = true
+		}
+		m.RIP = target
+		return nil
+
+	case x86.JCC:
+		rel, ok := in.Src.(x86.Rel)
+		if !ok {
+			return errors.New("jcc without relative target")
+		}
+		if in.Cond.Eval(m.Flags) {
+			m.RIP = next + uint64(int64(rel))
+		} else {
+			m.RIP = next
+		}
+		return nil
+
+	case x86.CALL:
+		var target uint64
+		if rel, ok := in.Src.(x86.Rel); ok {
+			target = next + uint64(int64(rel))
+		} else {
+			t, err := m.readArg(in.Src, 8, next)
+			if err != nil {
+				return err
+			}
+			target = t
+			if m.EnforceCET && !in.NoTrack {
+				m.expectEndbr = true
+			}
+		}
+		m.Regs[x86.RSP] -= 8
+		if err := m.Mem.WriteU64(m.Regs[x86.RSP], next, 8); err != nil {
+			return err
+		}
+		if m.EnforceCET {
+			m.shadow = append(m.shadow, next)
+		}
+		m.RIP = target
+		return nil
+
+	case x86.RET:
+		target, err := m.Mem.ReadU64(m.Regs[x86.RSP], 8)
+		if err != nil {
+			return err
+		}
+		m.Regs[x86.RSP] += 8
+		if m.EnforceCET {
+			if len(m.shadow) == 0 {
+				return &CETViolation{RIP: m.RIP, Kind: "shadow stack underflow"}
+			}
+			want := m.shadow[len(m.shadow)-1]
+			m.shadow = m.shadow[:len(m.shadow)-1]
+			if want != target {
+				return &CETViolation{RIP: m.RIP, Kind: "shadow stack mismatch"}
+			}
+		}
+		m.RIP = target
+		return nil
+
+	case x86.SETCC:
+		v := uint64(0)
+		if in.Cond.Eval(m.Flags) {
+			v = 1
+		}
+		if err := m.writeArg(in.Dst, v, 1, next); err != nil {
+			return err
+		}
+		m.RIP = next
+		return nil
+
+	case x86.CMOVCC:
+		if in.Cond.Eval(m.Flags) {
+			v, err := m.readArg(in.Src, w, next)
+			if err != nil {
+				return err
+			}
+			m.setReg(in.Dst.(x86.Reg), v, w)
+		} else if w == 4 {
+			// 32-bit cmov clears the upper half even when not taken.
+			m.setReg(in.Dst.(x86.Reg), m.getReg(in.Dst.(x86.Reg), 4), 4)
+		}
+		m.RIP = next
+		return nil
+	}
+	return fmt.Errorf("unimplemented op %v", in.Op)
+}
+
+func (m *Machine) execALU(in x86.Inst, w uint8, next uint64) error {
+	a, err := m.readArg(in.Dst, w, next)
+	if err != nil {
+		return err
+	}
+	b, err := m.readArg(in.Src, w, next)
+	if err != nil {
+		return err
+	}
+	var r uint64
+	writeback := true
+	switch in.Op {
+	case x86.ADD:
+		r = truncate(a+b, w)
+		m.addFlags(a, b, r, w)
+	case x86.SUB:
+		r = truncate(a-b, w)
+		m.subFlags(a, b, r, w)
+	case x86.CMP:
+		r = truncate(a-b, w)
+		m.subFlags(a, b, r, w)
+		writeback = false
+	case x86.AND:
+		r = a & b
+		m.logicFlags(r, w)
+	case x86.OR:
+		r = a | b
+		m.logicFlags(r, w)
+	case x86.XOR:
+		r = a ^ b
+		m.logicFlags(r, w)
+	case x86.TEST:
+		r = a & b
+		m.logicFlags(r, w)
+		writeback = false
+	}
+	if writeback {
+		if err := m.writeArg(in.Dst, r, w, next); err != nil {
+			return err
+		}
+	}
+	m.RIP = next
+	return nil
+}
+
+func (m *Machine) execIMul(in x86.Inst, w uint8, next uint64) error {
+	a, err := m.readArg(in.Dst, w, next)
+	if err != nil {
+		return err
+	}
+	b, err := m.readArg(in.Src, w, next)
+	if err != nil {
+		return err
+	}
+	if in.HasImm3 {
+		a, err = m.readArg(in.Src, w, next)
+		if err != nil {
+			return err
+		}
+		b = truncate(uint64(in.Imm3), w)
+	}
+	sa := int64(signExtend(a, w))
+	sb := int64(signExtend(b, w))
+	hi, lo := bits.Mul64(uint64(sa), uint64(sb))
+	// Signed 128-bit high part.
+	if sa < 0 {
+		hi -= uint64(sb)
+	}
+	if sb < 0 {
+		hi -= uint64(sa)
+	}
+	r := truncate(lo, w)
+	overflow := int64(signExtend(r, w)) != int64(lo) || int64(hi) != int64(lo)>>63
+	m.Flags.CF = overflow
+	m.Flags.OF = overflow
+	m.setResultFlags(r, w)
+	if err := m.writeArg(in.Dst, r, w, next); err != nil {
+		return err
+	}
+	m.RIP = next
+	return nil
+}
+
+func (m *Machine) execIDiv(in x86.Inst, w uint8, next uint64) error {
+	div, err := m.readArg(in.Dst, w, next)
+	if err != nil {
+		return err
+	}
+	d := int64(signExtend(div, w))
+	if d == 0 {
+		return ErrDivide
+	}
+	var lo, hi int64
+	if w == 8 {
+		lo = int64(m.Regs[x86.RAX])
+		hi = int64(m.Regs[x86.RDX])
+	} else {
+		lo = int64(signExtend(m.getReg(x86.RAX, w), w))
+		hi = int64(signExtend(m.getReg(x86.RDX, w), w))
+	}
+	// Only the CQO/CDQ-prepared case (RDX = sign extension of RAX) is a
+	// representable 64-bit dividend; anything else overflows the quotient
+	// for the divisors our subset produces, which is a #DE fault.
+	if hi != lo>>63 {
+		return fmt.Errorf("%w (dividend overflow)", ErrDivide)
+	}
+	if lo == -1<<63 && d == -1 {
+		return fmt.Errorf("%w (quotient overflow)", ErrDivide)
+	}
+	q, r := lo/d, lo%d
+	m.setReg(x86.RAX, truncate(uint64(q), w), w)
+	m.setReg(x86.RDX, truncate(uint64(r), w), w)
+	m.RIP = next
+	return nil
+}
+
+func (m *Machine) execShift(in x86.Inst, w uint8, next uint64) error {
+	a, err := m.readArg(in.Dst, w, next)
+	if err != nil {
+		return err
+	}
+	var count uint64
+	switch src := in.Src.(type) {
+	case x86.Imm:
+		count = uint64(src)
+	case x86.Reg:
+		count = m.getReg(x86.RCX, 1)
+	default:
+		return errors.New("bad shift count operand")
+	}
+	mask := uint64(31)
+	if w == 8 {
+		mask = 63
+	}
+	count &= mask
+	if count == 0 {
+		m.RIP = next
+		return nil // flags unchanged
+	}
+	var r uint64
+	switch in.Op {
+	case x86.SHL:
+		r = truncate(a<<count, w)
+		m.Flags.CF = count <= uint64(widthBits(w)) && a>>(uint64(widthBits(w))-count)&1 == 1
+	case x86.SHR:
+		r = a >> count
+		m.Flags.CF = a>>(count-1)&1 == 1
+	case x86.SAR:
+		r = truncate(uint64(int64(signExtend(a, w))>>count), w)
+		m.Flags.CF = signExtend(a, w)>>(count-1)&1 == 1
+	}
+	m.setResultFlags(r, w)
+	if err := m.writeArg(in.Dst, r, w, next); err != nil {
+		return err
+	}
+	m.RIP = next
+	return nil
+}

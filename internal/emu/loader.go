@@ -1,0 +1,195 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/elfx"
+	"repro/internal/x86"
+)
+
+// Options configure loading and execution.
+type Options struct {
+	// Bias is the PIE load bias (ASLR slide). Zero means DefaultBias.
+	Bias uint64
+
+	// StackTop/StackSize place the stack; zero means defaults.
+	StackTop  uint64
+	StackSize uint64
+
+	// Input is the byte stream served by the read syscall.
+	Input []byte
+
+	// MaxSteps bounds execution; zero means the machine default.
+	MaxSteps uint64
+
+	// Shadow maps the sanitizer shadow region read-write on demand.
+	Shadow bool
+
+	// DisableCET turns off IBT/shadow-stack enforcement even for
+	// CET-enabled binaries.
+	DisableCET bool
+}
+
+// Default placement constants.
+const (
+	DefaultBias      = 0x1000_0000
+	DefaultStackTop  = 0x7FF0_0000
+	DefaultStackSize = 0x10_0000
+
+	// ShadowRange is the sanitizer shadow region (see internal/cc:
+	// shadow byte for A is at 0x70000000 + A>>3).
+	ShadowStart = 0x7000_0000
+	ShadowEnd   = 0x7000_0000 + 0x1000_0000
+)
+
+// Load maps an ELF binary into a fresh machine, applies its relocations
+// at the chosen bias, and points RIP at the entry point.
+func Load(bin []byte, opts Options) (*Machine, error) {
+	f, err := elfx.Read(bin)
+	if err != nil {
+		return nil, err
+	}
+	return LoadFile(f, opts)
+}
+
+// LoadFile is Load for an already-parsed ELF file (Raw must be set).
+func LoadFile(f *elfx.File, opts Options) (*Machine, error) {
+	if f.Raw == nil {
+		return nil, fmt.Errorf("emu: file has no raw bytes")
+	}
+	bias := opts.Bias
+	if bias == 0 {
+		bias = DefaultBias
+	}
+	stackTop := opts.StackTop
+	if stackTop == 0 {
+		stackTop = DefaultStackTop
+	}
+	stackSize := opts.StackSize
+	if stackSize == 0 {
+		stackSize = DefaultStackSize
+	}
+
+	m := NewMachine()
+	if opts.MaxSteps != 0 {
+		m.MaxSteps = opts.MaxSteps
+	}
+	m.SetInput(opts.Input)
+
+	// Map PT_LOAD segments read-write first, copy file content, apply
+	// relocations, then drop to the real permissions (the kernel+ld.so
+	// equivalent of RELRO processing).
+	type pending struct {
+		vaddr, memsz uint64
+		perm         uint8
+	}
+	var finals []pending
+	for _, seg := range f.Segments {
+		if seg.Type != elfx.PTLoad || seg.Memsz == 0 {
+			continue
+		}
+		va := bias + seg.Vaddr
+		m.Mem.Map(va, seg.Memsz, PermR|PermW)
+		if seg.Filesz > 0 {
+			if seg.Off+seg.Filesz > uint64(len(f.Raw)) {
+				return nil, fmt.Errorf("emu: segment at %#x overruns file", seg.Vaddr)
+			}
+			if err := m.Mem.Write(va, f.Raw[seg.Off:seg.Off+seg.Filesz]); err != nil {
+				return nil, err
+			}
+		}
+		perm := PermR
+		if seg.Flags&elfx.PFW != 0 {
+			perm |= PermW
+		}
+		if seg.Flags&elfx.PFX != 0 {
+			perm |= PermX
+		}
+		if perm&PermW != 0 && perm&PermX != 0 {
+			return nil, fmt.Errorf("emu: W+X segment at %#x refused", seg.Vaddr)
+		}
+		finals = append(finals, pending{vaddr: va, memsz: seg.Memsz, perm: perm})
+	}
+
+	for _, r := range relocations(f) {
+		if r.Type != elfx.RX8664Relative {
+			return nil, fmt.Errorf("emu: unsupported relocation type %d", r.Type)
+		}
+		if err := m.Mem.WriteU64(bias+r.Off, bias+uint64(r.Addend), 8); err != nil {
+			return nil, fmt.Errorf("emu: relocation at %#x: %w", r.Off, err)
+		}
+	}
+
+	for _, p := range finals {
+		m.Mem.Protect(p.vaddr, p.memsz, p.perm)
+	}
+
+	// Stack.
+	m.Mem.Map(stackTop-stackSize, stackSize, PermR|PermW)
+	m.Regs[x86.RSP] = stackTop - 64
+
+	if opts.Shadow {
+		m.Mem.AddAutoRW(Range{Start: ShadowStart, End: ShadowEnd})
+	}
+
+	m.RIP = bias + f.Entry
+	m.EnforceCET = f.HasCET() && !opts.DisableCET
+	return m, nil
+}
+
+// relocations returns the file's rebase relocations, preferring the
+// PT_DYNAMIC route (DT_RELA/DT_RELASZ) and falling back to the .rela.dyn
+// section.
+func relocations(f *elfx.File) []elfx.Rela {
+	for _, seg := range f.Segments {
+		if seg.Type != elfx.PTDynamic {
+			continue
+		}
+		if seg.Off+seg.Filesz > uint64(len(f.Raw)) {
+			break
+		}
+		dyn := elfx.ParseDynamic(f.Raw[seg.Off : seg.Off+seg.Filesz])
+		var relaAddr, relaSz uint64
+		for _, e := range dyn {
+			switch int64(e[0]) {
+			case elfx.DTRela:
+				relaAddr = e[1]
+			case elfx.DTRelasz:
+				relaSz = e[1]
+			}
+		}
+		if relaAddr == 0 || relaSz == 0 {
+			break
+		}
+		// DT_RELA holds a vaddr; in our identity-offset files vaddr ==
+		// file offset for mapped content.
+		if relaAddr+relaSz <= uint64(len(f.Raw)) {
+			return elfx.ParseRela(f.Raw[relaAddr : relaAddr+relaSz])
+		}
+	}
+	if sec := f.Section(".rela.dyn"); sec != nil {
+		return elfx.ParseRela(sec.Data)
+	}
+	return nil
+}
+
+// Result summarizes a complete program execution.
+type Result struct {
+	Stdout []byte
+	Stderr []byte
+	Exit   int
+	Steps  uint64
+}
+
+// Run loads and executes a binary to completion.
+func Run(bin []byte, opts Options) (*Result, error) {
+	m, err := Load(bin, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: -1, Steps: m.Steps}, err
+	}
+	_, code := m.Exited()
+	return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: code, Steps: m.Steps}, nil
+}

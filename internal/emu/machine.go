@@ -1,0 +1,204 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// CETViolation is returned when indirect-branch tracking or the shadow
+// stack detects a control-flow violation.
+type CETViolation struct {
+	RIP  uint64
+	Kind string
+}
+
+func (v *CETViolation) Error() string {
+	return fmt.Sprintf("emu: CET violation (%s) at %#x", v.Kind, v.RIP)
+}
+
+// ErrStepLimit is returned when execution exceeds the step budget.
+var ErrStepLimit = errors.New("emu: step limit exceeded")
+
+// Machine is a single-threaded x86-64 interpreter.
+type Machine struct {
+	Mem   *Memory
+	Regs  [16]uint64
+	RIP   uint64
+	Flags x86.Flags
+
+	// EnforceCET enables indirect-branch tracking and the shadow stack,
+	// as on CET hardware running a CET-enabled binary.
+	EnforceCET bool
+
+	MaxSteps uint64
+	Steps    uint64
+
+	Stdout []byte
+	Stderr []byte
+
+	input []byte
+	inPos int
+
+	shadow      []uint64 // CET shadow stack
+	expectEndbr bool
+
+	exited   bool
+	exitCode int
+
+	// TraceFn, when set, is called with the address of every instruction
+	// before it executes (used by tests to verify the superset property).
+	TraceFn func(addr uint64)
+
+	icache map[uint64]cachedInst
+}
+
+type cachedInst struct {
+	in   x86.Inst
+	size int
+}
+
+// NewMachine returns a machine with empty memory.
+func NewMachine() *Machine {
+	return &Machine{
+		Mem:      NewMemory(),
+		MaxSteps: 500_000_000,
+		icache:   make(map[uint64]cachedInst),
+	}
+}
+
+// SetInput provides the byte stream served by the read syscall.
+func (m *Machine) SetInput(b []byte) { m.input = b; m.inPos = 0 }
+
+// Exited reports whether the program has called exit, and its code.
+func (m *Machine) Exited() (bool, int) { return m.exited, m.exitCode }
+
+// Run executes until exit, fault, or the step limit.
+func (m *Machine) Run() error {
+	for !m.exited {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.Steps >= m.MaxSteps {
+		return ErrStepLimit
+	}
+	m.Steps++
+
+	in, size, err := m.fetch(m.RIP)
+	if err != nil {
+		return fmt.Errorf("at %#x: %w", m.RIP, err)
+	}
+	if m.TraceFn != nil {
+		m.TraceFn(m.RIP)
+	}
+
+	if m.EnforceCET && m.expectEndbr && in.Op != x86.ENDBR64 {
+		return &CETViolation{RIP: m.RIP, Kind: "missing endbr64"}
+	}
+	m.expectEndbr = false
+
+	if err := m.exec(in, size); err != nil {
+		return fmt.Errorf("at %#x (%s): %w", m.RIP, in, err)
+	}
+	return nil
+}
+
+// fetch decodes the instruction at addr, using the decode cache.
+// Executable pages are never writable, so cached decodes stay valid.
+func (m *Machine) fetch(addr uint64) (x86.Inst, int, error) {
+	if c, ok := m.icache[addr]; ok {
+		return c.in, c.size, nil
+	}
+	var buf [15]byte
+	n := 0
+	for ; n < len(buf); n++ {
+		if err := m.Mem.Fetch(addr+uint64(n), buf[n:n+1]); err != nil {
+			break
+		}
+	}
+	if n == 0 {
+		return x86.Inst{}, 0, &Fault{Addr: addr, Kind: "exec"}
+	}
+	in, size, err := x86.Decode(buf[:n])
+	if err != nil {
+		return x86.Inst{}, 0, fmt.Errorf("undecodable instruction (% x): %w", buf[:minInt(n, 8)], err)
+	}
+	m.icache[addr] = cachedInst{in: in, size: size}
+	return in, size, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Linux x86-64 syscall numbers supported by the machine.
+const (
+	sysRead  = 0
+	sysWrite = 1
+	sysExit  = 60
+)
+
+func (m *Machine) syscall() error {
+	nr := m.Regs[x86.RAX]
+	switch nr {
+	case sysRead:
+		fd := m.Regs[x86.RDI]
+		if fd != 0 {
+			m.Regs[x86.RAX] = ^uint64(8) // -EBADF
+			break
+		}
+		buf := m.Regs[x86.RSI]
+		n := int(m.Regs[x86.RDX])
+		avail := len(m.input) - m.inPos
+		if n > avail {
+			n = avail
+		}
+		if n > 0 {
+			if err := m.Mem.Write(buf, m.input[m.inPos:m.inPos+n]); err != nil {
+				return err
+			}
+			m.inPos += n
+		}
+		m.Regs[x86.RAX] = uint64(n)
+	case sysWrite:
+		fd := m.Regs[x86.RDI]
+		buf := m.Regs[x86.RSI]
+		n := int(m.Regs[x86.RDX])
+		if n < 0 || n > 1<<24 {
+			return fmt.Errorf("emu: unreasonable write length %d", n)
+		}
+		data := make([]byte, n)
+		if err := m.Mem.Read(buf, data); err != nil {
+			return err
+		}
+		switch fd {
+		case 1:
+			m.Stdout = append(m.Stdout, data...)
+		case 2:
+			m.Stderr = append(m.Stderr, data...)
+		default:
+			m.Regs[x86.RAX] = ^uint64(8) // -EBADF
+			return nil
+		}
+		m.Regs[x86.RAX] = uint64(n)
+	case sysExit:
+		m.exited = true
+		m.exitCode = int(uint8(m.Regs[x86.RDI]))
+	default:
+		return fmt.Errorf("emu: unsupported syscall %d", nr)
+	}
+	// Hardware clobbers RCX and R11 on syscall.
+	m.Regs[x86.RCX] = m.RIP
+	m.Regs[x86.R11] = 0x202
+	return nil
+}

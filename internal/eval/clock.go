@@ -1,0 +1,8 @@
+package eval
+
+import "time"
+
+var evalEpoch = time.Now()
+
+// nanotime returns monotonic nanoseconds since package init.
+func nanotime() int64 { return int64(time.Since(evalEpoch)) }

@@ -1,0 +1,291 @@
+// Package mini defines the MiniC language: the small C-like language the
+// repository's compiler (internal/cc) translates into CET-enabled x86-64
+// PIE binaries. It stands in for the C/C++/Fortran sources of the paper's
+// benchmark packages (§4.1.1); the workload generator (internal/prog)
+// produces MiniC modules, and the package's reference interpreter serves
+// as a compiler-independent oracle for program behaviour.
+//
+// The language is deliberately the subset whose compiled form exercises
+// every symbolization category S1–S7 of the paper's Table 1: global
+// scalars and arrays (RIP-relative access, S6/S7), static pointer
+// initializers including past-the-end pointers (S1/S2), address-taken
+// functions and function-pointer tables (S1), and dense switches that
+// compile to jump tables (S4).
+package mini
+
+// Module is a translation unit.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Global is a module-level variable: a scalar (Count==1) or array of
+// 1-, 4- or 8-byte elements, a function-pointer table, or a pointer
+// initialized to the address of (an element of) another global.
+type Global struct {
+	Name     string
+	Elem     int     // element size in bytes: 1, 4, or 8
+	Count    int     // number of elements
+	Init     []int64 // leading initial values; nil/short means zero
+	ReadOnly bool
+
+	// FuncTable, when non-nil, makes this a table of function pointers
+	// (Elem/Count are implied). Compiled to .data.rel.ro with relocated
+	// entries — the S1 form.
+	FuncTable []string
+
+	// PtrInit, when non-nil, makes this a single pointer initialized to
+	// &Target's storage plus ByteOff — the S2 "Label + Const" form.
+	// ByteOff == Target's byte size is the legal C past-the-end pointer,
+	// whose address can fall into the next section.
+	PtrInit *PtrInit
+}
+
+// PtrInit describes a static pointer initializer.
+type PtrInit struct {
+	Target  string
+	ByteOff int64
+}
+
+// ByteSize returns the total storage size of the global.
+func (g *Global) ByteSize() int64 {
+	if g.FuncTable != nil {
+		return int64(len(g.FuncTable)) * 8
+	}
+	if g.PtrInit != nil {
+		return 8
+	}
+	return int64(g.Elem) * int64(g.Count)
+}
+
+// Func is a function. Parameters are named p0..p(NParams-1) and behave as
+// locals. All scalars are 64-bit signed integers.
+type Func struct {
+	Name    string
+	NParams int
+	Locals  []string
+	Arrays  []LocalArray
+	Body    []Stmt
+}
+
+// LocalArray is a stack-allocated array.
+type LocalArray struct {
+	Name  string
+	Elem  int // 1, 4, or 8
+	Count int
+}
+
+// Stmt is a statement.
+type Stmt interface{ isStmt() }
+
+// Assign sets a local or parameter.
+type Assign struct {
+	Name string
+	E    Expr
+}
+
+// StoreG stores to a global array element: g[idx] = e.
+type StoreG struct {
+	G   string
+	Idx Expr
+	E   Expr
+}
+
+// StoreL stores to a local array element.
+type StoreL struct {
+	Arr string
+	Idx Expr
+	E   Expr
+}
+
+// StoreP stores through a pointer global: p[idx] = e, with the element
+// size of the pointer's target.
+type StoreP struct {
+	P   string
+	Idx Expr
+	E   Expr
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is a pre-test loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// SwitchCase is one arm of a Switch.
+type SwitchCase struct {
+	Val  int64
+	Body []Stmt
+}
+
+// Switch dispatches on an integer value. Dense switches compile to jump
+// tables at -O1 and above.
+type Switch struct {
+	E       Expr
+	Cases   []SwitchCase
+	Default []Stmt
+	// Complete asserts that E always falls within the case values (the
+	// generator guarantees it, e.g. by masking). Optimizing compilers
+	// then omit the bounds check — the hard jump-table case of §2.6.2.
+	Complete bool
+}
+
+// Return exits the function; E may be nil (returns 0).
+type Return struct {
+	E Expr
+}
+
+// Print writes the decimal representation of E and a newline.
+type Print struct {
+	E Expr
+}
+
+// PrintChar writes the low byte of E.
+type PrintChar struct {
+	E Expr
+}
+
+// ExprStmt evaluates E for effect (calls).
+type ExprStmt struct {
+	E Expr
+}
+
+func (Assign) isStmt()    {}
+func (StoreG) isStmt()    {}
+func (StoreL) isStmt()    {}
+func (StoreP) isStmt()    {}
+func (If) isStmt()        {}
+func (While) isStmt()     {}
+func (Switch) isStmt()    {}
+func (Return) isStmt()    {}
+func (Print) isStmt()     {}
+func (PrintChar) isStmt() {}
+func (ExprStmt) isStmt()  {}
+
+// Expr is an expression; every value is a signed 64-bit integer.
+type Expr interface{ isExpr() }
+
+// Const is an integer literal.
+type Const int64
+
+// Var reads a local or parameter.
+type Var string
+
+// LoadG loads a global array element (sign-extended for 4-byte elements,
+// zero-extended for bytes, matching C's int32_t/uint8_t).
+type LoadG struct {
+	G   string
+	Idx Expr
+}
+
+// LoadL loads a local array element.
+type LoadL struct {
+	Arr string
+	Idx Expr
+}
+
+// LoadP loads through a pointer global.
+type LoadP struct {
+	P   string
+	Idx Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div // truncated, like x86 idiv
+	Mod
+	And
+	Or
+	Xor
+	Shl // count masked to 6 bits, like x86
+	Shr // arithmetic shift right
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Call invokes a function directly.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// CallPtr invokes through a function-pointer table: table[idx](args).
+type CallPtr struct {
+	Table string
+	Idx   Expr
+	Args  []Expr
+}
+
+// FuncRef evaluates to the address of a function (C's &func). The value
+// is opaque: programs may store it, pass it, and call through it with
+// CallVal, but never print it. Compiled to "lea r, [RIP+func]" — the S6
+// code-pointer form of Table 1.
+type FuncRef struct {
+	Name string
+}
+
+// CallVal calls through a function-pointer value (from FuncRef, possibly
+// stored and reloaded).
+type CallVal struct {
+	F    Expr
+	Args []Expr
+}
+
+// ReadInput consumes the next 64-bit value from the program's input.
+type ReadInput struct{}
+
+func (Const) isExpr()     {}
+func (Var) isExpr()       {}
+func (LoadG) isExpr()     {}
+func (LoadL) isExpr()     {}
+func (LoadP) isExpr()     {}
+func (Bin) isExpr()       {}
+func (Call) isExpr()      {}
+func (CallPtr) isExpr()   {}
+func (FuncRef) isExpr()   {}
+func (CallVal) isExpr()   {}
+func (ReadInput) isExpr() {}
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

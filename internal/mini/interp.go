@@ -1,0 +1,504 @@
+package mini
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+)
+
+// Interpreter limits.
+const (
+	maxSteps = 50_000_000
+	maxDepth = 10_000
+)
+
+// Result is the outcome of interpreting a module.
+type Result struct {
+	Output []byte
+	Exit   int // low byte of main's return value
+}
+
+// Run interprets the module's main function with the given input stream.
+// It is the reference semantics: the compiler (internal/cc) and emulator
+// (internal/emu) must agree with it on every well-defined program.
+func Run(m *Module, input []int64) (*Result, error) {
+	in := &interp{
+		mod:     m,
+		input:   input,
+		globals: make(map[string][]byte),
+		ptrs:    make(map[string]PtrInit),
+	}
+	for _, g := range m.Globals {
+		if g.PtrInit != nil {
+			in.ptrs[g.Name] = *g.PtrInit
+			continue
+		}
+		if g.FuncTable != nil {
+			continue // dispatched symbolically by CallPtr
+		}
+		buf := make([]byte, g.ByteSize())
+		for i, v := range g.Init {
+			if i >= g.Count {
+				break
+			}
+			storeElem(buf, g.Elem, int64(i), v)
+		}
+		in.globals[g.Name] = buf
+	}
+	mainFn := m.Func("main")
+	if mainFn == nil {
+		return nil, fmt.Errorf("mini: module %s has no main", m.Name)
+	}
+	ret, err := in.call(mainFn, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: in.out, Exit: int(uint8(ret))}, nil
+}
+
+type interp struct {
+	mod     *Module
+	input   []int64
+	inPos   int
+	out     []byte
+	steps   int
+	depth   int
+	ptrs    map[string]PtrInit
+	globals map[string][]byte
+}
+
+type frame struct {
+	vars   map[string]int64
+	arrays map[string][]byte
+	elems  map[string]int
+	ret    int64
+	done   bool
+}
+
+func (in *interp) call(f *Func, args []int64) (int64, error) {
+	in.depth++
+	if in.depth > maxDepth {
+		return 0, fmt.Errorf("mini: call depth exceeded in %s", f.Name)
+	}
+	defer func() { in.depth-- }()
+
+	fr := &frame{
+		vars:   make(map[string]int64),
+		arrays: make(map[string][]byte),
+		elems:  make(map[string]int),
+	}
+	for i := 0; i < f.NParams; i++ {
+		name := "p" + strconv.Itoa(i)
+		if i < len(args) {
+			fr.vars[name] = args[i]
+		} else {
+			fr.vars[name] = 0
+		}
+	}
+	for _, l := range f.Locals {
+		fr.vars[l] = 0
+	}
+	for _, a := range f.Arrays {
+		fr.arrays[a.Name] = make([]byte, a.Elem*a.Count)
+		fr.elems[a.Name] = a.Elem
+	}
+	if err := in.stmts(f, fr, f.Body); err != nil {
+		return 0, err
+	}
+	return fr.ret, nil
+}
+
+func (in *interp) stmts(f *Func, fr *frame, body []Stmt) error {
+	for _, s := range body {
+		if fr.done {
+			return nil
+		}
+		if err := in.stmt(f, fr, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) stmt(f *Func, fr *frame, s Stmt) error {
+	in.steps++
+	if in.steps > maxSteps {
+		return fmt.Errorf("mini: step limit exceeded in %s", f.Name)
+	}
+	switch v := s.(type) {
+	case Assign:
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		if _, ok := fr.vars[v.Name]; !ok {
+			return fmt.Errorf("mini: %s: assign to undefined %q", f.Name, v.Name)
+		}
+		fr.vars[v.Name] = val
+		return nil
+	case StoreG:
+		g := in.mod.Global(v.G)
+		if g == nil {
+			return fmt.Errorf("mini: %s: unknown global %q", f.Name, v.G)
+		}
+		idx, err := in.eval(f, fr, v.Idx)
+		if err != nil {
+			return err
+		}
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		buf := in.globals[v.G]
+		if idx < 0 || idx >= int64(g.Count) {
+			return fmt.Errorf("mini: %s: %s[%d] out of bounds (count %d)", f.Name, v.G, idx, g.Count)
+		}
+		storeElem(buf, g.Elem, idx, val)
+		return nil
+	case StoreL:
+		buf, ok := fr.arrays[v.Arr]
+		if !ok {
+			return fmt.Errorf("mini: %s: unknown array %q", f.Name, v.Arr)
+		}
+		elem := fr.elems[v.Arr]
+		idx, err := in.eval(f, fr, v.Idx)
+		if err != nil {
+			return err
+		}
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		if idx < 0 || int(idx)*elem+elem > len(buf) {
+			return fmt.Errorf("mini: %s: %s[%d] out of bounds", f.Name, v.Arr, idx)
+		}
+		storeElem(buf, elem, idx, val)
+		return nil
+	case StoreP:
+		pi, ok := in.ptrs[v.P]
+		if !ok {
+			return fmt.Errorf("mini: %s: unknown pointer %q", f.Name, v.P)
+		}
+		tgt := in.mod.Global(pi.Target)
+		buf := in.globals[pi.Target]
+		idx, err := in.eval(f, fr, v.Idx)
+		if err != nil {
+			return err
+		}
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		off := pi.ByteOff + idx*int64(tgt.Elem)
+		if off < 0 || off+int64(tgt.Elem) > int64(len(buf)) {
+			return fmt.Errorf("mini: %s: *%s at byte %d out of bounds", f.Name, v.P, off)
+		}
+		storeElem(buf[off:], tgt.Elem, 0, val)
+		return nil
+	case If:
+		c, err := in.eval(f, fr, v.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return in.stmts(f, fr, v.Then)
+		}
+		return in.stmts(f, fr, v.Else)
+	case While:
+		for {
+			c, err := in.eval(f, fr, v.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 || fr.done {
+				return nil
+			}
+			if err := in.stmts(f, fr, v.Body); err != nil {
+				return err
+			}
+			in.steps++
+			if in.steps > maxSteps {
+				return fmt.Errorf("mini: step limit exceeded in %s", f.Name)
+			}
+		}
+	case Switch:
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		for _, c := range v.Cases {
+			if c.Val == val {
+				return in.stmts(f, fr, c.Body)
+			}
+		}
+		return in.stmts(f, fr, v.Default)
+	case Return:
+		if v.E != nil {
+			val, err := in.eval(f, fr, v.E)
+			if err != nil {
+				return err
+			}
+			fr.ret = val
+		}
+		fr.done = true
+		return nil
+	case Print:
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		in.out = strconv.AppendInt(in.out, val, 10)
+		in.out = append(in.out, '\n')
+		return nil
+	case PrintChar:
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		in.out = append(in.out, byte(val))
+		return nil
+	case ExprStmt:
+		_, err := in.eval(f, fr, v.E)
+		return err
+	}
+	return fmt.Errorf("mini: %s: unknown statement %T", f.Name, s)
+}
+
+func (in *interp) eval(f *Func, fr *frame, e Expr) (int64, error) {
+	in.steps++
+	if in.steps > maxSteps {
+		return 0, fmt.Errorf("mini: step limit exceeded in %s", f.Name)
+	}
+	switch v := e.(type) {
+	case Const:
+		return int64(v), nil
+	case Var:
+		val, ok := fr.vars[string(v)]
+		if !ok {
+			return 0, fmt.Errorf("mini: %s: undefined variable %q", f.Name, v)
+		}
+		return val, nil
+	case LoadG:
+		g := in.mod.Global(v.G)
+		if g == nil {
+			return 0, fmt.Errorf("mini: %s: unknown global %q", f.Name, v.G)
+		}
+		idx, err := in.eval(f, fr, v.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= int64(g.Count) {
+			return 0, fmt.Errorf("mini: %s: %s[%d] out of bounds (count %d)", f.Name, v.G, idx, g.Count)
+		}
+		return loadElem(in.globals[v.G], g.Elem, idx), nil
+	case LoadL:
+		buf, ok := fr.arrays[v.Arr]
+		if !ok {
+			return 0, fmt.Errorf("mini: %s: unknown array %q", f.Name, v.Arr)
+		}
+		elem := fr.elems[v.Arr]
+		idx, err := in.eval(f, fr, v.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || int(idx)*elem+elem > len(buf) {
+			return 0, fmt.Errorf("mini: %s: %s[%d] out of bounds", f.Name, v.Arr, idx)
+		}
+		return loadElem(buf, elem, idx), nil
+	case LoadP:
+		pi, ok := in.ptrs[v.P]
+		if !ok {
+			return 0, fmt.Errorf("mini: %s: unknown pointer %q", f.Name, v.P)
+		}
+		tgt := in.mod.Global(pi.Target)
+		buf := in.globals[pi.Target]
+		idx, err := in.eval(f, fr, v.Idx)
+		if err != nil {
+			return 0, err
+		}
+		off := pi.ByteOff + idx*int64(tgt.Elem)
+		if off < 0 || off+int64(tgt.Elem) > int64(len(buf)) {
+			return 0, fmt.Errorf("mini: %s: *%s at byte %d out of bounds", f.Name, v.P, off)
+		}
+		return loadElem(buf[off:], tgt.Elem, 0), nil
+	case Bin:
+		l, err := in.eval(f, fr, v.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(f, fr, v.R)
+		if err != nil {
+			return 0, err
+		}
+		return binOp(f.Name, v.Op, l, r)
+	case Call:
+		callee := in.mod.Func(v.Name)
+		if callee == nil {
+			return 0, fmt.Errorf("mini: %s: unknown function %q", f.Name, v.Name)
+		}
+		args, err := in.evalArgs(f, fr, v.Args)
+		if err != nil {
+			return 0, err
+		}
+		return in.call(callee, args)
+	case CallPtr:
+		g := in.mod.Global(v.Table)
+		if g == nil || g.FuncTable == nil {
+			return 0, fmt.Errorf("mini: %s: %q is not a function table", f.Name, v.Table)
+		}
+		idx, err := in.eval(f, fr, v.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= int64(len(g.FuncTable)) {
+			return 0, fmt.Errorf("mini: %s: %s[%d] out of bounds", f.Name, v.Table, idx)
+		}
+		callee := in.mod.Func(g.FuncTable[idx])
+		if callee == nil {
+			return 0, fmt.Errorf("mini: %s: table entry %q undefined", f.Name, g.FuncTable[idx])
+		}
+		args, err := in.evalArgs(f, fr, v.Args)
+		if err != nil {
+			return 0, err
+		}
+		return in.call(callee, args)
+	case FuncRef:
+		idx := in.funcIndex(v.Name)
+		if idx < 0 {
+			return 0, fmt.Errorf("mini: %s: unknown function %q", f.Name, v.Name)
+		}
+		// Opaque token; only CallVal may interpret it.
+		return funcTokenBase + int64(idx), nil
+	case CallVal:
+		val, err := in.eval(f, fr, v.F)
+		if err != nil {
+			return 0, err
+		}
+		idx := val - funcTokenBase
+		if idx < 0 || idx >= int64(len(in.mod.Funcs)) {
+			return 0, fmt.Errorf("mini: %s: call through non-function value %d", f.Name, val)
+		}
+		args, err := in.evalArgs(f, fr, v.Args)
+		if err != nil {
+			return 0, err
+		}
+		return in.call(in.mod.Funcs[idx], args)
+	case ReadInput:
+		if in.inPos < len(in.input) {
+			val := in.input[in.inPos]
+			in.inPos++
+			return val, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("mini: %s: unknown expression %T", f.Name, e)
+}
+
+// funcTokenBase makes function-pointer tokens distinguishable from small
+// integers in diagnostics; programs must not do arithmetic on them.
+const funcTokenBase = 1 << 40
+
+func (in *interp) funcIndex(name string) int {
+	for i, fn := range in.mod.Funcs {
+		if fn.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (in *interp) evalArgs(f *Func, fr *frame, exprs []Expr) ([]int64, error) {
+	args := make([]int64, len(exprs))
+	for i, a := range exprs {
+		val, err := in.eval(f, fr, a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = val
+	}
+	return args, nil
+}
+
+func binOp(fn string, op BinOp, l, r int64) (int64, error) {
+	switch op {
+	case Add:
+		return l + r, nil
+	case Sub:
+		return l - r, nil
+	case Mul:
+		return l * r, nil
+	case Div:
+		if r == 0 || (l == -1<<63 && r == -1) {
+			return 0, fmt.Errorf("mini: %s: division fault (%d / %d)", fn, l, r)
+		}
+		return l / r, nil
+	case Mod:
+		if r == 0 || (l == -1<<63 && r == -1) {
+			return 0, fmt.Errorf("mini: %s: division fault (%d %% %d)", fn, l, r)
+		}
+		return l % r, nil
+	case And:
+		return l & r, nil
+	case Or:
+		return l | r, nil
+	case Xor:
+		return l ^ r, nil
+	case Shl:
+		return l << (uint64(r) & 63), nil
+	case Shr:
+		return l >> (uint64(r) & 63), nil
+	case Eq:
+		return b2i(l == r), nil
+	case Ne:
+		return b2i(l != r), nil
+	case Lt:
+		return b2i(l < r), nil
+	case Le:
+		return b2i(l <= r), nil
+	case Gt:
+		return b2i(l > r), nil
+	case Ge:
+		return b2i(l >= r), nil
+	}
+	return 0, fmt.Errorf("mini: %s: unknown operator %d", fn, op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func storeElem(buf []byte, elem int, idx, val int64) {
+	o := int(idx) * elem
+	switch elem {
+	case 1:
+		buf[o] = byte(val)
+	case 4:
+		binary.LittleEndian.PutUint32(buf[o:], uint32(val))
+	default:
+		binary.LittleEndian.PutUint64(buf[o:], uint64(val))
+	}
+}
+
+func loadElem(buf []byte, elem int, idx int64) int64 {
+	o := int(idx) * elem
+	switch elem {
+	case 1:
+		return int64(buf[o]) // zero-extend, like uint8_t
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(buf[o:]))) // sign-extend, like int32_t
+	default:
+		return int64(binary.LittleEndian.Uint64(buf[o:]))
+	}
+}
+
+// FoldBin evaluates a binary operation at compile time. The second result
+// is false when the operation would fault (division by zero or overflow)
+// or the operator is unknown, in which case the caller must emit runtime
+// code instead.
+func FoldBin(op BinOp, l, r int64) (int64, bool) {
+	v, err := binOp("fold", op, l, r)
+	return v, err == nil
+}

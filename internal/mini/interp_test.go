@@ -1,0 +1,325 @@
+package mini
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, m *Module, input []int64) *Result {
+	t.Helper()
+	res, err := Run(m, input)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	m := &Module{
+		Name: "arith",
+		Funcs: []*Func{{
+			Name: "main",
+			Body: []Stmt{
+				Print{Bin{Add, Const(2), Const(3)}},
+				Print{Bin{Mul, Const(-4), Const(5)}},
+				Print{Bin{Div, Const(7), Const(2)}},
+				Print{Bin{Div, Const(-7), Const(2)}}, // truncated division
+				Print{Bin{Mod, Const(-7), Const(2)}},
+				Print{Bin{Shl, Const(1), Const(10)}},
+				Print{Bin{Shr, Const(-16), Const(2)}}, // arithmetic
+				Print{Bin{Lt, Const(1), Const(2)}},
+				Return{Const(42)},
+			},
+		}},
+	}
+	res := runOK(t, m, nil)
+	want := "5\n-20\n3\n-3\n-1\n1024\n-4\n1\n"
+	if string(res.Output) != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+	if res.Exit != 42 {
+		t.Errorf("exit = %d, want 42", res.Exit)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m := &Module{
+		Name: "cf",
+		Funcs: []*Func{{
+			Name:   "main",
+			Locals: []string{"i", "sum"},
+			Body: []Stmt{
+				Assign{"i", Const(0)},
+				Assign{"sum", Const(0)},
+				While{
+					Cond: Bin{Lt, Var("i"), Const(10)},
+					Body: []Stmt{
+						If{
+							Cond: Bin{Eq, Bin{Mod, Var("i"), Const(2)}, Const(0)},
+							Then: []Stmt{Assign{"sum", Bin{Add, Var("sum"), Var("i")}}},
+							Else: []Stmt{Assign{"sum", Bin{Sub, Var("sum"), Const(1)}}},
+						},
+						Assign{"i", Bin{Add, Var("i"), Const(1)}},
+					},
+				},
+				Print{Var("sum")}, // 0+2+4+6+8 - 5 = 15
+			},
+		}},
+	}
+	res := runOK(t, m, nil)
+	if string(res.Output) != "15\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	m := &Module{
+		Name: "sw",
+		Funcs: []*Func{{
+			Name:   "main",
+			Locals: []string{"i"},
+			Body: []Stmt{
+				Assign{"i", Const(0)},
+				While{
+					Cond: Bin{Lt, Var("i"), Const(6)},
+					Body: []Stmt{
+						Switch{
+							E: Var("i"),
+							Cases: []SwitchCase{
+								{Val: 0, Body: []Stmt{Print{Const(100)}}},
+								{Val: 1, Body: []Stmt{Print{Const(101)}}},
+								{Val: 2, Body: []Stmt{Print{Const(102)}}},
+								{Val: 4, Body: []Stmt{Print{Const(104)}}},
+							},
+							Default: []Stmt{Print{Const(-1)}},
+						},
+						Assign{"i", Bin{Add, Var("i"), Const(1)}},
+					},
+				},
+			},
+		}},
+	}
+	res := runOK(t, m, nil)
+	want := "100\n101\n102\n-1\n104\n-1\n"
+	if string(res.Output) != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	m := &Module{
+		Name: "glob",
+		Globals: []*Global{
+			{Name: "g", Elem: 8, Count: 4, Init: []int64{10, 20, 30, 40}},
+			{Name: "b", Elem: 1, Count: 8, Init: []int64{250}}, // byte: zero-extends
+			{Name: "w", Elem: 4, Count: 2, Init: []int64{-5}},  // int32: sign-extends
+		},
+		Funcs: []*Func{{
+			Name:   "main",
+			Arrays: []LocalArray{{Name: "loc", Elem: 8, Count: 3}},
+			Body: []Stmt{
+				Print{LoadG{"g", Const(2)}},
+				StoreG{"g", Const(0), Bin{Add, LoadG{"g", Const(3)}, Const(1)}},
+				Print{LoadG{"g", Const(0)}},
+				Print{LoadG{"b", Const(0)}},
+				Print{LoadG{"w", Const(0)}},
+				StoreL{"loc", Const(1), Const(77)},
+				Print{LoadL{"loc", Const(1)}},
+				Print{LoadL{"loc", Const(0)}}, // zero-initialized
+			},
+		}},
+	}
+	res := runOK(t, m, nil)
+	want := "30\n41\n250\n-5\n77\n0\n"
+	if string(res.Output) != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestPointerGlobals(t *testing.T) {
+	m := &Module{
+		Name: "ptr",
+		Globals: []*Global{
+			{Name: "arr", Elem: 8, Count: 4, Init: []int64{1, 2, 3, 4}},
+			{Name: "p", PtrInit: &PtrInit{Target: "arr", ByteOff: 16}}, // &arr[2]
+		},
+		Funcs: []*Func{{
+			Name: "main",
+			Body: []Stmt{
+				Print{LoadP{"p", Const(0)}},  // arr[2] = 3
+				Print{LoadP{"p", Const(1)}},  // arr[3] = 4
+				Print{LoadP{"p", Const(-1)}}, // arr[1] = 2
+				StoreP{"p", Const(0), Const(99)},
+				Print{LoadG{"arr", Const(2)}},
+			},
+		}},
+	}
+	res := runOK(t, m, nil)
+	want := "3\n4\n2\n99\n"
+	if string(res.Output) != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	m := &Module{
+		Name: "call",
+		Funcs: []*Func{
+			{
+				Name: "main",
+				Body: []Stmt{
+					Print{Call{"fact", []Expr{Const(10)}}},
+					Print{Call{"add3", []Expr{Const(1), Const(2), Const(3)}}},
+				},
+			},
+			{
+				Name: "fact", NParams: 1,
+				Body: []Stmt{
+					If{
+						Cond: Bin{Le, Var("p0"), Const(1)},
+						Then: []Stmt{Return{Const(1)}},
+					},
+					Return{Bin{Mul, Var("p0"), Call{"fact", []Expr{Bin{Sub, Var("p0"), Const(1)}}}}},
+				},
+			},
+			{
+				Name: "add3", NParams: 3,
+				Body: []Stmt{Return{Bin{Add, Var("p0"), Bin{Add, Var("p1"), Var("p2")}}}},
+			},
+		},
+	}
+	res := runOK(t, m, nil)
+	want := "3628800\n6\n"
+	if string(res.Output) != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestFunctionTable(t *testing.T) {
+	m := &Module{
+		Name: "fptr",
+		Globals: []*Global{
+			{Name: "ops", FuncTable: []string{"inc", "dec", "dbl"}},
+		},
+		Funcs: []*Func{
+			{Name: "inc", NParams: 1, Body: []Stmt{Return{Bin{Add, Var("p0"), Const(1)}}}},
+			{Name: "dec", NParams: 1, Body: []Stmt{Return{Bin{Sub, Var("p0"), Const(1)}}}},
+			{Name: "dbl", NParams: 1, Body: []Stmt{Return{Bin{Mul, Var("p0"), Const(2)}}}},
+			{
+				Name:   "main",
+				Locals: []string{"i"},
+				Body: []Stmt{
+					Assign{"i", Const(0)},
+					While{
+						Cond: Bin{Lt, Var("i"), Const(3)},
+						Body: []Stmt{
+							Print{CallPtr{"ops", Var("i"), []Expr{Const(10)}}},
+							Assign{"i", Bin{Add, Var("i"), Const(1)}},
+						},
+					},
+				},
+			},
+		},
+	}
+	res := runOK(t, m, nil)
+	want := "11\n9\n20\n"
+	if string(res.Output) != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestReadInput(t *testing.T) {
+	m := &Module{
+		Name: "input",
+		Funcs: []*Func{{
+			Name:   "main",
+			Locals: []string{"a", "b"},
+			Body: []Stmt{
+				Assign{"a", ReadInput{}},
+				Assign{"b", ReadInput{}},
+				Print{Bin{Add, Var("a"), Var("b")}},
+				Print{ReadInput{}}, // exhausted -> 0
+			},
+		}},
+	}
+	res := runOK(t, m, []int64{40, 2})
+	if string(res.Output) != "42\n0\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestPrintChar(t *testing.T) {
+	m := &Module{
+		Name: "pc",
+		Funcs: []*Func{{
+			Name: "main",
+			Body: []Stmt{
+				PrintChar{Const('h')}, PrintChar{Const('i')}, PrintChar{Const('\n')},
+			},
+		}},
+	}
+	res := runOK(t, m, nil)
+	if string(res.Output) != "hi\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Module
+		want string
+	}{
+		{
+			"div by zero",
+			&Module{Funcs: []*Func{{Name: "main", Body: []Stmt{Print{Bin{Div, Const(1), Const(0)}}}}}},
+			"division fault",
+		},
+		{
+			"oob global",
+			&Module{
+				Globals: []*Global{{Name: "g", Elem: 8, Count: 2}},
+				Funcs:   []*Func{{Name: "main", Body: []Stmt{Print{LoadG{"g", Const(5)}}}}},
+			},
+			"out of bounds",
+		},
+		{
+			"undefined var",
+			&Module{Funcs: []*Func{{Name: "main", Body: []Stmt{Print{Var("nope")}}}}},
+			"undefined variable",
+		},
+		{
+			"no main",
+			&Module{Funcs: []*Func{{Name: "f"}}},
+			"no main",
+		},
+		{
+			"infinite loop hits step limit",
+			&Module{Funcs: []*Func{{Name: "main", Body: []Stmt{While{Cond: Const(1)}}}}},
+			"step limit",
+		},
+		{
+			"runaway recursion hits depth limit",
+			&Module{Funcs: []*Func{{Name: "main", Body: []Stmt{ExprStmt{Call{"main", nil}}}}}},
+			"depth",
+		},
+	}
+	for _, tt := range cases {
+		_, err := Run(tt.m, nil)
+		if err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: err = %v, want containing %q", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestGlobalByteSize(t *testing.T) {
+	if g := (&Global{Elem: 4, Count: 10}); g.ByteSize() != 40 {
+		t.Error("array size wrong")
+	}
+	if g := (&Global{FuncTable: []string{"a", "b"}}); g.ByteSize() != 16 {
+		t.Error("functable size wrong")
+	}
+	if g := (&Global{PtrInit: &PtrInit{}}); g.ByteSize() != 8 {
+		t.Error("pointer size wrong")
+	}
+}

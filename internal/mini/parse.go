@@ -1,0 +1,799 @@
+package mini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads MiniC source text (the format Print emits) into a Module.
+//
+// Grammar sketch:
+//
+//	module    := (global | ptr | functable | func)*
+//	global    := "global" name "[" int "]" ("i8"|"i32"|"i64") ["ro"] ["=" "{" ints "}"] ";"
+//	ptr       := "ptr" name "=" "&" name "+" int ";"
+//	functable := "functable" name "=" "{" names "}" ";"
+//	func      := "func" name "(" params ")" "{" decls stmts "}"
+//
+// Globals and function tables must be declared before use; functions may
+// be referenced before their definition.
+func Parse(name, src string) (*Module, error) {
+	p := &parser{lex: newLexer(src)}
+	m := &Module{Name: name}
+	if err := p.module(m); err != nil {
+		return nil, fmt.Errorf("mini: parse %s: %w", name, err)
+	}
+	return m, nil
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	val  int64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+var puncts = []string{
+	"<<", ">>", "==", "!=", "<=", ">=",
+	"{", "}", "(", ")", "[", "]", ";", ",", "=", "&", "|", "^",
+	"+", "-", "*", "/", "%", "<", ">", ":",
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) lex() ([]token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated comment at %d", l.pos)
+			}
+			l.pos += end + 4
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (isIdentByte(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == 'x' ||
+				('a' <= l.src[l.pos] && l.src[l.pos] <= 'f') || ('A' <= l.src[l.pos] && l.src[l.pos] <= 'F')) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q at %d", text, start)
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: text, val: v, pos: start})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(l.src[l.pos:], p) {
+					l.toks = append(l.toks, token{kind: tokPunct, text: p, pos: l.pos})
+					l.pos += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '$' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+type parser struct {
+	lex  *lexer
+	toks []token
+	i    int
+
+	mod *Module
+	// current function scope
+	locals map[string]bool
+	arrays map[string]bool
+	tables map[string]bool
+	ptrs   map[string]bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("at offset %d: expected %q, found %q", p.cur().pos, text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", fmt.Errorf("at offset %d: expected identifier, found %q", p.cur().pos, p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) number() (int64, error) {
+	neg := p.accept("-")
+	if p.cur().kind != tokNumber {
+		return 0, fmt.Errorf("at offset %d: expected number, found %q", p.cur().pos, p.cur().text)
+	}
+	v := p.next().val
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) module(m *Module) error {
+	toks, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.toks = toks
+	p.mod = m
+	p.tables = map[string]bool{}
+	p.ptrs = map[string]bool{}
+
+	for p.cur().kind != tokEOF {
+		switch p.cur().text {
+		case "global":
+			if err := p.global(); err != nil {
+				return err
+			}
+		case "ptr":
+			if err := p.ptrDecl(); err != nil {
+				return err
+			}
+		case "functable":
+			if err := p.funcTable(); err != nil {
+				return err
+			}
+		case "func":
+			if err := p.funcDecl(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("at offset %d: expected declaration, found %q", p.cur().pos, p.cur().text)
+		}
+	}
+	return nil
+}
+
+func (p *parser) elemType() (int, error) {
+	t, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	switch t {
+	case "i8":
+		return 1, nil
+	case "i32":
+		return 4, nil
+	case "i64":
+		return 8, nil
+	}
+	return 0, fmt.Errorf("unknown element type %q", t)
+}
+
+func (p *parser) global() error {
+	p.next() // "global"
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	count, err := p.number()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("]"); err != nil {
+		return err
+	}
+	elem, err := p.elemType()
+	if err != nil {
+		return err
+	}
+	g := &Global{Name: name, Elem: elem, Count: int(count)}
+	if p.accept("ro") {
+		g.ReadOnly = true
+	}
+	if p.accept("=") {
+		if err := p.expect("{"); err != nil {
+			return err
+		}
+		for !p.accept("}") {
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			g.Init = append(g.Init, v)
+			if !p.accept(",") && p.cur().text != "}" {
+				return fmt.Errorf("at offset %d: expected , or } in initializer", p.cur().pos)
+			}
+		}
+	}
+	p.mod.Globals = append(p.mod.Globals, g)
+	return p.expect(";")
+}
+
+func (p *parser) ptrDecl() error {
+	p.next() // "ptr"
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	if err := p.expect("&"); err != nil {
+		return err
+	}
+	target, err := p.ident()
+	if err != nil {
+		return err
+	}
+	off := int64(0)
+	if p.accept("+") {
+		off, err = p.number()
+		if err != nil {
+			return err
+		}
+	}
+	p.ptrs[name] = true
+	p.mod.Globals = append(p.mod.Globals, &Global{
+		Name: name, PtrInit: &PtrInit{Target: target, ByteOff: off},
+	})
+	return p.expect(";")
+}
+
+func (p *parser) funcTable() error {
+	p.next() // "functable"
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	var members []string
+	for !p.accept("}") {
+		fn, err := p.ident()
+		if err != nil {
+			return err
+		}
+		members = append(members, fn)
+		if !p.accept(",") && p.cur().text != "}" {
+			return fmt.Errorf("at offset %d: expected , or } in functable", p.cur().pos)
+		}
+	}
+	p.tables[name] = true
+	p.mod.Globals = append(p.mod.Globals, &Global{Name: name, FuncTable: members})
+	return p.expect(";")
+}
+
+func (p *parser) funcDecl() error {
+	p.next() // "func"
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	f := &Func{Name: name}
+	p.locals = map[string]bool{}
+	p.arrays = map[string]bool{}
+	for !p.accept(")") {
+		param, err := p.ident()
+		if err != nil {
+			return err
+		}
+		want := fmt.Sprintf("p%d", f.NParams)
+		if param != want {
+			return fmt.Errorf("parameters must be named p0, p1, ...; found %q", param)
+		}
+		f.NParams++
+		p.locals[param] = true
+		if !p.accept(",") && p.cur().text != ")" {
+			return fmt.Errorf("at offset %d: expected , or ) in parameters", p.cur().pos)
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	// Declarations first.
+	for {
+		if p.cur().text == "var" {
+			p.next()
+			l, err := p.ident()
+			if err != nil {
+				return err
+			}
+			f.Locals = append(f.Locals, l)
+			p.locals[l] = true
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.cur().text == "array" {
+			p.next()
+			a, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if err := p.expect("["); err != nil {
+				return err
+			}
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			if err := p.expect("]"); err != nil {
+				return err
+			}
+			elem, err := p.elemType()
+			if err != nil {
+				return err
+			}
+			f.Arrays = append(f.Arrays, LocalArray{Name: a, Elem: elem, Count: int(n)})
+			p.arrays[a] = true
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	body, err := p.stmts()
+	if err != nil {
+		return err
+	}
+	f.Body = body
+	p.mod.Funcs = append(p.mod.Funcs, f)
+	return p.expect("}")
+}
+
+func (p *parser) stmts() ([]Stmt, error) {
+	var out []Stmt
+	for p.cur().text != "}" && p.cur().kind != tokEOF {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	out, err := p.stmts()
+	if err != nil {
+		return nil, err
+	}
+	return out, p.expect("}")
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().text {
+	case "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+
+	case "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body}, nil
+
+	case "switch":
+		return p.switchStmt()
+
+	case "return":
+		p.next()
+		if p.accept(";") {
+			return Return{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Return{E: e}, p.expect(";")
+
+	case "print", "putc":
+		kw := p.next().text
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if kw == "print" {
+			return Print{E: e}, nil
+		}
+		return PrintChar{E: e}, nil
+
+	case "*":
+		// *ptr[idx] = expr;
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return StoreP{P: name, Idx: idx, E: val}, p.expect(";")
+	}
+
+	// assignment, store, or expression statement
+	if p.cur().kind == tokIdent {
+		name := p.cur().text
+		nxt := p.toks[p.i+1].text
+		if nxt == "=" && !p.tables[name] {
+			p.next()
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return Assign{Name: name, E: e}, p.expect(";")
+		}
+		if nxt == "[" && !p.tables[name] {
+			// Could be a store or an indexed load in an expression
+			// statement; look for "] =" by parsing the index and peeking.
+			save := p.i
+			p.next()
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if p.accept("=") {
+				val, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if p.arrays[name] {
+					return StoreL{Arr: name, Idx: idx, E: val}, p.expect(";")
+				}
+				return StoreG{G: name, Idx: idx, E: val}, p.expect(";")
+			}
+			p.i = save // plain expression statement after all
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return ExprStmt{E: e}, p.expect(";")
+}
+
+func (p *parser) switchStmt() (Stmt, error) {
+	p.next() // "switch"
+	complete := p.accept("complete")
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sw := Switch{E: e, Complete: complete}
+	for !p.accept("}") {
+		if p.accept("case") {
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			sw.Cases = append(sw.Cases, SwitchCase{Val: v, Body: body})
+			continue
+		}
+		if p.accept("default") {
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			sw.Default = body
+			continue
+		}
+		return nil, fmt.Errorf("at offset %d: expected case or default, found %q", p.cur().pos, p.cur().text)
+	}
+	return sw, nil
+}
+
+// Binary operator precedence, loosest first.
+var precLevels = [][]string{
+	{"==", "!=", "<", "<=", ">", ">="},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+var opByText = map[string]BinOp{
+	"+": Add, "-": Sub, "*": Mul, "/": Div, "%": Mod,
+	"&": And, "|": Or, "^": Xor, "<<": Shl, ">>": Shr,
+	"==": Eq, "!=": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	left, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, opText := range precLevels[level] {
+			if p.cur().kind == tokPunct && p.cur().text == opText {
+				p.next()
+				right, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = Bin{Op: opByText[opText], L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept("-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := e.(Const); ok {
+			return Const(-int64(c)), nil
+		}
+		return Bin{Op: Sub, L: Const(0), R: e}, nil
+	}
+	if p.accept("&") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return FuncRef{Name: name}, nil
+	}
+	if p.accept("*") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return LoadP{P: name, Idx: idx}, p.expect("]")
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	base, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	// A parenthesized callee: (expr)(args) is a CallVal.
+	if p.cur().text == "(" {
+		if _, isVar := base.(Var); !isVar {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return CallVal{F: base, Args: args}, nil
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return CallVal{F: base, Args: args}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) args() ([]Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for !p.accept(")") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if !p.accept(",") && p.cur().text != ")" {
+			return nil, fmt.Errorf("at offset %d: expected , or ) in arguments", p.cur().pos)
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return Const(t.val), nil
+
+	case t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+
+	case t.kind == tokIdent:
+		name := p.next().text
+		if name == "input" {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			return ReadInput{}, p.expect(")")
+		}
+		switch p.cur().text {
+		case "(":
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return Call{Name: name, Args: args}, nil
+		case "[":
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if p.tables[name] {
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				return CallPtr{Table: name, Idx: idx, Args: args}, nil
+			}
+			if p.arrays[name] {
+				return LoadL{Arr: name, Idx: idx}, nil
+			}
+			return LoadG{G: name, Idx: idx}, nil
+		}
+		return Var(name), nil
+	}
+	return nil, fmt.Errorf("at offset %d: unexpected token %q", t.pos, t.text)
+}

@@ -1,0 +1,167 @@
+package mini
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+global g[8]i64 = { 1, 2, 3 };
+global ro_tab[4]i32 ro = { -5, 6, -7, 8 };
+global z[16]i8;
+ptr mid = &g + 16;
+functable ops = { inc, dbl };
+
+func inc(p0) {
+  return p0 + 1;
+}
+
+func dbl(p0) {
+  return p0 * 2;
+}
+
+// comment
+func main() {
+  var i;
+  var acc;
+  array buf[8]i64;
+  i = 0;
+  acc = input();
+  while (i < 8) {
+    buf[i & 7] = g[i % 8] + acc;
+    z[i] = i;
+    switch complete (i & 3) {
+    case 0: { print 100; }
+    case 1: { print 101; }
+    case 2: { print 102; }
+    case 3: { print 103; }
+    }
+    acc = acc + ops[i & 1](i);
+    i = i + 1;
+  }
+  print *mid[0];
+  *mid[1] = 99;
+  print g[3];
+  acc = &inc;
+  print (acc)(41);
+  if (acc == 0) { print -1; } else { print ro_tab[1]; }
+  putc 10;
+  return acc & 63;
+}
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := Parse("sample", sampleSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(m.Globals) != 5 || len(m.Funcs) != 3 {
+		t.Fatalf("got %d globals, %d funcs", len(m.Globals), len(m.Funcs))
+	}
+	if m.Global("ro_tab") == nil || !m.Global("ro_tab").ReadOnly {
+		t.Error("ro_tab not read-only")
+	}
+	if m.Global("mid").PtrInit.ByteOff != 16 {
+		t.Error("ptr offset wrong")
+	}
+	if len(m.Global("ops").FuncTable) != 2 {
+		t.Error("functable wrong")
+	}
+	res, err := Run(m, []int64{5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Output) == 0 {
+		t.Error("no output")
+	}
+}
+
+// TestFormatParseRoundTrip: a parsed module, formatted and re-parsed,
+// must behave identically.
+func TestFormatParseRoundTrip(t *testing.T) {
+	m1, err := Parse("rt", sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(m1)
+	m2, err := Parse("rt2", text)
+	if err != nil {
+		t.Fatalf("re-parse of formatted source failed: %v\nsource:\n%s", err, text)
+	}
+	for _, input := range [][]int64{{0}, {7}, {-3}} {
+		r1, err := Run(m1, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(m2, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r1.Output, r2.Output) || r1.Exit != r2.Exit {
+			t.Fatalf("round-trip behaviour differs on %v:\n%q vs %q", input, r1.Output, r2.Output)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"func f(", "expected"},
+		{"global g[4]i17;", "unknown element type"},
+		{"func f(x) { }", "parameters must be named"},
+		{"func f() { return 1 }", "expected \";\""},
+		{"@", "unexpected character"},
+		{"func f() { switch (1) { banana } }", "expected case or default"},
+		{"global g[4]i64 = { 1 2 };", "expected , or }"},
+		{"/* unterminated", "unterminated comment"},
+	}
+	for _, c := range cases {
+		_, err := Parse("bad", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	m, err := Parse("prec", `
+func main() {
+  print 2 + 3 * 4;
+  print 1 << 2 + 1; // shift binds looser than +, like C
+  print 10 - 2 - 3;
+  print 7 & 3 | 8;
+  print 1 + 2 == 3;
+  print -5 % 3;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "14\n8\n5\n11\n1\n-2\n"
+	if string(res.Output) != want {
+		t.Errorf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestParseHexAndComments(t *testing.T) {
+	m, err := Parse("hex", `
+func main() {
+  // line comment
+  print 0x10; /* block */ print 0x0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "16\n0\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}

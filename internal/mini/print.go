@@ -1,0 +1,173 @@
+package mini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a module as MiniC source text, the format Parse accepts.
+// Format and Parse round-trip: Parse(Format(m)) is semantically identical
+// to m (property-tested).
+func Format(m *Module) string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		b.WriteString(printGlobal(g))
+		b.WriteByte('\n')
+	}
+	if len(m.Globals) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(printFunc(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func printGlobal(g *Global) string {
+	switch {
+	case g.FuncTable != nil:
+		return fmt.Sprintf("functable %s = { %s };", g.Name, strings.Join(g.FuncTable, ", "))
+	case g.PtrInit != nil:
+		return fmt.Sprintf("ptr %s = &%s + %d;", g.Name, g.PtrInit.Target, g.PtrInit.ByteOff)
+	default:
+		s := fmt.Sprintf("global %s[%d]i%d", g.Name, g.Count, g.Elem*8)
+		if g.ReadOnly {
+			s += " ro"
+		}
+		if len(g.Init) > 0 {
+			vals := make([]string, len(g.Init))
+			for i, v := range g.Init {
+				vals[i] = fmt.Sprintf("%d", v)
+			}
+			s += " = { " + strings.Join(vals, ", ") + " }"
+		}
+		return s + ";"
+	}
+}
+
+func printFunc(f *Func) string {
+	var b strings.Builder
+	params := make([]string, f.NParams)
+	for i := range params {
+		params[i] = fmt.Sprintf("p%d", i)
+	}
+	fmt.Fprintf(&b, "func %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	for _, l := range f.Locals {
+		fmt.Fprintf(&b, "  var %s;\n", l)
+	}
+	for _, a := range f.Arrays {
+		fmt.Fprintf(&b, "  array %s[%d]i%d;\n", a.Name, a.Count, a.Elem*8)
+	}
+	for _, s := range f.Body {
+		b.WriteString(printStmt(s, "  "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func printStmt(s Stmt, ind string) string {
+	switch v := s.(type) {
+	case Assign:
+		return fmt.Sprintf("%s%s = %s;\n", ind, v.Name, printExpr(v.E))
+	case StoreG:
+		return fmt.Sprintf("%s%s[%s] = %s;\n", ind, v.G, printExpr(v.Idx), printExpr(v.E))
+	case StoreL:
+		return fmt.Sprintf("%s%s[%s] = %s;\n", ind, v.Arr, printExpr(v.Idx), printExpr(v.E))
+	case StoreP:
+		return fmt.Sprintf("%s*%s[%s] = %s;\n", ind, v.P, printExpr(v.Idx), printExpr(v.E))
+	case If:
+		out := fmt.Sprintf("%sif (%s) {\n", ind, printExpr(v.Cond))
+		for _, t := range v.Then {
+			out += printStmt(t, ind+"  ")
+		}
+		if len(v.Else) > 0 {
+			out += ind + "} else {\n"
+			for _, t := range v.Else {
+				out += printStmt(t, ind+"  ")
+			}
+		}
+		return out + ind + "}\n"
+	case While:
+		out := fmt.Sprintf("%swhile (%s) {\n", ind, printExpr(v.Cond))
+		for _, t := range v.Body {
+			out += printStmt(t, ind+"  ")
+		}
+		return out + ind + "}\n"
+	case Switch:
+		kw := "switch"
+		if v.Complete {
+			kw = "switch complete"
+		}
+		out := fmt.Sprintf("%s%s (%s) {\n", ind, kw, printExpr(v.E))
+		for _, c := range v.Cases {
+			out += fmt.Sprintf("%scase %d: {\n", ind, c.Val)
+			for _, t := range c.Body {
+				out += printStmt(t, ind+"  ")
+			}
+			out += ind + "}\n"
+		}
+		if len(v.Default) > 0 {
+			out += ind + "default: {\n"
+			for _, t := range v.Default {
+				out += printStmt(t, ind+"  ")
+			}
+			out += ind + "}\n"
+		}
+		return out + ind + "}\n"
+	case Return:
+		if v.E == nil {
+			return ind + "return;\n"
+		}
+		return fmt.Sprintf("%sreturn %s;\n", ind, printExpr(v.E))
+	case Print:
+		return fmt.Sprintf("%sprint %s;\n", ind, printExpr(v.E))
+	case PrintChar:
+		return fmt.Sprintf("%sputc %s;\n", ind, printExpr(v.E))
+	case ExprStmt:
+		return fmt.Sprintf("%s%s;\n", ind, printExpr(v.E))
+	}
+	return ind + "/* unknown */\n"
+}
+
+var opText = map[BinOp]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Mod: "%",
+	And: "&", Or: "|", Xor: "^", Shl: "<<", Shr: ">>",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+}
+
+func printExpr(e Expr) string {
+	switch v := e.(type) {
+	case Const:
+		return fmt.Sprintf("%d", int64(v))
+	case Var:
+		return string(v)
+	case LoadG:
+		return fmt.Sprintf("%s[%s]", v.G, printExpr(v.Idx))
+	case LoadL:
+		return fmt.Sprintf("%s[%s]", v.Arr, printExpr(v.Idx))
+	case LoadP:
+		return fmt.Sprintf("*%s[%s]", v.P, printExpr(v.Idx))
+	case Bin:
+		return fmt.Sprintf("(%s %s %s)", printExpr(v.L), opText[v.Op], printExpr(v.R))
+	case Call:
+		return fmt.Sprintf("%s(%s)", v.Name, printArgs(v.Args))
+	case CallPtr:
+		return fmt.Sprintf("%s[%s](%s)", v.Table, printExpr(v.Idx), printArgs(v.Args))
+	case CallVal:
+		return fmt.Sprintf("(%s)(%s)", printExpr(v.F), printArgs(v.Args))
+	case FuncRef:
+		return "&" + v.Name
+	case ReadInput:
+		return "input()"
+	}
+	return "/*?*/0"
+}
+
+func printArgs(args []Expr) string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		out[i] = printExpr(a)
+	}
+	return strings.Join(out, ", ")
+}

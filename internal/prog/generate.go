@@ -1,0 +1,488 @@
+// Package prog generates the benchmark workloads: seeded, deterministic
+// MiniC programs organized into suites mirroring the paper's benchmark
+// (§4.1.1: Coreutils-like, Binutils-like, SPEC-like). Every program comes
+// with test inputs; its expected behaviour is defined by the reference
+// interpreter. Programs are deliberately rich in the constructs that make
+// reassembly hard: dense (often bounds-check-free) switches, decoy data
+// adjacent to jump tables, address-taken functions, function-pointer
+// tables, and past-the-end static pointers.
+package prog
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/mini"
+)
+
+// Program is one benchmark binary source plus its test inputs.
+type Program struct {
+	Name   string
+	Module *mini.Module
+	Inputs [][]int64
+
+	// CPP marks programs using C++-like constructs (function references
+	// called through values); the Egalito comparison excludes them, as
+	// the paper excluded C++ binaries (§4.2.2).
+	CPP bool
+
+	// TrueTableEntries is the ground-truth jump-table entry count (the
+	// sum of case spans of switches large enough for tables), used by
+	// the §4.3.1 over-approximation comparison.
+	TrueTableEntries int
+}
+
+// Shape controls generated program size.
+type Shape struct {
+	Funcs     int // leaf functions (besides main and dispatchers)
+	Switches  int // switch-heavy dispatcher functions
+	Globals   int
+	MainLoop  int // main loop iterations
+	Stmts     int // statements per function body
+	NumInputs int
+}
+
+// shapes by suite flavour.
+var (
+	smallShape  = Shape{Funcs: 3, Switches: 1, Globals: 4, MainLoop: 12, Stmts: 6, NumInputs: 2}
+	mediumShape = Shape{Funcs: 5, Switches: 2, Globals: 6, MainLoop: 18, Stmts: 9, NumInputs: 3}
+	largeShape  = Shape{Funcs: 8, Switches: 3, Globals: 9, MainLoop: 24, Stmts: 12, NumInputs: 3}
+)
+
+// Generate builds a deterministic program from a seed. The result is
+// validated against the reference interpreter on all inputs; seeds whose
+// programs would trip well-definedness checks are skipped internally, so
+// Generate always succeeds.
+func Generate(name string, seed int64, shape Shape) *Program {
+	for attempt := 0; ; attempt++ {
+		g := &pgen{
+			r:     rand.New(rand.NewSource(seed + int64(attempt)*7919)),
+			shape: shape,
+		}
+		p := g.program(name)
+		ok := true
+		for _, in := range p.Inputs {
+			if _, err := mini.Run(p.Module, in); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+}
+
+type pgen struct {
+	r     *rand.Rand
+	shape Shape
+
+	globals   []*mini.Global
+	arrays    []*mini.Global // indexable array globals (power-of-two counts)
+	funcs     []*mini.Func
+	funcNames []string
+	tableName string
+	cpp       bool
+
+	trueEntries int
+}
+
+func (g *pgen) program(name string) *Program {
+	g.makeGlobals()
+	for i := 0; i < g.shape.Funcs; i++ {
+		g.makeLeaf(i)
+	}
+	for i := 0; i < g.shape.Switches; i++ {
+		g.makeDispatcher(i)
+	}
+	g.makeFuncTable()
+	g.makePointers()
+	g.makeMain()
+
+	mod := &mini.Module{Name: name, Globals: g.globals, Funcs: g.funcs}
+	inputs := make([][]int64, g.shape.NumInputs)
+	for i := range inputs {
+		n := 2 + g.r.Intn(4)
+		vals := make([]int64, n)
+		for j := range vals {
+			vals[j] = int64(g.r.Intn(4096) - 2048)
+		}
+		inputs[i] = vals
+	}
+	return &Program{Name: name, Module: mod, Inputs: inputs, TrueTableEntries: g.trueEntries, CPP: g.cpp}
+}
+
+// makeGlobals creates a mix of data/bss/rodata arrays, always including a
+// read-only int32 "decoy" array whose values look like plausible jump
+// table offsets (the Figure 3 adjacency trap).
+func (g *pgen) makeGlobals() {
+	// The Figure 3 adjacency trap appears in a fraction of programs, as
+	// in real corpora: plausible-looking offsets right after the last
+	// jump table defeat boundary heuristics. The remaining programs get
+	// values that no heuristic mistakes for table entries.
+	decoy := &mini.Global{Name: "g_decoy", Elem: 4, Count: 8, ReadOnly: true}
+	if g.r.Intn(10) < 3 {
+		// Spread over both linker layouts (text below or above .rodata)
+		// so some values resolve into a nearby function's bounds.
+		decoy.Init = []int64{-0x2400, -0x1a00, -0x1100, -0x900, 0xa00, 0x1300, 0x1c00, 0x2500}
+		for i := range decoy.Init {
+			decoy.Init[i] += int64(g.r.Intn(16) * 4)
+		}
+	} else {
+		decoy.Init = make([]int64, 8)
+		for i := range decoy.Init {
+			decoy.Init[i] = int64(g.r.Intn(1<<20) + 1<<20)
+			if g.r.Intn(2) == 0 {
+				decoy.Init[i] = -decoy.Init[i]
+			}
+		}
+	}
+	g.globals = append(g.globals, decoy)
+	g.arrays = append(g.arrays, decoy)
+
+	for i := 0; i < g.shape.Globals; i++ {
+		count := 4 << g.r.Intn(3) // 4, 8, or 16: power of two for masking
+		elem := []int{1, 4, 8}[g.r.Intn(3)]
+		gl := &mini.Global{Name: "g" + strconv.Itoa(i), Elem: elem, Count: count}
+		switch g.r.Intn(3) {
+		case 0: // initialized data
+			gl.Init = make([]int64, count)
+			for j := range gl.Init {
+				gl.Init[j] = int64(g.r.Intn(200) - 100)
+			}
+		case 1: // read-only
+			gl.ReadOnly = true
+			gl.Init = make([]int64, count)
+			for j := range gl.Init {
+				gl.Init[j] = int64(g.r.Intn(1000) - 500)
+			}
+		default: // .bss
+		}
+		g.globals = append(g.globals, gl)
+		g.arrays = append(g.arrays, gl)
+	}
+}
+
+// vars available inside a generated function body.
+type scope struct {
+	vars   []string
+	arrays []mini.LocalArray
+	depth  int
+}
+
+func (g *pgen) makeLeaf(i int) {
+	nparams := 1 + g.r.Intn(2)
+	sc := &scope{}
+	for p := 0; p < nparams; p++ {
+		sc.vars = append(sc.vars, "p"+strconv.Itoa(p))
+	}
+	locals := []string{"t0", "t1"}
+	sc.vars = append(sc.vars, locals...)
+
+	var body []mini.Stmt
+	body = append(body, mini.Assign{Name: "t0", E: g.expr(sc, 2)})
+	body = append(body, mini.Assign{Name: "t1", E: g.expr(sc, 2)})
+	for s := 0; s < g.shape.Stmts/2; s++ {
+		body = append(body, g.stmt(sc, 1))
+	}
+	body = append(body, mini.Return{E: g.expr(sc, 2)})
+
+	name := "f" + strconv.Itoa(i)
+	g.funcs = append(g.funcs, &mini.Func{
+		Name: name, NParams: nparams, Locals: locals, Body: body,
+	})
+	g.funcNames = append(g.funcNames, name)
+}
+
+// makeDispatcher builds a switch-heavy function; half the time the switch
+// is Complete (masked selector, no bounds check at -O1+).
+func (g *pgen) makeDispatcher(i int) {
+	sc := &scope{vars: []string{"p0", "p1", "v"}}
+	n := 5 + g.r.Intn(8) // 5..12 cases: above every style's threshold
+	complete := g.r.Intn(2) == 0
+	var sel mini.Expr
+	if complete {
+		// Mask forces a dense power-of-two range.
+		for n&(n-1) != 0 {
+			n++
+		}
+		sel = mini.Bin{Op: mini.And, L: mini.Var("p0"), R: mini.Const(int64(n - 1))}
+	} else {
+		sel = mini.Bin{Op: mini.Mod, L: boundedAbs(mini.Var("p0")), R: mini.Const(int64(n + 3))}
+	}
+	g.trueEntries += n
+	cases := make([]mini.SwitchCase, n)
+	for c := range cases {
+		cases[c] = mini.SwitchCase{
+			Val: int64(c),
+			Body: []mini.Stmt{
+				mini.Assign{Name: "v", E: g.expr(sc, 1)},
+				mini.Print{E: wrapPrint(mini.Bin{Op: mini.Add, L: mini.Var("v"), R: mini.Const(int64(1000 * (c + 1)))})},
+			},
+		}
+	}
+	body := []mini.Stmt{
+		mini.Assign{Name: "v", E: mini.Const(0)},
+		mini.Switch{
+			E:        sel,
+			Complete: complete,
+			Cases:    cases,
+			Default:  []mini.Stmt{mini.Print{E: mini.Const(int64(-100 - i))}},
+		},
+		mini.Return{E: mini.Var("v")},
+	}
+	name := "dispatch" + strconv.Itoa(i)
+	g.funcs = append(g.funcs, &mini.Func{Name: name, NParams: 2, Locals: []string{"v"}, Body: body})
+	g.funcNames = append(g.funcNames, name)
+}
+
+func (g *pgen) makeFuncTable() {
+	if len(g.funcNames) == 0 {
+		return
+	}
+	// Only leaf functions (1+ params, quick) go in the table.
+	var members []string
+	for _, n := range g.funcNames {
+		if len(members) < 4 && n[0] == 'f' {
+			members = append(members, n)
+		}
+	}
+	if len(members) < 2 {
+		return
+	}
+	// Pad to a power of two so call sites can mask the index.
+	for len(members)&(len(members)-1) != 0 {
+		members = append(members, members[0])
+	}
+	g.tableName = "g_ftab"
+	g.globals = append(g.globals, &mini.Global{Name: g.tableName, FuncTable: members})
+}
+
+// makePointers adds S2-style static pointers, including the legal
+// past-the-end form whose target address falls outside its object.
+func (g *pgen) makePointers() {
+	if len(g.arrays) == 0 {
+		return
+	}
+	tgt := g.arrays[g.r.Intn(len(g.arrays))]
+	g.globals = append(g.globals, &mini.Global{
+		Name:    "g_mid",
+		PtrInit: &mini.PtrInit{Target: tgt.Name, ByteOff: int64(tgt.Elem) * int64(tgt.Count/2)},
+	})
+	tgt2 := g.arrays[g.r.Intn(len(g.arrays))]
+	g.globals = append(g.globals, &mini.Global{
+		Name:    "g_pastend",
+		PtrInit: &mini.PtrInit{Target: tgt2.Name, ByteOff: tgt2.ByteSize()},
+	})
+}
+
+func (g *pgen) makeMain() {
+	sc := &scope{vars: []string{"i", "acc", "x"}}
+	la := mini.LocalArray{Name: "buf", Elem: 8, Count: 8}
+	sc.arrays = append(sc.arrays, la)
+
+	var loop []mini.Stmt
+	loop = append(loop, g.stmt(sc, 2))
+	loop = append(loop, mini.ExprStmt{E: mini.Call{Name: g.funcNames[g.r.Intn(len(g.funcNames))],
+		Args: []mini.Expr{mini.Var("i"), mini.Var("acc")}}})
+	if g.tableName != "" {
+		tab := g.moduleGlobal(g.tableName)
+		loop = append(loop, mini.Assign{Name: "acc", E: mini.Bin{Op: mini.Add,
+			L: mini.Var("acc"),
+			R: mini.CallPtr{Table: g.tableName,
+				Idx:  mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(int64(len(tab.FuncTable) - 1))},
+				Args: []mini.Expr{mini.Var("x"), mini.Var("i")}}}})
+	}
+	for s := 0; s < g.shape.Stmts; s++ {
+		loop = append(loop, g.stmt(sc, 2))
+	}
+	loop = append(loop, mini.Print{E: wrapPrint(mini.Var("acc"))})
+	loop = append(loop, mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}})
+
+	body := []mini.Stmt{
+		mini.Assign{Name: "i", E: mini.Const(0)},
+		mini.Assign{Name: "acc", E: mini.ReadInput{}},
+		mini.Assign{Name: "x", E: mini.ReadInput{}},
+		mini.StoreL{Arr: "buf", Idx: mini.Const(0), E: mini.Var("x")},
+	}
+	// Reference every function once: benchmark programs, like the
+	// paper's test-suite-covered packages, contain no dead functions
+	// (dead code would make with/without-CFI graphs incomparable).
+	for _, fn := range g.funcNames {
+		callee := g.findFunc(fn)
+		args := make([]mini.Expr, callee.NParams)
+		for i := range args {
+			args[i] = mini.Const(int64(i + 1))
+		}
+		body = append(body, mini.ExprStmt{E: mini.Call{Name: fn, Args: args}})
+	}
+	body = append(body, []mini.Stmt{
+		mini.While{
+			Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(int64(g.shape.MainLoop))},
+			Body: loop,
+		},
+	}...)
+	// Exercise the static pointers.
+	if g.moduleGlobal("g_mid") != nil {
+		body = append(body, mini.Print{E: wrapPrint(mini.LoadP{P: "g_mid", Idx: mini.Const(0)})})
+		body = append(body, mini.Print{E: wrapPrint(mini.LoadP{P: "g_pastend", Idx: mini.Const(-1)})})
+	}
+	// A direct function reference called through a value (S6 + CallVal) —
+	// the C++-like construct, present in a fraction of programs.
+	if len(g.funcNames) > 0 && g.r.Intn(5) < 2 {
+		g.cpp = true
+		fn := g.funcNames[0]
+		body = append(body,
+			mini.Assign{Name: "x", E: mini.FuncRef{Name: fn}},
+			mini.Print{E: wrapPrint(mini.CallVal{F: mini.Var("x"),
+				Args: []mini.Expr{mini.Var("acc"), mini.Var("i")}})},
+		)
+	}
+	body = append(body, mini.Print{E: wrapPrint(mini.ReadInput{})})
+	// Terminate with a raw character write so every runtime routine is
+	// live code (dead functions would skew the §4.3.3 comparison).
+	body = append(body, mini.PrintChar{E: mini.Const('.')})
+	body = append(body, mini.PrintChar{E: mini.Const('\n')})
+	body = append(body, mini.Return{E: mini.Bin{Op: mini.And, L: mini.Var("acc"), R: mini.Const(0x3f)}})
+
+	g.funcs = append(g.funcs, &mini.Func{
+		Name: "main", Locals: []string{"i", "acc", "x"},
+		Arrays: []mini.LocalArray{la}, Body: body,
+	})
+}
+
+func (g *pgen) moduleGlobal(name string) *mini.Global {
+	for _, gl := range g.globals {
+		if gl.Name == name {
+			return gl
+		}
+	}
+	return nil
+}
+
+// stmt generates a random well-defined statement.
+func (g *pgen) stmt(sc *scope, depth int) mini.Stmt {
+	choices := 6
+	if depth <= 0 {
+		choices = 4
+	}
+	switch g.r.Intn(choices) {
+	case 0:
+		return mini.Assign{Name: sc.vars[g.r.Intn(len(sc.vars))], E: g.expr(sc, 2)}
+	case 1:
+		gl := g.arrays[g.r.Intn(len(g.arrays))]
+		if gl.ReadOnly {
+			return mini.Print{E: wrapPrint(mini.LoadG{G: gl.Name, Idx: g.maskedIndex(sc, gl.Count)})}
+		}
+		return mini.StoreG{G: gl.Name, Idx: g.maskedIndex(sc, gl.Count), E: g.expr(sc, 1)}
+	case 2:
+		return mini.Print{E: wrapPrint(g.expr(sc, 2))}
+	case 3:
+		if len(sc.arrays) > 0 {
+			arr := sc.arrays[g.r.Intn(len(sc.arrays))]
+			return mini.StoreL{Arr: arr.Name, Idx: g.maskedIndex(sc, arr.Count), E: g.expr(sc, 1)}
+		}
+		return mini.Print{E: wrapPrint(g.expr(sc, 1))}
+	case 4:
+		return mini.If{
+			Cond: g.cond(sc),
+			Then: []mini.Stmt{g.stmt(sc, depth-1)},
+			Else: []mini.Stmt{g.stmt(sc, depth-1)},
+		}
+	default:
+		cases := make([]mini.SwitchCase, 3+g.r.Intn(3))
+		for i := range cases {
+			cases[i] = mini.SwitchCase{Val: int64(i), Body: []mini.Stmt{g.stmt(sc, depth-1)}}
+		}
+		return mini.Switch{
+			E:       mini.Bin{Op: mini.Mod, L: boundedAbs(g.expr(sc, 1)), R: mini.Const(int64(len(cases) + 2))},
+			Cases:   cases,
+			Default: []mini.Stmt{mini.Print{E: mini.Const(-7)}},
+		}
+	}
+}
+
+// maskedIndex produces an always-in-bounds index for a power-of-two count.
+func (g *pgen) maskedIndex(sc *scope, count int) mini.Expr {
+	return mini.Bin{Op: mini.And, L: g.expr(sc, 1), R: mini.Const(int64(count - 1))}
+}
+
+func (g *pgen) cond(sc *scope) mini.Expr {
+	ops := []mini.BinOp{mini.Eq, mini.Ne, mini.Lt, mini.Le, mini.Gt, mini.Ge}
+	return mini.Bin{Op: ops[g.r.Intn(len(ops))], L: g.expr(sc, 1), R: g.expr(sc, 1)}
+}
+
+// expr generates a random well-defined expression.
+func (g *pgen) expr(sc *scope, depth int) mini.Expr {
+	if depth <= 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return mini.Const(int64(g.r.Intn(512) - 256))
+		case 1:
+			if len(sc.vars) > 0 {
+				return mini.Var(sc.vars[g.r.Intn(len(sc.vars))])
+			}
+			return mini.Const(1)
+		default:
+			gl := g.arrays[g.r.Intn(len(g.arrays))]
+			return mini.LoadG{G: gl.Name, Idx: mini.Const(int64(g.r.Intn(gl.Count)))}
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0, 1:
+		ops := []mini.BinOp{mini.Add, mini.Sub, mini.And, mini.Or, mini.Xor}
+		return mini.Bin{Op: ops[g.r.Intn(len(ops))], L: g.expr(sc, depth-1), R: g.expr(sc, depth-1)}
+	case 2:
+		return mini.Bin{Op: mini.Mul, L: g.expr(sc, depth-1), R: mini.Const(int64(g.r.Intn(7) + 1))}
+	case 3:
+		// Division with a guaranteed nonzero, positive divisor.
+		return mini.Bin{Op: []mini.BinOp{mini.Div, mini.Mod}[g.r.Intn(2)],
+			L: g.expr(sc, depth-1),
+			R: mini.Bin{Op: mini.Add,
+				L: mini.Bin{Op: mini.And, L: g.expr(sc, depth-1), R: mini.Const(15)},
+				R: mini.Const(int64(g.r.Intn(8) + 1))}}
+	case 4:
+		return mini.Bin{Op: []mini.BinOp{mini.Shl, mini.Shr}[g.r.Intn(2)],
+			L: g.expr(sc, depth-1), R: mini.Const(int64(g.r.Intn(6)))}
+	case 5:
+		return g.cond(sc)
+	case 6:
+		gl := g.arrays[g.r.Intn(len(g.arrays))]
+		return mini.LoadG{G: gl.Name, Idx: g.maskedIndex(sc, gl.Count)}
+	default:
+		if len(g.funcNames) > 0 && g.r.Intn(2) == 0 {
+			name := g.funcNames[g.r.Intn(len(g.funcNames))]
+			fn := g.findFunc(name)
+			args := make([]mini.Expr, fn.NParams)
+			for i := range args {
+				args[i] = g.expr(sc, 0)
+			}
+			return mini.Call{Name: name, Args: args}
+		}
+		return g.expr(sc, depth-1)
+	}
+}
+
+func (g *pgen) findFunc(name string) *mini.Func {
+	for _, f := range g.funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic("prog: unknown function " + name)
+}
+
+// wrapPrint keeps printed values away from the int64 extremes while
+// preserving sign variety (the runtime's decimal printer, like C's, is
+// undefined only for INT64_MIN).
+func wrapPrint(e mini.Expr) mini.Expr {
+	return mini.Bin{Op: mini.Mod, L: e, R: mini.Const(1_000_000_007)}
+}
+
+// boundedAbs yields a non-negative value from any expression.
+func boundedAbs(e mini.Expr) mini.Expr {
+	return mini.Bin{Op: mini.And, L: e, R: mini.Const(0x7FFF)}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,180 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/emu"
+	"repro/internal/mini"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("p", 42, smallShape)
+	b := Generate("p", 42, smallShape)
+	ra, err := mini.Run(a.Module, a.Inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := mini.Run(b.Module, b.Inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra.Output, rb.Output) || ra.Exit != rb.Exit {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGeneratedProgramsWellDefined(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := Generate("w", seed, mediumShape)
+		for i, in := range p.Inputs {
+			res, err := mini.Run(p.Module, in)
+			if err != nil {
+				t.Fatalf("seed %d input %d: %v", seed, i, err)
+			}
+			if len(res.Output) == 0 {
+				t.Errorf("seed %d input %d: produces no output", seed, i)
+			}
+		}
+	}
+}
+
+func TestSuitesShape(t *testing.T) {
+	suites := QuickSuites()
+	if len(suites) != 4 {
+		t.Fatalf("got %d suites", len(suites))
+	}
+	names := map[string]bool{}
+	for _, s := range suites {
+		names[s.Name] = true
+		if len(s.Programs) < 2 {
+			t.Errorf("suite %s has %d programs", s.Name, len(s.Programs))
+		}
+		for _, p := range s.Programs {
+			if p.Module.Func("main") == nil {
+				t.Errorf("%s: no main", p.Name)
+			}
+			if len(p.Inputs) == 0 {
+				t.Errorf("%s: no test inputs", p.Name)
+			}
+		}
+	}
+	for _, want := range []string{"coreutils", "binutils", "spec2006", "spec2017"} {
+		if !names[want] {
+			t.Errorf("missing suite %s", want)
+		}
+	}
+	if got := TotalPrograms(suites); got < 8 {
+		t.Errorf("TotalPrograms = %d", got)
+	}
+}
+
+func TestFullScaleCounts(t *testing.T) {
+	full := specs(1.0)
+	wants := map[string]int{
+		"coreutils": FullCoreutils, "binutils": FullBinutils,
+		"spec2006": FullSPEC2006, "spec2017": FullSPEC2017,
+	}
+	for _, sp := range full {
+		if sp.Count != wants[sp.Name] {
+			t.Errorf("%s: count %d, want %d", sp.Name, sp.Count, wants[sp.Name])
+		}
+	}
+}
+
+func inputBytes(vals []int64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// TestDifferentialCompileRun is the triple-agreement check: interpreter,
+// compiler, and emulator must agree on generated programs across
+// optimization levels and compiler styles.
+func TestDifferentialCompileRun(t *testing.T) {
+	cfgs := []cc.Config{
+		{Compiler: cc.GCC11, Linker: cc.LD, Opt: cc.O0, CET: true, EhFrame: true},
+		{Compiler: cc.GCC13, Linker: cc.Gold, Opt: cc.O2, CET: true, EhFrame: true},
+		{Compiler: cc.Clang10, Linker: cc.LD, Opt: cc.O3, CET: true, EhFrame: true},
+		{Compiler: cc.Clang13, Linker: cc.Gold, Opt: cc.Os, CET: true, EhFrame: true},
+	}
+	for seed := int64(100); seed < 106; seed++ {
+		p := Generate("d", seed, mediumShape)
+		for _, cfg := range cfgs {
+			bin, err := cc.Compile(p.Module, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile: %v", seed, cfg, err)
+			}
+			for i, in := range p.Inputs {
+				want, err := mini.Run(p.Module, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := emu.Run(bin, emu.Options{Input: inputBytes(in)})
+				if err != nil {
+					t.Fatalf("seed %d %s input %d: emu: %v", seed, cfg, i, err)
+				}
+				if !bytes.Equal(got.Stdout, want.Output) {
+					t.Fatalf("seed %d %s input %d:\nemu:    %q\ninterp: %q",
+						seed, cfg, i, got.Stdout, want.Output)
+				}
+				if got.Exit != want.Exit {
+					t.Fatalf("seed %d %s input %d: exit %d vs %d", seed, cfg, i, got.Exit, want.Exit)
+				}
+			}
+		}
+	}
+}
+
+func TestTrueTableEntriesTracked(t *testing.T) {
+	p := Generate("tt", 7, largeShape)
+	if p.TrueTableEntries == 0 {
+		t.Error("no ground-truth table entries recorded")
+	}
+}
+
+// TestGeneratedSourceRoundTrip: generated programs survive a
+// format -> parse round trip with identical behaviour, tying the
+// generator, printer, parser, and interpreter together.
+func TestGeneratedSourceRoundTrip(t *testing.T) {
+	for seed := int64(200); seed < 206; seed++ {
+		p := Generate("rt", seed, smallShape)
+		src := mini.Format(p.Module)
+		m2, err := mini.Parse("rt2", src)
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v", seed, err)
+		}
+		for _, in := range p.Inputs {
+			r1, err := mini.Run(p.Module, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := mini.Run(m2, in)
+			if err != nil {
+				t.Fatalf("seed %d: reparsed module failed: %v", seed, err)
+			}
+			if !bytes.Equal(r1.Output, r2.Output) || r1.Exit != r2.Exit {
+				t.Fatalf("seed %d: round-trip behaviour differs", seed)
+			}
+		}
+	}
+}
+
+func TestNoRuntimeNameCollisions(t *testing.T) {
+	reserved := map[string]bool{}
+	for _, n := range cc.RuntimeFuncNames(true) {
+		reserved[n] = true
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		p := Generate("n", seed, mediumShape)
+		for _, f := range p.Module.Funcs {
+			if reserved[f.Name] {
+				t.Errorf("seed %d: generated function shadows runtime symbol %q", seed, f.Name)
+			}
+		}
+	}
+}

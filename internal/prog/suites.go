@@ -1,0 +1,78 @@
+package prog
+
+import "fmt"
+
+// Suite is a named collection of benchmark programs, mirroring one of
+// the paper's packages.
+type Suite struct {
+	Name     string
+	Programs []*Program
+
+	// PerProgramTests: SPEC counts each program's tests individually;
+	// Coreutils/Binutils pass or fail as a whole (§4.1.2).
+	PerProgramTests bool
+}
+
+// Full program counts from the paper (§4.1.1), after its exclusions:
+// Coreutils 108-4, Binutils 15, SPEC CPU2006 31 C/C++/Fortran programs,
+// SPEC CPU2017 47.
+const (
+	FullCoreutils = 104
+	FullBinutils  = 15
+	FullSPEC2006  = 31
+	FullSPEC2017  = 47
+)
+
+// SuiteSpec describes how to build one suite.
+type SuiteSpec struct {
+	Name     string
+	Count    int
+	Shape    Shape
+	Seed     int64
+	PerParam bool
+}
+
+// specs returns the four benchmark suites at the given scale factor
+// (1.0 = the paper's full program counts).
+func specs(scale float64) []SuiteSpec {
+	n := func(full int) int {
+		v := int(float64(full) * scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return []SuiteSpec{
+		{Name: "coreutils", Count: n(FullCoreutils), Shape: smallShape, Seed: 1000, PerParam: false},
+		{Name: "binutils", Count: n(FullBinutils), Shape: mediumShape, Seed: 2000, PerParam: false},
+		{Name: "spec2006", Count: n(FullSPEC2006), Shape: largeShape, Seed: 3000, PerParam: true},
+		{Name: "spec2017", Count: n(FullSPEC2017), Shape: largeShape, Seed: 4000, PerParam: true},
+	}
+}
+
+// Suites generates the benchmark at a scale factor in (0, 1]. All
+// generation is seeded and deterministic.
+func Suites(scale float64) []*Suite {
+	var out []*Suite
+	for _, sp := range specs(scale) {
+		s := &Suite{Name: sp.Name, PerProgramTests: sp.PerParam}
+		for i := 0; i < sp.Count; i++ {
+			name := fmt.Sprintf("%s_%03d", sp.Name, i)
+			s.Programs = append(s.Programs, Generate(name, sp.Seed+int64(i), sp.Shape))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// QuickSuites is a small deterministic benchmark for tests and benches.
+func QuickSuites() []*Suite { return Suites(0.06) }
+
+// TotalPrograms counts programs across suites.
+func TotalPrograms(suites []*Suite) int {
+	n := 0
+	for _, s := range suites {
+		n += len(s.Programs)
+	}
+	return n
+}

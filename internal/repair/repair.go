@@ -1,0 +1,93 @@
+// Package repair implements SURI's Pointer Repairer (§3.4): every
+// RIP-relative reference in the copied code is classified by the CET
+// byte-pattern test. References to an endbr64 instruction are genuine
+// code pointers and are symbolized into the rewritten code; everything
+// else — data references and the temporary pointers of composite
+// expressions (Figures 1 and 2) — is pinned to the preserved original
+// layout with a ".set" absolute label, so its runtime value is exactly
+// what the compiler intended.
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/serialize"
+)
+
+// Result reports what the repairer did; CodePointers and Pinned feed the
+// §4.2.4 audit.
+type Result struct {
+	// Sets are the absolute-label definitions for pinned references.
+	Sets map[string]uint64
+
+	// CodePointers counts references classified as code (endbr64 target).
+	CodePointers int
+
+	// Pinned counts references pinned to the original layout.
+	Pinned int
+}
+
+// OrigLabel names the pinned absolute label for an original address.
+func OrigLabel(addr uint64) string { return fmt.Sprintf("LO_%x", addr) }
+
+// Repair symbolizes every RIP-relative memory operand in the entries.
+// Direct branches were already symbolized by the serializer. The entries
+// are modified in place.
+func Repair(entries []serialize.Entry, g *cfg.Graph) (*Result, error) {
+	res := &Result{Sets: make(map[string]uint64)}
+	for i := range entries {
+		e := &entries[i]
+		if e.Synth || e.Target != "" {
+			continue
+		}
+		m, ok := e.Inst.MemArg()
+		if !ok || !m.Rip {
+			continue
+		}
+		target, ok := e.Inst.RipTarget(e.Addr, e.Size)
+		if !ok {
+			continue
+		}
+		if cfg.IsEndbr(g.File, target) {
+			if _, known := g.Blocks[target]; known {
+				// A genuine code pointer: reference the copied code.
+				e.Target = serialize.LabelFor(target)
+				res.CodePointers++
+				continue
+			}
+			// endbr64 byte pattern outside any known block (§5.1): treat
+			// as data and pin — the conservative choice.
+		}
+		lbl := OrigLabel(target)
+		res.Sets[lbl] = target
+		e.Target = lbl
+		res.Pinned++
+	}
+	return res, nil
+}
+
+// Audit re-checks the §4.2.4 claim over repaired entries: every operand
+// symbolized into the new code must target an endbr64 in the original
+// binary. It returns the number of verified code pointers.
+func Audit(entries []serialize.Entry, g *cfg.Graph) (int, error) {
+	n := 0
+	for _, e := range entries {
+		if e.Synth || e.Target == "" || len(e.Target) < 3 || e.Target[:3] != "LC_" {
+			continue
+		}
+		m, ok := e.Inst.MemArg()
+		if !ok || !m.Rip {
+			continue // direct branches: not pointer material
+		}
+		target, ok := e.Inst.RipTarget(e.Addr, e.Size)
+		if !ok {
+			continue
+		}
+		if !cfg.IsEndbr(g.File, target) {
+			return n, fmt.Errorf("repair: audit failure: %#x symbolized as code but is not endbr64", target)
+		}
+		n++
+	}
+	return n, nil
+}

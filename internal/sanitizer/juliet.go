@@ -1,0 +1,178 @@
+package sanitizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mini"
+)
+
+// CWE identifies a Juliet weakness class. CWE122 (heap overflow) is
+// mapped to global-buffer overflow: the repository has no heap, and
+// global buffers reproduce the property that matters for Table 5 —
+// binary-only tools cannot see the object bounds (§4.4).
+type CWE int
+
+// Covered weakness classes (the five CWEs of Table 5).
+const (
+	CWE121 CWE = 121 // stack buffer overflow (write past the end)
+	CWE122 CWE = 122 // "heap" (global) buffer overflow
+	CWE124 CWE = 124 // buffer underwrite
+	CWE126 CWE = 126 // buffer over-read
+	CWE127 CWE = 127 // buffer under-read
+)
+
+// AllCWEs lists the covered classes.
+var AllCWEs = []CWE{CWE121, CWE122, CWE124, CWE126, CWE127}
+
+// Case is one Juliet-like test binary source.
+type Case struct {
+	Name string
+	CWE  CWE
+	Bad  bool // contains the triggering flow
+	Mod  *mini.Module
+}
+
+// GenerateJuliet builds a deterministic suite of good/bad cases:
+// perCWE bad variants and perCWE/4+1 good variants per weakness class.
+func GenerateJuliet(seed int64, perCWE int) []Case {
+	r := rand.New(rand.NewSource(seed))
+	var out []Case
+	for _, cwe := range AllCWEs {
+		for i := 0; i < perCWE; i++ {
+			out = append(out, makeCase(r, cwe, true, i))
+		}
+		for i := 0; i < perCWE/4+1; i++ {
+			out = append(out, makeCase(r, cwe, false, i))
+		}
+	}
+	return out
+}
+
+func makeCase(r *rand.Rand, cwe CWE, bad bool, i int) Case {
+	count := 8 << r.Intn(2) // 8 or 16 elements
+	elem := []int{1, 4, 8}[r.Intn(3)]
+	// Extra locals raise the distance from the array to the frame edge,
+	// controlling whether a small overflow stays intra-frame (a binary-
+	// tool false negative) or reaches the saved RBP/return address.
+	extraLocals := r.Intn(4)
+
+	var idx int64
+	switch {
+	case !bad:
+		idx = int64(r.Intn(count))
+	case cwe == CWE124 || cwe == CWE127: // underflow
+		idx = -1 - int64(r.Intn(3))
+	case cwe == CWE122:
+		// Global ("heap") overflow: just past the object — inside the
+		// source sanitizer's redzone, invisible to binary-only tools.
+		idx = int64(count + r.Intn(3))
+	default: // stack overflow; sometimes shallow, sometimes to the frame edge
+		if r.Intn(2) == 0 {
+			idx = int64(count + r.Intn(2)) // shallow: intra-frame
+		} else {
+			// Deep: index that reaches the saved RBP region. The frame
+			// holds the parameter slot, three named locals, the extra
+			// locals, then the array; the edge is that many bytes from
+			// the array base.
+			size := (int64(elem)*int64(count) + 7) &^ 7
+			edge := (int64(extraLocals)+4)*8 + size
+			idx = edge/int64(elem) + int64(r.Intn(2))
+		}
+	}
+
+	locals := []string{"v0", "v1", "res"}
+	for j := 0; j < extraLocals; j++ {
+		locals = append(locals, fmt.Sprintf("x%d", j))
+	}
+
+	victim := &mini.Func{Name: "victim", NParams: 1, Locals: locals}
+	var body []mini.Stmt
+	access := func(write bool, arrStmt func() mini.Stmt, loadExpr func() mini.Expr) {
+		if write {
+			body = append(body, arrStmt())
+		} else {
+			body = append(body, mini.Assign{Name: "res", E: loadExpr()})
+			body = append(body, mini.Print{E: mini.Var("res")})
+		}
+	}
+
+	var globals []*mini.Global
+	if cwe == CWE122 {
+		globals = append(globals, &mini.Global{
+			Name: "gbuf", Elem: elem, Count: count,
+			Init: []int64{1, 2, 3},
+		})
+		write := bad || r.Intn(2) == 0
+		access(write,
+			func() mini.Stmt { return mini.StoreG{G: "gbuf", Idx: mini.Var("p0"), E: mini.Const(0x41)} },
+			func() mini.Expr { return mini.LoadG{G: "gbuf", Idx: mini.Var("p0")} })
+	} else {
+		victim.Arrays = []mini.LocalArray{{Name: "buf", Elem: elem, Count: count}}
+		// Touch the array legitimately first.
+		body = append(body, mini.StoreL{Arr: "buf", Idx: mini.Const(0), E: mini.Const(7)})
+		write := cwe == CWE121 || cwe == CWE124
+		access(write,
+			func() mini.Stmt { return mini.StoreL{Arr: "buf", Idx: mini.Var("p0"), E: mini.Const(0x41)} },
+			func() mini.Expr { return mini.LoadL{Arr: "buf", Idx: mini.Var("p0")} })
+	}
+	body = append(body, mini.Return{E: mini.Const(0)})
+	victim.Body = body
+
+	// A helper with a differently-sized frame, called before the victim:
+	// together with BASan's stale below-RSP poison this is what produces
+	// its false positives on good cases.
+	helper := &mini.Func{
+		Name: "helper", NParams: 1, Locals: []string{"h"},
+		Body: []mini.Stmt{
+			mini.Assign{Name: "h", E: mini.Bin{Op: mini.Add, L: mini.Var("p0"), R: mini.Const(1)}},
+			mini.Return{E: mini.Var("h")},
+		},
+	}
+
+	mainFn := &mini.Func{
+		Name: "main",
+		Body: []mini.Stmt{
+			mini.ExprStmt{E: mini.Call{Name: "helper", Args: []mini.Expr{mini.Const(1)}}},
+			mini.ExprStmt{E: mini.Call{Name: "victim", Args: []mini.Expr{mini.Const(idx)}}},
+			mini.Print{E: mini.Const(0)},
+		},
+	}
+
+	kind := "good"
+	if bad {
+		kind = "bad"
+	}
+	return Case{
+		Name: fmt.Sprintf("cwe%d_%s_%02d", cwe, kind, i),
+		CWE:  cwe,
+		Bad:  bad,
+		Mod: &mini.Module{
+			Name:    fmt.Sprintf("juliet_cwe%d_%s_%02d", cwe, kind, i),
+			Globals: globals,
+			Funcs:   []*mini.Func{helper, victim, mainFn},
+		},
+	}
+}
+
+// Verdict tallies detection results in Table 5's terms.
+type Verdict struct {
+	TP, FP, FN, TN int
+}
+
+// Total is the number of judged binaries.
+func (v Verdict) Total() int { return v.TP + v.FP + v.FN + v.TN }
+
+// Judge updates the tally for one case.
+func (v *Verdict) Judge(bad, flagged bool) {
+	switch {
+	case bad && flagged:
+		v.TP++
+	case bad && !flagged:
+		v.FN++
+	case !bad && flagged:
+		v.FP++
+	default:
+		v.TN++
+	}
+}

@@ -1,0 +1,266 @@
+// Package sanitizer implements the paper's application study (§4.4): a
+// binary-only address sanitizer built on SURI's instrumentation API,
+// compared against a BASan-like tool (RetroWrite's sanitizer, including
+// its documented stack-corrupting bug) and source-level ASan (the
+// compiler's -fsanitize mode).
+//
+// The binary-only sanitizers instrument every indexed memory access with
+// a shadow check and poison the frame boundary (saved RBP + return
+// address) for the function's lifetime. They cannot see individual array
+// bounds or global variables (§4.4: "our sanitizer does not sanitize
+// global variables"), so intra-frame overflows and global overflows are
+// inherent false negatives — exactly the paper's Table 5 structure.
+package sanitizer
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/serialize"
+	"repro/internal/x86"
+)
+
+// ShadowBase mirrors the compiler's sanitizer shadow map location.
+const ShadowBase = 0x7000_0000
+
+// Tool selects the sanitizer flavour.
+type Tool int
+
+// Sanitizer flavours.
+const (
+	// Ours is the SURI-based binary-only sanitizer.
+	Ours Tool = iota
+	// BASan is the RetroWrite-like baseline, which additionally poisons
+	// the red zone below RSP at function entry and never unpoisons it —
+	// its documented stack-corruption bug, the source of Table 5's false
+	// positives.
+	BASan
+)
+
+// Instrument returns a SURI instrumenter implementing the sanitizer.
+func Instrument(tool Tool) core.Instrumenter {
+	return func(entries []serialize.Entry) ([]serialize.Entry, error) {
+		return instrument(entries, tool)
+	}
+}
+
+// Rewrite applies the sanitizer to a binary via the SURI pipeline.
+func Rewrite(bin []byte, tool Tool) ([]byte, error) {
+	res, err := core.Rewrite(bin, core.Options{Instrument: Instrument(tool)})
+	if err != nil {
+		return nil, fmt.Errorf("sanitizer: %w", err)
+	}
+	return res.Binary, nil
+}
+
+var labelSeq int
+
+func sanLabel(p string) string {
+	labelSeq++
+	return fmt.Sprintf(".Lsan_%s%d", p, labelSeq)
+}
+
+func instrument(entries []serialize.Entry, tool Tool) ([]serialize.Entry, error) {
+	var out []serialize.Entry
+	for i := 0; i < len(entries); i++ {
+		e := entries[i]
+
+		// Frame-boundary poisoning after each prologue:
+		//   endbr64; push rbp; mov rbp, rsp; sub rsp, N
+		if isProloguePoint(entries, i) {
+			out = append(out, e)
+			out = append(out, poisonFrame(0xFF)...)
+			// Both tools also guard the 16 bytes below the stack pointer
+			// against underflows. Ours unpoisons it at the epilogue;
+			// BASan never does — its documented stack-corruption bug,
+			// which leaves stale poison where later frames live (the
+			// source of Table 5's false positives and extra FNs).
+			out = append(out, belowRSP(0xFF)...)
+			continue
+		}
+
+		// Frame-boundary unpoisoning before each epilogue:
+		//   mov rsp, rbp; pop rbp; ret
+		if isEpiloguePoint(entries, i) {
+			fix := poisonFrame(0x00)
+			if tool == Ours {
+				fix = append(fix, belowRSP(0x00)...)
+			}
+			if len(e.Labels) > 0 {
+				fix[0].Labels = append(e.Labels, fix[0].Labels...)
+				e.Labels = nil
+			}
+			out = append(out, fix...)
+			out = append(out, e)
+			continue
+		}
+
+		// Shadow checks before indexed memory accesses.
+		if m, ok := indexedAccess(e, tool); ok {
+			chk := shadowCheck(m)
+			if len(e.Labels) > 0 {
+				chk[0].Labels = append(e.Labels, chk[0].Labels...)
+				e.Labels = nil
+			}
+			out = append(out, chk...)
+		}
+		out = append(out, e)
+	}
+	return append(out, reportRoutine()...), nil
+}
+
+// isProloguePoint reports whether entries[i] is the "sub rsp, N" (or the
+// "mov rbp, rsp" of a frameless function) completing a prologue.
+func isProloguePoint(entries []serialize.Entry, i int) bool {
+	e := entries[i]
+	if e.Synth || e.Inst.Op != x86.SUB {
+		return false
+	}
+	d, ok := e.Inst.Dst.(x86.Reg)
+	if !ok || d != x86.RSP {
+		return false
+	}
+	if _, isImm := e.Inst.Src.(x86.Imm); !isImm {
+		return false
+	}
+	// Preceding instruction should be "mov rbp, rsp".
+	for j := i - 1; j >= 0 && j >= i-2; j-- {
+		p := entries[j]
+		if p.Synth {
+			continue
+		}
+		if p.Inst.Op == x86.MOV {
+			if pd, ok := p.Inst.Dst.(x86.Reg); ok && pd == x86.RBP {
+				if ps, ok := p.Inst.Src.(x86.Reg); ok && ps == x86.RSP {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isEpiloguePoint reports whether entries[i] starts "mov rsp, rbp; pop
+// rbp; ret".
+func isEpiloguePoint(entries []serialize.Entry, i int) bool {
+	e := entries[i]
+	if e.Synth || e.Inst.Op != x86.MOV {
+		return false
+	}
+	d, dok := e.Inst.Dst.(x86.Reg)
+	s, sok := e.Inst.Src.(x86.Reg)
+	if !dok || !sok || d != x86.RSP || s != x86.RBP {
+		return false
+	}
+	if i+2 >= len(entries) {
+		return false
+	}
+	return entries[i+1].Inst.Op == x86.POP && entries[i+2].Inst.Op == x86.RET
+}
+
+// indexedAccess returns the memory operand to check: a load/store with an
+// index register (array-style access). BASan skips byte-wide loads — one
+// of its precision gaps.
+func indexedAccess(e serialize.Entry, tool Tool) (x86.Mem, bool) {
+	if e.Synth {
+		return x86.Mem{}, false
+	}
+	switch e.Inst.Op {
+	case x86.MOV, x86.MOVZX, x86.MOVSX, x86.MOVSXD:
+	default:
+		return x86.Mem{}, false
+	}
+	if tool == BASan && (e.Inst.Op == x86.MOVZX || e.Inst.Op == x86.MOVSX) {
+		return x86.Mem{}, false
+	}
+	m, ok := e.Inst.MemArg()
+	if !ok || m.Rip || !m.Index.Valid() || !m.Base.Valid() {
+		return x86.Mem{}, false
+	}
+	if m.Base == x86.RSP || m.Base == x86.RBP {
+		return x86.Mem{}, false // direct scalar slots: not array accesses
+	}
+	return m, true
+}
+
+// shadowCheck emits: lea r10,[m]; shr r10,3; cmp byte [r10+shadow],0;
+// je ok; call san_report; ok:
+func shadowCheck(m x86.Mem) []serialize.Entry {
+	ok := sanLabel("ok")
+	lea := m
+	return []serialize.Entry{
+		synth(x86.Inst{Op: x86.LEA, W: 8, Dst: x86.R10, Src: lea}),
+		synth(x86.Inst{Op: x86.SHR, W: 8, Dst: x86.R10, Src: x86.Imm(3)}),
+		synth(x86.Inst{Op: x86.CMP, W: 1,
+			Dst: x86.Mem{Base: x86.R10, Index: x86.NoReg, Disp: ShadowBase}, Src: x86.Imm(0)}),
+		{Inst: x86.Inst{Op: x86.JCC, Cond: x86.CondE, Src: x86.Rel(0)}, Target: ok, Synth: true},
+		{Inst: x86.Inst{Op: x86.CALL, Src: x86.Rel(0)}, Target: "san$report", Synth: true},
+		{Labels: []string{ok}, Inst: x86.Inst{Op: x86.NOP}, Synth: true},
+	}
+}
+
+// poisonFrame paints the two shadow granules covering [rbp, rbp+16) —
+// the saved frame pointer and the return address — with the given value.
+func poisonFrame(v int64) []serialize.Entry {
+	return []serialize.Entry{
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.R10, Src: x86.RBP}),
+		synth(x86.Inst{Op: x86.SHR, W: 8, Dst: x86.R10, Src: x86.Imm(3)}),
+		synth(x86.Inst{Op: x86.MOV, W: 1,
+			Dst: x86.Mem{Base: x86.R10, Index: x86.NoReg, Disp: ShadowBase}, Src: x86.Imm(v)}),
+		synth(x86.Inst{Op: x86.MOV, W: 1,
+			Dst: x86.Mem{Base: x86.R10, Index: x86.NoReg, Disp: ShadowBase + 1}, Src: x86.Imm(v)}),
+	}
+}
+
+// belowRSP paints the two shadow granules covering [rsp-16, rsp). That
+// region only ever holds a callee's return address and saved frame
+// pointer, which are never accessed through indexed operands, so the
+// poison is safe while the function runs — provided it is cleaned up.
+func belowRSP(v int64) []serialize.Entry {
+	return []serialize.Entry{
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.R10, Src: x86.RSP}),
+		synth(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.R10, Src: x86.Imm(16)}),
+		synth(x86.Inst{Op: x86.SHR, W: 8, Dst: x86.R10, Src: x86.Imm(3)}),
+		synth(x86.Inst{Op: x86.MOV, W: 1,
+			Dst: x86.Mem{Base: x86.R10, Index: x86.NoReg, Disp: ShadowBase}, Src: x86.Imm(v)}),
+		synth(x86.Inst{Op: x86.MOV, W: 1,
+			Dst: x86.Mem{Base: x86.R10, Index: x86.NoReg, Disp: ShadowBase + 1}, Src: x86.Imm(v)}),
+	}
+}
+
+// reportRoutine is the appended diagnostic: print "=SAN=\n" to stderr and
+// exit(134).
+func reportRoutine() []serialize.Entry {
+	// The message is materialized on the stack to stay section-free.
+	msg := []byte("=SAN=\n")
+	var mk []serialize.Entry
+	mk = append(mk, serialize.Entry{
+		Labels: []string{"san$report"},
+		Inst:   x86.Inst{Op: x86.ENDBR64},
+		Synth:  true,
+	})
+	mk = append(mk,
+		synth(x86.Inst{Op: x86.SUB, W: 8, Dst: x86.RSP, Src: x86.Imm(16)}),
+	)
+	for i, c := range msg {
+		mk = append(mk, synth(x86.Inst{Op: x86.MOV, W: 1,
+			Dst: x86.Mem{Base: x86.RSP, Index: x86.NoReg, Disp: int32(i)}, Src: x86.Imm(int64(c))}))
+	}
+	mk = append(mk,
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RSI, Src: x86.RSP}),
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDX, Src: x86.Imm(int64(len(msg)))}),
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDI, Src: x86.Imm(2)}),
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.Imm(1)}), // write
+		synth(x86.Inst{Op: x86.SYSCALL}),
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDI, Src: x86.Imm(134)}),
+		synth(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.Imm(60)}), // exit
+		synth(x86.Inst{Op: x86.SYSCALL}),
+		synth(x86.Inst{Op: x86.HLT}),
+	)
+	return mk
+}
+
+func synth(in x86.Inst) serialize.Entry {
+	return serialize.Entry{Inst: in, Synth: true}
+}

@@ -1,0 +1,130 @@
+// Package serialize implements SURI's CFG Serializer (§3.3, Algorithm 1):
+// it linearizes a superset CFG into a sequence of labelled instructions,
+// making implicit fall-through control flow explicit with inserted jumps
+// so that overlapping/merged blocks execute correctly wherever they are
+// placed.
+package serialize
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/x86"
+)
+
+// Entry is one element of the serialized code stream Σcopy. Synthesized
+// entries (inserted jumps, traps, instrumentation) have Synth set and no
+// original address.
+type Entry struct {
+	// Labels are defined at this position, before the instruction.
+	Labels []string
+
+	Inst x86.Inst
+
+	// Addr/Size identify the original instruction this entry copies;
+	// zero for synthesized entries.
+	Addr uint64
+	Size int
+
+	// Target is the symbolic operand: the label a branch or RIP-relative
+	// operand must resolve to (with Addend). Empty means the operand is
+	// still numeric (pre-repair) or absent.
+	Target string
+	Addend int64
+
+	// DiffPlus/DiffMinus carry a symbol-difference displacement for
+	// non-RIP memory operands (propagated to asm.Ins).
+	DiffPlus, DiffMinus string
+
+	Synth bool
+}
+
+// TrapLabel is the shared landing pad for bogus jump-table entries whose
+// targets could not be decoded. It is unreachable in any real execution.
+const TrapLabel = "LTRAP"
+
+// LabelFor names the new-code label of an original instruction address.
+func LabelFor(addr uint64) string { return fmt.Sprintf("LC_%x", addr) }
+
+// Serialize linearizes the superset CFG. Blocks are emitted in ascending
+// address order; a block whose fall-through successor is not the next
+// emitted block gets an explicit jump (Algorithm 1's add_br_instruction).
+// Invalid (bogus) blocks keep their decoded prefix and end in a trap.
+func Serialize(g *cfg.Graph) []Entry {
+	blocks := g.SortedBlocks()
+	var out []Entry
+
+	for bi, b := range blocks {
+		labels := []string{LabelFor(b.Addr)}
+		addrs := b.InstAddrs()
+
+		if len(b.Insts) == 0 {
+			// Degenerate invalid block (undecodable first byte): emit a
+			// labelled trap.
+			out = append(out, Entry{
+				Labels: labels,
+				Inst:   x86.Inst{Op: x86.UD2},
+				Synth:  true,
+			})
+			continue
+		}
+
+		for i, in := range b.Insts {
+			e := Entry{
+				Labels: labels,
+				Inst:   in,
+				Addr:   addrs[i],
+				Size:   b.Sizes[i],
+			}
+			labels = nil
+			// Direct branches become symbolic immediately: their targets
+			// are blocks (or harvested entries) by construction. Targets
+			// with no block only occur in bogus (never-executed) code and
+			// are routed to the trap.
+			if tgt, ok := in.BranchTarget(addrs[i], b.Sizes[i]); ok {
+				if _, known := g.Blocks[tgt]; known {
+					e.Target = LabelFor(tgt)
+				} else {
+					e.Target = TrapLabel
+				}
+			}
+			out = append(out, e)
+		}
+
+		switch {
+		case b.Invalid:
+			// Bogus path: never executed; seal it.
+			out = append(out, Entry{Inst: x86.Inst{Op: x86.UD2}, Synth: true})
+		case b.HasFall:
+			if bi+1 < len(blocks) && blocks[bi+1].Addr == b.Fall {
+				break // natural adjacency
+			}
+			out = append(out, Entry{
+				Inst:   x86.Inst{Op: x86.JMP, Src: x86.Rel(0)},
+				Target: LabelFor(b.Fall),
+				Synth:  true,
+			})
+		}
+	}
+
+	// Shared trap for undecodable jump-table targets.
+	out = append(out, Entry{
+		Labels: []string{TrapLabel},
+		Inst:   x86.Inst{Op: x86.UD2},
+		Synth:  true,
+	})
+	return out
+}
+
+// Count reports original and synthesized instruction counts, the
+// §4.3.1 added-instruction metric.
+func Count(entries []Entry) (orig, synth int) {
+	for _, e := range entries {
+		if e.Synth {
+			synth++
+		} else {
+			orig++
+		}
+	}
+	return orig, synth
+}

@@ -1,0 +1,208 @@
+// Package symbolize implements SURI's Superset Symbolizer (§3.5): it
+// rebuilds every over-approximated jump table in a freshly allocated
+// read-only section (jump table isolation, §3.5.1) and redirects each
+// dispatch sequence to its new table — unconditionally when the static
+// analysis found a unique base, or with a runtime if-then-else chain when
+// bogus data flows produced several candidates (dynamic base
+// identification, §3.5.2).
+package symbolize
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/repair"
+	"repro/internal/serialize"
+	"repro/internal/x86"
+)
+
+// Result carries the new tables and the §4.3.1 statistics.
+type Result struct {
+	// TableItems are the .rodata items of the isolated jump tables.
+	TableItems []asm.Item
+
+	// Sets are additional absolute labels needed by the base-comparison
+	// code (original table addresses).
+	Sets map[string]uint64
+
+	// Tables counts symbolized dispatch sites; MultiBase those that
+	// needed a runtime if-then-else chain.
+	Tables    int
+	MultiBase int
+
+	// NewEntries is the total entry count across isolated tables
+	// (over-approximated); used for the §4.3.1 comparison.
+	NewEntries int
+
+	// Inserted counts synthesized instructions.
+	Inserted int
+}
+
+// TableLabel names the isolated copy of the jump table at an original
+// base address.
+func TableLabel(base uint64) string { return fmt.Sprintf("LJT_%x", base) }
+
+// Symbolize rewrites the serialized stream S into S': dispatch fixes are
+// inserted before each jump-table load, and the isolated tables are
+// returned for placement in a new read-only section.
+func Symbolize(entries []serialize.Entry, g *cfg.Graph) ([]serialize.Entry, *Result, error) {
+	res := &Result{Sets: make(map[string]uint64)}
+
+	// Group dispatch sites by load address (two tables can share one
+	// load through superset merging), unioning candidate bases.
+	type site struct {
+		baseReg x86.Reg
+		bases   []uint64
+	}
+	sites := make(map[uint64]*site)
+	emittedBase := make(map[uint64]bool)
+	for _, t := range g.Tables {
+		s := sites[t.LoadAddr]
+		if s == nil {
+			s = &site{baseReg: t.BaseReg}
+			sites[t.LoadAddr] = s
+		}
+		for _, b := range t.Bases {
+			if !containsU64(s.bases, b) {
+				s.bases = append(s.bases, b)
+			}
+		}
+	}
+
+	// Emit isolated tables (deduplicated by base).
+	for _, t := range g.Tables {
+		for _, base := range t.Bases {
+			if emittedBase[base] {
+				continue
+			}
+			emittedBase[base] = true
+			items, n, err := buildTable(g, base, t.Targets[base])
+			if err != nil {
+				return nil, nil, err
+			}
+			res.TableItems = append(res.TableItems, items...)
+			res.NewEntries += n
+		}
+	}
+
+	// Insert base-fix code before each load site.
+	var out []serialize.Entry
+	labelN := 0
+	newLabel := func(p string) string {
+		labelN++
+		return fmt.Sprintf(".Lsym_%s%d", p, labelN)
+	}
+	for _, e := range entries {
+		if !e.Synth && e.Addr != 0 {
+			if s, ok := sites[e.Addr]; ok {
+				fix := buildFix(s.baseReg, s.bases, res, newLabel)
+				res.Inserted += len(fix)
+				res.Tables++
+				if len(s.bases) > 1 {
+					res.MultiBase++
+				}
+				// The load may carry labels (the block can be split here
+				// by a bogus over-approximated target, and the serializer
+				// may route real control flow through an explicit jump to
+				// that label). The fix must dominate every path into the
+				// load, so the labels move onto its first instruction.
+				fix[0].Labels = append(e.Labels, fix[0].Labels...)
+				e.Labels = nil
+				out = append(out, fix...)
+			}
+		}
+		out = append(out, e)
+	}
+	return out, res, nil
+}
+
+func containsU64(xs []uint64, v uint64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// buildTable emits the isolated table for one base: each entry is the
+// offset of the (new-code) target from the new table's own label, the
+// same compiler-generated S4 form as the original.
+func buildTable(g *cfg.Graph, base uint64, targets []uint64) ([]asm.Item, int, error) {
+	lbl := TableLabel(base)
+	items := []asm.Item{asm.AlignTo{N: 4}, asm.Label{Name: lbl}}
+	for _, tgt := range targets {
+		ref := serialize.TrapLabel
+		if _, ok := g.Blocks[tgt]; ok {
+			ref = serialize.LabelFor(tgt)
+		}
+		items = append(items, asm.LongDiff{Plus: ref, Minus: lbl})
+	}
+	return items, len(targets), nil
+}
+
+// buildFix synthesizes the base-redirection code inserted before the
+// table load. With one candidate base the fix is a single unconditional
+// lea; with several it is the §3.5.2 if-then-else chain comparing the
+// live base register against each original table address.
+func buildFix(baseReg x86.Reg, bases []uint64, res *Result, newLabel func(string) string) []serialize.Entry {
+	lea := func(target string) serialize.Entry {
+		return serialize.Entry{
+			Inst: x86.Inst{Op: x86.LEA, W: 8, Dst: baseReg,
+				Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}},
+			Target: target,
+			Synth:  true,
+		}
+	}
+	if len(bases) == 1 {
+		return []serialize.Entry{lea(TableLabel(bases[0]))}
+	}
+
+	scratch := x86.R11
+	if baseReg == x86.R11 {
+		scratch = x86.R10
+	}
+	done := newLabel("done")
+	var out []serialize.Entry
+	out = append(out, serialize.Entry{Inst: x86.Inst{Op: x86.PUSH, Src: scratch}, Synth: true})
+	for i, base := range bases {
+		if i == len(bases)-1 {
+			// Conservative analysis guarantees the true base is among the
+			// candidates; the last one needs no comparison.
+			out = append(out, lea(TableLabel(base)))
+			break
+		}
+		origLbl := repair.OrigLabel(base)
+		res.Sets[origLbl] = base
+		next := newLabel("next")
+		out = append(out,
+			serialize.Entry{
+				Inst: x86.Inst{Op: x86.LEA, W: 8, Dst: scratch,
+					Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}},
+				Target: origLbl,
+				Synth:  true,
+			},
+			serialize.Entry{
+				Inst:  x86.Inst{Op: x86.CMP, W: 8, Dst: baseReg, Src: scratch},
+				Synth: true,
+			},
+			serialize.Entry{
+				Inst:   x86.Inst{Op: x86.JCC, Cond: x86.CondNE, Src: x86.Rel(0)},
+				Target: next,
+				Synth:  true,
+			},
+			lea(TableLabel(base)),
+			serialize.Entry{
+				Inst:   x86.Inst{Op: x86.JMP, Src: x86.Rel(0)},
+				Target: done,
+				Synth:  true,
+			},
+			serialize.Entry{Labels: []string{next}, Inst: x86.Inst{Op: x86.NOP}, Synth: true},
+		)
+	}
+	out = append(out,
+		serialize.Entry{Labels: []string{done}, Inst: x86.Inst{Op: x86.POP, Dst: scratch}, Synth: true},
+	)
+	return out
+}

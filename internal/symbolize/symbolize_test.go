@@ -1,0 +1,153 @@
+package symbolize
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/elfx"
+	"repro/internal/mini"
+	"repro/internal/repair"
+	"repro/internal/serialize"
+	"repro/internal/x86"
+)
+
+func switchGraph(t *testing.T) (*cfg.Graph, []serialize.Entry) {
+	t.Helper()
+	cases := make([]mini.SwitchCase, 8)
+	for i := range cases {
+		cases[i] = mini.SwitchCase{Val: int64(i), Body: []mini.Stmt{mini.Print{E: mini.Const(int64(i))}}}
+	}
+	m := &mini.Module{
+		Name: "sw",
+		Funcs: []*mini.Func{{
+			Name:   "main",
+			Locals: []string{"i"},
+			Body: []mini.Stmt{
+				mini.Assign{Name: "i", E: mini.Const(0)},
+				mini.While{Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(8)},
+					Body: []mini.Stmt{
+						mini.Switch{E: mini.Var("i"), Complete: true, Cases: cases},
+						mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}},
+					}},
+			},
+		}},
+	}
+	ccfg := cc.DefaultConfig()
+	bin, err := cc.Compile(m, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elfx.Read(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(f, cfg.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := serialize.Serialize(g)
+	if _, err := repair.Repair(entries, g); err != nil {
+		t.Fatal(err)
+	}
+	return g, entries
+}
+
+func TestSymbolizeInsertsBaseFix(t *testing.T) {
+	g, entries := switchGraph(t)
+	if len(g.Tables) == 0 {
+		t.Fatal("no jump tables")
+	}
+	out, res, err := Symbolize(entries, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables != len(collectLoads(g)) {
+		t.Errorf("symbolized %d sites, want %d", res.Tables, len(collectLoads(g)))
+	}
+	if res.NewEntries == 0 {
+		t.Error("no isolated table entries")
+	}
+
+	// Before every table load there must be a synthesized lea to the
+	// isolated table, dominating all paths (it carries the load's
+	// original labels).
+	loads := collectLoads(g)
+	for i, e := range out {
+		if e.Synth || !loads[e.Addr] {
+			continue
+		}
+		found := false
+		for j := i - 1; j >= 0 && j >= i-12; j-- {
+			p := out[j]
+			if p.Synth && p.Inst.Op == x86.LEA && len(p.Target) > 4 && p.Target[:4] == "LJT_" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("table load at %#x has no preceding isolated-table lea", e.Addr)
+		}
+	}
+
+	// Isolated tables are LongDiff items against their own labels.
+	diffs := 0
+	for _, it := range res.TableItems {
+		if d, ok := it.(asm.LongDiff); ok {
+			diffs++
+			if len(d.Minus) < 4 || d.Minus[:4] != "LJT_" {
+				t.Errorf("table entry subtracts %q, want an LJT_ base", d.Minus)
+			}
+		}
+	}
+	if diffs != res.NewEntries {
+		t.Errorf("%d diff items vs %d reported entries", diffs, res.NewEntries)
+	}
+}
+
+func collectLoads(g *cfg.Graph) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, tbl := range g.Tables {
+		out[tbl.LoadAddr] = true
+	}
+	return out
+}
+
+func TestBuildFixMultiBase(t *testing.T) {
+	res := &Result{Sets: map[string]uint64{}}
+	n := 0
+	newLabel := func(p string) string { n++; return p + "x" }
+	fix := buildFix(x86.RDX, []uint64{0x2000, 0x3000}, res, newLabel)
+	// Must contain: push scratch, per-base compare chain, final
+	// unconditional lea, pop scratch.
+	if fix[0].Inst.Op != x86.PUSH {
+		t.Error("multi-base fix must save a scratch register")
+	}
+	if fix[len(fix)-1].Inst.Op != x86.POP {
+		t.Error("multi-base fix must restore the scratch register")
+	}
+	cmps, leas := 0, 0
+	for _, e := range fix {
+		switch e.Inst.Op {
+		case x86.CMP:
+			cmps++
+		case x86.LEA:
+			leas++
+		}
+	}
+	if cmps != 1 {
+		t.Errorf("2-base chain needs exactly 1 comparison, got %d", cmps)
+	}
+	if leas != 3 { // scratch load + two table leas
+		t.Errorf("expected 3 leas, got %d", leas)
+	}
+	if len(res.Sets) != 1 {
+		t.Errorf("expected 1 original-base set, got %d", len(res.Sets))
+	}
+	// Scratch register selection must avoid the base register.
+	fix2 := buildFix(x86.R11, []uint64{0x2000, 0x3000}, res, newLabel)
+	if r, ok := fix2[0].Inst.Src.(x86.Reg); !ok || r == x86.R11 {
+		t.Error("scratch register collides with base register")
+	}
+}

@@ -1,0 +1,95 @@
+package x86
+
+import "fmt"
+
+// Cond is an x86 condition code, the low nibble appended to the 0F 8x
+// (jcc), 0F 9x (setcc) and 0F 4x (cmovcc) opcode bases.
+type Cond uint8
+
+// Condition codes in hardware encoding order.
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below (unsigned <)
+	CondAE             // above or equal (unsigned >=)
+	CondE              // equal
+	CondNE             // not equal
+	CondBE             // below or equal (unsigned <=)
+	CondA              // above (unsigned >)
+	CondS              // sign
+	CondNS             // not sign
+	CondP              // parity
+	CondNP             // not parity
+	CondL              // less (signed <)
+	CondGE             // greater or equal (signed >=)
+	CondLE             // less or equal (signed <=)
+	CondG              // greater (signed >)
+
+	numConds = 16
+)
+
+var condNames = [numConds]string{
+	"O", "NO", "B", "AE", "E", "NE", "BE", "A",
+	"S", "NS", "P", "NP", "L", "GE", "LE", "G",
+}
+
+// String returns the mnemonic suffix for the condition, e.g. "NE".
+func (c Cond) String() string {
+	if c < numConds {
+		return condNames[c]
+	}
+	return fmt.Sprintf("Cond(%d)", uint8(c))
+}
+
+// Negate returns the logical complement of the condition (E <-> NE, etc.).
+// Hardware encodes complements as adjacent even/odd pairs, so flipping the
+// low bit suffices.
+func (c Cond) Negate() Cond { return c ^ 1 }
+
+// Flags is the subset of RFLAGS this package models.
+type Flags struct {
+	CF bool // carry
+	ZF bool // zero
+	SF bool // sign
+	OF bool // overflow
+	PF bool // parity
+}
+
+// Eval reports whether the condition holds under the given flags.
+func (c Cond) Eval(f Flags) bool {
+	switch c {
+	case CondO:
+		return f.OF
+	case CondNO:
+		return !f.OF
+	case CondB:
+		return f.CF
+	case CondAE:
+		return !f.CF
+	case CondE:
+		return f.ZF
+	case CondNE:
+		return !f.ZF
+	case CondBE:
+		return f.CF || f.ZF
+	case CondA:
+		return !f.CF && !f.ZF
+	case CondS:
+		return f.SF
+	case CondNS:
+		return !f.SF
+	case CondP:
+		return f.PF
+	case CondNP:
+		return !f.PF
+	case CondL:
+		return f.SF != f.OF
+	case CondGE:
+		return f.SF == f.OF
+	case CondLE:
+		return f.ZF || f.SF != f.OF
+	case CondG:
+		return !f.ZF && f.SF == f.OF
+	}
+	return false
+}

@@ -1,0 +1,765 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode returns the machine-code bytes for the instruction. Branch
+// displacements are encoded with the smallest form that fits (rel8 when
+// possible, except CALL which only has a rel32 form). Encode is
+// deterministic: equal instructions produce equal bytes.
+func Encode(in Inst) ([]byte, error) {
+	var e encoder
+	if err := e.encode(in); err != nil {
+		return nil, fmt.Errorf("encode %s: %w", in, err)
+	}
+	return e.bytes(), nil
+}
+
+// EncodedLen returns the length Encode would produce, without allocating
+// the final byte slice twice.
+func EncodedLen(in Inst) (int, error) {
+	b, err := Encode(in)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// encoder accumulates the pieces of one instruction encoding.
+type encoder struct {
+	prefix  []byte
+	rex     byte // REX bits beyond 0x40; see needRex
+	needRex bool // force emission of a REX prefix even if rex == 0
+	opcode  []byte
+	modrm   byte
+	hasMod  bool
+	sib     byte
+	hasSib  bool
+	disp    []byte
+	imm     []byte
+}
+
+func (e *encoder) bytes() []byte {
+	out := make([]byte, 0, 15)
+	out = append(out, e.prefix...)
+	if e.rex != 0 || e.needRex {
+		out = append(out, 0x40|e.rex)
+	}
+	out = append(out, e.opcode...)
+	if e.hasMod {
+		out = append(out, e.modrm)
+		if e.hasSib {
+			out = append(out, e.sib)
+		}
+	}
+	out = append(out, e.disp...)
+	out = append(out, e.imm...)
+	return out
+}
+
+const (
+	rexW = 0x8
+	rexR = 0x4
+	rexX = 0x2
+	rexB = 0x1
+)
+
+func (e *encoder) setW(w uint8) {
+	if w == 8 {
+		e.rex |= rexW
+	}
+	if w == 2 {
+		e.prefix = append(e.prefix, 0x66)
+	}
+}
+
+// byteRegNeedsRex reports whether using r as an 8-bit register requires a
+// REX prefix to select SPL/BPL/SIL/DIL instead of AH/CH/DH/BH.
+func byteRegNeedsRex(r Reg) bool { return r >= RSP && r <= RDI }
+
+// setReg places r in the ModRM reg field.
+func (e *encoder) setReg(r Reg, w uint8) {
+	e.modrm |= r.lowBits() << 3
+	e.rex |= r.hiBit() << 2 // REX.R
+	if w == 1 && byteRegNeedsRex(r) {
+		e.needRex = true
+	}
+}
+
+// setOpReg folds r into the low bits of the last opcode byte (push/pop/
+// mov-imm forms).
+func (e *encoder) setOpReg(r Reg, w uint8) {
+	e.opcode[len(e.opcode)-1] |= r.lowBits()
+	e.rex |= r.hiBit() // REX.B
+	if w == 1 && byteRegNeedsRex(r) {
+		e.needRex = true
+	}
+}
+
+// setRM encodes the r/m operand (register or memory).
+func (e *encoder) setRM(a Arg, w uint8) error {
+	e.hasMod = true
+	switch v := a.(type) {
+	case Reg:
+		if !v.Valid() {
+			return fmt.Errorf("invalid register operand")
+		}
+		e.modrm |= 0xC0 | v.lowBits()
+		e.rex |= v.hiBit() // REX.B
+		if w == 1 && byteRegNeedsRex(v) {
+			e.needRex = true
+		}
+		return nil
+	case Mem:
+		return e.setMem(v)
+	default:
+		return fmt.Errorf("operand %v cannot be encoded as r/m", a)
+	}
+}
+
+func (e *encoder) setMem(m Mem) error {
+	e.hasMod = true
+	if m.Rip {
+		if m.Base.Valid() || m.Index.Valid() {
+			return fmt.Errorf("RIP-relative operand cannot have base or index")
+		}
+		e.modrm |= 0x05 // mod=00 rm=101
+		e.disp = appendInt32(nil, m.Disp)
+		return nil
+	}
+	if m.Index == RSP {
+		return fmt.Errorf("RSP cannot be an index register")
+	}
+	if m.Index.Valid() {
+		switch m.Scale {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("invalid scale %d", m.Scale)
+		}
+	}
+
+	needSIB := m.Index.Valid() || !m.Base.Valid() || m.Base.lowBits() == 0x4
+	if !needSIB {
+		// Plain [base + disp].
+		e.modrm |= m.Base.lowBits()
+		e.rex |= m.Base.hiBit() // REX.B
+		e.setDispModWide(m.Base, m.Disp, m.Wide)
+		return nil
+	}
+
+	e.hasSib = true
+	e.modrm |= 0x04 // rm=100: SIB follows
+	if m.Index.Valid() {
+		e.sib |= scaleBits(m.Scale) << 6
+		e.sib |= m.Index.lowBits() << 3
+		e.rex |= m.Index.hiBit() << 1 // REX.X
+	} else {
+		e.sib |= 0x04 << 3 // no index
+	}
+	if m.Base.Valid() {
+		e.sib |= m.Base.lowBits()
+		e.rex |= m.Base.hiBit() // REX.B
+		e.setDispModWide(m.Base, m.Disp, m.Wide)
+	} else {
+		// No base: SIB base=101 with mod=00 means disp32 only.
+		e.sib |= 0x05
+		e.disp = appendInt32(nil, m.Disp)
+	}
+	return nil
+}
+
+// setDispMod chooses the mod field and displacement size for a memory
+// operand with a base register.
+func (e *encoder) setDispMod(base Reg, disp int32) {
+	e.setDispModWide(base, disp, false)
+}
+
+func (e *encoder) setDispModWide(base Reg, disp int32, wide bool) {
+	// mod=00 with base RBP/R13 would mean RIP-relative / disp32-only, so
+	// those bases always need an explicit displacement.
+	if !wide && disp == 0 && base.lowBits() != 0x5 {
+		return // mod=00, no disp
+	}
+	if !wide && disp >= -128 && disp <= 127 {
+		e.modrm |= 0x40 // mod=01
+		e.disp = []byte{byte(int8(disp))}
+		return
+	}
+	e.modrm |= 0x80 // mod=10
+	e.disp = appendInt32(nil, disp)
+}
+
+func scaleBits(s uint8) byte {
+	switch s {
+	case 2:
+		return 1
+	case 4:
+		return 2
+	case 8:
+		return 3
+	default:
+		return 0
+	}
+}
+
+func appendInt32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
+}
+
+func (e *encoder) setImm(v int64, size int) {
+	switch size {
+	case 1:
+		e.imm = append(e.imm, byte(int8(v)))
+	case 2:
+		e.imm = binary.LittleEndian.AppendUint16(e.imm, uint16(v))
+	case 4:
+		e.imm = binary.LittleEndian.AppendUint32(e.imm, uint32(v))
+	case 8:
+		e.imm = binary.LittleEndian.AppendUint64(e.imm, uint64(v))
+	}
+}
+
+func fitsInt8(v int64) bool  { return v >= -128 && v <= 127 }
+func fitsInt32(v int64) bool { return v >= -1<<31 && v <= 1<<31-1 }
+
+// aluEncoding maps ALU ops to their /digit for the 80/81/83 immediate
+// group and their r/m,r opcode base.
+var aluDigit = map[Op]byte{ADD: 0, OR: 1, AND: 4, SUB: 5, XOR: 6, CMP: 7}
+var aluBase = map[Op]byte{ADD: 0x00, OR: 0x08, AND: 0x20, SUB: 0x28, XOR: 0x30, CMP: 0x38}
+
+var shiftDigit = map[Op]byte{SHL: 4, SHR: 5, SAR: 7}
+
+func (e *encoder) encode(in Inst) error {
+	switch in.Op {
+	case ENDBR64:
+		e.opcode = []byte{0xF3, 0x0F, 0x1E, 0xFA}
+		return nil
+	case NOP:
+		e.opcode = []byte{0x90}
+		return nil
+	case SYSCALL:
+		e.opcode = []byte{0x0F, 0x05}
+		return nil
+	case UD2:
+		e.opcode = []byte{0x0F, 0x0B}
+		return nil
+	case HLT:
+		e.opcode = []byte{0xF4}
+		return nil
+	case INT3:
+		e.opcode = []byte{0xCC}
+		return nil
+	case RET:
+		e.opcode = []byte{0xC3}
+		return nil
+	case CQO:
+		e.setW(widthOrDefault(in.W))
+		e.opcode = []byte{0x99}
+		return nil
+	case PUSH:
+		return e.encodePush(in)
+	case POP:
+		r, ok := in.Dst.(Reg)
+		if !ok {
+			return fmt.Errorf("pop requires a register operand")
+		}
+		e.opcode = []byte{0x58}
+		e.setOpReg(r, 8)
+		return nil
+	case MOV:
+		return e.encodeMov(in)
+	case MOVZX, MOVSX:
+		return e.encodeMovx(in)
+	case MOVSXD:
+		return e.encodeMovsxd(in)
+	case LEA:
+		return e.encodeLea(in)
+	case ADD, OR, AND, SUB, XOR, CMP:
+		return e.encodeALU(in)
+	case TEST:
+		return e.encodeTest(in)
+	case IMUL:
+		return e.encodeImul(in)
+	case IDIV, NEG, NOT:
+		return e.encodeGroup3(in)
+	case SHL, SHR, SAR:
+		return e.encodeShift(in)
+	case JMP:
+		return e.encodeJmp(in)
+	case JCC:
+		return e.encodeJcc(in)
+	case CALL:
+		return e.encodeCall(in)
+	case SETCC:
+		return e.encodeSetcc(in)
+	case CMOVCC:
+		return e.encodeCmovcc(in)
+	default:
+		return fmt.Errorf("unsupported op %v", in.Op)
+	}
+}
+
+func widthOrDefault(w uint8) uint8 {
+	if w == 0 {
+		return 8
+	}
+	return w
+}
+
+func (e *encoder) encodePush(in Inst) error {
+	switch v := in.Src.(type) {
+	case Reg:
+		e.opcode = []byte{0x50}
+		e.setOpReg(v, 8)
+		return nil
+	case Imm:
+		if fitsInt8(int64(v)) {
+			e.opcode = []byte{0x6A}
+			e.setImm(int64(v), 1)
+		} else if fitsInt32(int64(v)) {
+			e.opcode = []byte{0x68}
+			e.setImm(int64(v), 4)
+		} else {
+			return fmt.Errorf("push immediate out of range")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported push operand")
+	}
+}
+
+func (e *encoder) encodeMov(in Inst) error {
+	w := widthOrDefault(in.W)
+	switch dst := in.Dst.(type) {
+	case Reg:
+		switch src := in.Src.(type) {
+		case Reg, Mem:
+			// mov r, r/m: 8A (byte) / 8B
+			e.setW(w)
+			if w == 1 {
+				e.opcode = []byte{0x8A}
+			} else {
+				e.opcode = []byte{0x8B}
+			}
+			e.setReg(dst, w)
+			return e.setRM(src, w)
+		case Imm:
+			v := int64(src)
+			if w == 8 && !fitsInt32(v) {
+				// movabs r64, imm64
+				e.setW(8)
+				e.opcode = []byte{0xB8}
+				e.setOpReg(dst, 8)
+				e.setImm(v, 8)
+				return nil
+			}
+			if w == 8 {
+				// C7 /0 id, sign-extended
+				e.setW(8)
+				e.opcode = []byte{0xC7}
+				e.setImm(v, 4)
+				return e.setRM(dst, 8)
+			}
+			if w == 1 {
+				e.opcode = []byte{0xB0}
+				e.setOpReg(dst, 1)
+				e.setImm(v, 1)
+				return nil
+			}
+			e.setW(w)
+			e.opcode = []byte{0xB8}
+			e.setOpReg(dst, w)
+			e.setImm(v, int(w))
+			return nil
+		}
+	case Mem:
+		switch src := in.Src.(type) {
+		case Reg:
+			// mov r/m, r: 88 (byte) / 89
+			e.setW(w)
+			if w == 1 {
+				e.opcode = []byte{0x88}
+			} else {
+				e.opcode = []byte{0x89}
+			}
+			e.setReg(src, w)
+			return e.setRM(dst, w)
+		case Imm:
+			v := int64(src)
+			e.setW(w)
+			if w == 1 {
+				e.opcode = []byte{0xC6}
+				if err := e.setRM(dst, w); err != nil {
+					return err
+				}
+				e.setImm(v, 1)
+				return nil
+			}
+			if !fitsInt32(v) {
+				return fmt.Errorf("mov m, imm out of range")
+			}
+			e.opcode = []byte{0xC7}
+			if err := e.setRM(dst, w); err != nil {
+				return err
+			}
+			immW := 4
+			if w == 2 {
+				immW = 2
+			}
+			e.setImm(v, immW)
+			return nil
+		}
+	}
+	return fmt.Errorf("unsupported mov operand combination")
+}
+
+func (e *encoder) encodeMovx(in Inst) error {
+	dst, ok := in.Dst.(Reg)
+	if !ok {
+		return fmt.Errorf("movzx/movsx destination must be a register")
+	}
+	w := widthOrDefault(in.W)
+	e.setW(w)
+	var op byte
+	switch {
+	case in.Op == MOVZX && in.SrcW == 1:
+		op = 0xB6
+	case in.Op == MOVZX && in.SrcW == 2:
+		op = 0xB7
+	case in.Op == MOVSX && in.SrcW == 1:
+		op = 0xBE
+	case in.Op == MOVSX && in.SrcW == 2:
+		op = 0xBF
+	default:
+		return fmt.Errorf("movzx/movsx requires SrcW of 1 or 2")
+	}
+	e.opcode = []byte{0x0F, op}
+	e.setReg(dst, w)
+	return e.setRM(in.Src, in.SrcW)
+}
+
+func (e *encoder) encodeMovsxd(in Inst) error {
+	dst, ok := in.Dst.(Reg)
+	if !ok {
+		return fmt.Errorf("movsxd destination must be a register")
+	}
+	e.setW(8)
+	e.opcode = []byte{0x63}
+	e.setReg(dst, 8)
+	return e.setRM(in.Src, 4)
+}
+
+func (e *encoder) encodeLea(in Inst) error {
+	dst, ok := in.Dst.(Reg)
+	if !ok {
+		return fmt.Errorf("lea destination must be a register")
+	}
+	m, ok := in.Src.(Mem)
+	if !ok {
+		return fmt.Errorf("lea source must be a memory operand")
+	}
+	e.setW(widthOrDefault(in.W))
+	e.opcode = []byte{0x8D}
+	e.setReg(dst, 8)
+	return e.setMem(m)
+}
+
+func (e *encoder) encodeALU(in Inst) error {
+	w := widthOrDefault(in.W)
+	base := aluBase[in.Op]
+	digit := aluDigit[in.Op]
+	switch dst := in.Dst.(type) {
+	case Reg:
+		switch src := in.Src.(type) {
+		case Reg, Mem:
+			// op r, r/m
+			e.setW(w)
+			if w == 1 {
+				e.opcode = []byte{base + 0x02}
+			} else {
+				e.opcode = []byte{base + 0x03}
+			}
+			e.setReg(dst, w)
+			return e.setRM(src, w)
+		case Imm:
+			return e.encodeALUImm(in.Op, dst, int64(src), w, digit)
+		}
+	case Mem:
+		switch src := in.Src.(type) {
+		case Reg:
+			e.setW(w)
+			if w == 1 {
+				e.opcode = []byte{base}
+			} else {
+				e.opcode = []byte{base + 0x01}
+			}
+			e.setReg(src, w)
+			return e.setRM(dst, w)
+		case Imm:
+			return e.encodeALUImm(in.Op, dst, int64(src), w, digit)
+		}
+	}
+	return fmt.Errorf("unsupported %v operand combination", in.Op)
+}
+
+func (e *encoder) encodeALUImm(op Op, dst Arg, v int64, w uint8, digit byte) error {
+	e.setW(w)
+	e.modrm |= digit << 3
+	if w == 1 {
+		e.opcode = []byte{0x80}
+		if err := e.setRM(dst, w); err != nil {
+			return err
+		}
+		e.setImm(v, 1)
+		return nil
+	}
+	if fitsInt8(v) {
+		e.opcode = []byte{0x83}
+		if err := e.setRM(dst, w); err != nil {
+			return err
+		}
+		e.setImm(v, 1)
+		return nil
+	}
+	if !fitsInt32(v) {
+		return fmt.Errorf("%v immediate out of range", op)
+	}
+	e.opcode = []byte{0x81}
+	if err := e.setRM(dst, w); err != nil {
+		return err
+	}
+	immW := 4
+	if w == 2 {
+		immW = 2
+	}
+	e.setImm(v, immW)
+	return nil
+}
+
+func (e *encoder) encodeTest(in Inst) error {
+	w := widthOrDefault(in.W)
+	switch src := in.Src.(type) {
+	case Reg:
+		e.setW(w)
+		if w == 1 {
+			e.opcode = []byte{0x84}
+		} else {
+			e.opcode = []byte{0x85}
+		}
+		e.setReg(src, w)
+		return e.setRM(in.Dst, w)
+	case Imm:
+		e.setW(w)
+		if w == 1 {
+			e.opcode = []byte{0xF6}
+		} else {
+			e.opcode = []byte{0xF7}
+		}
+		if err := e.setRM(in.Dst, w); err != nil {
+			return err
+		}
+		if w == 1 {
+			e.setImm(int64(src), 1)
+		} else {
+			if !fitsInt32(int64(src)) {
+				return fmt.Errorf("test immediate out of range")
+			}
+			e.setImm(int64(src), 4)
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported test operand combination")
+}
+
+func (e *encoder) encodeImul(in Inst) error {
+	dst, ok := in.Dst.(Reg)
+	if !ok {
+		return fmt.Errorf("imul destination must be a register")
+	}
+	w := widthOrDefault(in.W)
+	e.setW(w)
+	if in.HasImm3 {
+		if fitsInt8(in.Imm3) {
+			e.opcode = []byte{0x6B}
+			e.setReg(dst, w)
+			if err := e.setRM(in.Src, w); err != nil {
+				return err
+			}
+			e.setImm(in.Imm3, 1)
+			return nil
+		}
+		if !fitsInt32(in.Imm3) {
+			return fmt.Errorf("imul immediate out of range")
+		}
+		e.opcode = []byte{0x69}
+		e.setReg(dst, w)
+		if err := e.setRM(in.Src, w); err != nil {
+			return err
+		}
+		e.setImm(in.Imm3, 4)
+		return nil
+	}
+	e.opcode = []byte{0x0F, 0xAF}
+	e.setReg(dst, w)
+	return e.setRM(in.Src, w)
+}
+
+func (e *encoder) encodeGroup3(in Inst) error {
+	w := widthOrDefault(in.W)
+	e.setW(w)
+	if w == 1 {
+		e.opcode = []byte{0xF6}
+	} else {
+		e.opcode = []byte{0xF7}
+	}
+	var digit byte
+	switch in.Op {
+	case NOT:
+		digit = 2
+	case NEG:
+		digit = 3
+	case IDIV:
+		digit = 7
+	}
+	e.modrm |= digit << 3
+	return e.setRM(in.Dst, w)
+}
+
+func (e *encoder) encodeShift(in Inst) error {
+	w := widthOrDefault(in.W)
+	e.setW(w)
+	e.modrm |= shiftDigit[in.Op] << 3
+	switch src := in.Src.(type) {
+	case Imm:
+		if src == 1 {
+			if w == 1 {
+				e.opcode = []byte{0xD0}
+			} else {
+				e.opcode = []byte{0xD1}
+			}
+			return e.setRM(in.Dst, w)
+		}
+		if w == 1 {
+			e.opcode = []byte{0xC0}
+		} else {
+			e.opcode = []byte{0xC1}
+		}
+		if err := e.setRM(in.Dst, w); err != nil {
+			return err
+		}
+		e.setImm(int64(src), 1)
+		return nil
+	case Reg:
+		if src != RCX {
+			return fmt.Errorf("variable shift count must be CL")
+		}
+		if w == 1 {
+			e.opcode = []byte{0xD2}
+		} else {
+			e.opcode = []byte{0xD3}
+		}
+		return e.setRM(in.Dst, w)
+	}
+	return fmt.Errorf("unsupported shift operand")
+}
+
+func (e *encoder) encodeJmp(in Inst) error {
+	switch src := in.Src.(type) {
+	case Rel:
+		if fitsInt8(int64(src)) && !in.LongBranch {
+			e.opcode = []byte{0xEB}
+			e.setImm(int64(src), 1)
+		} else {
+			e.opcode = []byte{0xE9}
+			e.setImm(int64(src), 4)
+		}
+		return nil
+	case Reg, Mem:
+		if in.NoTrack {
+			e.prefix = append(e.prefix, 0x3E)
+		}
+		e.opcode = []byte{0xFF}
+		e.modrm |= 4 << 3
+		return e.setRM(src, 0) // width-agnostic: always 64-bit
+	}
+	return fmt.Errorf("unsupported jmp operand")
+}
+
+func (e *encoder) encodeJcc(in Inst) error {
+	rel, ok := in.Src.(Rel)
+	if !ok {
+		return fmt.Errorf("jcc requires a relative target")
+	}
+	if fitsInt8(int64(rel)) && !in.LongBranch {
+		e.opcode = []byte{0x70 + byte(in.Cond)}
+		e.setImm(int64(rel), 1)
+		return nil
+	}
+	e.opcode = []byte{0x0F, 0x80 + byte(in.Cond)}
+	e.setImm(int64(rel), 4)
+	return nil
+}
+
+func (e *encoder) encodeCall(in Inst) error {
+	switch src := in.Src.(type) {
+	case Rel:
+		e.opcode = []byte{0xE8}
+		e.setImm(int64(src), 4)
+		return nil
+	case Reg, Mem:
+		if in.NoTrack {
+			e.prefix = append(e.prefix, 0x3E)
+		}
+		e.opcode = []byte{0xFF}
+		e.modrm |= 2 << 3
+		return e.setRM(src, 0)
+	}
+	return fmt.Errorf("unsupported call operand")
+}
+
+func (e *encoder) encodeSetcc(in Inst) error {
+	e.opcode = []byte{0x0F, 0x90 + byte(in.Cond)}
+	return e.setRM(in.Dst, 1)
+}
+
+func (e *encoder) encodeCmovcc(in Inst) error {
+	dst, ok := in.Dst.(Reg)
+	if !ok {
+		return fmt.Errorf("cmov destination must be a register")
+	}
+	w := widthOrDefault(in.W)
+	e.setW(w)
+	e.opcode = []byte{0x0F, 0x40 + byte(in.Cond)}
+	e.setReg(dst, w)
+	return e.setRM(in.Src, w)
+}
+
+// NopBytes returns n bytes of padding using the recommended multi-byte NOP
+// sequences, matching what compilers emit between functions.
+func NopBytes(n int) []byte {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		k := n
+		if k > 9 {
+			k = 9
+		}
+		out = append(out, nopSeq[k]...)
+		n -= k
+	}
+	return out
+}
+
+// Recommended multi-byte NOPs (Intel SDM table 4-12).
+var nopSeq = [10][]byte{
+	1: {0x90},
+	2: {0x66, 0x90},
+	3: {0x0F, 0x1F, 0x00},
+	4: {0x0F, 0x1F, 0x40, 0x00},
+	5: {0x0F, 0x1F, 0x44, 0x00, 0x00},
+	6: {0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00},
+	7: {0x0F, 0x1F, 0x80, 0x00, 0x00, 0x00, 0x00},
+	8: {0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+	9: {0x66, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+}

@@ -1,0 +1,122 @@
+package x86
+
+import "fmt"
+
+// Op is an instruction mnemonic.
+type Op uint8
+
+// Supported operations.
+const (
+	BAD Op = iota // undecodable byte sequence
+
+	ENDBR64
+	NOP // includes multi-byte 0F 1F forms
+
+	PUSH // push r64 / imm
+	POP  // pop r64
+
+	MOV    // mov r/m,r | r,r/m | r/m,imm | r,imm64
+	MOVZX  // movzx r, r/m8|r/m16
+	MOVSX  // movsx r, r/m8|r/m16
+	MOVSXD // movsxd r64, r/m32
+	LEA    // lea r64, m
+
+	ADD
+	OR
+	AND
+	SUB
+	XOR
+	CMP
+	TEST
+
+	IMUL // imul r, r/m  |  imul r, r/m, imm
+	IDIV // idiv r/m
+	CQO  // sign-extend RAX into RDX:RAX (cdq with W=4)
+	NEG  // neg r/m
+	NOT  // not r/m
+	SHL  // shl r/m, imm8|CL
+	SHR
+	SAR
+
+	JMP  // jmp rel | jmp r/m64
+	JCC  // jcc rel
+	CALL // call rel32 | call r/m64
+	RET
+
+	SETCC  // setcc r/m8
+	CMOVCC // cmovcc r, r/m
+
+	SYSCALL
+	UD2
+	HLT
+	INT3
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	BAD:     "(bad)",
+	ENDBR64: "endbr64",
+	NOP:     "nop",
+	PUSH:    "push",
+	POP:     "pop",
+	MOV:     "mov",
+	MOVZX:   "movzx",
+	MOVSX:   "movsx",
+	MOVSXD:  "movsxd",
+	LEA:     "lea",
+	ADD:     "add",
+	OR:      "or",
+	AND:     "and",
+	SUB:     "sub",
+	XOR:     "xor",
+	CMP:     "cmp",
+	TEST:    "test",
+	IMUL:    "imul",
+	IDIV:    "idiv",
+	CQO:     "cqo",
+	NEG:     "neg",
+	NOT:     "not",
+	SHL:     "shl",
+	SHR:     "shr",
+	SAR:     "sar",
+	JMP:     "jmp",
+	JCC:     "j",
+	CALL:    "call",
+	RET:     "ret",
+	SETCC:   "set",
+	CMOVCC:  "cmov",
+	SYSCALL: "syscall",
+	UD2:     "ud2",
+	HLT:     "hlt",
+	INT3:    "int3",
+}
+
+// String returns the base mnemonic; condition suffixes are added by
+// Inst.String.
+func (op Op) String() string {
+	if op < numOps {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// IsBranch reports whether the operation transfers control (including
+// call and ret).
+func (op Op) IsBranch() bool {
+	switch op {
+	case JMP, JCC, CALL, RET:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether control never falls through to the next
+// instruction.
+func (op Op) IsTerminator() bool {
+	switch op {
+	case JMP, RET, UD2, HLT:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+// Package x86 models the subset of the x86-64 instruction set that the
+// repository's compiler emits, its assembler encodes, its disassembler
+// decodes, and its emulator executes.
+//
+// The subset is the integer core of compiler-generated code: data movement
+// (mov/movzx/movsx/movsxd/lea/push/pop), ALU operations, shifts,
+// multiply/divide, conditional ops (jcc/setcc/cmovcc), direct and indirect
+// control flow (jmp/call/ret), and the CET instruction endbr64 together
+// with the notrack prefix. Encodings follow the Intel SDM: REX prefixes,
+// ModRM/SIB addressing, RIP-relative operands, and rel8/rel32 branches.
+package x86
+
+import "fmt"
+
+// Reg identifies one of the sixteen general-purpose registers. The numeric
+// value is the hardware register number used in ModRM/SIB encodings
+// (RAX=0 ... R15=15).
+type Reg uint8
+
+// General-purpose registers in hardware encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NoReg marks an absent base or index register in a Mem operand.
+	NoReg Reg = 0xFF
+)
+
+var regNames64 = [16]string{
+	"RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",
+	"R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+}
+
+var regNames32 = [16]string{
+	"EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
+	"R8D", "R9D", "R10D", "R11D", "R12D", "R13D", "R14D", "R15D",
+}
+
+var regNames16 = [16]string{
+	"AX", "CX", "DX", "BX", "SP", "BP", "SI", "DI",
+	"R8W", "R9W", "R10W", "R11W", "R12W", "R13W", "R14W", "R15W",
+}
+
+// 8-bit names assume a REX prefix is present, which is how this package
+// always encodes byte registers (SPL/BPL/SIL/DIL rather than AH..BH).
+var regNames8 = [16]string{
+	"AL", "CL", "DL", "BL", "SPL", "BPL", "SIL", "DIL",
+	"R8B", "R9B", "R10B", "R11B", "R12B", "R13B", "R14B", "R15B",
+}
+
+// String returns the 64-bit name of the register.
+func (r Reg) String() string { return r.Name(8) }
+
+// Name returns the register's name at the given operand width in bytes
+// (1, 2, 4, or 8).
+func (r Reg) Name(width uint8) string {
+	if r == NoReg {
+		return "<noreg>"
+	}
+	if r > R15 {
+		return fmt.Sprintf("Reg(%d)", uint8(r))
+	}
+	switch width {
+	case 1:
+		return regNames8[r]
+	case 2:
+		return regNames16[r]
+	case 4:
+		return regNames32[r]
+	default:
+		return regNames64[r]
+	}
+}
+
+// Valid reports whether r names an actual register (not NoReg).
+func (r Reg) Valid() bool { return r <= R15 }
+
+// lowBits returns the 3-bit field encoded in ModRM/SIB; the fourth bit goes
+// into the REX prefix.
+func (r Reg) lowBits() byte { return byte(r) & 0x7 }
+
+// hiBit returns the REX extension bit for the register.
+func (r Reg) hiBit() byte { return byte(r) >> 3 & 1 }

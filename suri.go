@@ -1,0 +1,65 @@
+// Package suri is a Go reproduction of "Towards Sound Reassembly of
+// Modern x86-64 Binaries" (Kim, Kim, Cha — ASPLOS 2025): the SURI
+// reassembler for CET-enabled x86-64 PIE binaries, together with every
+// substrate the system needs — an x86-64 encoder/decoder, an assembler,
+// an ELF64 reader/writer, a compiler producing CET/PIE binaries from a
+// small C-like language, an emulator with CET enforcement, two baseline
+// reassemblers, and the paper's full evaluation harness.
+//
+// The headline API is Rewrite: it takes the bytes of a CET-enabled PIE
+// binary and returns a rewritten binary whose original sections are
+// preserved at their original addresses, whose code has been copied,
+// symbolized, and (optionally) instrumented, and which behaves exactly
+// like the original.
+//
+//	out, err := suri.Rewrite(binary, suri.Options{})
+//
+// Instrumentation inserts code into S', the symbolized assembly stream:
+//
+//	out, err := suri.Rewrite(binary, suri.Options{
+//		Instrument: func(entries []suri.Entry) ([]suri.Entry, error) {
+//			// insert, e.g., counters before instructions
+//			return entries, nil
+//		},
+//	})
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the system inventory.
+package suri
+
+import (
+	"repro/internal/core"
+	"repro/internal/serialize"
+)
+
+// Entry is one element of the symbolized assembly stream S' (§3.3–3.5 of
+// the paper). Instrumenters receive and return slices of entries.
+type Entry = serialize.Entry
+
+// Options configure a rewrite. The zero value is the standard pipeline.
+type Options = core.Options
+
+// Result is a completed rewrite: the binary, the final S' stream, the
+// superset CFG, and the pipeline statistics of §4.2.4/§4.3.1.
+type Result = core.Result
+
+// Stats aggregates pipeline measurements.
+type Stats = core.Stats
+
+// Instrumenter edits S' before emission.
+type Instrumenter = core.Instrumenter
+
+// ErrNotCETPIE is returned for binaries outside the problem scope (§2.1).
+var ErrNotCETPIE = core.ErrNotCETPIE
+
+// Rewrite runs the full SURI pipeline (Figure 4) over an ELF binary
+// image: superset CFG construction, serialization, CET-based pointer
+// repair, superset symbolization, optional instrumentation, and
+// layout-preserving emission.
+func Rewrite(bin []byte, opts Options) (*Result, error) {
+	return core.Rewrite(bin, opts)
+}
+
+// TrapLabel is the landing pad label for bogus jump-table targets; it is
+// available to instrumenters that synthesize branches.
+const TrapLabel = serialize.TrapLabel
