@@ -19,6 +19,7 @@ import (
 	"repro/internal/elfx"
 	"repro/internal/emu"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/prog"
 )
 
@@ -249,5 +250,42 @@ func BenchmarkEmulator(b *testing.B) {
 	b.StopTimer()
 	if b.N > 0 {
 		b.ReportMetric(float64(steps)/float64(b.N), "instructions/op")
+	}
+}
+
+// benchRewriteBin compiles the standard benchmark module once.
+func benchRewriteBin(b *testing.B) []byte {
+	b.Helper()
+	p := prog.Generate("bench", 9, prog.Shape{Funcs: 6, Switches: 2, Globals: 6, MainLoop: 16, Stmts: 8, NumInputs: 1})
+	bin, err := cc.Compile(p.Module, cc.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bin
+}
+
+// BenchmarkRewriteUntraced is the nil-collector baseline for the
+// observability overhead claim: compare against BenchmarkRewriteTraced.
+func BenchmarkRewriteUntraced(b *testing.B) {
+	bin := benchRewriteBin(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suri.Rewrite(bin, suri.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRewriteTraced runs the same rewrite with a live collector
+// (fresh per iteration, as cmd/suri -trace would allocate it).
+func BenchmarkRewriteTraced(b *testing.B) {
+	bin := benchRewriteBin(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suri.Rewrite(bin, suri.Options{Obs: obs.New()}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	suri [-o out.bin] [-ignore-ehframe] [-stats] [-sprime] input.bin
+//	suri [-o out.bin] [-ignore-ehframe] [-stats] [-sprime] [-trace] [-stats-json] input.bin
+//
+// -trace prints a per-stage span tree of the pipeline (the Figure 4
+// stages, with nested CFG-builder sub-spans); -stats-json prints the
+// full trace + metric registry as JSON.
 //
 // Produce inputs with surigen, run outputs with surirun.
 package main
@@ -17,6 +21,7 @@ import (
 
 	suri "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,6 +29,8 @@ func main() {
 	ignoreEh := flag.Bool("ignore-ehframe", false, "do not use call frame information (§4.3.3)")
 	stats := flag.Bool("stats", false, "print pipeline statistics")
 	sprime := flag.Bool("sprime", false, "print the symbolized assembly S' to stdout")
+	trace := flag.Bool("trace", false, "print the per-stage pipeline span tree")
+	statsJSON := flag.Bool("stats-json", false, "print the trace and metric registry as JSON")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -34,7 +41,11 @@ func main() {
 	bin, err := os.ReadFile(in)
 	fail(err)
 
-	res, err := suri.Rewrite(bin, suri.Options{IgnoreEhFrame: *ignoreEh})
+	var col *obs.Collector
+	if *trace || *statsJSON {
+		col = obs.New()
+	}
+	res, err := suri.Rewrite(bin, suri.Options{IgnoreEhFrame: *ignoreEh, Obs: col})
 	fail(err)
 
 	dest := *out
@@ -54,6 +65,15 @@ func main() {
 			s.Tables, s.MultiBase, s.TableEntries)
 		fmt.Printf("relocations retargeted: %d; new text at %#x\n",
 			s.AdjustedRelas, res.Layout.NewTextAddr)
+	}
+	if *trace {
+		fmt.Print(col.Trace().Text())
+		fmt.Print(col.Metrics().Text())
+	}
+	if *statsJSON {
+		js, err := col.JSON()
+		fail(err)
+		fmt.Println(string(js))
 	}
 	if *sprime {
 		fmt.Print(core.Render(res.SPrime, nil))

@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	surieval [-scale 0.1] [-table 2|3|4|5|all] [-full]
+//	surieval [-scale 0.1] [-table 2|3|4|5|all] [-full] [-timing]
 //
 // -scale sets the corpus size as a fraction of the paper's 197-program
 // benchmark; -full is shorthand for -scale 1 (the paper's 9,456-binary
-// corpus across 48 configurations; expect a long run).
+// corpus across 48 configurations; expect a long run). -timing prints a
+// per-table timing breakdown (span tree + per-tool metrics) at the end.
 package main
 
 import (
@@ -19,12 +20,14 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.06, "corpus scale (1.0 = paper-sized: 197 programs x 48 configs)")
 	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|431|433|424|all")
 	full := flag.Bool("full", false, "run the paper-sized corpus (overrides -scale)")
+	timing := flag.Bool("timing", false, "print a per-table timing breakdown at the end")
 	flag.Parse()
 
 	if *full {
@@ -32,13 +35,23 @@ func main() {
 	}
 	run := func(name string) bool { return *table == "all" || *table == name }
 
+	col := obs.New()
+	section := func(name string, f func()) {
+		span := col.Trace().Start(name)
+		f()
+		span.End()
+	}
+
 	// Corpora are built once per host and shared between tables.
 	corpora := map[string][]eval.Case{}
 	corpus := func(host string) []eval.Case {
 		if c, ok := corpora[host]; ok {
 			return c
 		}
+		span := col.Trace().Start("build-corpus:" + host)
 		c, err := eval.BuildCorpus(*scale, eval.ConfigsFor(host))
+		span.SetInt("binaries", int64(len(c)))
+		span.End()
 		fail(err)
 		corpora[host] = c
 		return c
@@ -49,30 +62,38 @@ func main() {
 	}
 
 	if run("2") {
-		cases := corpus("ubuntu20.04")
-		rows := eval.ReliabilityTable(cases, eval.Ddisasm(), false)
-		fmt.Println(eval.FormatReliability(
-			fmt.Sprintf("Table 2: SURI vs Ddisasm (scale %.2f, %d binaries)", *scale, len(cases)),
-			"Ddisasm", rows))
+		section("table2", func() {
+			cases := corpus("ubuntu20.04")
+			rows := eval.ReliabilityTableObs(cases, eval.Ddisasm(), false, col)
+			fmt.Println(eval.FormatReliability(
+				fmt.Sprintf("Table 2: SURI vs Ddisasm (scale %.2f, %d binaries)", *scale, len(cases)),
+				"Ddisasm", rows))
+		})
 	}
 
 	if run("3") {
-		cases := corpus("ubuntu18.04")
-		rows := eval.ReliabilityTable(cases, eval.Egalito(), true)
-		fmt.Println(eval.FormatReliability(
-			fmt.Sprintf("Table 3: SURI vs Egalito (scale %.2f, C++-like programs excluded)", *scale),
-			"Egalito", rows))
+		section("table3", func() {
+			cases := corpus("ubuntu18.04")
+			rows := eval.ReliabilityTableObs(cases, eval.Egalito(), true, col)
+			fmt.Println(eval.FormatReliability(
+				fmt.Sprintf("Table 3: SURI vs Egalito (scale %.2f, C++-like programs excluded)", *scale),
+				"Egalito", rows))
+		})
 	}
 
 	if run("4") {
-		cases := append(append([]eval.Case(nil), corpus("ubuntu20.04")...), corpus("ubuntu18.04")...)
-		rows := eval.OverheadTable(cases, []baseline.Rewriter{eval.SURI(), eval.Ddisasm(), eval.Egalito()})
-		fmt.Println(eval.FormatOverhead(rows))
+		section("table4", func() {
+			cases := append(append([]eval.Case(nil), corpus("ubuntu20.04")...), corpus("ubuntu18.04")...)
+			rows := eval.OverheadTable(cases, []baseline.Rewriter{eval.SURI(), eval.Ddisasm(), eval.Egalito()})
+			fmt.Println(eval.FormatOverhead(rows))
+		})
 	}
 
 	if run("431") || run("424") {
 		cases := corpus("ubuntu20.04")
+		span := col.Trace().Start("section431")
 		st, err := eval.MeasureInstrumentation(cases)
+		span.End()
 		fail(err)
 		fmt.Printf("§4.3.1 instrumentation statistics (%d binaries):\n", st.Binaries)
 		fmt.Printf("  added instructions:          %6.2f%%   (paper: 2.8%%)\n", st.AddedInstrPct)
@@ -92,7 +113,9 @@ func main() {
 				cases = append(cases, c)
 			}
 		}
+		span := col.Trace().Start("section433")
 		imp, err := eval.MeasureCFIImpact(cases)
+		span.End()
 		fail(err)
 		fmt.Printf("§4.3.3 impact of call frame information:\n")
 		fmt.Printf("  CFG build speedup with CFI:  %6.2fx   (paper: 4.1x on real-world binaries)\n", imp.SpeedupWithCFI)
@@ -102,13 +125,20 @@ func main() {
 	}
 
 	if run("5") {
-		per := int(40 * *scale)
-		if per < 5 {
-			per = 5
-		}
-		ours, basan, asan, err := eval.Table5(2025, per)
-		fail(err)
-		fmt.Println(eval.FormatTable5(ours, basan, asan))
+		section("table5", func() {
+			per := int(40 * *scale)
+			if per < 5 {
+				per = 5
+			}
+			ours, basan, asan, err := eval.Table5(2025, per)
+			fail(err)
+			fmt.Println(eval.FormatTable5(ours, basan, asan))
+		})
+	}
+
+	if *timing {
+		fmt.Println("per-table timing breakdown:")
+		fmt.Print(col.Text())
 	}
 }
 

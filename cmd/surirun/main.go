@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	surirun [-in file] [-bias 0x10000000] [-steps] [-no-cet] prog.bin
+//	surirun [-in file] [-bias 0x10000000] [-steps] [-no-cet] [-profile] [-profile-json] prog.bin
+//
+// -profile prints an execution profile to stderr (opcode histogram,
+// CET event counters, block heat, syscall summary); -profile-json
+// prints the same profile as JSON (also to stderr, keeping stdout for
+// the emulated program's output).
 package main
 
 import (
@@ -19,6 +24,8 @@ func main() {
 	bias := flag.Uint64("bias", 0, "PIE load bias (0 = default)")
 	steps := flag.Bool("steps", false, "print retired instruction count")
 	noCET := flag.Bool("no-cet", false, "disable CET enforcement")
+	profile := flag.Bool("profile", false, "print execution profile to stderr")
+	profileJSON := flag.Bool("profile-json", false, "print execution profile as JSON to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -36,6 +43,7 @@ func main() {
 
 	res, err := emu.Run(bin, emu.Options{
 		Bias: *bias, Input: input, Shadow: true, DisableCET: *noCET,
+		Profile: *profile || *profileJSON,
 	})
 	if res != nil {
 		os.Stdout.Write(res.Stdout)
@@ -44,6 +52,14 @@ func main() {
 	fail(err)
 	if *steps {
 		fmt.Fprintf(os.Stderr, "[%d instructions retired]\n", res.Steps)
+	}
+	if *profile {
+		fmt.Fprint(os.Stderr, res.Prof.Text())
+	}
+	if *profileJSON {
+		js, jerr := res.Prof.JSON()
+		fail(jerr)
+		fmt.Fprintln(os.Stderr, string(js))
 	}
 	os.Exit(res.Exit)
 }

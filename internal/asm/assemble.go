@@ -31,6 +31,10 @@ type Result struct {
 	Sections []OutSection
 	Symbols  map[string]uint64
 	Relocs   []Reloc
+
+	// RelaxRounds is how many layout passes branch relaxation took to
+	// converge (1 means no rel8 branch ever grew).
+	RelaxRounds int
 }
 
 // Symbol looks up a defined symbol.
@@ -76,6 +80,7 @@ type assembler struct {
 const maxRelaxRounds = 64
 
 func (a *assembler) run() (*Result, error) {
+	rounds := 0
 	for round := 0; ; round++ {
 		if round > maxRelaxRounds {
 			return nil, fmt.Errorf("asm: branch relaxation did not converge after %d rounds", maxRelaxRounds)
@@ -87,11 +92,16 @@ func (a *assembler) run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		rounds = round + 1
 		if !grown {
 			break
 		}
 	}
-	return a.emit()
+	res, err := a.emit()
+	if res != nil {
+		res.RelaxRounds = rounds
+	}
+	return res, err
 }
 
 // layout assigns addresses to every item and defines all symbols under the

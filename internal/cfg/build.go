@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ehframe"
 	"repro/internal/elfx"
+	"repro/internal/obs"
 	"repro/internal/x86"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	// StrictTables aborts the build when a table cannot be sized under
 	// the selected policy (models baseline assertion failures).
 	StrictTables bool
+
+	// Trace, if set, records sub-spans of the build (entry harvesting,
+	// recursive disassembly, jump-table slicing). Nil disables tracing
+	// at zero cost.
+	Trace *obs.Trace
 }
 
 // DefaultOptions is the standard SURI configuration.
@@ -135,7 +141,11 @@ func Build(f *elfx.File, opts Options) (*Graph, error) {
 }
 
 func (b *builder) run() error {
+	tr := b.opts.Trace
+	span := tr.Start("harvest")
 	b.harvestInitialEntries()
+	span.SetInt("entries", int64(len(b.g.Entries)))
+	span.End()
 
 	// Outer fixpoint (§3.2.2): decoding can harvest new entries (which
 	// tighten or widen function bounds) and discover new indirect edges,
@@ -144,14 +154,24 @@ func (b *builder) run() error {
 		if round > 64 {
 			return fmt.Errorf("cfg: construction did not converge")
 		}
+		span = tr.Start("disasm")
+		span.SetInt("round", int64(round))
 		b.drain()
 		grew := b.harvestFromCode()
 		b.drain()
+		span.SetInt("blocks", int64(len(b.g.Blocks)))
+		span.End()
+
+		span = tr.Start("tables")
+		span.SetInt("round", int64(round))
 		changed, err := b.analyzeAllTables()
 		if err != nil {
+			span.End()
 			return err
 		}
 		b.drain()
+		span.SetInt("tables", int64(len(b.g.Tables)))
+		span.End()
 		if !grew && !changed && len(b.work) == 0 {
 			break
 		}

@@ -9,11 +9,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/elfx"
 	"repro/internal/emit"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/serialize"
 	"repro/internal/symbolize"
@@ -40,6 +42,11 @@ type Options struct {
 
 	// AllowNonCET skips the problem-scope check (used by experiments).
 	AllowNonCET bool
+
+	// Obs, if set, records one span per pipeline stage (with nested
+	// sub-spans inside the CFG builder) and feeds pipeline statistics
+	// into the metric registry. Nil disables collection at zero cost.
+	Obs *obs.Collector
 }
 
 // Stats aggregates the pipeline measurements reported in §4.2.4/§4.3.1.
@@ -81,10 +88,18 @@ type Result struct {
 	Layout *emit.Layout
 
 	Stats Stats
+
+	// Trace is the root pipeline span when Options.Obs was set; nil
+	// otherwise.
+	Trace *obs.Span
 }
 
 // Rewrite runs the full SURI pipeline over a binary image.
 func Rewrite(bin []byte, opts Options) (*Result, error) {
+	tr := opts.Obs.Trace()
+	root := tr.Start("rewrite")
+	defer root.End()
+
 	f, err := elfx.Read(bin)
 	if err != nil {
 		return nil, err
@@ -94,40 +109,69 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	}
 	copts := cfg.DefaultOptions()
 	copts.UseEhFrame = !opts.IgnoreEhFrame
+	copts.Trace = tr
 
 	// 1. Superset CFG Builder.
+	span := tr.Start("cfg")
 	g, err := cfg.Build(f, copts)
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("suri: cfg: %w", err)
 	}
+	gst := g.Stats()
+	span.SetInt("blocks", int64(gst.Blocks))
+	span.SetInt("entries", int64(gst.Entries))
+	span.SetInt("instructions", int64(gst.Instructions))
+	span.End()
 
 	// 2. CFG Serializer.
+	span = tr.Start("serialize")
 	entries := serialize.Serialize(g)
+	span.SetInt("entries", int64(len(entries)))
+	span.End()
 
 	// 3. Pointer Repairer.
+	span = tr.Start("repair")
 	rep, err := repair.Repair(entries, g)
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("suri: repair: %w", err)
 	}
+	span.SetInt("code_pointers", int64(rep.CodePointers))
+	span.SetInt("pinned", int64(rep.Pinned))
+	span.End()
+
+	span = tr.Start("audit")
 	if _, err := repair.Audit(entries, g); err != nil {
+		span.End()
 		return nil, fmt.Errorf("suri: %w", err)
 	}
+	span.End()
 
 	// 4. Superset Symbolizer.
+	span = tr.Start("symbolize")
 	entries, sym, err := symbolize.Symbolize(entries, g)
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("suri: symbolize: %w", err)
 	}
+	span.SetInt("tables", int64(sym.Tables))
+	span.SetInt("multi_base", int64(sym.MultiBase))
+	span.End()
 
 	// User instrumentation of S'.
+	span = tr.Start("instrument")
 	if opts.Instrument != nil {
 		entries, err = opts.Instrument(entries)
 		if err != nil {
+			span.End()
 			return nil, fmt.Errorf("suri: instrumentation: %w", err)
 		}
 	}
+	span.End()
 
 	// 5. Emitter.
+	span = tr.Start("emit")
 	sets := make(map[string]uint64, len(rep.Sets)+len(sym.Sets))
 	for k, v := range rep.Sets {
 		sets[k] = v
@@ -140,40 +184,72 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 		Entries:    entries,
 		TableItems: sym.TableItems,
 		Sets:       sets,
+		Obs:        opts.Obs,
 	})
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("suri: emit: %w", err)
 	}
+	span.SetInt("bytes", int64(len(out)))
+	span.SetInt("adjusted_relas", int64(layout.AdjustedRelas))
+	span.End()
 
 	orig, synth := serialize.Count(entries)
-	gst := g.Stats()
+	stats := Stats{
+		Blocks:             gst.Blocks,
+		Entries:            gst.Entries,
+		Instructions:       gst.Instructions,
+		CopiedInstructions: orig,
+		AddedInstructions:  synth,
+		CodePointers:       rep.CodePointers,
+		PinnedPointers:     rep.Pinned,
+		Tables:             sym.Tables,
+		MultiBase:          sym.MultiBase,
+		TableEntries:       sym.NewEntries,
+		AdjustedRelas:      layout.AdjustedRelas,
+		RewrittenBytes:     len(out),
+	}
+	feedMetrics(opts.Obs.Metrics(), stats)
 	return &Result{
 		Binary: out,
 		SPrime: entries,
 		Graph:  g,
 		Layout: layout,
-		Stats: Stats{
-			Blocks:             gst.Blocks,
-			Entries:            gst.Entries,
-			Instructions:       gst.Instructions,
-			CopiedInstructions: orig,
-			AddedInstructions:  synth,
-			CodePointers:       rep.CodePointers,
-			PinnedPointers:     rep.Pinned,
-			Tables:             sym.Tables,
-			MultiBase:          sym.MultiBase,
-			TableEntries:       sym.NewEntries,
-			AdjustedRelas:      layout.AdjustedRelas,
-			RewrittenBytes:     len(out),
-		},
+		Stats:  stats,
+		Trace:  root,
 	}, nil
 }
 
-// Render prints S' in GNU-as-like text for inspection.
+// feedMetrics accumulates one rewrite's Stats into the registry, so a
+// corpus run aggregates naturally. Nil-safe: a nil registry is a no-op.
+func feedMetrics(reg *obs.Registry, s Stats) {
+	reg.Counter("suri.rewrites").Inc()
+	reg.Counter("suri.blocks").Add(int64(s.Blocks))
+	reg.Counter("suri.entries").Add(int64(s.Entries))
+	reg.Counter("suri.instructions").Add(int64(s.Instructions))
+	reg.Counter("suri.copied_instructions").Add(int64(s.CopiedInstructions))
+	reg.Counter("suri.added_instructions").Add(int64(s.AddedInstructions))
+	reg.Counter("suri.code_pointers").Add(int64(s.CodePointers))
+	reg.Counter("suri.pinned_pointers").Add(int64(s.PinnedPointers))
+	reg.Counter("suri.tables").Add(int64(s.Tables))
+	reg.Counter("suri.multi_base").Add(int64(s.MultiBase))
+	reg.Counter("suri.table_entries").Add(int64(s.TableEntries))
+	reg.Counter("suri.adjusted_relas").Add(int64(s.AdjustedRelas))
+	reg.Counter("suri.rewritten_bytes").Add(int64(s.RewrittenBytes))
+}
+
+// Render prints S' in GNU-as-like text for inspection. The .set pins
+// are printed sorted by name so the rendering is deterministic (map
+// iteration order must never leak into output).
 func Render(entries []serialize.Entry, sets map[string]uint64) string {
 	var prog asm.Program
-	for name, addr := range sets {
-		prog.Sets = append(prog.Sets, asm.Set{Name: name, Addr: addr})
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		prog.Sets = append(prog.Sets, asm.Set{Name: name, Addr: sets[name]})
 	}
 	sec := prog.Section(".suri.text", asm.Alloc|asm.Exec)
 	for _, e := range entries {

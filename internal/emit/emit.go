@@ -13,6 +13,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/elfx"
+	"repro/internal/obs"
 	"repro/internal/serialize"
 )
 
@@ -27,6 +28,10 @@ type Input struct {
 	// preserved original data (solution-②-style tools without table
 	// isolation): the word at Addr becomes symbol(Plus) - Base.
 	TablePatches []TablePatch
+
+	// Obs, if set, receives emission metrics (assembler relaxation
+	// rounds, emitted bytes). Nil disables collection at zero cost.
+	Obs *obs.Collector
 }
 
 // TablePatch is one in-place jump-table entry rewrite.
@@ -45,6 +50,10 @@ type Layout struct {
 	NewEntry      uint64
 	AdjustedRelas int
 }
+
+// RelaxRoundBounds are the histogram buckets for branch-relaxation
+// convergence (asm.relax_rounds).
+var RelaxRoundBounds = []int64{1, 2, 4, 8, 16, 32}
 
 // Emit produces the rewritten binary.
 func Emit(in Input) ([]byte, *Layout, error) {
@@ -81,6 +90,7 @@ func Emit(in Input) ([]byte, *Layout, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("emit: assembling S': %w", err)
 	}
+	in.Obs.Metrics().Histogram("asm.relax_rounds", RelaxRoundBounds).Observe(int64(res.RelaxRounds))
 	if len(res.Relocs) != 0 {
 		return nil, nil, fmt.Errorf("emit: S' produced %d relocations; new code must be position-independent", len(res.Relocs))
 	}

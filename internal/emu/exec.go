@@ -275,6 +275,9 @@ func (m *Machine) exec(in x86.Inst, size int) error {
 		if err != nil {
 			return err
 		}
+		if m.Prof != nil && in.NoTrack {
+			m.Prof.NotrackBranches++
+		}
 		if m.EnforceCET && !in.NoTrack {
 			m.expectEndbr = true
 		}
@@ -303,6 +306,9 @@ func (m *Machine) exec(in x86.Inst, size int) error {
 				return err
 			}
 			target = t
+			if m.Prof != nil && in.NoTrack {
+				m.Prof.NotrackBranches++
+			}
 			if m.EnforceCET && !in.NoTrack {
 				m.expectEndbr = true
 			}
@@ -313,6 +319,9 @@ func (m *Machine) exec(in x86.Inst, size int) error {
 		}
 		if m.EnforceCET {
 			m.shadow = append(m.shadow, next)
+			if m.Prof != nil {
+				m.Prof.ShadowPushes++
+			}
 		}
 		m.RIP = target
 		return nil
@@ -329,6 +338,9 @@ func (m *Machine) exec(in x86.Inst, size int) error {
 			}
 			want := m.shadow[len(m.shadow)-1]
 			m.shadow = m.shadow[:len(m.shadow)-1]
+			if m.Prof != nil {
+				m.Prof.ShadowPops++
+			}
 			if want != target {
 				return &CETViolation{RIP: m.RIP, Kind: "shadow stack mismatch"}
 			}

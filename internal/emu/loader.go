@@ -28,6 +28,11 @@ type Options struct {
 	// DisableCET turns off IBT/shadow-stack enforcement even for
 	// CET-enabled binaries.
 	DisableCET bool
+
+	// Profile enables execution profiling (opcode histogram, block
+	// heat, syscall log, CET event counters); the profile is returned
+	// in Result.Prof. Disabled costs nothing.
+	Profile bool
 }
 
 // Default placement constants.
@@ -73,6 +78,9 @@ func LoadFile(f *elfx.File, opts Options) (*Machine, error) {
 	m := NewMachine()
 	if opts.MaxSteps != 0 {
 		m.MaxSteps = opts.MaxSteps
+	}
+	if opts.Profile {
+		m.Prof = NewProfile()
 	}
 	m.SetInput(opts.Input)
 
@@ -179,6 +187,9 @@ type Result struct {
 	Stderr []byte
 	Exit   int
 	Steps  uint64
+
+	// Prof is the execution profile when Options.Profile was set.
+	Prof *Profile
 }
 
 // Run loads and executes a binary to completion.
@@ -188,8 +199,8 @@ func Run(bin []byte, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if err := m.Run(); err != nil {
-		return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: -1, Steps: m.Steps}, err
+		return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: -1, Steps: m.Steps, Prof: m.Prof}, err
 	}
 	_, code := m.Exited()
-	return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: code, Steps: m.Steps}, nil
+	return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: code, Steps: m.Steps, Prof: m.Prof}, nil
 }

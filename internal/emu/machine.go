@@ -51,6 +51,14 @@ type Machine struct {
 	// before it executes (used by tests to verify the superset property).
 	TraceFn func(addr uint64)
 
+	// Prof, when set, accumulates execution profiling (opcode histogram,
+	// block heat, syscall log, CET events). Nil disables all hooks.
+	Prof *Profile
+
+	// profSeq is the address the previous instruction would fall through
+	// to; a mismatch marks the current instruction as a block leader.
+	profSeq uint64
+
 	icache map[uint64]cachedInst
 }
 
@@ -98,9 +106,21 @@ func (m *Machine) Step() error {
 	if m.TraceFn != nil {
 		m.TraceFn(m.RIP)
 	}
+	if m.Prof != nil {
+		m.Prof.Opcode[in.Op]++
+		if m.RIP != m.profSeq {
+			m.Prof.Heat[m.RIP]++
+		}
+		m.profSeq = m.RIP + uint64(size)
+	}
 
-	if m.EnforceCET && m.expectEndbr && in.Op != x86.ENDBR64 {
-		return &CETViolation{RIP: m.RIP, Kind: "missing endbr64"}
+	if m.EnforceCET && m.expectEndbr {
+		if in.Op != x86.ENDBR64 {
+			return &CETViolation{RIP: m.RIP, Kind: "missing endbr64"}
+		}
+		if m.Prof != nil {
+			m.Prof.IBTChecks++
+		}
 	}
 	m.expectEndbr = false
 
@@ -196,6 +216,13 @@ func (m *Machine) syscall() error {
 		m.exitCode = int(uint8(m.Regs[x86.RDI]))
 	default:
 		return fmt.Errorf("emu: unsupported syscall %d", nr)
+	}
+	if m.Prof != nil {
+		ret := m.Regs[x86.RAX]
+		if nr == sysExit {
+			ret = uint64(m.exitCode)
+		}
+		m.Prof.logSyscall(nr, ret)
 	}
 	// Hardware clobbers RCX and R11 on syscall.
 	m.Regs[x86.RCX] = m.RIP

@@ -1,0 +1,211 @@
+package emu
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/x86"
+)
+
+// Profile accumulates opt-in execution profiling: per-opcode retired
+// counts, basic-block heat (executions per block-leader address), a
+// bounded syscall log, and CET event counters. Attach one to a Machine
+// (or set Options.Profile) before running; a nil *Profile disables
+// every hook at the cost of one pointer test per retired instruction.
+type Profile struct {
+	// Opcode counts retired instructions per mnemonic, indexed by
+	// x86.Op (a uint8, so the array covers every possible value).
+	Opcode [256]uint64
+
+	// Heat counts executions per basic-block leader — the target of
+	// every non-sequential control transfer, plus the entry point.
+	Heat map[uint64]uint64
+
+	// Syscalls logs the first maxSyscallLog syscalls (number and
+	// RAX return value); Dropped counts the rest.
+	Syscalls []SyscallEvent
+	Dropped  uint64
+
+	// CET event counters.
+	IBTChecks       uint64 // indirect transfers that landed on endbr64 under enforcement
+	NotrackBranches uint64 // indirect branches executed with the notrack prefix
+	ShadowPushes    uint64 // shadow-stack pushes (calls under enforcement)
+	ShadowPops      uint64 // shadow-stack pops (returns under enforcement)
+}
+
+// SyscallEvent is one logged syscall: its number and the value returned
+// in RAX (for exit, the exit code).
+type SyscallEvent struct {
+	Nr  uint64 `json:"nr"`
+	Ret uint64 `json:"ret"`
+}
+
+const maxSyscallLog = 4096
+
+// NewProfile returns an empty profile ready to attach to a Machine.
+func NewProfile() *Profile {
+	return &Profile{Heat: make(map[uint64]uint64)}
+}
+
+func (p *Profile) logSyscall(nr, ret uint64) {
+	if len(p.Syscalls) >= maxSyscallLog {
+		p.Dropped++
+		return
+	}
+	p.Syscalls = append(p.Syscalls, SyscallEvent{Nr: nr, Ret: ret})
+}
+
+// Retired is the total instruction count across all opcodes.
+func (p *Profile) Retired() uint64 {
+	var total uint64
+	for _, n := range p.Opcode {
+		total += n
+	}
+	return total
+}
+
+// opcodeRow is one line of the opcode histogram, sorted by descending
+// count with the opcode number as a deterministic tie-break.
+type opcodeRow struct {
+	Op    string `json:"op"`
+	Count uint64 `json:"count"`
+	op    int
+}
+
+func (p *Profile) opcodeRows() []opcodeRow {
+	var rows []opcodeRow
+	for op, n := range p.Opcode {
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, opcodeRow{Op: x86.Op(op).String(), Count: n, op: op})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].op < rows[j].op
+	})
+	return rows
+}
+
+type heatRow struct {
+	Addr  uint64 `json:"addr"`
+	Count uint64 `json:"count"`
+}
+
+func (p *Profile) heatRows() []heatRow {
+	rows := make([]heatRow, 0, len(p.Heat))
+	for addr, n := range p.Heat {
+		rows = append(rows, heatRow{Addr: addr, Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Addr < rows[j].Addr
+	})
+	return rows
+}
+
+// Text renders the profile as deterministic human-readable text: the
+// opcode histogram, CET event counters, hottest blocks, and the syscall
+// summary.
+func (p *Profile) Text() string {
+	var b strings.Builder
+	total := p.Retired()
+	fmt.Fprintf(&b, "profile: %d instructions retired\n", total)
+	b.WriteString("opcodes:\n")
+	for _, r := range p.opcodeRows() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.Count) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-10s %12d  %5.1f%%\n", r.Op, r.Count, pct)
+	}
+	b.WriteString("cet:\n")
+	fmt.Fprintf(&b, "  %-24s %12d\n", "ibt-checks-passed", p.IBTChecks)
+	fmt.Fprintf(&b, "  %-24s %12d\n", "notrack-branches", p.NotrackBranches)
+	fmt.Fprintf(&b, "  %-24s %12d\n", "shadow-pushes", p.ShadowPushes)
+	fmt.Fprintf(&b, "  %-24s %12d\n", "shadow-pops", p.ShadowPops)
+	heat := p.heatRows()
+	fmt.Fprintf(&b, "blocks: %d distinct leaders\n", len(heat))
+	for i, r := range heat {
+		if i >= 8 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(heat)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  %#-12x %12d\n", r.Addr, r.Count)
+	}
+	fmt.Fprintf(&b, "syscalls: %d logged, %d dropped\n", len(p.Syscalls), p.Dropped)
+	perNr := map[uint64]uint64{}
+	for _, s := range p.Syscalls {
+		perNr[s.Nr]++
+	}
+	nrs := make([]uint64, 0, len(perNr))
+	for nr := range perNr {
+		nrs = append(nrs, nr)
+	}
+	sort.Slice(nrs, func(i, j int) bool { return nrs[i] < nrs[j] })
+	for _, nr := range nrs {
+		fmt.Fprintf(&b, "  %-10s %12d\n", syscallName(nr), perNr[nr])
+	}
+	return b.String()
+}
+
+func syscallName(nr uint64) string {
+	switch nr {
+	case sysRead:
+		return "read"
+	case sysWrite:
+		return "write"
+	case sysExit:
+		return "exit"
+	}
+	return fmt.Sprintf("sys_%d", nr)
+}
+
+type profileJSON struct {
+	Retired  uint64         `json:"retired"`
+	Opcodes  []opcodeRow    `json:"opcodes"`
+	CET      cetJSON        `json:"cet"`
+	Blocks   []heatRow      `json:"blocks"`
+	Syscalls []SyscallEvent `json:"syscalls"`
+	Dropped  uint64         `json:"syscalls_dropped"`
+}
+
+type cetJSON struct {
+	IBTChecks       uint64 `json:"ibt_checks_passed"`
+	NotrackBranches uint64 `json:"notrack_branches"`
+	ShadowPushes    uint64 `json:"shadow_pushes"`
+	ShadowPops      uint64 `json:"shadow_pops"`
+}
+
+// JSON renders the profile as indented, deterministic JSON.
+func (p *Profile) JSON() ([]byte, error) {
+	out := profileJSON{
+		Retired: p.Retired(),
+		Opcodes: p.opcodeRows(),
+		CET: cetJSON{
+			IBTChecks:       p.IBTChecks,
+			NotrackBranches: p.NotrackBranches,
+			ShadowPushes:    p.ShadowPushes,
+			ShadowPops:      p.ShadowPops,
+		},
+		Blocks:   p.heatRows(),
+		Syscalls: p.Syscalls,
+		Dropped:  p.Dropped,
+	}
+	if out.Opcodes == nil {
+		out.Opcodes = []opcodeRow{}
+	}
+	if out.Blocks == nil {
+		out.Blocks = []heatRow{}
+	}
+	if out.Syscalls == nil {
+		out.Syscalls = []SyscallEvent{}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

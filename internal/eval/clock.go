@@ -1,8 +1,21 @@
 package eval
 
-import "time"
+import "repro/internal/obs"
 
-var evalEpoch = time.Now()
+// clock is the package time source for every eval measurement (Table
+// 2/3 rewriting-time columns, the §4.3.3 build-speed ablation). It is
+// injectable so tests substitute an obs.FakeClock and get byte-stable
+// "time" columns.
+var clock obs.Clock = obs.NewClock()
 
-// nanotime returns monotonic nanoseconds since package init.
-func nanotime() int64 { return int64(time.Since(evalEpoch)) }
+// SetClock injects a time source (tests pass *obs.FakeClock); call with
+// nil to restore the system monotonic clock.
+func SetClock(c obs.Clock) {
+	if c == nil {
+		c = obs.NewClock()
+	}
+	clock = c
+}
+
+// nowSec reads the package clock in seconds.
+func nowSec() float64 { return float64(clock.Now()) / 1e9 }

@@ -9,7 +9,6 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/baseline/ddisasm"
@@ -17,6 +16,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/prog"
 )
 
@@ -114,14 +114,28 @@ func (t ToolStats) Pass() float64 {
 // the rewritten binary must reproduce the original's stdout and exit code
 // on every test input).
 func RunTool(tool baseline.Rewriter, cases []Case) ToolStats {
+	return RunToolObs(tool, cases, nil)
+}
+
+// RunToolObs is RunTool with observability: it records a span for the
+// tool's pass over the cases and feeds per-tool counters and a
+// rewrite-time histogram into the registry. A nil collector reduces to
+// plain RunTool at zero cost.
+func RunToolObs(tool baseline.Rewriter, cases []Case, col *obs.Collector) ToolStats {
+	span := col.Trace().Start("run:" + tool.Name())
 	st := ToolStats{SuitePass: true}
+	reg := col.Metrics()
+	prefix := "eval." + tool.Name() + "."
 	for _, c := range cases {
 		st.Cases++
-		start := time.Now()
+		start := clock.Now()
 		res, err := tool.Rewrite(c.Bin)
-		st.TimeSec += time.Since(start).Seconds()
+		elapsed := clock.Now() - start
+		st.TimeSec += float64(elapsed) / 1e9
+		reg.Histogram(prefix+"rewrite_us", RewriteTimeBounds).Observe(elapsed / 1e3)
 		if err != nil {
 			st.SuitePass = false
+			reg.Counter(prefix + "failed").Inc()
 			continue
 		}
 		st.Completed++
@@ -134,8 +148,19 @@ func RunTool(tool baseline.Rewriter, cases []Case) ToolStats {
 			}
 		}
 	}
+	reg.Counter(prefix + "cases").Add(int64(st.Cases))
+	reg.Counter(prefix + "completed").Add(int64(st.Completed))
+	reg.Counter(prefix + "tests").Add(int64(st.Tests))
+	reg.Counter(prefix + "tests_passed").Add(int64(st.TestsPassed))
+	span.SetInt("cases", int64(st.Cases))
+	span.SetInt("completed", int64(st.Completed))
+	span.End()
 	return st
 }
+
+// RewriteTimeBounds are the histogram buckets (microseconds) for
+// per-case rewriting time.
+var RewriteTimeBounds = []int64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000}
 
 func behaviourMatches(orig, rewritten []byte, input []int64) bool {
 	a, err := emu.Run(orig, emu.Options{Input: inputBytes(input)})

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/elfx"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/sanitizer"
 )
 
@@ -26,6 +27,12 @@ type Row struct {
 // Ddisasm, Table 3 with Egalito) over a pre-built corpus, grouped by
 // suite and compiler family.
 func ReliabilityTable(cases []Case, other baseline.Rewriter, excludeCPP bool) []Row {
+	return ReliabilityTableObs(cases, other, excludeCPP, nil)
+}
+
+// ReliabilityTableObs is ReliabilityTable with observability: per-tool
+// spans and counters are recorded into col (nil disables collection).
+func ReliabilityTableObs(cases []Case, other baseline.Rewriter, excludeCPP bool, col *obs.Collector) []Row {
 	if excludeCPP {
 		cases = Filter(cases, func(c Case) bool { return !c.Prog.CPP })
 	}
@@ -57,8 +64,8 @@ func ReliabilityTable(cases []Case, other baseline.Rewriter, excludeCPP bool) []
 		rows = append(rows, Row{
 			Suite:    k.suite,
 			Compiler: comp,
-			SURI:     RunTool(SURI(), groups[k]),
-			Other:    RunTool(other, groups[k]),
+			SURI:     RunToolObs(SURI(), groups[k], col),
+			Other:    RunToolObs(other, groups[k], col),
 		})
 	}
 	return rows
@@ -363,6 +370,3 @@ func FormatTable5(ours, basan, asan sanitizer.Verdict) string {
 	fmt.Fprintf(&b, "%-16s %8d %8d %8d\n", "Total Binaries", ours.Total(), basan.Total(), asan.Total())
 	return b.String()
 }
-
-// nowSec is a monotonic clock in seconds.
-func nowSec() float64 { return float64(nanotime()) / 1e9 }

@@ -1,0 +1,39 @@
+package obs
+
+import "time"
+
+// Clock is a monotonic nanosecond time source. The production clock
+// wraps the runtime's monotonic reading; tests inject a FakeClock so
+// every duration in a trace (and every "time" column of the evaluation
+// tables) is a deterministic function of the workload, not of the host.
+type Clock interface {
+	// Now returns monotonic nanoseconds since an arbitrary epoch.
+	Now() int64
+}
+
+type sysClock struct{ epoch time.Time }
+
+func (c *sysClock) Now() int64 { return int64(time.Since(c.epoch)) }
+
+// NewClock returns the system monotonic clock; its epoch is the call to
+// NewClock, so readings start near zero.
+func NewClock() Clock { return &sysClock{epoch: time.Now()} }
+
+// FakeClock is a deterministic Clock for tests: each Now call returns
+// the current time and then advances it by Step, so consecutive
+// readings are T, T+Step, T+2*Step, ... regardless of host speed.
+// It is not safe for concurrent use (use it in single-goroutine tests).
+type FakeClock struct {
+	T    int64 // current time in nanoseconds
+	Step int64 // auto-advance per Now call
+}
+
+// Now returns the current fake time and advances it by Step.
+func (c *FakeClock) Now() int64 {
+	v := c.T
+	c.T += c.Step
+	return v
+}
+
+// Advance moves the fake time forward by d nanoseconds.
+func (c *FakeClock) Advance(d int64) { c.T += d }

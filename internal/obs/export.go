@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Text renders the span tree and the metric snapshot as deterministic
+// human-readable text (durations are exact functions of the clock, so a
+// FakeClock yields byte-stable output).
+func (c *Collector) Text() string {
+	if c == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(c.trace.Text())
+	b.WriteString(c.reg.Text())
+	return b.String()
+}
+
+// Text renders the span tree alone.
+func (t *Trace) Text() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("trace:\n")
+	for _, root := range t.Roots() {
+		writeSpan(&b, root, 1)
+	}
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, depth int) {
+	name := strings.Repeat("  ", depth) + s.Name
+	fmt.Fprintf(b, "%-40s %12s", name, time.Duration(s.Duration()))
+	for _, a := range s.Attrs {
+		if a.IsStr {
+			fmt.Fprintf(b, "  %s=%s", a.Key, a.Str)
+		} else {
+			fmt.Fprintf(b, "  %s=%d", a.Key, a.Int)
+		}
+	}
+	b.WriteByte('\n')
+	for _, child := range s.Children {
+		writeSpan(b, child, depth+1)
+	}
+}
+
+// Text renders the metric snapshot alone, names sorted.
+func (r *Registry) Text() string {
+	if r == nil {
+		return ""
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	if len(snap.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(&b, "  %-38s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(&b, "  %-38s %12d\n", g.Name, g.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, h := range snap.Histograms {
+			fmt.Fprintf(&b, "  %-38s count=%d sum=%d", h.Name, h.Count, h.Sum)
+			for i, n := range h.Counts {
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&b, " le%d:%d", h.Bounds[i], n)
+				} else {
+					fmt.Fprintf(&b, " inf:%d", n)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// spanJSON mirrors Span for export; attribute maps are marshaled with
+// sorted keys by encoding/json, keeping the bytes deterministic.
+type spanJSON struct {
+	Name     string         `json:"name"`
+	StartNs  int64          `json:"start_ns"`
+	DurNs    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []spanJSON     `json:"children,omitempty"`
+}
+
+func toSpanJSON(s *Span) spanJSON {
+	out := spanJSON{Name: s.Name, StartNs: s.Start, DurNs: s.Duration()}
+	if len(s.Attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			if a.IsStr {
+				out.Attrs[a.Key] = a.Str
+			} else {
+				out.Attrs[a.Key] = a.Int
+			}
+		}
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, toSpanJSON(c))
+	}
+	return out
+}
+
+type exportJSON struct {
+	Spans   []spanJSON `json:"spans"`
+	Metrics Snapshot   `json:"metrics"`
+}
+
+// JSON renders the span tree and metric snapshot as indented,
+// deterministic JSON.
+func (c *Collector) JSON() ([]byte, error) {
+	if c == nil {
+		return []byte("{}"), nil
+	}
+	out := exportJSON{Metrics: c.reg.Snapshot()}
+	for _, root := range c.trace.Roots() {
+		out.Spans = append(out.Spans, toSpanJSON(root))
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureCollector builds a fixed trace + metrics on a fake clock, so
+// the exported text and JSON are byte-stable.
+func fixtureCollector() *Collector {
+	c := NewWithClock(&FakeClock{Step: 1000}) // 1µs per reading
+	tr := c.Trace()
+
+	root := tr.Start("rewrite")
+	cfg := tr.Start("cfg")
+	cfg.SetInt("blocks", 12)
+	cfg.SetInt("entries", 3)
+	harvest := tr.Start("harvest")
+	harvest.SetInt("entries", 3)
+	harvest.End()
+	disasm := tr.Start("disasm")
+	disasm.SetInt("round", 0)
+	disasm.End()
+	cfg.End()
+	ser := tr.Start("serialize")
+	ser.SetInt("entries", 240)
+	ser.End()
+	emitSpan := tr.Start("emit")
+	emitSpan.SetStr("section", ".suri.text")
+	emitSpan.End()
+	root.End()
+
+	reg := c.Metrics()
+	reg.Counter("suri.rewrites").Inc()
+	reg.Counter("suri.blocks").Add(12)
+	reg.Gauge("corpus.scale_pct").Set(6)
+	h := reg.Histogram("asm.relax_rounds", []int64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(7)
+	return c
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTextExporterGolden(t *testing.T) {
+	checkGolden(t, "export.txt", []byte(fixtureCollector().Text()))
+}
+
+func TestJSONExporterGolden(t *testing.T) {
+	js, err := fixtureCollector().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export.json", js)
+}
+
+// TestExportDeterminism renders the same fixture twice and requires
+// byte equality (map iteration order must not leak into the output).
+func TestExportDeterminism(t *testing.T) {
+	a, b := fixtureCollector(), fixtureCollector()
+	if a.Text() != b.Text() {
+		t.Error("text export nondeterministic")
+	}
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Error("JSON export nondeterministic")
+	}
+}

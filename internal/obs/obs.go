@@ -1,0 +1,62 @@
+// Package obs is the repository's observability subsystem: hierarchical
+// span tracing, a named-metric registry (counters, gauges, fixed-bucket
+// histograms), and deterministic text/JSON exporters, stdlib-only.
+//
+// The paper's evaluation (§4.2–§4.3) is measurement-driven — completion
+// time, added-instruction percentages, retired-instruction overhead —
+// and credible rewriter comparisons need per-stage, per-binary
+// transparency. obs provides that layer: core.Rewrite records one span
+// per pipeline stage (with nested sub-spans inside the CFG builder),
+// pipeline statistics and assembler relaxation rounds feed the registry,
+// and internal/emu offers opt-in execution profiling.
+//
+// Everything is nil-safe end to end: a nil *Collector yields nil
+// *Trace/*Registry, which yield nil spans and metrics, all of whose
+// methods are no-ops. The disabled path therefore costs one pointer
+// test per site and allocates nothing, keeping untraced benchmarks
+// identical to the pre-obs pipeline.
+package obs
+
+// Collector bundles a trace and a metric registry sharing one clock.
+// A nil *Collector disables all collection at zero cost.
+type Collector struct {
+	clock Clock
+	trace *Trace
+	reg   *Registry
+}
+
+// New returns a collector on the system monotonic clock.
+func New() *Collector { return NewWithClock(NewClock()) }
+
+// NewWithClock returns a collector on the given clock (nil means the
+// system clock); tests pass a FakeClock for deterministic durations.
+func NewWithClock(clock Clock) *Collector {
+	if clock == nil {
+		clock = NewClock()
+	}
+	return &Collector{clock: clock, trace: NewTrace(clock), reg: NewRegistry()}
+}
+
+// Trace returns the collector's trace, or nil when c is nil.
+func (c *Collector) Trace() *Trace {
+	if c == nil {
+		return nil
+	}
+	return c.trace
+}
+
+// Metrics returns the collector's registry, or nil when c is nil.
+func (c *Collector) Metrics() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Clock returns the collector's clock, or nil when c is nil.
+func (c *Collector) Clock() Clock {
+	if c == nil {
+		return nil
+	}
+	return c.clock
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repo hygiene gate: formatting, vet, build, and the race-sensitive
+# test packages (obs has concurrent counters; core drives the traced
+# pipeline). Run from the repo root. Fails fast on the first problem.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./internal/obs/... ./internal/core/...
+echo "check.sh: OK"
