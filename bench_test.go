@@ -10,7 +10,9 @@
 package suri_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	suri "repro"
 	"repro/internal/baseline"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/elfx"
 	"repro/internal/emu"
 	"repro/internal/eval"
+	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/prog"
 )
@@ -263,6 +266,74 @@ func benchRewriteBin(b *testing.B) []byte {
 	}
 	return bin
 }
+
+// benchFarm runs the full SURI evaluation loop (rewrite + behaviour
+// check per case) over a fixed corpus, sequentially or on a farm pool.
+// BENCH_farm.json records the paired sequential-vs--j medians.
+func benchFarm(b *testing.B, workers int) {
+	cases := benchCorpus(b, "ubuntu20.04", 4)
+	var pool *farm.Pool
+	if workers > 1 {
+		pool = farm.New(farm.Config{Workers: workers})
+		defer pool.Close()
+	}
+	tool := eval.SURI()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := eval.RunToolFarm(context.Background(), tool, cases, nil, pool)
+		if st.Completed == 0 {
+			b.Fatal("no case completed")
+		}
+	}
+	b.ReportMetric(float64(len(cases)), "cases")
+}
+
+// BenchmarkFarmSequential is the nil-pool baseline (surieval without -j).
+func BenchmarkFarmSequential(b *testing.B) { benchFarm(b, 1) }
+
+// BenchmarkFarmJ4 is the same corpus on a 4-worker pool (surieval -j 4).
+func BenchmarkFarmJ4(b *testing.B) { benchFarm(b, 4) }
+
+// BenchmarkFarmJ8 is the same corpus on an 8-worker pool (surieval -j 8).
+func BenchmarkFarmJ8(b *testing.B) { benchFarm(b, 8) }
+
+// benchFarmLatency measures the pool on latency-bound tasks (each job
+// parks on a timer, as jobs blocked on I/O would). Unlike the CPU-bound
+// rewrite benchmarks above, the achievable speedup here is set by the
+// pool's concurrency alone, not by the host's online core count.
+func benchFarmLatency(b *testing.B, workers int) {
+	const tasks = 32
+	const lat = 2 * time.Millisecond
+	pool := farm.New(farm.Config{Workers: workers})
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, errs := pool.Map(context.Background(), "latency", tasks, func(int) farm.Task {
+			return func(ctx context.Context) (any, error) {
+				t := time.NewTimer(lat)
+				defer t.Stop()
+				select {
+				case <-t.C:
+					return nil, nil
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+		})
+		for _, e := range errs {
+			if e != nil {
+				b.Fatal(e)
+			}
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks")
+}
+
+// BenchmarkFarmLatencySequential is the 1-worker latency baseline.
+func BenchmarkFarmLatencySequential(b *testing.B) { benchFarmLatency(b, 1) }
+
+// BenchmarkFarmLatencyJ4 runs the latency-bound tasks on 4 workers.
+func BenchmarkFarmLatencyJ4(b *testing.B) { benchFarmLatency(b, 4) }
 
 // BenchmarkRewriteUntraced is the nil-collector baseline for the
 // observability overhead claim: compare against BenchmarkRewriteTraced.

@@ -11,13 +11,16 @@
 // stages, with nested CFG-builder sub-spans); -stats-json prints the
 // full trace + metric registry as JSON.
 //
-// Produce inputs with surigen, run outputs with surirun.
+// Exit codes: 1 — the rewrite (or file I/O) failed; the message names
+// the pipeline stage that died (e.g. "suri: cfg: ..."); 2 — usage
+// error. Produce inputs with surigen, run outputs with surirun.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	suri "repro"
 	"repro/internal/core"
@@ -35,6 +38,7 @@ func main() {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: suri [flags] input.bin")
+		fmt.Fprintln(os.Stderr, "exit codes: 1 rewrite/I-O error (message names the failing stage, e.g. \"cfg: ...\"), 2 usage")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
@@ -80,9 +84,18 @@ func main() {
 	}
 }
 
+// fail exits 1 on error. Pipeline errors already carry the "suri:
+// <stage>:" prefix (core.StageError), so only unprefixed errors (file
+// I/O) get one added — the stage name is what retry/skip tooling and
+// humans both key on.
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "suri:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "suri: ") {
+		msg = "suri: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
 }

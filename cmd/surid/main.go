@@ -1,0 +1,88 @@
+// Command surid serves the SURI pipeline as an HTTP batch service: a
+// concurrent rewrite farm with a content-addressed artifact cache
+// behind three endpoints:
+//
+//	POST /rewrite   binary in -> {"cache_hit":…,"stats":{…},"binary":"<base64>"}
+//	                query: ignore-ehframe=1, allow-noncet=1
+//	GET  /healthz   liveness probe
+//	GET  /metrics   farm.* / suri.* counters as deterministic text
+//
+// Usage:
+//
+//	surid [-addr :8649] [-j N] [-cache-dir DIR] [-cache-entries N] [-max-inflight N]
+//
+// -j sets the farm's worker count (default GOMAXPROCS); -cache-dir
+// enables write-through disk persistence of rewrite artifacts, so a
+// restarted server still answers repeat requests from cache;
+// -max-inflight caps concurrent /rewrite requests (excess get 503).
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
+// finish, then the farm drains and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8649", "listen address")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "farm worker goroutines")
+	cacheDir := flag.String("cache-dir", "", "persist rewrite artifacts under this directory (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 256, "in-memory artifact cache size (LRU)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent /rewrite requests before 503 (0 = 4x workers)")
+	timeout := flag.Duration("job-timeout", 0, "per-rewrite deadline (0 = none)")
+	flag.Parse()
+
+	col := obs.New()
+	cache, err := farm.NewCache(*cacheEntries, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surid:", err)
+		os.Exit(1)
+	}
+	pool := farm.New(farm.Config{
+		Workers:    *jobs,
+		JobTimeout: *timeout,
+		Cache:      cache,
+		Obs:        col,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: farm.NewHandler(pool, farm.ServerOptions{MaxInflight: *maxInflight}),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Print("surid: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("surid: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("surid: listening on %s (%d workers, cache %d entries, dir %q)",
+		*addr, pool.Workers(), *cacheEntries, *cacheDir)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "surid:", err)
+		os.Exit(1)
+	}
+	<-done       // in-flight requests finished
+	pool.Close() // farm drained; no goroutines leak past this line
+	log.Print("surid: bye")
+}

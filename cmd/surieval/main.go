@@ -5,21 +5,28 @@
 //
 // Usage:
 //
-//	surieval [-scale 0.1] [-table 2|3|4|5|all] [-full] [-timing]
+//	surieval [-scale 0.1] [-table 2|3|4|5|all] [-full] [-timing] [-j N]
 //
 // -scale sets the corpus size as a fraction of the paper's 197-program
 // benchmark; -full is shorthand for -scale 1 (the paper's 9,456-binary
 // corpus across 48 configurations; expect a long run). -timing prints a
 // per-table timing breakdown (span tree + per-tool metrics) at the end.
+// -j fans the corpus loops of Tables 2/3/4 and the §4.2.4/§4.3.1 census
+// out over a rewrite farm with N workers; results are folded in job
+// order, so the table text is byte-identical to -j 1. Ctrl-C cancels
+// pending farm jobs and exits without leaking goroutines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/baseline"
 	"repro/internal/eval"
+	"repro/internal/farm"
 	"repro/internal/obs"
 )
 
@@ -28,6 +35,7 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|431|433|424|all")
 	full := flag.Bool("full", false, "run the paper-sized corpus (overrides -scale)")
 	timing := flag.Bool("timing", false, "print a per-table timing breakdown at the end")
+	jobs := flag.Int("j", 1, "parallel rewrite-farm workers for the corpus loops (1 = sequential)")
 	flag.Parse()
 
 	if *full {
@@ -40,6 +48,23 @@ func main() {
 		span := col.Trace().Start(name)
 		f()
 		span.End()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var pool *farm.Pool
+	if *jobs > 1 {
+		pool = farm.New(farm.Config{Workers: *jobs, Obs: col})
+		defer pool.Close()
+	}
+	interrupted := func() {
+		if ctx.Err() != nil {
+			if pool != nil {
+				pool.Close() // drain canceled jobs; nothing leaks
+			}
+			fmt.Fprintln(os.Stderr, "surieval: interrupted")
+			os.Exit(1)
+		}
 	}
 
 	// Corpora are built once per host and shared between tables.
@@ -64,7 +89,8 @@ func main() {
 	if run("2") {
 		section("table2", func() {
 			cases := corpus("ubuntu20.04")
-			rows := eval.ReliabilityTableObs(cases, eval.Ddisasm(), false, col)
+			rows := eval.ReliabilityTableFarm(ctx, cases, eval.Ddisasm(), false, col, pool)
+			interrupted()
 			fmt.Println(eval.FormatReliability(
 				fmt.Sprintf("Table 2: SURI vs Ddisasm (scale %.2f, %d binaries)", *scale, len(cases)),
 				"Ddisasm", rows))
@@ -74,7 +100,8 @@ func main() {
 	if run("3") {
 		section("table3", func() {
 			cases := corpus("ubuntu18.04")
-			rows := eval.ReliabilityTableObs(cases, eval.Egalito(), true, col)
+			rows := eval.ReliabilityTableFarm(ctx, cases, eval.Egalito(), true, col, pool)
+			interrupted()
 			fmt.Println(eval.FormatReliability(
 				fmt.Sprintf("Table 3: SURI vs Egalito (scale %.2f, C++-like programs excluded)", *scale),
 				"Egalito", rows))
@@ -84,7 +111,8 @@ func main() {
 	if run("4") {
 		section("table4", func() {
 			cases := append(append([]eval.Case(nil), corpus("ubuntu20.04")...), corpus("ubuntu18.04")...)
-			rows := eval.OverheadTable(cases, []baseline.Rewriter{eval.SURI(), eval.Ddisasm(), eval.Egalito()})
+			rows := eval.OverheadTableFarm(ctx, cases, []baseline.Rewriter{eval.SURI(), eval.Ddisasm(), eval.Egalito()}, pool)
+			interrupted()
 			fmt.Println(eval.FormatOverhead(rows))
 		})
 	}
@@ -92,8 +120,9 @@ func main() {
 	if run("431") || run("424") {
 		cases := corpus("ubuntu20.04")
 		span := col.Trace().Start("section431")
-		st, err := eval.MeasureInstrumentation(cases)
+		st, err := eval.MeasureInstrumentationFarm(ctx, cases, pool)
 		span.End()
+		interrupted()
 		fail(err)
 		fmt.Printf("§4.3.1 instrumentation statistics (%d binaries):\n", st.Binaries)
 		fmt.Printf("  added instructions:          %6.2f%%   (paper: 2.8%%)\n", st.AddedInstrPct)
@@ -136,6 +165,9 @@ func main() {
 		})
 	}
 
+	if pool != nil {
+		pool.Close()
+	}
 	if *timing {
 		fmt.Println("per-table timing breakdown:")
 		fmt.Print(col.Text())

@@ -8,7 +8,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 
 	"repro/internal/asm"
@@ -24,6 +23,31 @@ import (
 // ErrNotCETPIE is returned for binaries outside SURI's problem scope
 // (§2.1): only CET-enabled PIE binaries are rewritten.
 var ErrNotCETPIE = errors.New("suri: target must be a CET-enabled PIE binary")
+
+// StageError tags a pipeline failure with the Figure 4 stage that died
+// ("elf", "cfg", "repair", "audit", "symbolize", "instrument", "emit"),
+// so batch-layer retry/skip decisions and the CLI can both report where
+// a rewrite failed. It wraps the underlying error for errors.Is/As.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+func (e *StageError) Error() string { return "suri: " + e.Stage + ": " + e.Err.Error() }
+func (e *StageError) Unwrap() error { return e.Err }
+
+func stageErr(stage string, err error) error { return &StageError{Stage: stage, Err: err} }
+
+// Stage returns the pipeline stage recorded anywhere in err's chain, or
+// "" when the error is not a stage failure (e.g. ErrNotCETPIE, which is
+// a scope rejection, not a stage death).
+func Stage(err error) string {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Stage
+	}
+	return ""
+}
 
 // Instrumenter edits S' — the serialized, repaired, symbolized code —
 // before emission. Implementations may insert synthesized entries
@@ -102,7 +126,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 
 	f, err := elfx.Read(bin)
 	if err != nil {
-		return nil, err
+		return nil, stageErr("elf", err)
 	}
 	if !opts.AllowNonCET && (!f.IsPIE() || !f.HasCET()) {
 		return nil, ErrNotCETPIE
@@ -116,7 +140,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	g, err := cfg.Build(f, copts)
 	if err != nil {
 		span.End()
-		return nil, fmt.Errorf("suri: cfg: %w", err)
+		return nil, stageErr("cfg", err)
 	}
 	gst := g.Stats()
 	span.SetInt("blocks", int64(gst.Blocks))
@@ -135,7 +159,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	rep, err := repair.Repair(entries, g)
 	if err != nil {
 		span.End()
-		return nil, fmt.Errorf("suri: repair: %w", err)
+		return nil, stageErr("repair", err)
 	}
 	span.SetInt("code_pointers", int64(rep.CodePointers))
 	span.SetInt("pinned", int64(rep.Pinned))
@@ -144,7 +168,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	span = tr.Start("audit")
 	if _, err := repair.Audit(entries, g); err != nil {
 		span.End()
-		return nil, fmt.Errorf("suri: %w", err)
+		return nil, stageErr("audit", err)
 	}
 	span.End()
 
@@ -153,7 +177,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	entries, sym, err := symbolize.Symbolize(entries, g)
 	if err != nil {
 		span.End()
-		return nil, fmt.Errorf("suri: symbolize: %w", err)
+		return nil, stageErr("symbolize", err)
 	}
 	span.SetInt("tables", int64(sym.Tables))
 	span.SetInt("multi_base", int64(sym.MultiBase))
@@ -165,7 +189,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 		entries, err = opts.Instrument(entries)
 		if err != nil {
 			span.End()
-			return nil, fmt.Errorf("suri: instrumentation: %w", err)
+			return nil, stageErr("instrument", err)
 		}
 	}
 	span.End()
@@ -188,7 +212,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	})
 	if err != nil {
 		span.End()
-		return nil, fmt.Errorf("suri: emit: %w", err)
+		return nil, stageErr("emit", err)
 	}
 	span.SetInt("bytes", int64(len(out)))
 	span.SetInt("adjusted_relas", int64(layout.AdjustedRelas))

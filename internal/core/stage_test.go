@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestStageError: pipeline failures name the stage that died, unwrap to
+// the underlying error, and Stage() recovers the name through wrapping.
+func TestStageError(t *testing.T) {
+	_, err := Rewrite([]byte("not an elf"), Options{})
+	if err == nil {
+		t.Fatal("garbage input rewrote successfully")
+	}
+	if got := Stage(err); got != "elf" {
+		t.Fatalf("Stage(%v) = %q, want \"elf\"", err, got)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Err == nil {
+		t.Fatalf("error does not wrap a StageError with a cause: %v", err)
+	}
+	wantPrefix := "suri: elf: "
+	if msg := err.Error(); len(msg) < len(wantPrefix) || msg[:len(wantPrefix)] != wantPrefix {
+		t.Fatalf("message %q lacks the %q prefix", msg, wantPrefix)
+	}
+
+	// Stage survives further wrapping (batch layers add context).
+	wrapped := fmt.Errorf("job 7: %w", err)
+	if got := Stage(wrapped); got != "elf" {
+		t.Fatalf("Stage through wrapping = %q", got)
+	}
+
+	// Non-stage errors report no stage.
+	if got := Stage(ErrNotCETPIE); got != "" {
+		t.Fatalf("Stage(ErrNotCETPIE) = %q, want \"\"", got)
+	}
+	if got := Stage(nil); got != "" {
+		t.Fatalf("Stage(nil) = %q, want \"\"", got)
+	}
+}

@@ -7,6 +7,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/prog"
 )
@@ -114,7 +116,7 @@ func (t ToolStats) Pass() float64 {
 // the rewritten binary must reproduce the original's stdout and exit code
 // on every test input).
 func RunTool(tool baseline.Rewriter, cases []Case) ToolStats {
-	return RunToolObs(tool, cases, nil)
+	return RunToolFarm(context.Background(), tool, cases, nil, nil)
 }
 
 // RunToolObs is RunTool with observability: it records a span for the
@@ -122,30 +124,84 @@ func RunTool(tool baseline.Rewriter, cases []Case) ToolStats {
 // rewrite-time histogram into the registry. A nil collector reduces to
 // plain RunTool at zero cost.
 func RunToolObs(tool baseline.Rewriter, cases []Case, col *obs.Collector) ToolStats {
+	return RunToolFarm(context.Background(), tool, cases, col, nil)
+}
+
+// caseOut is the result of evaluating one case: rewrite timing and
+// per-test verdicts, computed identically by the sequential and the
+// farm-parallel paths so both fold into bit-identical ToolStats.
+type caseOut struct {
+	elapsed int64 // rewrite time, ns
+	failed  bool  // the rewrite itself errored
+	tests   int
+	passed  int
+}
+
+// runCase rewrites one case and checks behaviour on every test input.
+func runCase(tool baseline.Rewriter, c Case) caseOut {
+	var o caseOut
+	start := clock.Now()
+	res, err := tool.Rewrite(c.Bin)
+	o.elapsed = clock.Now() - start
+	if err != nil {
+		o.failed = true
+		return o
+	}
+	for _, in := range c.Prog.Inputs {
+		o.tests++
+		if behaviourMatches(c.Bin, res.Binary, in) {
+			o.passed++
+		}
+	}
+	return o
+}
+
+// RunToolFarm is RunToolObs with the per-case work (rewrite + emulated
+// test runs) fanned out over a farm pool. Per-case results are folded
+// in job-index order — never completion order — so every ToolStats
+// field, including the float TimeSec sum, is bit-identical to a
+// sequential run of the same cases under the same clock. A nil pool
+// runs sequentially; canceling ctx skips the not-yet-started cases
+// (each is then accounted as an incomplete rewrite).
+func RunToolFarm(ctx context.Context, tool baseline.Rewriter, cases []Case, col *obs.Collector, pool *farm.Pool) ToolStats {
 	span := col.Trace().Start("run:" + tool.Name())
+	outs := make([]caseOut, len(cases))
+	if pool == nil {
+		for i, c := range cases {
+			outs[i] = runCase(tool, c)
+		}
+	} else {
+		vals, errs := pool.Map(ctx, "eval:"+tool.Name(), len(cases), func(i int) farm.Task {
+			c := cases[i]
+			return func(context.Context) (any, error) { return runCase(tool, c), nil }
+		})
+		for i := range outs {
+			if errs[i] != nil {
+				// Pool-level failure (cancel, panic): account the case
+				// as an incomplete rewrite, like a tool error.
+				outs[i] = caseOut{failed: true}
+				continue
+			}
+			outs[i] = vals[i].(caseOut)
+		}
+	}
 	st := ToolStats{SuitePass: true}
 	reg := col.Metrics()
 	prefix := "eval." + tool.Name() + "."
-	for _, c := range cases {
+	for _, o := range outs {
 		st.Cases++
-		start := clock.Now()
-		res, err := tool.Rewrite(c.Bin)
-		elapsed := clock.Now() - start
-		st.TimeSec += float64(elapsed) / 1e9
-		reg.Histogram(prefix+"rewrite_us", RewriteTimeBounds).Observe(elapsed / 1e3)
-		if err != nil {
+		st.TimeSec += float64(o.elapsed) / 1e9
+		reg.Histogram(prefix+"rewrite_us", RewriteTimeBounds).Observe(o.elapsed / 1e3)
+		if o.failed {
 			st.SuitePass = false
 			reg.Counter(prefix + "failed").Inc()
 			continue
 		}
 		st.Completed++
-		for _, in := range c.Prog.Inputs {
-			st.Tests++
-			if behaviourMatches(c.Bin, res.Binary, in) {
-				st.TestsPassed++
-			} else {
-				st.SuitePass = false
-			}
+		st.Tests += o.tests
+		st.TestsPassed += o.passed
+		if o.passed != o.tests {
+			st.SuitePass = false
 		}
 	}
 	reg.Counter(prefix + "cases").Add(int64(st.Cases))

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/elfx"
 	"repro/internal/emu"
+	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/sanitizer"
 )
@@ -33,6 +35,14 @@ func ReliabilityTable(cases []Case, other baseline.Rewriter, excludeCPP bool) []
 // ReliabilityTableObs is ReliabilityTable with observability: per-tool
 // spans and counters are recorded into col (nil disables collection).
 func ReliabilityTableObs(cases []Case, other baseline.Rewriter, excludeCPP bool, col *obs.Collector) []Row {
+	return ReliabilityTableFarm(context.Background(), cases, other, excludeCPP, col, nil)
+}
+
+// ReliabilityTableFarm is ReliabilityTableObs with the per-case work of
+// each table cell fanned out over a farm pool (nil pool = sequential).
+// Grouping, ordering, and folding are identical to the sequential path,
+// so the rendered table text is byte-identical at any worker count.
+func ReliabilityTableFarm(ctx context.Context, cases []Case, other baseline.Rewriter, excludeCPP bool, col *obs.Collector, pool *farm.Pool) []Row {
 	if excludeCPP {
 		cases = Filter(cases, func(c Case) bool { return !c.Prog.CPP })
 	}
@@ -64,8 +74,8 @@ func ReliabilityTableObs(cases []Case, other baseline.Rewriter, excludeCPP bool,
 		rows = append(rows, Row{
 			Suite:    k.suite,
 			Compiler: comp,
-			SURI:     RunToolObs(SURI(), groups[k], col),
-			Other:    RunToolObs(other, groups[k], col),
+			SURI:     RunToolFarm(ctx, SURI(), groups[k], col, pool),
+			Other:    RunToolFarm(ctx, other, groups[k], col, pool),
 		})
 	}
 	return rows
@@ -126,20 +136,54 @@ type OverheadRow struct {
 // handled; we report per-tool means over its own successes plus the
 // common-success mean).
 func OverheadTable(cases []Case, tools []baseline.Rewriter) []OverheadRow {
+	return OverheadTableFarm(context.Background(), cases, tools, nil)
+}
+
+// overheadOut is one case's Table 4 contribution (farm-parallel path).
+type overheadOut struct {
+	suite string
+	ratio float64
+	ok    bool
+}
+
+// OverheadTableFarm is OverheadTable with the per-case rewrite+measure
+// work fanned out over a farm pool (nil pool = sequential). Ratios are
+// emulator instruction counts — fully deterministic — and the per-suite
+// means are folded in case order, so the rows are identical at any
+// worker count.
+func OverheadTableFarm(ctx context.Context, cases []Case, tools []baseline.Rewriter, pool *farm.Pool) []OverheadRow {
 	o3 := Filter(cases, func(c Case) bool { return c.Config.Opt == cc.O3 })
+	measure := func(tool baseline.Rewriter, c Case) overheadOut {
+		res, err := tool.Rewrite(c.Bin)
+		if err != nil {
+			return overheadOut{}
+		}
+		ratio, ok := overheadOf(c, res.Binary)
+		return overheadOut{suite: c.Suite, ratio: ratio, ok: ok}
+	}
 	var rows []OverheadRow
 	for _, tool := range tools {
+		outs := make([]overheadOut, len(o3))
+		if pool == nil {
+			for i, c := range o3 {
+				outs[i] = measure(tool, c)
+			}
+		} else {
+			vals, errs := pool.Map(ctx, "table4:"+tool.Name(), len(o3), func(i int) farm.Task {
+				c := o3[i]
+				return func(context.Context) (any, error) { return measure(tool, c), nil }
+			})
+			for i := range outs {
+				if errs[i] == nil {
+					outs[i] = vals[i].(overheadOut)
+				}
+			}
+		}
 		perSuite := map[string][]float64{}
-		for _, c := range o3 {
-			res, err := tool.Rewrite(c.Bin)
-			if err != nil {
-				continue
+		for _, o := range outs {
+			if o.ok {
+				perSuite[o.suite] = append(perSuite[o.suite], o.ratio)
 			}
-			ratio, ok := overheadOf(c, res.Binary)
-			if !ok {
-				continue
-			}
-			perSuite[c.Suite] = append(perSuite[c.Suite], ratio)
 		}
 		for _, suite := range []string{"spec2006", "spec2017"} {
 			vals := perSuite[suite]
@@ -205,24 +249,57 @@ type InstrumentationStats struct {
 // MeasureInstrumentation runs SURI over the cases and aggregates its
 // pipeline statistics.
 func MeasureInstrumentation(cases []Case) (InstrumentationStats, error) {
+	return MeasureInstrumentationFarm(context.Background(), cases, nil)
+}
+
+// MeasureInstrumentationFarm is MeasureInstrumentation with the
+// per-case rewrites fanned out over a farm pool (nil pool =
+// sequential). The census sums are integers folded in case order, and
+// on failure the lowest-index error is reported — matching the
+// sequential path's first-error behaviour.
+func MeasureInstrumentationFarm(ctx context.Context, cases []Case, pool *farm.Pool) (InstrumentationStats, error) {
+	stats := make([]core.Stats, len(cases))
+	if pool == nil {
+		for i, c := range cases {
+			res, err := core.Rewrite(c.Bin, core.Options{})
+			if err != nil {
+				return InstrumentationStats{}, err
+			}
+			stats[i] = res.Stats
+		}
+	} else {
+		vals, errs := pool.Map(ctx, "census", len(cases), func(i int) farm.Task {
+			c := cases[i]
+			return func(context.Context) (any, error) {
+				res, err := core.Rewrite(c.Bin, core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return res.Stats, nil
+			}
+		})
+		for i := range cases {
+			if errs[i] != nil {
+				return InstrumentationStats{}, errs[i]
+			}
+			stats[i] = vals[i].(core.Stats)
+		}
+	}
 	var added, copied, multi, tables, entries, trueEntries, ptrs int
 	n := 0
-	for _, c := range cases {
-		res, err := core.Rewrite(c.Bin, core.Options{})
-		if err != nil {
-			return InstrumentationStats{}, err
-		}
-		added += res.Stats.AddedInstructions
-		copied += res.Stats.CopiedInstructions
-		multi += res.Stats.MultiBase
-		tables += res.Stats.Tables
+	for i, c := range cases {
+		s := stats[i]
+		added += s.AddedInstructions
+		copied += s.CopiedInstructions
+		multi += s.MultiBase
+		tables += s.Tables
 		// The entry over-approximation is only meaningful where the
 		// compiler emitted jump tables at all.
-		if res.Stats.Tables > 0 && tablesExpected(c.Config) {
-			entries += res.Stats.TableEntries
+		if s.Tables > 0 && tablesExpected(c.Config) {
+			entries += s.TableEntries
 			trueEntries += c.Prog.TrueTableEntries
 		}
-		ptrs += res.Stats.CodePointers
+		ptrs += s.CodePointers
 		n++
 	}
 	st := InstrumentationStats{CodePointers: ptrs, Binaries: n}

@@ -1,0 +1,248 @@
+package farm
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Key is the content address of one rewrite: SHA-256 over the input
+// binary bytes plus the Options fingerprint. Identical inputs under
+// identical options always produce identical artifacts (the pipeline
+// is deterministic), so the address fully identifies the output.
+type Key [sha256.Size]byte
+
+// String is the hex form of the key (also the on-disk file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Fingerprint computes the content address of a rewrite request. The
+// second result is false when the request is uncacheable: an
+// Instrument hook is an arbitrary function whose behaviour cannot be
+// hashed, so instrumented rewrites always run.
+func Fingerprint(bin []byte, opts core.Options) (Key, bool) {
+	if opts.Instrument != nil {
+		return Key{}, false
+	}
+	h := sha256.New()
+	h.Write(bin)
+	var flags [2]byte
+	if opts.IgnoreEhFrame {
+		flags[0] = 1
+	}
+	if opts.AllowNonCET {
+		flags[1] = 1
+	}
+	h.Write(flags[:])
+	var k Key
+	h.Sum(k[:0])
+	return k, true
+}
+
+// Artifact is one cached rewrite result: the rewritten ELF image and
+// its pipeline statistics. ([]byte marshals as base64 under
+// encoding/json, which doubles as the disk format.)
+type Artifact struct {
+	Binary []byte     `json:"binary"`
+	Stats  core.Stats `json:"stats"`
+}
+
+// CacheStats is a point-in-time read of the cache's own accounting.
+type CacheStats struct {
+	Entries  int   // artifacts currently in memory
+	Hits     int64 // served from memory
+	DiskHits int64 // served from the persistence dir after a memory miss
+	Misses   int64 // served from neither
+	Evicted  int64 // artifacts dropped from memory by LRU pressure
+}
+
+// Cache is a content-addressed artifact cache with LRU eviction and
+// optional disk persistence. Memory holds at most maxEntries artifacts;
+// when a persistence dir is set every Put is also written through to
+// disk (atomically, via rename), so evicted and cold entries survive
+// process restarts and Get transparently reloads them.
+type Cache struct {
+	mu   sync.Mutex
+	max  int
+	dir  string
+	ll   *list.List // front = most recently used
+	idx  map[Key]*list.Element
+	stat CacheStats
+}
+
+type cacheEntry struct {
+	key Key
+	art *Artifact
+}
+
+// NewCache returns a cache holding at most maxEntries artifacts in
+// memory (maxEntries <= 0 means 256). dir, when non-empty, enables
+// write-through disk persistence under it (created if missing).
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Cache{
+		max: maxEntries,
+		dir: dir,
+		ll:  list.New(),
+		idx: make(map[Key]*list.Element),
+	}, nil
+}
+
+// Get returns the artifact stored under k, consulting memory first and
+// then the persistence dir. A disk hit is promoted back into memory.
+func (c *Cache) Get(k Key) (*Artifact, bool) {
+	art, _, ok := c.get(k)
+	return art, ok
+}
+
+// get is Get plus the hit's source, so Pool.Rewrite can distinguish
+// the farm.cache_disk_hits series from plain memory hits.
+func (c *Cache) get(k Key) (art *Artifact, disk, ok bool) {
+	if c == nil {
+		return nil, false, false
+	}
+	c.mu.Lock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.MoveToFront(el)
+		c.stat.Hits++
+		art := el.Value.(*cacheEntry).art
+		c.mu.Unlock()
+		return art, false, true
+	}
+	c.mu.Unlock()
+	if art, ok := c.load(k); ok {
+		c.mu.Lock()
+		c.stat.DiskHits++
+		c.insert(k, art)
+		c.mu.Unlock()
+		return art, true, true
+	}
+	c.mu.Lock()
+	c.stat.Misses++
+	c.mu.Unlock()
+	return nil, false, false
+}
+
+// Put stores an artifact under k, evicting the least recently used
+// memory entries past the size bound and writing through to the
+// persistence dir when one is configured.
+func (c *Cache) Put(k Key, art *Artifact) error {
+	if c == nil {
+		return errors.New("farm: nil cache")
+	}
+	c.mu.Lock()
+	c.insert(k, art)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	return c.store(k, art)
+}
+
+// Stats returns a copy of the cache accounting.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stat
+	st.Entries = c.ll.Len()
+	return st
+}
+
+// insert adds or refreshes a memory entry; the caller holds c.mu.
+// Eviction only drops the in-memory copy — the disk artifact, if any,
+// stays, which is exactly what makes hit-after-eviction work.
+func (c *Cache) insert(k Key, art *Artifact) {
+	if el, ok := c.idx[k]; ok {
+		el.Value.(*cacheEntry).art = art
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[k] = c.ll.PushFront(&cacheEntry{key: k, art: art})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.idx, back.Value.(*cacheEntry).key)
+		c.stat.Evicted++
+	}
+}
+
+func (c *Cache) path(k Key) string {
+	return filepath.Join(c.dir, k.String()+".json")
+}
+
+// load reads an artifact from the persistence dir.
+func (c *Cache) load(k Key) (*Artifact, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return nil, false
+	}
+	var art Artifact
+	if json.Unmarshal(data, &art) != nil {
+		return nil, false // corrupt file: treat as a miss, Put overwrites it
+	}
+	return &art, true
+}
+
+// store writes an artifact atomically (temp file + rename), so a
+// concurrent reader never sees a torn artifact.
+func (c *Cache) store(k Key, art *Artifact) error {
+	data, err := json.Marshal(art)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(k))
+}
+
+// Purge removes every persisted artifact from the cache dir (memory is
+// untouched); a maintenance hook for cmd/surid operators.
+func (c *Cache) Purge() error {
+	if c == nil || c.dir == "" {
+		return nil
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.dir, e.Name())); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package farm
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// RewriteResult is a farm-served rewrite: the rewritten ELF image, its
+// pipeline statistics, and whether it came from the artifact cache.
+type RewriteResult struct {
+	Binary   []byte     `json:"binary"`
+	Stats    core.Stats `json:"stats"`
+	CacheHit bool       `json:"cache_hit"`
+}
+
+// Rewrite runs the SURI pipeline over bin through the farm. Cacheable
+// requests (no Instrument hook) are served from the content-addressed
+// cache when possible — no job is queued on a hit — and stored back on
+// success. The job runs core.Rewrite with a metrics-only view of the
+// pool's collector, so pipeline statistics aggregate across workers
+// without corrupting the trace's open-span stack (the farm's own
+// per-job span covers timing).
+func (p *Pool) Rewrite(ctx context.Context, bin []byte, opts core.Options) (*RewriteResult, error) {
+	key, cacheable := Fingerprint(bin, opts)
+	cache := p.cfg.Cache
+	if cacheable && cache != nil {
+		if art, disk, ok := cache.get(key); ok {
+			p.counter("farm.cache_hits").Inc()
+			if disk {
+				p.counter("farm.cache_disk_hits").Inc()
+			}
+			return &RewriteResult{Binary: art.Binary, Stats: art.Stats, CacheHit: true}, nil
+		}
+		p.counter("farm.cache_misses").Inc()
+	}
+	opts.Obs = p.cfg.Obs.MetricsOnly()
+	v, err := p.Do(ctx, "rewrite", func(context.Context) (any, error) {
+		res, rerr := core.Rewrite(bin, opts)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*core.Result)
+	out := &RewriteResult{Binary: res.Binary, Stats: res.Stats}
+	if cacheable && cache != nil {
+		if perr := cache.Put(key, &Artifact{Binary: res.Binary, Stats: res.Stats}); perr != nil {
+			// Persistence failure must not fail the rewrite; surface it
+			// on the metrics endpoint instead.
+			p.counter("farm.cache_write_errors").Inc()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// ServerOptions configure the HTTP front-end (cmd/surid).
+type ServerOptions struct {
+	// MaxInflight caps concurrent /rewrite requests; excess requests
+	// are rejected with 503 instead of queueing behind the pool's
+	// backpressure (fail fast at the edge, bound latency). <= 0 means
+	// 4× the pool's worker count.
+	MaxInflight int
+
+	// MaxBodyBytes bounds the request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// RewriteResponse is the JSON body of a successful POST /rewrite: the
+// rewritten ELF image (base64 under encoding/json), the pipeline
+// statistics, and whether the artifact came from the cache.
+type RewriteResponse struct {
+	CacheHit bool       `json:"cache_hit"`
+	Stats    core.Stats `json:"stats"`
+	Binary   []byte     `json:"binary"`
+}
+
+// errorResponse is the JSON body of a failed request; Stage names the
+// pipeline stage that died when the failure was a stage error.
+type errorResponse struct {
+	Error string `json:"error"`
+	Stage string `json:"stage,omitempty"`
+}
+
+// NewHandler builds the surid HTTP API over a pool:
+//
+//	POST /rewrite   binary in -> RewriteResponse out
+//	                query: ignore-ehframe=1, allow-noncet=1
+//	GET  /healthz   liveness probe
+//	GET  /metrics   the obs registry as deterministic text
+//
+// The handler shares the pool's collector, so farm.*, suri.*, and
+// http-layer counters all surface on one /metrics page.
+func NewHandler(p *Pool, opts ServerOptions) http.Handler {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 4 * p.Workers()
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	reg := p.Obs().Metrics()
+	// Pre-register the HTTP series so a fresh /metrics export is stable.
+	requests := reg.Counter("farm.http_requests")
+	rejected := reg.Counter("farm.http_rejected")
+	httpErrors := reg.Counter("farm.http_errors")
+	inflightGauge := reg.Gauge("farm.http_inflight")
+	inflightGauge.Set(0)
+
+	inflight := make(chan struct{}, opts.MaxInflight)
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /rewrite", func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		select {
+		case inflight <- struct{}{}:
+			inflightGauge.Set(int64(len(inflight)))
+			defer func() {
+				<-inflight
+				inflightGauge.Set(int64(len(inflight)))
+			}()
+		default:
+			rejected.Inc()
+			writeError(w, http.StatusServiceUnavailable, errors.New("farm: too many in-flight rewrites"))
+			return
+		}
+		bin, err := io.ReadAll(http.MaxBytesReader(w, r.Body, opts.MaxBodyBytes))
+		if err != nil {
+			httpErrors.Inc()
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q := r.URL.Query()
+		copts := core.Options{
+			IgnoreEhFrame: q.Get("ignore-ehframe") == "1",
+			AllowNonCET:   q.Get("allow-noncet") == "1",
+		}
+		res, err := p.Rewrite(r.Context(), bin, copts)
+		if err != nil {
+			httpErrors.Inc()
+			status := http.StatusUnprocessableEntity // the binary's fault
+			if errors.Is(err, ErrClosed) || r.Context().Err() != nil {
+				status = http.StatusServiceUnavailable // the server's fault
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, RewriteResponse{
+			CacheHit: res.CacheHit,
+			Stats:    res.Stats,
+			Binary:   res.Binary,
+		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, reg.Text())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Stage: core.Stage(err)})
+}

@@ -1,0 +1,248 @@
+package farm_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/farm"
+	"repro/internal/obs"
+	"repro/internal/prog"
+)
+
+func newTestServer(t *testing.T, cfg farm.Config, opts farm.ServerOptions) (*farm.Pool, *httptest.Server) {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	p := farm.New(cfg)
+	srv := httptest.NewServer(farm.NewHandler(p, opts))
+	t.Cleanup(func() {
+		srv.Close()
+		p.Close()
+	})
+	return p, srv
+}
+
+// goldenMetrics is the full /metrics payload of a fresh surid server
+// (Workers 2, QueueDepth 4, nothing submitted yet). Every farm series
+// is pre-registered, so the export is byte-stable: names sorted, all
+// counters zero, gauges reflecting the pool configuration.
+const goldenMetrics = "counters:\n" +
+	"  farm.cache_disk_hits                              0\n" +
+	"  farm.cache_hits                                   0\n" +
+	"  farm.cache_misses                                 0\n" +
+	"  farm.cache_write_errors                           0\n" +
+	"  farm.http_errors                                  0\n" +
+	"  farm.http_rejected                                0\n" +
+	"  farm.http_requests                                0\n" +
+	"  farm.jobs_canceled                                0\n" +
+	"  farm.jobs_completed                               0\n" +
+	"  farm.jobs_failed                                  0\n" +
+	"  farm.jobs_submitted                               0\n" +
+	"  farm.panics                                       0\n" +
+	"  farm.retries                                      0\n" +
+	"  farm.timeouts                                     0\n" +
+	"gauges:\n" +
+	"  farm.http_inflight                                0\n" +
+	"  farm.queue_depth                                  4\n" +
+	"  farm.workers                                      2\n"
+
+func TestServerGoldenMetricsAndHealthz(t *testing.T) {
+	_, srv := newTestServer(t, farm.Config{Workers: 2, QueueDepth: 4}, farm.ServerOptions{})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "{\"status\":\"ok\"}\n" {
+		t.Fatalf("healthz: status %d body %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("healthz Content-Type = %q", ct)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != goldenMetrics {
+		t.Fatalf("fresh /metrics drifted from golden:\ngot:\n%s\nwant:\n%s", body, goldenMetrics)
+	}
+
+	// Wrong method on a known path must not be routed.
+	resp, err = http.Get(srv.URL + "/rewrite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /rewrite: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// testBinary compiles one small CET/PIE benchmark program.
+func testBinary(t *testing.T) []byte {
+	t.Helper()
+	p := prog.Suites(0.03)[0].Programs[0]
+	bin, err := cc.Compile(p.Module, cc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func postRewrite(t *testing.T, url string, bin []byte) (*http.Response, farm.RewriteResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/rewrite", "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out farm.RewriteResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestServerRewriteRoundTrip: a POST /rewrite rewrites a real binary;
+// a second identical POST is served from the cache — hit counter up,
+// body byte-identical.
+func TestServerRewriteRoundTrip(t *testing.T) {
+	col := obs.New()
+	cache, err := farm.NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, srv := newTestServer(t, farm.Config{Workers: 2, Cache: cache, Obs: col}, farm.ServerOptions{})
+	bin := testBinary(t)
+
+	resp, first := postRewrite(t, srv.URL, bin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: status %d", resp.StatusCode)
+	}
+	if first.CacheHit {
+		t.Fatal("first rewrite claims a cache hit")
+	}
+	if len(first.Binary) == 0 || first.Stats.Blocks == 0 {
+		t.Fatalf("empty result: %d bytes, %d blocks", len(first.Binary), first.Stats.Blocks)
+	}
+
+	reg := p.Obs().Metrics()
+	hitsBefore := reg.Counter("farm.cache_hits").Value()
+	resp, second := postRewrite(t, srv.URL, bin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: status %d", resp.StatusCode)
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical rewrite was not served from cache")
+	}
+	if got := reg.Counter("farm.cache_hits").Value(); got != hitsBefore+1 {
+		t.Fatalf("farm.cache_hits = %d, want %d", got, hitsBefore+1)
+	}
+	if !bytes.Equal(first.Binary, second.Binary) {
+		t.Fatal("cached rewrite is not byte-identical")
+	}
+	if first.Stats != second.Stats {
+		t.Fatalf("cached stats differ: %+v vs %+v", first.Stats, second.Stats)
+	}
+}
+
+// TestServerRejectsBadBinary: garbage input fails in the elf stage and
+// is the client's fault (422), with the stage name surfaced.
+func TestServerRejectsBadBinary(t *testing.T) {
+	_, srv := newTestServer(t, farm.Config{Workers: 1}, farm.ServerOptions{})
+	resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream",
+		bytes.NewReader([]byte("not an elf")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+		Stage string `json:"stage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stage != "elf" {
+		t.Fatalf("stage = %q (error %q), want \"elf\"", e.Stage, e.Error)
+	}
+}
+
+// TestServerMaxInflight: with the single worker wedged and one request
+// holding the only inflight slot, the next request is rejected with
+// 503 instead of queueing.
+func TestServerMaxInflight(t *testing.T) {
+	col := obs.New()
+	p, srv := newTestServer(t,
+		farm.Config{Workers: 1, QueueDepth: 1, Obs: col},
+		farm.ServerOptions{MaxInflight: 1})
+
+	// Wedge the worker so the HTTP request parks in the pool queue.
+	gate := make(chan struct{})
+	blocker, err := p.Submit(context.Background(), "blocker", func(ctx context.Context) (any, error) {
+		<-gate
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream",
+			bytes.NewReader([]byte("junk")))
+		if err == nil {
+			resp.Body.Close()
+		}
+		firstDone <- err
+	}()
+
+	// Wait until the first request holds the inflight slot.
+	inflight := col.Metrics().Gauge("farm.http_inflight")
+	deadline := time.Now().Add(5 * time.Second)
+	for inflight.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the inflight slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream",
+		bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server: status %d, want 503", resp.StatusCode)
+	}
+	if got := col.Metrics().Counter("farm.http_rejected").Value(); got != 1 {
+		t.Fatalf("farm.http_rejected = %d, want 1", got)
+	}
+
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,6 +53,18 @@ func (c *Collector) Metrics() *Registry {
 	return c.reg
 }
 
+// MetricsOnly returns a view of the collector that shares its registry
+// and clock but has tracing disabled. Concurrent pipeline runs pass
+// this to core.Rewrite: the stack-nested stage spans of many parallel
+// rewrites would interleave meaninglessly, while their metrics still
+// aggregate safely through the shared atomic registry. Nil-safe.
+func (c *Collector) MetricsOnly() *Collector {
+	if c == nil {
+		return nil
+	}
+	return &Collector{clock: c.clock, reg: c.reg}
+}
+
 // Clock returns the collector's clock, or nil when c is nil.
 func (c *Collector) Clock() Clock {
 	if c == nil {

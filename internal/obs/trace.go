@@ -23,6 +23,10 @@ type Span struct {
 	Children []*Span
 
 	trace *Trace
+	// detached spans live outside the open-span stack (StartRoot /
+	// StartChild); End sets their stop time without a stack walk, so
+	// concurrent workers can each own a span safely.
+	detached bool
 }
 
 // Trace records a tree of hierarchical spans against a Clock. Start
@@ -63,6 +67,37 @@ func (t *Trace) Start(name string) *Span {
 	return s
 }
 
+// StartRoot opens a detached root span. Unlike Start it never touches
+// the open-span stack, so it is safe to call from many goroutines at
+// once: parallel workers cannot accidentally nest under each other's
+// open spans. Returns nil — at zero cost — when t is nil.
+func (t *Trace) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{Name: name, Start: t.clock.Now(), trace: t, detached: true}
+	t.roots = append(t.roots, s)
+	return s
+}
+
+// StartChild opens a detached sub-span under s. Like StartRoot it
+// bypasses the open-span stack, so any number of goroutines may hang
+// children off a shared parent concurrently (appends are serialized on
+// the trace lock). Returns nil when s is nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Span{Name: name, Start: t.clock.Now(), trace: t, detached: true}
+	s.Children = append(s.Children, c)
+	return c
+}
+
 // End closes the span. Any still-open descendants are closed with the
 // same timestamp, so a forgotten inner End cannot corrupt the tree.
 func (s *Span) End() {
@@ -73,6 +108,10 @@ func (s *Span) End() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.clock.Now()
+	if s.detached {
+		s.Stop = now
+		return
+	}
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		sp := t.stack[i]
 		sp.Stop = now

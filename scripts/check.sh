@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo hygiene gate: formatting, vet, build, and the race-sensitive
 # test packages (obs has concurrent counters; core drives the traced
-# pipeline). Run from the repo root. Fails fast on the first problem.
+# pipeline; farm is the concurrent rewrite pool + cache + HTTP layer).
+# Run from the repo root. Fails fast on the first problem.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,5 +15,5 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./internal/obs/... ./internal/core/...
+go test -race ./internal/obs/... ./internal/core/... ./internal/farm/...
 echo "check.sh: OK"

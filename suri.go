@@ -29,6 +29,7 @@ package suri
 
 import (
 	"repro/internal/core"
+	"repro/internal/farm"
 	"repro/internal/serialize"
 )
 
@@ -63,3 +64,43 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 // TrapLabel is the landing pad label for bogus jump-table targets; it is
 // available to instrumenters that synthesize branches.
 const TrapLabel = serialize.TrapLabel
+
+// StageError tags a pipeline failure with the Figure 4 stage that died;
+// Stage extracts the stage name from any error chain.
+type StageError = core.StageError
+
+// Stage returns the pipeline stage recorded in err's chain, or "".
+func Stage(err error) string { return core.Stage(err) }
+
+// Pool is a bounded work-stealing worker pool for running many
+// rewrites concurrently; see NewPool.
+type Pool = farm.Pool
+
+// PoolConfig configures a Pool.
+type PoolConfig = farm.Config
+
+// Cache is a content-addressed rewrite-artifact cache (SHA-256 of the
+// input binary + options fingerprint) with LRU eviction and optional
+// disk persistence; see NewCache.
+type Cache = farm.Cache
+
+// RewriteResult is a farm-served rewrite (binary, stats, cache
+// provenance).
+type RewriteResult = farm.RewriteResult
+
+// NewPool starts a rewrite farm:
+//
+//	pool := suri.NewPool(suri.PoolConfig{Workers: 8, Cache: cache})
+//	defer pool.Close()
+//	res, err := pool.Rewrite(ctx, binary, suri.Options{})
+//
+// Jobs get per-job deadlines, panic isolation, bounded retry for
+// transient failures, and queue backpressure; cmd/surid serves this
+// same pool over HTTP.
+func NewPool(cfg PoolConfig) *Pool { return farm.New(cfg) }
+
+// NewCache returns an artifact cache holding maxEntries rewrites in
+// memory (LRU); a non-empty dir enables write-through disk persistence.
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	return farm.NewCache(maxEntries, dir)
+}
