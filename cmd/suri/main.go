@@ -5,27 +5,62 @@
 //
 // Usage:
 //
-//	suri [-o out.bin] [-ignore-ehframe] [-stats] [-sprime] [-trace] [-stats-json] input.bin
+//	suri [-o out.bin] [-ignore-ehframe] [-stats] [-sprime] [-trace] [-stats-json]
+//	     [-validate] [-validate-input a,b,...] input.bin
 //
 // -trace prints a per-stage span tree of the pipeline (the Figure 4
 // stages, with nested CFG-builder sub-spans); -stats-json prints the
 // full trace + metric registry as JSON.
 //
+// -validate runs the guarded pipeline: the rewritten binary is executed
+// differentially against the original in the emulator (under each
+// -validate-input vector, comma-separated int64 words, repeatable; with
+// none given, one empty-input run). On divergence or a pipeline failure
+// the rewrite is retried under widened resource budgets, and if no
+// attempt validates the ORIGINAL binary is written out unmodified —
+// never a silently wrong rewrite.
+//
 // Exit codes: 1 — the rewrite (or file I/O) failed; the message names
 // the pipeline stage that died (e.g. "suri: cfg: ..."); 2 — usage
-// error. Produce inputs with surigen, run outputs with surirun.
+// error; 3 — -validate fell back to the original binary (the output
+// file is a byte-identical copy of the input). Produce inputs with
+// surigen, run outputs with surirun.
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	suri "repro"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
+
+// inputList is a repeatable -validate-input flag: each use is one input
+// vector of comma-separated int64s, encoded as the little-endian word
+// stream the emulator's stdin expects.
+type inputList [][]byte
+
+func (l *inputList) String() string { return fmt.Sprintf("%d vectors", len(*l)) }
+
+func (l *inputList) Set(s string) error {
+	var words []byte
+	if s != "" {
+		for _, f := range strings.Split(s, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad input word %q: %v", f, err)
+			}
+			words = binary.LittleEndian.AppendUint64(words, uint64(v))
+		}
+	}
+	*l = append(*l, words)
+	return nil
+}
 
 func main() {
 	out := flag.String("o", "", "output path (default: <input>.suri)")
@@ -34,11 +69,14 @@ func main() {
 	sprime := flag.Bool("sprime", false, "print the symbolized assembly S' to stdout")
 	trace := flag.Bool("trace", false, "print the per-stage pipeline span tree")
 	statsJSON := flag.Bool("stats-json", false, "print the trace and metric registry as JSON")
+	validate := flag.Bool("validate", false, "differentially validate the rewrite; fall back to the original on failure (exit 3)")
+	var vinputs inputList
+	flag.Var(&vinputs, "validate-input", "comma-separated int64 input words for one validation run (repeatable)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: suri [flags] input.bin")
-		fmt.Fprintln(os.Stderr, "exit codes: 1 rewrite/I-O error (message names the failing stage, e.g. \"cfg: ...\"), 2 usage")
+		fmt.Fprintln(os.Stderr, "exit codes: 1 rewrite/I-O error (message names the failing stage, e.g. \"cfg: ...\"), 2 usage, 3 validation fallback")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
@@ -49,17 +87,37 @@ func main() {
 	if *trace || *statsJSON {
 		col = obs.New()
 	}
-	res, err := suri.Rewrite(bin, suri.Options{IgnoreEhFrame: *ignoreEh, Obs: col})
-	fail(err)
+	opts := suri.Options{IgnoreEhFrame: *ignoreEh, Obs: col}
+
+	var (
+		outBin []byte
+		res    *suri.Result
+		vres   *suri.ValidatedResult
+	)
+	if *validate {
+		vres, err = suri.RewriteValidated(bin, suri.ValidateOptions{Options: opts, Inputs: vinputs})
+		fail(err)
+		outBin, res = vres.Binary, vres.Result
+	} else {
+		res, err = suri.Rewrite(bin, opts)
+		fail(err)
+		outBin = res.Binary
+	}
 
 	dest := *out
 	if dest == "" {
 		dest = in + ".suri"
 	}
-	fail(os.WriteFile(dest, res.Binary, 0o755))
-	fmt.Printf("rewrote %s (%d bytes) -> %s (%d bytes)\n", in, len(bin), dest, len(res.Binary))
+	fail(os.WriteFile(dest, outBin, 0o755))
+	fmt.Printf("rewrote %s (%d bytes) -> %s (%d bytes)\n", in, len(bin), dest, len(outBin))
+	if vres != nil {
+		fmt.Printf("verdict: %s (attempts %d)\n", vres.Verdict, vres.Attempts)
+		if vres.Reason != "" {
+			fmt.Printf("reason: %s\n", vres.Reason)
+		}
+	}
 
-	if *stats {
+	if *stats && res != nil {
 		s := res.Stats
 		fmt.Printf("blocks %d, entries %d, instructions %d (copied %d + added %d)\n",
 			s.Blocks, s.Entries, s.Instructions, s.CopiedInstructions, s.AddedInstructions)
@@ -79,8 +137,11 @@ func main() {
 		fail(err)
 		fmt.Println(string(js))
 	}
-	if *sprime {
+	if *sprime && res != nil {
 		fmt.Print(core.Render(res.SPrime, nil))
+	}
+	if vres != nil && vres.Verdict == suri.VerdictFallback {
+		os.Exit(3)
 	}
 }
 

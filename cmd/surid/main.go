@@ -3,20 +3,28 @@
 // behind three endpoints:
 //
 //	POST /rewrite   binary in -> {"cache_hit":…,"stats":{…},"binary":"<base64>"}
-//	                query: ignore-ehframe=1, allow-noncet=1
+//	                query: ignore-ehframe=1, allow-noncet=1, validate=1,
+//	                       timeout=<duration>, budget-insts=<n>, budget-steps=<n>
 //	GET  /healthz   liveness probe
 //	GET  /metrics   farm.* / suri.* counters as deterministic text
 //
 // Usage:
 //
 //	surid [-addr :8649] [-j N] [-cache-dir DIR] [-cache-entries N] [-max-inflight N]
+//	      [-max-body BYTES] [-timeout D] [-budget N] [-budget-steps N]
 //
 // -j sets the farm's worker count (default GOMAXPROCS); -cache-dir
 // enables write-through disk persistence of rewrite artifacts, so a
 // restarted server still answers repeat requests from cache;
-// -max-inflight caps concurrent /rewrite requests (excess get 503).
-// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
-// finish, then the farm drains and exits.
+// -max-inflight caps concurrent /rewrite requests (excess get 503 with
+// Retry-After); -max-body bounds the request body (413 past it);
+// -timeout bounds each request's wall clock and is wired into the
+// pipeline as a cancellation budget (per-request ?timeout= can only
+// tighten it); -budget / -budget-steps set the default decoded-
+// instruction and emulator-step budgets (0 = pipeline defaults).
+// Budget or timeout exhaustion answers 422 with the failing stage and
+// the "fallback" verdict. SIGINT/SIGTERM trigger a graceful shutdown:
+// in-flight requests finish, then the farm drains and exits.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/farm"
+	"repro/internal/harden"
 	"repro/internal/obs"
 )
 
@@ -43,6 +52,10 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 256, "in-memory artifact cache size (LRU)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent /rewrite requests before 503 (0 = 4x workers)")
 	timeout := flag.Duration("job-timeout", 0, "per-rewrite deadline (0 = none)")
+	maxBody := flag.Int64("max-body", 0, "max request body bytes before 413 (0 = 64 MiB)")
+	reqTimeout := flag.Duration("timeout", 0, "per-request deadline, wired into the pipeline budget (0 = none)")
+	budgetInsts := flag.Int64("budget", 0, "default decoded-instruction budget per rewrite (0 = pipeline default)")
+	budgetSteps := flag.Uint64("budget-steps", 0, "default emulator-step budget per validation run (0 = pipeline default)")
 	flag.Parse()
 
 	col := obs.New()
@@ -58,8 +71,13 @@ func main() {
 		Obs:        col,
 	})
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: farm.NewHandler(pool, farm.ServerOptions{MaxInflight: *maxInflight}),
+		Addr: *addr,
+		Handler: farm.NewHandler(pool, farm.ServerOptions{
+			MaxInflight:    *maxInflight,
+			MaxBodyBytes:   *maxBody,
+			RequestTimeout: *reqTimeout,
+			Budget:         harden.Budget{TotalInsts: *budgetInsts, EmuSteps: *budgetSteps},
+		}),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

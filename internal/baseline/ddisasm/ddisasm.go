@@ -60,7 +60,10 @@ func (t *Tool) Rewrite(bin []byte) (*baseline.Result, error) {
 		return nil, fmt.Errorf("ddisasm: %w", err)
 	}
 
-	entries := serialize.Serialize(g)
+	entries, err := serialize.Serialize(g)
+	if err != nil {
+		return nil, fmt.Errorf("ddisasm: %w", err)
+	}
 	index := baseline.IndexByAddr(entries)
 
 	// Symbolization policy: every RIP reference becomes label+offset in

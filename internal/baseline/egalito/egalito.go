@@ -62,7 +62,10 @@ func (t *Tool) Rewrite(bin []byte) (*baseline.Result, error) {
 		}
 	}
 
-	entries := serialize.Serialize(g)
+	entries, err := serialize.Serialize(g)
+	if err != nil {
+		return nil, fmt.Errorf("egalito: %w", err)
+	}
 	index := baseline.IndexByAddr(entries)
 
 	// Pointer policy: data layout is fixed, so data references are

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ehframe"
 	"repro/internal/elfx"
+	"repro/internal/harden"
 	"repro/internal/obs"
 	"repro/internal/x86"
 )
@@ -51,6 +52,23 @@ type Options struct {
 	// StrictTables aborts the build when a table cannot be sized under
 	// the selected policy (models baseline assertion failures).
 	StrictTables bool
+
+	// MaxRounds bounds the outer harvest/disassemble/table fixpoint.
+	// Zero means harden.DefaultCFGRounds. Exhaustion returns a
+	// harden.BudgetExceeded (resource "cfg.rounds").
+	MaxRounds int
+
+	// MaxTotalInsts bounds instructions decoded across the whole build
+	// (resource "cfg.insts"). Zero means harden.DefaultTotalInsts.
+	MaxTotalInsts int64
+
+	// MaxBlocks bounds the number of superset blocks (resource
+	// "cfg.blocks"). Zero means harden.DefaultBlocks.
+	MaxBlocks int
+
+	// Cancel, when non-nil and closed, aborts the build with
+	// harden.ErrCanceled. Callers wire a context's Done channel here.
+	Cancel <-chan struct{}
 
 	// Trace, if set, records sub-spans of the build (entry harvesting,
 	// recursive disassembly, jump-table slicing). Nil disables tracing
@@ -108,15 +126,54 @@ type builder struct {
 	// BoundsCmp fallback uses them as scan barriers.
 	knownBases  map[uint64]bool
 	useBarriers bool
+
+	// totalInsts counts instructions decoded across the whole build
+	// (checked against opts.MaxTotalInsts).
+	totalInsts int64
+
+	// err latches the first budget/cancel/injected failure. The decode
+	// helpers cannot return errors through every path, so they record
+	// here and run() surfaces it after each drain.
+	err error
+}
+
+// fail latches the first fatal builder error.
+func (b *builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// canceled reports (and latches) whether the Cancel channel has fired.
+func (b *builder) canceled() bool {
+	if b.opts.Cancel == nil {
+		return false
+	}
+	select {
+	case <-b.opts.Cancel:
+		b.fail(fmt.Errorf("cfg: %w", harden.ErrCanceled))
+		return true
+	default:
+		return false
+	}
 }
 
 // Build constructs the superset CFG of a CET-enabled PIE binary.
 func Build(f *elfx.File, opts Options) (*Graph, error) {
 	if opts.MaxBlockInsts == 0 {
-		opts.MaxBlockInsts = 20000
+		opts.MaxBlockInsts = harden.DefaultBlockInsts
 	}
 	if opts.MaxTableEntries == 0 {
-		opts.MaxTableEntries = 1024
+		opts.MaxTableEntries = harden.DefaultTableEntries
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = harden.DefaultCFGRounds
+	}
+	if opts.MaxTotalInsts == 0 {
+		opts.MaxTotalInsts = harden.DefaultTotalInsts
+	}
+	if opts.MaxBlocks == 0 {
+		opts.MaxBlocks = harden.DefaultBlocks
 	}
 	text, err := textSection(f)
 	if err != nil {
@@ -143,16 +200,20 @@ func Build(f *elfx.File, opts Options) (*Graph, error) {
 func (b *builder) run() error {
 	tr := b.opts.Trace
 	span := tr.Start("harvest")
-	b.harvestInitialEntries()
+	err := b.harvestInitialEntries()
 	span.SetInt("entries", int64(len(b.g.Entries)))
 	span.End()
+	if err != nil {
+		return err
+	}
 
 	// Outer fixpoint (§3.2.2): decoding can harvest new entries (which
 	// tighten or widen function bounds) and discover new indirect edges,
 	// which requires re-running the jump-table dataflow.
 	for round := 0; ; round++ {
-		if round > 64 {
-			return fmt.Errorf("cfg: construction did not converge")
+		if round >= b.opts.MaxRounds {
+			return fmt.Errorf("cfg: construction did not converge: %w",
+				&harden.BudgetExceeded{Resource: "cfg.rounds", Limit: int64(b.opts.MaxRounds)})
 		}
 		span = tr.Start("disasm")
 		span.SetInt("round", int64(round))
@@ -161,6 +222,9 @@ func (b *builder) run() error {
 		b.drain()
 		span.SetInt("blocks", int64(len(b.g.Blocks)))
 		span.End()
+		if b.err != nil {
+			return b.err
+		}
 
 		span = tr.Start("tables")
 		span.SetInt("round", int64(round))
@@ -172,6 +236,9 @@ func (b *builder) run() error {
 		b.drain()
 		span.SetInt("tables", int64(len(b.g.Tables)))
 		span.End()
+		if b.err != nil {
+			return b.err
+		}
 		if !grew && !changed && len(b.work) == 0 {
 			break
 		}
@@ -184,7 +251,10 @@ func (b *builder) run() error {
 
 // harvestInitialEntries collects the determinate entry points (§3.2.1):
 // the ELF entry, relocated code pointers, and .eh_frame ranges.
-func (b *builder) harvestInitialEntries() {
+func (b *builder) harvestInitialEntries() error {
+	if err := harden.Inject(harden.FPCfgHarvest); err != nil {
+		return fmt.Errorf("cfg: harvest: %w", err)
+	}
 	b.addEntry(b.f.Entry)
 
 	if sec := b.f.Section(".rela.dyn"); sec != nil {
@@ -201,15 +271,31 @@ func (b *builder) harvestInitialEntries() {
 
 	if b.opts.UseEhFrame {
 		if sec := b.f.Section(".eh_frame"); sec != nil {
-			if ranges, err := ehframe.Parse(sec.Addr, sec.Data); err == nil {
+			ranges, err := ehframe.Parse(sec.Addr, sec.Data)
+			switch {
+			case harden.IsInjected(err):
+				// Injected faults propagate strictly so tests can prove
+				// the stage surfaces them.
+				return fmt.Errorf("cfg: harvest: %w", err)
+			case err != nil:
+				// Real-world CFI corruption degrades: per the paper the
+				// information is an accelerator, never a correctness
+				// requirement, so drop the source and note it.
+				b.g.Degraded = append(b.g.Degraded,
+					fmt.Sprintf(".eh_frame entries skipped: %v", err))
+			default:
 				for _, fr := range ranges {
-					if b.inText(fr.Start) {
+					// inText also discards FDEs whose pc-range escapes
+					// the text section (harvesting them would seed bogus
+					// entries and later mis-symbolize).
+					if b.inText(fr.Start) && fr.Start+fr.Size <= b.g.TextEnd {
 						b.addEntry(fr.Start)
 					}
 				}
 			}
 		}
 	}
+	return nil
 }
 
 func (b *builder) inText(addr uint64) bool {
@@ -235,6 +321,10 @@ func (b *builder) enqueue(addr uint64) {
 
 func (b *builder) drain() {
 	for len(b.work) > 0 {
+		if b.err != nil || b.canceled() {
+			b.work = b.work[:0]
+			return
+		}
 		addr := b.work[len(b.work)-1]
 		b.work = b.work[:len(b.work)-1]
 		b.ensureBlock(addr)
@@ -291,6 +381,17 @@ func (b *builder) decode(addr uint64) *Block {
 	blk := &Block{Addr: addr}
 	b.g.Blocks[addr] = blk
 	b.g.invalidatePreds()
+	if err := harden.Inject(harden.FPCfgDecode); err != nil {
+		b.fail(fmt.Errorf("cfg: decode at %#x: %w", addr, err))
+		blk.Invalid = true
+		return blk
+	}
+	if len(b.g.Blocks) > b.opts.MaxBlocks {
+		b.fail(fmt.Errorf("cfg: %w",
+			&harden.BudgetExceeded{Resource: "cfg.blocks", Limit: int64(b.opts.MaxBlocks)}))
+		blk.Invalid = true
+		return blk
+	}
 
 	cur := addr
 	for {
@@ -309,6 +410,13 @@ func (b *builder) decode(addr uint64) *Block {
 			}
 		}
 		if !b.inText(cur) || len(blk.Insts) >= b.opts.MaxBlockInsts {
+			blk.Invalid = true
+			return blk
+		}
+		b.totalInsts++
+		if b.totalInsts > b.opts.MaxTotalInsts {
+			b.fail(fmt.Errorf("cfg: %w",
+				&harden.BudgetExceeded{Resource: "cfg.insts", Limit: b.opts.MaxTotalInsts}))
 			blk.Invalid = true
 			return blk
 		}

@@ -90,6 +90,12 @@ type Graph struct {
 	// File is the binary the graph was built from.
 	File *elfx.File
 
+	// Degraded notes every optional input source the build dropped
+	// because it was malformed (e.g. corrupt .eh_frame). Per the paper
+	// such sources are accelerators, never correctness requirements;
+	// the notes make the degradation observable to callers and verdicts.
+	Degraded []string
+
 	// preds is built lazily.
 	preds map[uint64][]uint64
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/elfx"
+	"repro/internal/harden"
 	"repro/internal/x86"
 )
 
@@ -11,6 +12,9 @@ import (
 // jump in the graph (§3.2.2: whenever a new indirect edge appears). It
 // reports whether anything changed.
 func (b *builder) analyzeAllTables() (bool, error) {
+	if err := harden.Inject(harden.FPCfgTables); err != nil {
+		return false, fmt.Errorf("cfg: tables: %w", err)
+	}
 	changed := false
 	var tables []*JumpTable
 	for _, blk := range b.g.SortedBlocks() {

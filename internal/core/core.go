@@ -14,6 +14,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/elfx"
 	"repro/internal/emit"
+	"repro/internal/harden"
 	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/serialize"
@@ -66,6 +67,18 @@ type Options struct {
 
 	// AllowNonCET skips the problem-scope check (used by experiments).
 	AllowNonCET bool
+
+	// Budget bounds the pipeline's resource use (CFG fixpoint rounds,
+	// decoded instructions, block count, jump-table over-approximation).
+	// The zero value applies the harden package defaults. Exhaustion
+	// surfaces as a StageError wrapping harden.BudgetExceeded.
+	Budget harden.Budget
+
+	// Cancel, when non-nil and closed, aborts the rewrite with
+	// harden.ErrCanceled — checked per work item inside the CFG builder
+	// and between every later stage. Callers wire a context's Done
+	// channel here (the farm does this per job).
+	Cancel <-chan struct{}
 
 	// Obs, if set, records one span per pipeline stage (with nested
 	// sub-spans inside the CFG builder) and feeds pipeline statistics
@@ -124,6 +137,17 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	root := tr.Start("rewrite")
 	defer root.End()
 
+	// checkCancel makes wall-clock cancellation responsive at stage
+	// granularity; the CFG builder additionally checks per work item.
+	checkCancel := func(stage string) error {
+		select {
+		case <-opts.Cancel:
+			return stageErr(stage, harden.ErrCanceled)
+		default:
+			return nil
+		}
+	}
+
 	f, err := elfx.Read(bin)
 	if err != nil {
 		return nil, stageErr("elf", err)
@@ -131,8 +155,15 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	if !opts.AllowNonCET && (!f.IsPIE() || !f.HasCET()) {
 		return nil, ErrNotCETPIE
 	}
+	budget := opts.Budget.WithDefaults()
 	copts := cfg.DefaultOptions()
 	copts.UseEhFrame = !opts.IgnoreEhFrame
+	copts.MaxBlockInsts = budget.BlockInsts
+	copts.MaxTableEntries = budget.TableEntries
+	copts.MaxRounds = budget.CFGRounds
+	copts.MaxTotalInsts = budget.TotalInsts
+	copts.MaxBlocks = budget.Blocks
+	copts.Cancel = opts.Cancel
 	copts.Trace = tr
 
 	// 1. Superset CFG Builder.
@@ -149,12 +180,22 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	span.End()
 
 	// 2. CFG Serializer.
+	if err := checkCancel("serialize"); err != nil {
+		return nil, err
+	}
 	span = tr.Start("serialize")
-	entries := serialize.Serialize(g)
+	entries, err := serialize.Serialize(g)
+	if err != nil {
+		span.End()
+		return nil, stageErr("serialize", err)
+	}
 	span.SetInt("entries", int64(len(entries)))
 	span.End()
 
 	// 3. Pointer Repairer.
+	if err := checkCancel("repair"); err != nil {
+		return nil, err
+	}
 	span = tr.Start("repair")
 	rep, err := repair.Repair(entries, g)
 	if err != nil {
@@ -173,6 +214,9 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	span.End()
 
 	// 4. Superset Symbolizer.
+	if err := checkCancel("symbolize"); err != nil {
+		return nil, err
+	}
 	span = tr.Start("symbolize")
 	entries, sym, err := symbolize.Symbolize(entries, g)
 	if err != nil {
@@ -185,6 +229,10 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 
 	// User instrumentation of S'.
 	span = tr.Start("instrument")
+	if err := harden.Inject(harden.FPInstrument); err != nil {
+		span.End()
+		return nil, stageErr("instrument", err)
+	}
 	if opts.Instrument != nil {
 		entries, err = opts.Instrument(entries)
 		if err != nil {
@@ -195,6 +243,9 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	span.End()
 
 	// 5. Emitter.
+	if err := checkCancel("emit"); err != nil {
+		return nil, err
+	}
 	span = tr.Start("emit")
 	sets := make(map[string]uint64, len(rep.Sets)+len(sym.Sets))
 	for k, v := range rep.Sets {

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/harden"
+)
+
+// FuzzRewrite throws arbitrary bytes at the whole pipeline under a tight
+// resource budget. Rewrite may reject — with a stage-tagged error or the
+// scope error — but it must never panic and never return success without
+// a binary. Seeded with a real compiled binary and structural mutants of
+// it, so mutation explores the interesting neighbourhood of valid ELF
+// rather than pure noise. Seed corpus: testdata/fuzz/FuzzRewrite
+// (regenerate with scripts/gencorpus).
+func FuzzRewrite(f *testing.F) {
+	bin, err := cc.Compile(trapModule(), cc.DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not an elf"))
+	f.Add(bin)
+	f.Add(bin[:len(bin)/3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A tight budget bounds each case: garbage that happens to parse
+		// cannot drag a fuzz iteration through millions of decodes.
+		res, err := Rewrite(data, Options{Budget: harden.Budget{
+			TotalInsts: 1 << 20,
+			Blocks:     1 << 16,
+		}})
+		if err != nil {
+			if Stage(err) == "" && !errors.Is(err, ErrNotCETPIE) {
+				t.Fatalf("error without a stage tag: %v", err)
+			}
+			return
+		}
+		if res == nil || len(res.Binary) == 0 {
+			t.Fatal("success without a binary")
+		}
+	})
+}

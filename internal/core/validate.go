@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/harden"
+)
+
+// Verdict is the machine-readable outcome of a validated rewrite.
+type Verdict string
+
+// Verdicts, from best to worst.
+const (
+	// VerdictValidated: the first rewrite attempt succeeded and the
+	// rewritten binary matched the original's behaviour on every input.
+	VerdictValidated Verdict = "validated"
+
+	// VerdictDegraded: the first attempt failed or diverged, but a retry
+	// under a widened over-approximation budget produced a validated
+	// binary.
+	VerdictDegraded Verdict = "degraded"
+
+	// VerdictFallback: no attempt produced a validated binary; the
+	// original bytes are returned unchanged (behaviour trivially
+	// preserved).
+	VerdictFallback Verdict = "fallback"
+)
+
+// ValidateOptions configure RewriteValidated.
+type ValidateOptions struct {
+	// Options are the pipeline options of each rewrite attempt. The
+	// Budget is widened (×4 per bound) for the retry attempt.
+	Options
+
+	// Inputs are the byte streams served to the emulated read syscall,
+	// one differential execution per stream. Empty means a single run
+	// with no input.
+	Inputs [][]byte
+}
+
+// ValidatedResult is the outcome of a guarded rewrite.
+type ValidatedResult struct {
+	// Verdict classifies the outcome.
+	Verdict Verdict
+
+	// Binary is the rewritten image for validated/degraded verdicts, and
+	// the original image, byte for byte, on fallback.
+	Binary []byte
+
+	// Result is the successful pipeline result backing Binary; nil on
+	// fallback.
+	Result *Result
+
+	// Attempts counts pipeline runs (1 = validated first try).
+	Attempts int
+
+	// Reason explains any verdict below validated: the stage error or
+	// the first divergence. Empty for validated.
+	Reason string
+}
+
+// RewriteValidated is the guarded rewrite mode: it runs the pipeline,
+// differentially executes the original and rewritten binaries in the
+// emulator on every input, and degrades gracefully instead of failing —
+// first retrying with the over-approximation budget widened, then
+// falling back to the original binary. Pipeline failures, budget
+// exhaustion, and behavioural divergence all end in a usable binary and
+// a Verdict; the only error returned is cancellation, where the caller
+// has already gone away.
+func RewriteValidated(bin []byte, opts ValidateOptions) (*ValidatedResult, error) {
+	inputs := opts.Inputs
+	if len(inputs) == 0 {
+		inputs = [][]byte{nil}
+	}
+
+	budgets := []harden.Budget{opts.Budget.WithDefaults(), opts.Budget.Widen()}
+	var reason string
+	attempts := 0
+	for i, budget := range budgets {
+		attempts++
+		ropts := opts.Options
+		ropts.Budget = budget
+		res, err := Rewrite(bin, ropts)
+		if err == nil {
+			err = validate(bin, res.Binary, inputs, budget.EmuSteps)
+			if err == nil {
+				verdict := VerdictValidated
+				if i > 0 {
+					verdict = VerdictDegraded
+				}
+				return &ValidatedResult{
+					Verdict:  verdict,
+					Binary:   res.Binary,
+					Result:   res,
+					Attempts: i + 1,
+					Reason:   reason,
+				}, nil
+			}
+		}
+		if canceled(opts.Cancel) {
+			return nil, fmt.Errorf("suri: validated rewrite: %w", harden.ErrCanceled)
+		}
+		if reason == "" {
+			reason = err.Error()
+		}
+		// A deterministic scope rejection or parse error cannot improve
+		// under a wider budget; skip the pointless retry.
+		if errors.Is(err, ErrNotCETPIE) || Stage(err) == "elf" {
+			break
+		}
+	}
+	return &ValidatedResult{
+		Verdict:  VerdictFallback,
+		Binary:   bin,
+		Attempts: attempts,
+		Reason:   reason,
+	}, nil
+}
+
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// validate differentially executes the original and rewritten binaries
+// on each input, requiring identical stdout and exit status. An
+// original that cannot run under the emulator makes behaviour
+// preservation unprovable, which is reported as a failure — the caller
+// falls back to the original, the only binary known to be correct.
+func validate(orig, rewritten []byte, inputs [][]byte, emuSteps uint64) error {
+	for _, in := range inputs {
+		a, err := emu.Run(orig, emu.Options{Input: in, MaxSteps: emuSteps})
+		if err != nil {
+			return fmt.Errorf("suri: validate: original binary: %w", err)
+		}
+		// Bound the rewritten run by a generous multiple of the
+		// original's work: a mis-symbolized binary can loop forever, and
+		// this turns that into a quick typed failure.
+		b, err := emu.Run(rewritten, emu.Options{Input: in, MaxSteps: a.Steps*10 + 1_000_000})
+		if err != nil {
+			return fmt.Errorf("suri: validate: rewritten binary: %w", err)
+		}
+		if a.Exit != b.Exit {
+			return fmt.Errorf("suri: validate: exit status diverged (%d vs %d)", a.Exit, b.Exit)
+		}
+		if !bytes.Equal(a.Stdout, b.Stdout) {
+			return fmt.Errorf("suri: validate: stdout diverged (%d vs %d bytes)", len(a.Stdout), len(b.Stdout))
+		}
+	}
+	return nil
+}

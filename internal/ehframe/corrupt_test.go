@@ -1,0 +1,148 @@
+package ehframe
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/harden"
+)
+
+func TestLEBOverflowVsTruncation(t *testing.T) {
+	// 9 continuation bytes then a terminator carrying bit 63: the
+	// maximum representable shape. One more continuation is overflow.
+	max := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	if v, n, err := ReadULEB(max); err != nil || v != ^uint64(0) || n != 10 {
+		t.Fatalf("max ULEB: v=%#x n=%d err=%v", v, n, err)
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		read func([]byte) error
+		want error
+	}{
+		{"uleb-runaway", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+			func(b []byte) error { _, _, err := ReadULEB(b); return err }, ErrOverflow},
+		{"uleb-10th-group-too-big", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02},
+			func(b []byte) error { _, _, err := ReadULEB(b); return err }, ErrOverflow},
+		{"uleb-truncated", []byte{0x80, 0x80},
+			func(b []byte) error { _, _, err := ReadULEB(b); return err }, ErrTruncated},
+		{"uleb-empty", nil,
+			func(b []byte) error { _, _, err := ReadULEB(b); return err }, ErrTruncated},
+		{"sleb-runaway", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+			func(b []byte) error { _, _, err := ReadSLEB(b); return err }, ErrOverflow},
+		{"sleb-10th-group-mixed", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x25},
+			func(b []byte) error { _, _, err := ReadSLEB(b); return err }, ErrOverflow},
+		{"sleb-truncated", []byte{0x80},
+			func(b []byte) error { _, _, err := ReadSLEB(b); return err }, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.read(tc.in); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// SLEB min int64 round-trips (10th group is the 0x7F sign pattern).
+	if v, _, err := ReadSLEB(AppendSLEB(nil, -1<<63)); err != nil || v != -1<<63 {
+		t.Errorf("min int64: v=%d err=%v", v, err)
+	}
+}
+
+// TestParseCorrupt mutates a well-formed section and asserts Parse
+// errors without panicking.
+func TestParseCorrupt(t *testing.T) {
+	const secAddr = 0x4000
+	good := Build(secAddr, []FuncRange{{Start: 0x1000, Size: 0x40}, {Start: 0x1040, Size: 0x20}})
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"record-overruns", func(b []byte) []byte { le.PutUint32(b, uint32(len(b))+8); return b }},
+		// A length in [1,4) passes the overrun check but leaves no room
+		// for the CIE-pointer field (found by FuzzEHFrame).
+		{"record-too-short", func(b []byte) []byte { le.PutUint32(b, 1); return b }},
+		{"dwarf64", func(b []byte) []byte { le.PutUint32(b, 0xFFFFFFFF); return b }},
+		{"cie-bad-version", func(b []byte) []byte { b[8] = 9; return b }},
+		{"cie-unterminated-aug", func(b []byte) []byte {
+			// Overwrite the augmentation string "zR\0" with nonzero bytes;
+			// parseCIE then runs off the record scanning for the NUL, and
+			// the LEB reads that follow must fail cleanly.
+			b[9], b[10], b[11] = 'z', 'R', 'x'
+			return b
+		}},
+		{"cie-runaway-uleb", func(b []byte) []byte {
+			// Code-alignment ULEB at offset 12 becomes a runaway
+			// continuation chain across the CIE body.
+			for i := 12; i < 24; i++ {
+				b[i] = 0xFF
+			}
+			return b
+		}},
+		{"fde-dangling-cie", func(b []byte) []byte {
+			// Scramble the first FDE's CIE back-pointer. The CIE record is
+			// length-prefixed; the FDE follows it.
+			cieLen := le.Uint32(b) + 4
+			le.PutUint32(b[cieLen+4:], 0x7FFFFFFF)
+			return b
+		}},
+		{"fde-too-short", func(b []byte) []byte {
+			cieLen := le.Uint32(b) + 4
+			le.PutUint32(b[cieLen:], 4) // length 4: room for CIE ptr only
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good...))
+			if _, err := Parse(secAddr, b); err == nil {
+				t.Fatalf("corrupt section %q accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestParseRejectsOverflowingPCRange(t *testing.T) {
+	// An FDE whose start+size wraps past 2^64 can cover "everything" and
+	// must be rejected, not fed to the CFG as an entry source.
+	sec := Build(0, []FuncRange{{Start: 0x1000, Size: 0x40}})
+	// Patch pc_begin delta to place start near 2^64, then max the size.
+	cieLen := le.Uint32(sec) + 4
+	fdeBody := cieLen + 8 // skip FDE length + CIE pointer
+	le.PutUint32(sec[fdeBody:], 0x80000000)
+	le.PutUint32(sec[fdeBody+4:], 0xFFFFFFFF)
+	if _, err := Parse(^uint64(0)-0x10000, sec); err == nil {
+		t.Fatal("FDE with wrapping pc-range accepted")
+	}
+}
+
+func TestParseRandomMutationsNeverPanic(t *testing.T) {
+	good := Build(0x4000, []FuncRange{
+		{Start: 0x1000, Size: 0x40}, {Start: 0x1040, Size: 0x123}, {Start: 0x2000, Size: 8},
+	})
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		b := append([]byte(nil), good...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		}
+		if rng.Intn(4) == 0 {
+			b = b[:rng.Intn(len(b)+1)]
+		}
+		Parse(0x4000, b) // must not panic or hang
+	}
+}
+
+func TestParseFailpoint(t *testing.T) {
+	sec := Build(0, []FuncRange{{Start: 0x100, Size: 0x10}})
+	disarm := harden.NewPlan(harden.Fault{Point: harden.FPEhFrameParse}).Arm()
+	_, err := Parse(0, sec)
+	disarm()
+	if err == nil || !harden.IsInjected(err) {
+		t.Fatalf("failpoint err = %v, want injected fault", err)
+	}
+	if _, err := Parse(0, sec); err != nil {
+		t.Fatalf("Parse after disarm: %v", err)
+	}
+}

@@ -11,10 +11,22 @@ package ehframe
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+
+	"repro/internal/harden"
 )
 
 var le = binary.LittleEndian
+
+// Decode errors. Truncation (input ended mid-value) and overflow (a
+// syntactically complete value that does not fit, or a runaway
+// continuation run) are distinct conditions: a fuzzer-minimized crash
+// reading "truncated" on an 11-byte input would hide the real bug.
+var (
+	ErrTruncated = errors.New("ehframe: truncated LEB128")
+	ErrOverflow  = errors.New("ehframe: LEB128 value overflows 64 bits")
+)
 
 // FuncRange describes one FDE: a function's code interval.
 type FuncRange struct {
@@ -61,40 +73,46 @@ func AppendSLEB(b []byte, v int64) []byte {
 }
 
 // ReadULEB decodes a ULEB128 value, returning it and the bytes consumed.
+// A 64-bit value needs at most 10 groups; the 10th may only carry the
+// low bit, so any spill into shift 64+ is ErrOverflow, not truncation.
 func ReadULEB(b []byte) (uint64, int, error) {
 	var v uint64
 	var shift uint
 	for i := 0; i < len(b); i++ {
-		v |= uint64(b[i]&0x7F) << shift
+		g := b[i] & 0x7F
+		if shift > 63 || (shift == 63 && g > 1) {
+			return 0, 0, ErrOverflow
+		}
+		v |= uint64(g) << shift
 		if b[i]&0x80 == 0 {
 			return v, i + 1, nil
 		}
 		shift += 7
-		if shift > 63 {
-			break
-		}
 	}
-	return 0, 0, fmt.Errorf("ehframe: truncated ULEB128")
+	return 0, 0, ErrTruncated
 }
 
-// ReadSLEB decodes an SLEB128 value.
+// ReadSLEB decodes an SLEB128 value. Continuation runs past the 64-bit
+// range are ErrOverflow; the 10th group may carry only the sign
+// extension of bit 63 (0x00 or 0x7F).
 func ReadSLEB(b []byte) (int64, int, error) {
 	var v int64
 	var shift uint
 	for i := 0; i < len(b); i++ {
-		v |= int64(b[i]&0x7F) << shift
+		g := b[i] & 0x7F
+		if shift > 63 || (shift == 63 && g != 0 && g != 0x7F) {
+			return 0, 0, ErrOverflow
+		}
+		v |= int64(g) << shift
 		shift += 7
 		if b[i]&0x80 == 0 {
-			if shift < 64 && b[i]&0x40 != 0 {
+			if shift < 64 && g&0x40 != 0 {
 				v |= -1 << shift
 			}
 			return v, i + 1, nil
 		}
-		if shift > 63 {
-			break
-		}
 	}
-	return 0, 0, fmt.Errorf("ehframe: truncated SLEB128")
+	return 0, 0, ErrTruncated
 }
 
 // Build serializes an .eh_frame section for the given function ranges.
@@ -149,6 +167,9 @@ func Build(sectionAddr uint64, funcs []FuncRange) []byte {
 // other than pcrel|sdata4 are rejected; malformed records end the walk
 // with an error. A nil or empty section yields no ranges.
 func Parse(sectionAddr uint64, data []byte) ([]FuncRange, error) {
+	if err := harden.Inject(harden.FPEhFrameParse); err != nil {
+		return nil, fmt.Errorf("ehframe: %w", err)
+	}
 	var funcs []FuncRange
 	type cieInfo struct{ enc byte }
 	cies := make(map[uint64]cieInfo)
@@ -161,6 +182,9 @@ func Parse(sectionAddr uint64, data []byte) ([]FuncRange, error) {
 		}
 		if length == 0xFFFFFFFF {
 			return nil, fmt.Errorf("ehframe: 64-bit DWARF records unsupported")
+		}
+		if length < 4 {
+			return nil, fmt.Errorf("ehframe: record at %#x too short for CIE pointer", pos)
 		}
 		recStart := pos
 		body := pos + 4
@@ -191,6 +215,9 @@ func Parse(sectionAddr uint64, data []byte) ([]FuncRange, error) {
 			delta := int32(le.Uint32(data[body+4:]))
 			start := uint64(int64(fieldAddr) + int64(delta))
 			size := uint64(le.Uint32(data[body+8:]))
+			if start+size < start {
+				return nil, fmt.Errorf("ehframe: FDE at %#x: pc-range [%#x, +%#x] overflows", recStart, start, size)
+			}
 			funcs = append(funcs, FuncRange{Start: start, Size: size})
 		}
 		pos = end

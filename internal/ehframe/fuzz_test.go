@@ -1,0 +1,54 @@
+package ehframe
+
+import (
+	"testing"
+)
+
+// FuzzEHFrame throws arbitrary bytes at the .eh_frame parser. Parse may
+// reject, but it must never panic, and every accepted FuncRange must
+// have a non-overflowing pc-range (the exact guarantee the CFG builder
+// relies on when it seeds entries from CFI). Seed corpus:
+// testdata/fuzz/FuzzEHFrame (regenerate with scripts/gencorpus).
+func FuzzEHFrame(f *testing.F) {
+	sec := Build(0x4000, []FuncRange{
+		{Start: 0x1000, Size: 0x40},
+		{Start: 0x1040, Size: 0x123},
+	})
+	f.Add(uint64(0x4000), sec)
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(0), []byte{0, 0, 0, 0})
+	f.Add(uint64(0x4000), sec[:len(sec)/2])
+	f.Fuzz(func(t *testing.T, secAddr uint64, data []byte) {
+		frs, err := Parse(secAddr, data)
+		if err != nil {
+			return
+		}
+		for _, fr := range frs {
+			if fr.Start+fr.Size < fr.Start {
+				t.Fatalf("accepted overflowing pc-range [%#x, +%#x]", fr.Start, fr.Size)
+			}
+		}
+	})
+}
+
+// FuzzLEB checks the varint decoders directly: any input either decodes
+// (consuming 1..len bytes, never more) or returns ErrTruncated /
+// ErrOverflow — never a panic, never a zero-length success.
+func FuzzLEB(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xE5, 0x8E, 0x26})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, n, err := ReadULEB(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("ReadULEB(%x) = %d, n=%d", data, v, n)
+			}
+		}
+		if v, n, err := ReadSLEB(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("ReadSLEB(%x) = %d, n=%d", data, v, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package elfx
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/harden"
+)
+
+// wellFormed returns the serialized sample binary for mutation.
+func wellFormed(t *testing.T) []byte {
+	t.Helper()
+	b, err := Write(sample())
+	if err != nil {
+		t.Fatalf("Write(sample): %v", err)
+	}
+	return b
+}
+
+// TestReadCorruptHeaders drives Read over a table of structural
+// corruptions. Every case must return an error — and, above all, must
+// not panic with a slice out of range.
+func TestReadCorruptHeaders(t *testing.T) {
+	put16 := func(b []byte, off int, v uint16) { le.PutUint16(b[off:], v) }
+	put64 := func(b []byte, off int, v uint64) { le.PutUint64(b[off:], v) }
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncated-magic", func(b []byte) []byte { return b[:3] }},
+		{"truncated-ehdr", func(b []byte) []byte { return b[:EhdrSize-1] }},
+		{"bad-class", func(b []byte) []byte { b[4] = 1; return b }},
+		{"bad-endian", func(b []byte) []byte { b[5] = 2; return b }},
+		{"bad-machine", func(b []byte) []byte { put16(b, 18, 0x28); return b }},
+		{"phoff-wild", func(b []byte) []byte { put64(b, 32, ^uint64(0)-7); return b }},
+		{"phoff-past-end", func(b []byte) []byte { put64(b, 32, uint64(len(b))); return b }},
+		{"phnum-huge", func(b []byte) []byte { put16(b, 56, 0xFFFF); return b }},
+		{"shoff-wild", func(b []byte) []byte { put64(b, 40, ^uint64(0)-7); return b }},
+		{"shoff-past-end", func(b []byte) []byte { put64(b, 40, uint64(len(b))-8); return b }},
+		{"shnum-huge", func(b []byte) []byte { put16(b, 60, 0xFFFF); return b }},
+		{"shstrndx-oob", func(b []byte) []byte { put16(b, 62, 0x7FFF); return b }},
+		{"shstrtab-offset-wild", func(b []byte) []byte {
+			shoff := le.Uint64(b[40:])
+			ndx := uint64(le.Uint16(b[62:]))
+			put64(b, int(shoff+ndx*ShdrSize)+24, ^uint64(0)-15)
+			return b
+		}},
+		{"section-size-wraps", func(b []byte) []byte {
+			// First non-null section: sh_size = 2^64-1 so off+size wraps.
+			shoff := le.Uint64(b[40:])
+			put64(b, int(shoff+ShdrSize)+32, ^uint64(0))
+			return b
+		}},
+		{"section-offset-past-end", func(b []byte) []byte {
+			shoff := le.Uint64(b[40:])
+			put64(b, int(shoff+ShdrSize)+24, uint64(len(b))+1)
+			return b
+		}},
+		{"phdr-filesz-wraps", func(b []byte) []byte {
+			// First program header (a PT_LOAD in Write's layout): p_offset
+			// near 2^64 so off+filesz wraps past the bounds check.
+			phoff := le.Uint64(b[32:])
+			put64(b, int(phoff)+8, ^uint64(0)-1)
+			return b
+		}},
+		{"phdr-memsz-below-filesz", func(b []byte) []byte {
+			phoff := le.Uint64(b[32:])
+			put64(b, int(phoff)+40, 0)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(wellFormed(t))
+			if _, err := Read(b); err == nil {
+				t.Fatalf("corrupt input %q accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestReadRandomMutationsNeverPanic splices random values into random
+// offsets of a valid binary. Read may reject or accept — it must not
+// panic.
+func TestReadRandomMutationsNeverPanic(t *testing.T) {
+	base := wellFormed(t)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		b := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			off := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[off] ^= byte(1 << rng.Intn(8))
+			case 1:
+				b[off] = byte(rng.Intn(256))
+			default:
+				for j := 0; j < 8 && off+j < len(b); j++ {
+					b[off+j] = 0xFF
+				}
+			}
+		}
+		if rng.Intn(4) == 0 {
+			b = b[:rng.Intn(len(b)+1)]
+		}
+		Read(b) // outcome irrelevant; panics fail the test
+	}
+}
+
+func TestReadFailpoints(t *testing.T) {
+	b := wellFormed(t)
+	for _, pt := range []string{harden.FPElfRead, harden.FPElfReadSection} {
+		disarm := harden.NewPlan(harden.Fault{Point: pt}).Arm()
+		_, err := Read(b)
+		disarm()
+		if err == nil || !harden.IsInjected(err) {
+			t.Errorf("failpoint %s: err = %v, want injected fault", pt, err)
+		}
+	}
+	if _, err := Read(b); err != nil {
+		t.Fatalf("Read after disarm: %v", err)
+	}
+}
+
+func TestParseGNUPropertyCorrupt(t *testing.T) {
+	good := BuildGNUProperty(true, true)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"namesz-max", func() []byte {
+			b := append([]byte(nil), good...)
+			le.PutUint32(b, 0xFFFFFFFF)
+			return b
+		}()},
+		{"descsz-max", func() []byte {
+			b := append([]byte(nil), good...)
+			le.PutUint32(b[4:], 0xFFFFFFFF)
+			return b
+		}()},
+		{"prsz-escapes-desc", func() []byte {
+			b := append([]byte(nil), good...)
+			// pr_datasz lives 4 bytes into the descriptor (after the
+			// 12-byte header and 4-byte name).
+			le.PutUint32(b[20:], 0xFFFFFFF0)
+			return b
+		}()},
+		{"truncated-desc", good[:len(good)-9]},
+		{"just-header", good[:12]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if ibt, shstk := ParseGNUProperty(tc.data); ibt || shstk {
+				t.Errorf("corrupt note %q parsed as CET (%v, %v)", tc.name, ibt, shstk)
+			}
+		})
+	}
+	// Random truncations and flips must never panic.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		b := append([]byte(nil), good...)
+		b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		if rng.Intn(3) == 0 {
+			b = b[:rng.Intn(len(b)+1)]
+		}
+		ParseGNUProperty(b)
+	}
+}
+
+func TestSpanOverflow(t *testing.T) {
+	b := make([]byte, 100)
+	if _, ok := span(b, ^uint64(0), 16); ok {
+		t.Error("span accepted off=2^64-1")
+	}
+	if _, ok := span(b, 50, ^uint64(0)); ok {
+		t.Error("span accepted size=2^64-1")
+	}
+	if _, ok := span(b, 100, 1); ok {
+		t.Error("span accepted off=len, size=1")
+	}
+	if got, ok := span(b, 100, 0); !ok || len(got) != 0 {
+		t.Error("span rejected empty tail slice")
+	}
+	if got, ok := span(b, 10, 20); !ok || len(got) != 20 {
+		t.Error("span rejected valid range")
+	}
+	if !errors.Is(ErrNotELF, ErrNotELF) {
+		t.Error("sanity")
+	}
+}

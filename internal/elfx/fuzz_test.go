@@ -1,0 +1,39 @@
+package elfx
+
+import (
+	"testing"
+)
+
+// FuzzReadELF throws arbitrary bytes at the ELF reader. The contract
+// under fuzzing: Read may reject (any error), but it must never panic,
+// and an accepted file must be internally consistent — every section's
+// data sliced from within the image, every string table reference
+// resolved. Seed corpus: testdata/fuzz/FuzzReadELF (regenerate with
+// scripts/gencorpus).
+func FuzzReadELF(f *testing.F) {
+	wf, err := Write(sample())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(wf)
+	f.Add(wf[:len(wf)/2])
+	f.Add([]byte("\x7fELF"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Read(data)
+		if err != nil {
+			if file != nil {
+				t.Fatal("Read returned both a file and an error")
+			}
+			return
+		}
+		for _, s := range file.Sections {
+			if len(s.Data) > len(data) {
+				t.Fatalf("section %q: %d data bytes from a %d-byte image", s.Name, len(s.Data), len(data))
+			}
+			if s.Addr+s.Size < s.Addr {
+				t.Fatalf("section %q: address range [%#x, +%#x] overflows", s.Name, s.Addr, s.Size)
+			}
+		}
+	})
+}

@@ -26,33 +26,38 @@ func BuildGNUProperty(ibt, shstk bool) []byte {
 }
 
 // ParseGNUProperty extracts the IBT and SHSTK feature bits from a
-// .note.gnu.property section body. Malformed input yields false, false.
+// .note.gnu.property section body. Malformed input — truncated note
+// headers, name/descriptor sizes running past the section, property
+// sizes escaping the descriptor — yields false, false. All size
+// arithmetic is done in uint64 so a 0xFFFFFFFF namesz/descsz cannot
+// wrap on any int width.
 func ParseGNUProperty(data []byte) (ibt, shstk bool) {
-	pos := 0
-	for pos+12 <= len(data) {
-		namesz := int(le.Uint32(data[pos:]))
-		descsz := int(le.Uint32(data[pos+4:]))
+	n := uint64(len(data))
+	pos := uint64(0)
+	for pos+12 <= n {
+		namesz := uint64(le.Uint32(data[pos:]))
+		descsz := uint64(le.Uint32(data[pos+4:]))
 		typ := le.Uint32(data[pos+8:])
 		pos += 12
-		nameEnd := pos + (namesz+3)&^3
-		if nameEnd > len(data) {
+		alignedName := (namesz + 3) &^ 3
+		if alignedName < namesz || namesz > n-pos || alignedName > n-pos {
 			return false, false
 		}
-		name := data[pos:min(pos+namesz, len(data))]
-		pos = nameEnd
-		descEnd := pos + (descsz+7)&^7
-		if pos+descsz > len(data) {
+		name := data[pos : pos+namesz]
+		pos += alignedName
+		alignedDesc := (descsz + 7) &^ 7
+		if alignedDesc < descsz || descsz > n-pos {
 			return false, false
 		}
 		desc := data[pos : pos+descsz]
 		if typ == NTGNUPropertyType0 && string(name) == "GNU\x00" {
 			// Walk properties inside the descriptor.
-			d := 0
-			for d+8 <= len(desc) {
+			d := uint64(0)
+			for d+8 <= uint64(len(desc)) {
 				prType := le.Uint32(desc[d:])
-				prSz := int(le.Uint32(desc[d+4:]))
+				prSz := uint64(le.Uint32(desc[d+4:]))
 				d += 8
-				if d+prSz > len(desc) {
+				if prSz > uint64(len(desc))-d {
 					break
 				}
 				if prType == GNUPropertyX86Feature1And && prSz >= 4 {
@@ -63,10 +68,10 @@ func ParseGNUProperty(data []byte) (ibt, shstk bool) {
 				d += (prSz + 7) &^ 7
 			}
 		}
-		if descEnd > len(data) {
+		if alignedDesc > n-pos {
 			break
 		}
-		pos = descEnd
+		pos += alignedDesc
 	}
 	return ibt, shstk
 }
@@ -125,11 +130,4 @@ func ParseDynamic(data []byte) [][2]uint64 {
 		out = append(out, [2]uint64{tag, val})
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -3,17 +3,38 @@ package elfx
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/harden"
 )
 
 // ErrNotELF is returned for files without a valid ELF64 little-endian
 // x86-64 header.
 var ErrNotELF = errors.New("elfx: not an ELF64 x86-64 file")
 
+// span returns b[off:off+size] when the range lies fully inside b. The
+// check is written against len(b) so that off+size can never wrap
+// around uint64 — a crafted header with off = 2^64-1 must yield an
+// error, not a slice-out-of-range panic.
+func span(b []byte, off, size uint64) ([]byte, bool) {
+	if off > uint64(len(b)) || size > uint64(len(b))-off {
+		return nil, false
+	}
+	return b[off : off+size], true
+}
+
 // Read parses an ELF file produced by this package (or any ELF64 LE
 // x86-64 binary using the same subset). The null section and .shstrtab
 // are stripped so that Read(Write(f)) mirrors f. The raw input is
 // retained in File.Raw.
+//
+// Read is hardened against arbitrary bytes: truncated headers,
+// out-of-range or overflowing sh_offset/sh_size, and overlapping or
+// malformed tables all return wrapped errors, never panics. The fuzz
+// target FuzzReadELF and the corrupt-input table tests enforce this.
 func Read(b []byte) (*File, error) {
+	if err := harden.Inject(harden.FPElfRead); err != nil {
+		return nil, fmt.Errorf("elfx: %w", err)
+	}
 	if len(b) < EhdrSize || b[0] != 0x7F || b[1] != 'E' || b[2] != 'L' || b[3] != 'F' {
 		return nil, ErrNotELF
 	}
@@ -36,12 +57,23 @@ func Read(b []byte) (*File, error) {
 	shnum := int(le.Uint16(b[60:]))
 	shstrndx := int(le.Uint16(b[62:]))
 
-	for i := 0; i < phnum; i++ {
-		o := phoff + uint64(i*PhdrSize)
-		if o+PhdrSize > uint64(len(b)) {
-			return nil, fmt.Errorf("elfx: program header %d out of range", i)
+	// Whole-table bounds first: phnum/shnum are attacker-controlled, so
+	// the per-entry offsets below must never be computed from an
+	// already-overflowed base.
+	if phnum > 0 {
+		if _, ok := span(b, phoff, uint64(phnum)*PhdrSize); !ok {
+			return nil, fmt.Errorf("elfx: program header table [%#x, +%d*%d] out of range", phoff, phnum, PhdrSize)
 		}
-		f.Segments = append(f.Segments, &Segment{
+	}
+	if shnum > 0 {
+		if _, ok := span(b, shoff, uint64(shnum)*ShdrSize); !ok {
+			return nil, fmt.Errorf("elfx: section header table [%#x, +%d*%d] out of range", shoff, shnum, ShdrSize)
+		}
+	}
+
+	for i := 0; i < phnum; i++ {
+		o := phoff + uint64(i)*PhdrSize
+		seg := &Segment{
 			Type:   le.Uint32(b[o:]),
 			Flags:  le.Uint32(b[o+4:]),
 			Off:    le.Uint64(b[o+8:]),
@@ -49,7 +81,16 @@ func Read(b []byte) (*File, error) {
 			Filesz: le.Uint64(b[o+32:]),
 			Memsz:  le.Uint64(b[o+40:]),
 			Align:  le.Uint64(b[o+48:]),
-		})
+		}
+		if seg.Type == PTLoad {
+			if _, ok := span(b, seg.Off, seg.Filesz); !ok {
+				return nil, fmt.Errorf("elfx: program header %d: file range [%#x, +%#x] out of range", i, seg.Off, seg.Filesz)
+			}
+			if seg.Memsz < seg.Filesz {
+				return nil, fmt.Errorf("elfx: program header %d: memsz %#x < filesz %#x", i, seg.Memsz, seg.Filesz)
+			}
+		}
+		f.Segments = append(f.Segments, seg)
 	}
 
 	type rawShdr struct {
@@ -62,10 +103,7 @@ func Read(b []byte) (*File, error) {
 	}
 	raws := make([]rawShdr, shnum)
 	for i := 0; i < shnum; i++ {
-		o := shoff + uint64(i*ShdrSize)
-		if o+ShdrSize > uint64(len(b)) {
-			return nil, fmt.Errorf("elfx: section header %d out of range", i)
-		}
+		o := shoff + uint64(i)*ShdrSize
 		raws[i] = rawShdr{
 			name: le.Uint32(b[o:]), typ: le.Uint32(b[o+4:]), flags: le.Uint64(b[o+8:]),
 			addr: le.Uint64(b[o+16:]), off: le.Uint64(b[o+24:]), size: le.Uint64(b[o+32:]),
@@ -77,10 +115,10 @@ func Read(b []byte) (*File, error) {
 		return nil, fmt.Errorf("elfx: shstrndx %d out of range", shstrndx)
 	}
 	strs := raws[shstrndx]
-	if strs.off+strs.size > uint64(len(b)) {
-		return nil, fmt.Errorf("elfx: shstrtab out of range")
+	strtab, ok := span(b, strs.off, strs.size)
+	if !ok {
+		return nil, fmt.Errorf("elfx: shstrtab [%#x, +%#x] out of range", strs.off, strs.size)
 	}
-	strtab := b[strs.off : strs.off+strs.size]
 	nameAt := func(off uint32) string {
 		if uint64(off) >= uint64(len(strtab)) {
 			return ""
@@ -96,16 +134,23 @@ func Read(b []byte) (*File, error) {
 		if i == 0 || i == shstrndx {
 			continue
 		}
+		if err := harden.Inject(harden.FPElfReadSection); err != nil {
+			return nil, fmt.Errorf("elfx: section %d: %w", i, err)
+		}
 		s := &Section{
 			Name: nameAt(r.name), Type: r.typ, Flags: r.flags,
 			Addr: r.addr, Off: r.off, Size: r.size,
 			Link: r.link, Info: r.info, Align: r.align, Entsize: r.entsize,
 		}
 		if r.typ != SHTNobits {
-			if r.off+r.size > uint64(len(b)) {
-				return nil, fmt.Errorf("elfx: section %s data out of range", s.Name)
+			data, ok := span(b, r.off, r.size)
+			if !ok {
+				return nil, fmt.Errorf("elfx: section %q data [%#x, +%#x] out of range", s.Name, r.off, r.size)
 			}
-			s.Data = b[r.off : r.off+r.size]
+			s.Data = data
+		}
+		if s.Addr+s.Size < s.Addr {
+			return nil, fmt.Errorf("elfx: section %q address range [%#x, +%#x] overflows", s.Name, s.Addr, s.Size)
 		}
 		f.Sections = append(f.Sections, s)
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/elfx"
+	"repro/internal/harden"
 	"repro/internal/obs"
 	"repro/internal/serialize"
 )
@@ -86,6 +87,9 @@ func Emit(in Input) ([]byte, *Layout, error) {
 		ro.D8(0) // keep the section non-empty for a stable layout
 	}
 
+	if err := harden.Inject(harden.FPEmitAssemble); err != nil {
+		return nil, nil, fmt.Errorf("emit: %w", err)
+	}
 	res, err := asm.Assemble(prog, newBase)
 	if err != nil {
 		return nil, nil, fmt.Errorf("emit: assembling S': %w", err)
@@ -207,6 +211,9 @@ func Emit(in Input) ([]byte, *Layout, error) {
 		})
 	}
 
+	if err := harden.Inject(harden.FPEmitWrite); err != nil {
+		return nil, nil, fmt.Errorf("emit: %w", err)
+	}
 	bin, err := elfx.Write(out)
 	if err != nil {
 		return nil, nil, fmt.Errorf("emit: %w", err)

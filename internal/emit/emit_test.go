@@ -33,7 +33,10 @@ func pipelineInput(t *testing.T) Input {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries := serialize.Serialize(g)
+	entries, err := serialize.Serialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rep, err := repair.Repair(entries, g)
 	if err != nil {
 		t.Fatal(err)

@@ -1,9 +1,9 @@
 package emu
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/harden"
 	"repro/internal/x86"
 )
 
@@ -18,8 +18,11 @@ func (v *CETViolation) Error() string {
 	return fmt.Sprintf("emu: CET violation (%s) at %#x", v.Kind, v.RIP)
 }
 
-// ErrStepLimit is returned when execution exceeds the step budget.
-var ErrStepLimit = errors.New("emu: step limit exceeded")
+// ErrStepLimit matches (via errors.Is) the error returned when
+// execution exceeds the step budget. It is a harden.BudgetExceeded with
+// resource "emu.steps", so callers can also test the generic
+// errors.Is(err, harden.ErrBudget).
+var ErrStepLimit error = &harden.BudgetExceeded{Resource: "emu.steps"}
 
 // Machine is a single-threaded x86-64 interpreter.
 type Machine struct {
@@ -95,7 +98,7 @@ func (m *Machine) Run() error {
 // Step executes one instruction.
 func (m *Machine) Step() error {
 	if m.Steps >= m.MaxSteps {
-		return ErrStepLimit
+		return &harden.BudgetExceeded{Resource: "emu.steps", Limit: int64(m.MaxSteps)}
 	}
 	m.Steps++
 

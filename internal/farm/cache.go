@@ -3,6 +3,7 @@ package farm
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -41,6 +42,19 @@ func Fingerprint(bin []byte, opts core.Options) (Key, bool) {
 		flags[1] = 1
 	}
 	h.Write(flags[:])
+	// The budget shapes the artifact (e.g. MaxTableEntries bounds the
+	// jump-table over-approximation), so it is part of the address.
+	// Hashing the resolved budget makes the zero value and an explicit
+	// all-defaults budget address the same artifact, as they should.
+	b := opts.Budget.WithDefaults()
+	var bb [6 * 8]byte
+	binary.LittleEndian.PutUint64(bb[0:], uint64(b.CFGRounds))
+	binary.LittleEndian.PutUint64(bb[8:], uint64(b.BlockInsts))
+	binary.LittleEndian.PutUint64(bb[16:], uint64(b.TotalInsts))
+	binary.LittleEndian.PutUint64(bb[24:], uint64(b.Blocks))
+	binary.LittleEndian.PutUint64(bb[32:], uint64(b.TableEntries))
+	binary.LittleEndian.PutUint64(bb[40:], b.EmuSteps)
+	h.Write(bb[:])
 	var k Key
 	h.Sum(k[:0])
 	return k, true

@@ -132,6 +132,7 @@ var counterNames = []string{
 	"farm.jobs_canceled", "farm.retries", "farm.timeouts", "farm.panics",
 	"farm.cache_hits", "farm.cache_misses", "farm.cache_disk_hits",
 	"farm.cache_write_errors",
+	"farm.verdict_validated", "farm.verdict_degraded", "farm.verdict_fallback",
 }
 
 // New starts a pool. Callers must Close it to release the workers.

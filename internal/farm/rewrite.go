@@ -35,8 +35,12 @@ func (p *Pool) Rewrite(ctx context.Context, bin []byte, opts core.Options) (*Rew
 		p.counter("farm.cache_misses").Inc()
 	}
 	opts.Obs = p.cfg.Obs.MetricsOnly()
-	v, err := p.Do(ctx, "rewrite", func(context.Context) (any, error) {
-		res, rerr := core.Rewrite(bin, opts)
+	v, err := p.Do(ctx, "rewrite", func(jobCtx context.Context) (any, error) {
+		// Wire the job's context (request timeout, pool shutdown) into
+		// the pipeline so a dead client stops burning a worker.
+		o := opts
+		o.Cancel = jobCtx.Done()
+		res, rerr := core.Rewrite(bin, o)
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -54,5 +58,43 @@ func (p *Pool) Rewrite(ctx context.Context, bin []byte, opts core.Options) (*Rew
 			p.counter("farm.cache_write_errors").Inc()
 		}
 	}
+	return out, nil
+}
+
+// ValidatedResult is a farm-served guarded rewrite: the binary (original
+// on fallback), the verdict, and the attempt accounting.
+type ValidatedResult struct {
+	Binary   []byte       `json:"binary"`
+	Verdict  core.Verdict `json:"verdict"`
+	Attempts int          `json:"attempts"`
+	Reason   string       `json:"reason,omitempty"`
+	Stats    core.Stats   `json:"stats"`
+}
+
+// RewriteValidated runs core.RewriteValidated through the farm. Guarded
+// rewrites are never cached: the verdict depends on differential
+// execution against the request's inputs, which are not part of the
+// artifact address.
+func (p *Pool) RewriteValidated(ctx context.Context, bin []byte, opts core.ValidateOptions) (*ValidatedResult, error) {
+	opts.Obs = p.cfg.Obs.MetricsOnly()
+	v, err := p.Do(ctx, "rewrite_validated", func(jobCtx context.Context) (any, error) {
+		o := opts
+		o.Cancel = jobCtx.Done()
+		return core.RewriteValidated(bin, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*core.ValidatedResult)
+	out := &ValidatedResult{
+		Binary:   res.Binary,
+		Verdict:  res.Verdict,
+		Attempts: res.Attempts,
+		Reason:   res.Reason,
+	}
+	if res.Result != nil {
+		out.Stats = res.Result.Stats
+	}
+	p.counter("farm.verdict_" + string(res.Verdict)).Inc()
 	return out, nil
 }

@@ -1,12 +1,17 @@
 package farm
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/harden"
 )
 
 // ServerOptions configure the HTTP front-end (cmd/surid).
@@ -17,30 +22,53 @@ type ServerOptions struct {
 	// 4× the pool's worker count.
 	MaxInflight int
 
-	// MaxBodyBytes bounds the request body (default 64 MiB).
+	// MaxBodyBytes bounds the request body (default 64 MiB); larger
+	// uploads are rejected with 413.
 	MaxBodyBytes int64
+
+	// RequestTimeout bounds each /rewrite request's wall clock. The
+	// deadline is wired into the pipeline as a cancellation budget, so
+	// an expired request stops mid-CFG instead of finishing for nobody.
+	// <= 0 means no timeout. A per-request ?timeout= can only tighten
+	// it, never extend it.
+	RequestTimeout time.Duration
+
+	// Budget is the default per-request pipeline budget. Per-request
+	// ?budget-insts= / ?budget-steps= query parameters override single
+	// fields.
+	Budget harden.Budget
 }
 
 // RewriteResponse is the JSON body of a successful POST /rewrite: the
 // rewritten ELF image (base64 under encoding/json), the pipeline
-// statistics, and whether the artifact came from the cache.
+// statistics, and whether the artifact came from the cache. Validated
+// rewrites (?validate=1) additionally carry the verdict, the attempt
+// count, and — for anything below "validated" — the reason.
 type RewriteResponse struct {
 	CacheHit bool       `json:"cache_hit"`
 	Stats    core.Stats `json:"stats"`
+	Verdict  string     `json:"verdict,omitempty"`
+	Attempts int        `json:"attempts,omitempty"`
+	Reason   string     `json:"reason,omitempty"`
 	Binary   []byte     `json:"binary"`
 }
 
 // errorResponse is the JSON body of a failed request; Stage names the
-// pipeline stage that died when the failure was a stage error.
+// pipeline stage that died when the failure was a stage error, and
+// Verdict is "fallback" for budget/timeout exhaustion (what a validated
+// rewrite of the same request would have concluded).
 type errorResponse struct {
-	Error string `json:"error"`
-	Stage string `json:"stage,omitempty"`
+	Error   string `json:"error"`
+	Stage   string `json:"stage,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
 }
 
 // NewHandler builds the surid HTTP API over a pool:
 //
 //	POST /rewrite   binary in -> RewriteResponse out
-//	                query: ignore-ehframe=1, allow-noncet=1
+//	                query: ignore-ehframe=1, allow-noncet=1, validate=1,
+//	                       timeout=<duration>, budget-insts=<n>,
+//	                       budget-steps=<n>
 //	GET  /healthz   liveness probe
 //	GET  /metrics   the obs registry as deterministic text
 //
@@ -81,29 +109,83 @@ func NewHandler(p *Pool, opts ServerOptions) http.Handler {
 		bin, err := io.ReadAll(http.MaxBytesReader(w, r.Body, opts.MaxBodyBytes))
 		if err != nil {
 			httpErrors.Inc()
-			writeError(w, http.StatusBadRequest, err)
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, err)
 			return
 		}
 		q := r.URL.Query()
 		copts := core.Options{
 			IgnoreEhFrame: q.Get("ignore-ehframe") == "1",
 			AllowNonCET:   q.Get("allow-noncet") == "1",
+			Budget:        opts.Budget,
 		}
-		res, err := p.Rewrite(r.Context(), bin, copts)
-		if err != nil {
-			httpErrors.Inc()
-			status := http.StatusUnprocessableEntity // the binary's fault
-			if errors.Is(err, ErrClosed) || r.Context().Err() != nil {
-				status = http.StatusServiceUnavailable // the server's fault
+		if v := q.Get("budget-insts"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				httpErrors.Inc()
+				writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad budget-insts %q", v))
+				return
 			}
-			writeError(w, status, err)
-			return
+			copts.Budget.TotalInsts = n
 		}
-		writeJSON(w, http.StatusOK, RewriteResponse{
-			CacheHit: res.CacheHit,
-			Stats:    res.Stats,
-			Binary:   res.Binary,
-		})
+		if v := q.Get("budget-steps"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil || n == 0 {
+				httpErrors.Inc()
+				writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad budget-steps %q", v))
+				return
+			}
+			copts.Budget.EmuSteps = n
+		}
+
+		timeout := opts.RequestTimeout
+		if v := q.Get("timeout"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				httpErrors.Inc()
+				writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad timeout %q", v))
+				return
+			}
+			if timeout <= 0 || d < timeout {
+				timeout = d
+			}
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+
+		var resp RewriteResponse
+		if q.Get("validate") == "1" {
+			vres, err := p.RewriteValidated(ctx, bin, core.ValidateOptions{Options: copts})
+			if err != nil {
+				httpErrors.Inc()
+				writeError(w, rewriteStatus(r, err), err)
+				return
+			}
+			resp = RewriteResponse{
+				Stats:    vres.Stats,
+				Verdict:  string(vres.Verdict),
+				Attempts: vres.Attempts,
+				Reason:   vres.Reason,
+				Binary:   vres.Binary,
+			}
+		} else {
+			res, err := p.Rewrite(ctx, bin, copts)
+			if err != nil {
+				httpErrors.Inc()
+				writeError(w, rewriteStatus(r, err), err)
+				return
+			}
+			resp = RewriteResponse{CacheHit: res.CacheHit, Stats: res.Stats, Binary: res.Binary}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +203,16 @@ func NewHandler(p *Pool, opts ServerOptions) http.Handler {
 	return mux
 }
 
+// rewriteStatus maps a pipeline failure to an HTTP status: 422 when the
+// request (binary, budget, or timeout) is at fault, 503 when the server
+// is shutting down or the client has already gone away.
+func rewriteStatus(r *http.Request, err error) int {
+	if errors.Is(err, ErrClosed) || r.Context().Err() != nil {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -129,5 +221,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error(), Stage: core.Stage(err)})
+	if status == http.StatusServiceUnavailable {
+		// The condition is transient (draining inflight slots or a pool
+		// shutdown in progress); tell well-behaved clients when to retry.
+		w.Header().Set("Retry-After", "1")
+	}
+	resp := errorResponse{Error: err.Error(), Stage: core.Stage(err)}
+	if errors.Is(err, harden.ErrBudget) || errors.Is(err, context.DeadlineExceeded) {
+		resp.Verdict = string(core.VerdictFallback)
+	}
+	writeJSON(w, status, resp)
 }

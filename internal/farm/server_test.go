@@ -49,6 +49,9 @@ const goldenMetrics = "counters:\n" +
 	"  farm.panics                                       0\n" +
 	"  farm.retries                                      0\n" +
 	"  farm.timeouts                                     0\n" +
+	"  farm.verdict_degraded                             0\n" +
+	"  farm.verdict_fallback                             0\n" +
+	"  farm.verdict_validated                            0\n" +
 	"gauges:\n" +
 	"  farm.http_inflight                                0\n" +
 	"  farm.queue_depth                                  4\n" +
@@ -183,6 +186,118 @@ func TestServerRejectsBadBinary(t *testing.T) {
 	}
 	if e.Stage != "elf" {
 		t.Fatalf("stage = %q (error %q), want \"elf\"", e.Stage, e.Error)
+	}
+}
+
+// TestServerRejectsOversizedBody: a body past MaxBodyBytes is cut off by
+// http.MaxBytesReader and rejected with 413, not read to completion.
+func TestServerRejectsOversizedBody(t *testing.T) {
+	_, srv := newTestServer(t, farm.Config{Workers: 1},
+		farm.ServerOptions{MaxBodyBytes: 1 << 10})
+	resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream",
+		bytes.NewReader(make([]byte, 1<<20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestServerBudgetExceeded: a request whose per-request budget is too
+// small for the binary dies in the cfg stage; the response is 422 and
+// carries both the stage and the fallback verdict.
+func TestServerBudgetExceeded(t *testing.T) {
+	_, srv := newTestServer(t, farm.Config{Workers: 1}, farm.ServerOptions{})
+	bin := testBinary(t)
+	resp, err := http.Post(srv.URL+"/rewrite?budget-insts=50", "application/octet-stream",
+		bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	var e struct {
+		Error   string `json:"error"`
+		Stage   string `json:"stage"`
+		Verdict string `json:"verdict"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stage != "cfg" || e.Verdict != "fallback" {
+		t.Fatalf("stage = %q, verdict = %q (error %q); want cfg/fallback", e.Stage, e.Verdict, e.Error)
+	}
+}
+
+// TestServerBadQueryParams: malformed budget/timeout values are the
+// client's fault and rejected up front with 400.
+func TestServerBadQueryParams(t *testing.T) {
+	_, srv := newTestServer(t, farm.Config{Workers: 1}, farm.ServerOptions{})
+	for _, q := range []string{"budget-insts=-1", "budget-insts=x", "budget-steps=0", "timeout=soon"} {
+		resp, err := http.Post(srv.URL+"/rewrite?"+q, "application/octet-stream",
+			bytes.NewReader([]byte("x")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerValidatedRewrite: ?validate=1 runs the guarded pipeline; a
+// clean binary comes back with the validated verdict and garbage comes
+// back 200 with the fallback verdict and its own bytes (graceful
+// degradation is a success at the HTTP layer, not an error).
+func TestServerValidatedRewrite(t *testing.T) {
+	col := obs.New()
+	p, srv := newTestServer(t, farm.Config{Workers: 2, Obs: col}, farm.ServerOptions{})
+	bin := testBinary(t)
+
+	resp, err := http.Post(srv.URL+"/rewrite?validate=1", "application/octet-stream",
+		bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out farm.RewriteResponse
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("validated POST: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Verdict != "validated" || out.Attempts != 1 || len(out.Binary) == 0 {
+		t.Fatalf("verdict = %q attempts = %d len = %d; want validated/1", out.Verdict, out.Attempts, len(out.Binary))
+	}
+	if got := p.Obs().Metrics().Counter("farm.verdict_validated").Value(); got != 1 {
+		t.Fatalf("farm.verdict_validated = %d, want 1", got)
+	}
+
+	junk := []byte("not an elf")
+	resp, err = http.Post(srv.URL+"/rewrite?validate=1", "application/octet-stream",
+		bytes.NewReader(junk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback POST: status %d", resp.StatusCode)
+	}
+	out = farm.RewriteResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Verdict != "fallback" || out.Reason == "" || !bytes.Equal(out.Binary, junk) {
+		t.Fatalf("junk verdict = %q reason = %q; want fallback with original bytes", out.Verdict, out.Reason)
+	}
+	if got := p.Obs().Metrics().Counter("farm.verdict_fallback").Value(); got != 1 {
+		t.Fatalf("farm.verdict_fallback = %d, want 1", got)
 	}
 }
 

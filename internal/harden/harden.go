@@ -1,0 +1,335 @@
+// Package harden is the pipeline's robustness layer: a deterministic,
+// seeded fault-injection framework (FaultPlan) threaded through the
+// parsers and every Figure 4 stage via named failpoints, plus explicit
+// resource budgets (Budget, BudgetExceeded) for the decoder loop, the
+// superset-CFG fixpoint, and emulator execution.
+//
+// Since PR 2 the pipeline accepts arbitrary bytes over HTTP (cmd/surid),
+// so a truncated ELF, a malformed .eh_frame, or a pathological superset
+// CFG must produce a typed error or a degraded-but-correct result —
+// never a panic or an unbounded loop. Failpoints let tests force a
+// failure at any point of any stage and assert that the pipeline
+// surfaces a core.StageError naming that stage; budgets turn "unbounded
+// loop" into a typed, retryable BudgetExceeded.
+//
+// The package is a leaf: it imports only the standard library, so every
+// pipeline package can depend on it without cycles. When no plan is
+// armed, Inject is a single atomic load — effectively free on hot paths.
+package harden
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Failpoint names compiled into the pipeline. Each one is an Inject
+// call at a place where real inputs have historically broken rewriters:
+// header parsing, CFI decoding, the CFG fixpoint, serialization, and
+// emission.
+const (
+	FPElfRead        = "elfx.read"
+	FPElfReadSection = "elfx.read.section"
+	FPEhFrameParse   = "ehframe.parse"
+	FPCfgHarvest     = "cfg.harvest"
+	FPCfgDecode      = "cfg.decode"
+	FPCfgTables      = "cfg.tables"
+	FPSerialize      = "serialize.run"
+	FPRepair         = "repair.run"
+	FPAudit          = "repair.audit"
+	FPSymbolize      = "symbolize.run"
+	FPInstrument     = "core.instrument"
+	FPEmitAssemble   = "emit.assemble"
+	FPEmitWrite      = "emit.write"
+)
+
+// Failpoints maps every failpoint compiled into the pipeline to the
+// Figure 4 stage whose StageError must surface when the point fires.
+// The fault-injection matrix test ranges over this map; adding an
+// Inject call without registering it here fails that test's coverage
+// check.
+var Failpoints = map[string]string{
+	FPElfRead:        "elf",
+	FPElfReadSection: "elf",
+	FPEhFrameParse:   "cfg",
+	FPCfgHarvest:     "cfg",
+	FPCfgDecode:      "cfg",
+	FPCfgTables:      "cfg",
+	FPSerialize:      "serialize",
+	FPRepair:         "repair",
+	FPAudit:          "audit",
+	FPSymbolize:      "symbolize",
+	FPInstrument:     "instrument",
+	FPEmitAssemble:   "emit",
+	FPEmitWrite:      "emit",
+}
+
+// ErrInjected is the default error delivered by a firing failpoint.
+var ErrInjected = errors.New("harden: injected fault")
+
+// InjectedError is the error a firing failpoint returns: it names the
+// point and wraps either the fault's custom error or ErrInjected.
+type InjectedError struct {
+	Point string
+	Err   error
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("harden: fault at %s: %v", e.Point, e.Err)
+}
+
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// IsInjected reports whether err (or anything it wraps) came from a
+// firing failpoint. Pipeline code uses it to propagate injected faults
+// strictly even on paths that degrade gracefully for real-world
+// corruption (e.g. a malformed .eh_frame is normally skipped, but an
+// injected parse fault must surface).
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// Fault arms one failpoint inside a FaultPlan.
+type Fault struct {
+	// Point is the failpoint name (one of the FP* constants).
+	Point string
+
+	// After delays the fault: the point fires on its (After+1)-th
+	// traversal. Zero fires on the first hit.
+	After int
+
+	// Times bounds how often the point fires; later traversals pass.
+	// Zero means unlimited. Times=1 models a transient fault: the first
+	// pipeline attempt dies, a retry succeeds — exactly the shape
+	// graceful-degradation tests need.
+	Times int
+
+	// Err overrides the delivered error (wrapped in *InjectedError so
+	// IsInjected still recognizes it). Nil means ErrInjected.
+	Err error
+}
+
+type faultState struct {
+	after int
+	times int
+	err   error
+	hits  int
+	fired int
+}
+
+// FaultPlan is a deterministic set of armed faults. Arm installs the
+// plan globally (there is one pipeline per process under test); the
+// returned disarm function restores the previous plan, so nested or
+// sequential tests compose. A nil or disarmed plan costs one atomic
+// load per failpoint traversal.
+type FaultPlan struct {
+	mu     sync.Mutex
+	faults map[string]*faultState
+}
+
+// NewPlan builds a plan arming the given faults. Unknown points are
+// accepted (they simply never fire) so plans can be generated from
+// seeds without consulting Failpoints first.
+func NewPlan(faults ...Fault) *FaultPlan {
+	p := &FaultPlan{faults: make(map[string]*faultState, len(faults))}
+	for _, f := range faults {
+		err := f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		p.faults[f.Point] = &faultState{after: f.After, times: f.Times, err: err}
+	}
+	return p
+}
+
+// SeededPlan derives a single-fault plan from a seed, choosing the
+// failpoint uniformly from the registered set. The same seed always
+// yields the same plan — randomized robustness sweeps stay replayable
+// from the seed alone.
+func SeededPlan(seed int64) *FaultPlan {
+	points := make([]string, 0, len(Failpoints))
+	for pt := range Failpoints {
+		points = append(points, pt)
+	}
+	sort.Strings(points)
+	rng := rand.New(rand.NewSource(seed))
+	pt := points[rng.Intn(len(points))]
+	return NewPlan(Fault{Point: pt, After: rng.Intn(3)})
+}
+
+// Points returns the plan's armed failpoint names, sorted.
+func (p *FaultPlan) Points() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.faults))
+	for pt := range p.faults {
+		out = append(out, pt)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hits reports how many times the plan saw the failpoint while armed
+// (including traversals that did not fire because of After).
+func (p *FaultPlan) Hits(point string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.faults[point]; ok {
+		return st.hits
+	}
+	return 0
+}
+
+func (p *FaultPlan) hit(point string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.faults[point]
+	if !ok {
+		return nil
+	}
+	st.hits++
+	if st.hits <= st.after {
+		return nil
+	}
+	if st.times > 0 && st.fired >= st.times {
+		return nil
+	}
+	st.fired++
+	return &InjectedError{Point: point, Err: st.err}
+}
+
+var active atomic.Pointer[FaultPlan]
+
+// Arm installs the plan as the process-wide active plan and returns a
+// function restoring whatever was armed before. Tests arm a plan, run
+// the pipeline, and disarm; production never arms anything, keeping
+// Inject at one atomic load.
+func (p *FaultPlan) Arm() (disarm func()) {
+	prev := active.Swap(p)
+	return func() { active.Store(prev) }
+}
+
+// Inject is the failpoint probe compiled into the pipeline. It returns
+// nil unless an armed plan has a pending fault for the point.
+func Inject(point string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.hit(point)
+}
+
+// Resource budget defaults. Zero-valued Budget fields resolve to these.
+const (
+	DefaultCFGRounds    = 64
+	DefaultBlockInsts   = 20000
+	DefaultTotalInsts   = 16 << 20
+	DefaultBlocks       = 1 << 20
+	DefaultTableEntries = 1024
+	DefaultEmuSteps     = 500_000_000
+)
+
+// Budget bounds the pipeline's resource use. The zero value means "all
+// defaults"; any field can be set independently. Budgets are explicit
+// (not wall-clock) so results are deterministic: the same input under
+// the same budget always exhausts the same resource at the same point.
+type Budget struct {
+	// CFGRounds bounds the superset-CFG harvest/disassemble/table
+	// fixpoint (§3.2.2 outer loop).
+	CFGRounds int
+
+	// BlockInsts bounds a single block's decode run (bogus-path guard).
+	BlockInsts int
+
+	// TotalInsts bounds instructions decoded across the whole CFG build
+	// — the x86 decoder loop's step budget.
+	TotalInsts int64
+
+	// Blocks bounds the number of superset blocks.
+	Blocks int
+
+	// TableEntries bounds one jump table's over-approximation.
+	TableEntries int
+
+	// EmuSteps bounds each emulator run during differential validation.
+	EmuSteps uint64
+}
+
+// WithDefaults resolves zero fields to the package defaults.
+func (b Budget) WithDefaults() Budget {
+	if b.CFGRounds == 0 {
+		b.CFGRounds = DefaultCFGRounds
+	}
+	if b.BlockInsts == 0 {
+		b.BlockInsts = DefaultBlockInsts
+	}
+	if b.TotalInsts == 0 {
+		b.TotalInsts = DefaultTotalInsts
+	}
+	if b.Blocks == 0 {
+		b.Blocks = DefaultBlocks
+	}
+	if b.TableEntries == 0 {
+		b.TableEntries = DefaultTableEntries
+	}
+	if b.EmuSteps == 0 {
+		b.EmuSteps = DefaultEmuSteps
+	}
+	return b
+}
+
+// Widen returns the budget with every bound quadrupled (after resolving
+// defaults). Graceful degradation retries a failed or diverging rewrite
+// under a widened budget before falling back to the original binary:
+// wider bounds let the over-approximation cover jump tables or block
+// runs the first attempt clipped.
+func (b Budget) Widen() Budget {
+	b = b.WithDefaults()
+	b.CFGRounds *= 4
+	b.BlockInsts *= 4
+	b.TotalInsts *= 4
+	b.Blocks *= 4
+	b.TableEntries *= 4
+	b.EmuSteps *= 4
+	return b
+}
+
+// BudgetExceeded is the typed error for an exhausted resource budget.
+// It matches errors.Is against any *BudgetExceeded with an empty or
+// equal Resource, so callers can test for "some budget died"
+// (errors.Is(err, harden.ErrBudget)) or for a specific resource.
+type BudgetExceeded struct {
+	// Resource names what ran out ("cfg.rounds", "cfg.insts",
+	// "cfg.blocks", "emu.steps", ...).
+	Resource string
+
+	// Limit is the bound that was hit.
+	Limit int64
+}
+
+func (e *BudgetExceeded) Error() string {
+	if e.Resource == "" {
+		return "harden: resource budget exceeded"
+	}
+	return fmt.Sprintf("harden: %s budget exceeded (limit %d)", e.Resource, e.Limit)
+}
+
+// Is implements the errors.Is protocol described on the type.
+func (e *BudgetExceeded) Is(target error) bool {
+	t, ok := target.(*BudgetExceeded)
+	return ok && (t.Resource == "" || t.Resource == e.Resource)
+}
+
+// ErrBudget matches (via errors.Is) every BudgetExceeded error
+// regardless of resource.
+var ErrBudget error = &BudgetExceeded{}
+
+// ErrCanceled is the error a pipeline stage returns when its Cancel
+// channel fires. It is a BudgetExceeded with Resource "time" — a
+// per-request timeout is just another budget (the wall-clock one), so
+// callers handle both with errors.Is(err, ErrBudget).
+var ErrCanceled error = &BudgetExceeded{Resource: "time"}

@@ -1,0 +1,157 @@
+package harden
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestInjectDisarmedIsNil(t *testing.T) {
+	if err := Inject(FPElfRead); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	plan := NewPlan(Fault{Point: FPCfgDecode})
+	disarm := plan.Arm()
+	if err := Inject(FPCfgTables); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	err := Inject(FPCfgDecode)
+	if err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	if !IsInjected(err) {
+		t.Fatalf("IsInjected(%v) = false", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != FPCfgDecode {
+		t.Fatalf("wrong injected error: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+	}
+	disarm()
+	if err := Inject(FPCfgDecode); err != nil {
+		t.Fatalf("Inject after disarm returned %v", err)
+	}
+}
+
+func TestArmRestoresPreviousPlan(t *testing.T) {
+	outer := NewPlan(Fault{Point: FPSerialize})
+	disarmOuter := outer.Arm()
+	defer disarmOuter()
+	inner := NewPlan(Fault{Point: FPRepair})
+	disarmInner := inner.Arm()
+	if err := Inject(FPSerialize); err != nil {
+		t.Fatalf("outer plan fired while inner armed: %v", err)
+	}
+	if err := Inject(FPRepair); err == nil {
+		t.Fatal("inner plan did not fire")
+	}
+	disarmInner()
+	if err := Inject(FPSerialize); err == nil {
+		t.Fatal("outer plan not restored after inner disarm")
+	}
+}
+
+func TestAfterDelaysFiring(t *testing.T) {
+	plan := NewPlan(Fault{Point: FPEmitWrite, After: 2})
+	defer plan.Arm()()
+	for i := 0; i < 2; i++ {
+		if err := Inject(FPEmitWrite); err != nil {
+			t.Fatalf("hit %d fired early: %v", i+1, err)
+		}
+	}
+	if err := Inject(FPEmitWrite); err == nil {
+		t.Fatal("third hit did not fire")
+	}
+	if got := plan.Hits(FPEmitWrite); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestTimesBoundsFiring(t *testing.T) {
+	plan := NewPlan(Fault{Point: FPSerialize, Times: 1})
+	defer plan.Arm()()
+	if err := Inject(FPSerialize); err == nil {
+		t.Fatal("first hit did not fire")
+	}
+	for i := 0; i < 3; i++ {
+		if err := Inject(FPSerialize); err != nil {
+			t.Fatalf("hit after Times exhausted fired: %v", err)
+		}
+	}
+}
+
+func TestCustomFaultError(t *testing.T) {
+	boom := errors.New("boom")
+	plan := NewPlan(Fault{Point: FPAudit, Err: boom})
+	defer plan.Arm()()
+	err := Inject(FPAudit)
+	if !errors.Is(err, boom) {
+		t.Fatalf("custom error lost: %v", err)
+	}
+	if !IsInjected(err) {
+		t.Fatalf("custom fault not recognized as injected: %v", err)
+	}
+}
+
+func TestSeededPlanDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := SeededPlan(seed), SeededPlan(seed)
+		pa, pb := a.Points(), b.Points()
+		if len(pa) != 1 || len(pb) != 1 || pa[0] != pb[0] {
+			t.Fatalf("seed %d: plans differ: %v vs %v", seed, pa, pb)
+		}
+		if _, ok := Failpoints[pa[0]]; !ok {
+			t.Fatalf("seed %d: unregistered point %q", seed, pa[0])
+		}
+	}
+}
+
+func TestBudgetDefaultsAndWiden(t *testing.T) {
+	b := Budget{}.WithDefaults()
+	if b.CFGRounds != DefaultCFGRounds || b.TotalInsts != DefaultTotalInsts ||
+		b.Blocks != DefaultBlocks || b.TableEntries != DefaultTableEntries ||
+		b.BlockInsts != DefaultBlockInsts || b.EmuSteps != DefaultEmuSteps {
+		t.Fatalf("defaults not applied: %+v", b)
+	}
+	// A set field survives WithDefaults.
+	c := Budget{TableEntries: 7}.WithDefaults()
+	if c.TableEntries != 7 {
+		t.Fatalf("explicit field clobbered: %+v", c)
+	}
+	w := Budget{TableEntries: 7}.Widen()
+	if w.TableEntries != 28 || w.CFGRounds != 4*DefaultCFGRounds {
+		t.Fatalf("Widen wrong: %+v", w)
+	}
+}
+
+func TestBudgetExceededIs(t *testing.T) {
+	err := fmt.Errorf("cfg: %w", &BudgetExceeded{Resource: "cfg.rounds", Limit: 64})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatal("ErrBudget did not match")
+	}
+	if !errors.Is(err, &BudgetExceeded{Resource: "cfg.rounds"}) {
+		t.Fatal("matching resource did not match")
+	}
+	if errors.Is(err, &BudgetExceeded{Resource: "emu.steps"}) {
+		t.Fatal("mismatched resource matched")
+	}
+	var be *BudgetExceeded
+	if !errors.As(err, &be) || be.Limit != 64 {
+		t.Fatalf("errors.As failed: %v", err)
+	}
+}
+
+func TestFailpointsRegistryStages(t *testing.T) {
+	valid := map[string]bool{"elf": true, "cfg": true, "serialize": true,
+		"repair": true, "audit": true, "symbolize": true, "instrument": true, "emit": true}
+	for pt, stage := range Failpoints {
+		if !valid[stage] {
+			t.Errorf("failpoint %q maps to unknown stage %q", pt, stage)
+		}
+	}
+}

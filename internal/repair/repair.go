@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfg"
+	"repro/internal/harden"
 	"repro/internal/serialize"
 )
 
@@ -35,6 +36,9 @@ func OrigLabel(addr uint64) string { return fmt.Sprintf("LO_%x", addr) }
 // Direct branches were already symbolized by the serializer. The entries
 // are modified in place.
 func Repair(entries []serialize.Entry, g *cfg.Graph) (*Result, error) {
+	if err := harden.Inject(harden.FPRepair); err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
 	res := &Result{Sets: make(map[string]uint64)}
 	for i := range entries {
 		e := &entries[i]
@@ -71,6 +75,9 @@ func Repair(entries []serialize.Entry, g *cfg.Graph) (*Result, error) {
 // symbolized into the new code must target an endbr64 in the original
 // binary. It returns the number of verified code pointers.
 func Audit(entries []serialize.Entry, g *cfg.Graph) (int, error) {
+	if err := harden.Inject(harden.FPAudit); err != nil {
+		return 0, fmt.Errorf("audit: %w", err)
+	}
 	n := 0
 	for _, e := range entries {
 		if e.Synth || e.Target == "" || len(e.Target) < 3 || e.Target[:3] != "LC_" {

@@ -50,7 +50,11 @@ func trapBinary(t *testing.T) (*cfg.Graph, []serialize.Entry) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return g, serialize.Serialize(g)
+	entries, err := serialize.Serialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, entries
 }
 
 func TestRepairClassifiesPointers(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfg"
+	"repro/internal/harden"
 	"repro/internal/x86"
 )
 
@@ -50,7 +51,10 @@ func LabelFor(addr uint64) string { return fmt.Sprintf("LC_%x", addr) }
 // address order; a block whose fall-through successor is not the next
 // emitted block gets an explicit jump (Algorithm 1's add_br_instruction).
 // Invalid (bogus) blocks keep their decoded prefix and end in a trap.
-func Serialize(g *cfg.Graph) []Entry {
+func Serialize(g *cfg.Graph) ([]Entry, error) {
+	if err := harden.Inject(harden.FPSerialize); err != nil {
+		return nil, fmt.Errorf("serialize: %w", err)
+	}
 	blocks := g.SortedBlocks()
 	var out []Entry
 
@@ -113,7 +117,7 @@ func Serialize(g *cfg.Graph) []Entry {
 		Inst:   x86.Inst{Op: x86.UD2},
 		Synth:  true,
 	})
-	return out
+	return out, nil
 }
 
 // Count reports original and synthesized instruction counts, the

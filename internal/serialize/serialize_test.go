@@ -42,7 +42,10 @@ func buildGraph(t *testing.T) *cfg.Graph {
 
 func TestSerializeCoversAllBlocks(t *testing.T) {
 	g := buildGraph(t)
-	entries := Serialize(g)
+	entries, err := Serialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Every block start must be labelled exactly once.
 	labels := map[string]int{}
@@ -74,7 +77,11 @@ func TestSerializeCoversAllBlocks(t *testing.T) {
 
 func TestSerializeDirectBranchesSymbolic(t *testing.T) {
 	g := buildGraph(t)
-	for _, e := range Serialize(g) {
+	entries, err := Serialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
 		if e.Synth {
 			continue
 		}
@@ -88,7 +95,10 @@ func TestSerializeDirectBranchesSymbolic(t *testing.T) {
 // not the next emitted block, an explicit jump must be inserted.
 func TestSerializeFallThroughOrder(t *testing.T) {
 	g := buildGraph(t)
-	entries := Serialize(g)
+	entries, err := Serialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Reconstruct: walk entries; before each label boundary where the
 	// previous original instruction falls through, either the label must
@@ -127,7 +137,10 @@ func TestSerializeFallThroughOrder(t *testing.T) {
 
 func TestCount(t *testing.T) {
 	g := buildGraph(t)
-	entries := Serialize(g)
+	entries, err := Serialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	orig, synth := Count(entries)
 	if orig == 0 || synth == 0 {
 		t.Errorf("Count = %d, %d", orig, synth)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/harden"
 	"repro/internal/repair"
 	"repro/internal/serialize"
 	"repro/internal/x86"
@@ -47,6 +48,9 @@ func TableLabel(base uint64) string { return fmt.Sprintf("LJT_%x", base) }
 // inserted before each jump-table load, and the isolated tables are
 // returned for placement in a new read-only section.
 func Symbolize(entries []serialize.Entry, g *cfg.Graph) ([]serialize.Entry, *Result, error) {
+	if err := harden.Inject(harden.FPSymbolize); err != nil {
+		return nil, nil, fmt.Errorf("symbolize: %w", err)
+	}
 	res := &Result{Sets: make(map[string]uint64)}
 
 	// Group dispatch sites by load address (two tables can share one

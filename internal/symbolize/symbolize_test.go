@@ -47,7 +47,10 @@ func switchGraph(t *testing.T) (*cfg.Graph, []serialize.Entry) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries := serialize.Serialize(g)
+	entries, err := serialize.Serialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := repair.Repair(entries, g); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package x86
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeCorrupt drives Decode over byte patterns that historically
+// break table-driven decoders: truncated prefixes, dangling ModRM/SIB,
+// and length-boundary abuse. Every case must return a typed error.
+func TestDecodeCorrupt(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"lone-rex", []byte{0x48}, ErrTruncated},
+		{"lone-66", []byte{0x66}, ErrTruncated},
+		{"lone-f3", []byte{0xF3}, ErrTruncated},
+		{"prefix-chain-only", []byte{0x66, 0xF3, 0x48}, ErrTruncated},
+		{"opcode-missing-modrm", []byte{0x89}, ErrTruncated},
+		{"modrm-missing-sib", []byte{0x89, 0x04}, ErrTruncated},
+		{"sib-missing-disp32", []byte{0x89, 0x04, 0x25}, ErrTruncated},
+		{"modrm-missing-disp8", []byte{0x89, 0x44, 0x24}, ErrTruncated},
+		{"riprel-missing-disp32", []byte{0x8B, 0x05, 0x01, 0x02}, ErrTruncated},
+		{"imm64-truncated", []byte{0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7}, ErrTruncated},
+		{"jmp-rel32-truncated", []byte{0xE9, 0x01, 0x02}, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, n, err := Decode(tc.in)
+			if err == nil {
+				t.Fatalf("corrupt input decoded (len %d)", n)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeExhaustiveShortInputs covers every 1- and 2-byte input and a
+// random sample of longer ones: Decode must never panic and must never
+// report a length longer than the input or over 15 bytes.
+func TestDecodeExhaustiveShortInputs(t *testing.T) {
+	check := func(b []byte) {
+		_, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) || n > 15 {
+			t.Fatalf("Decode(%x) reported length %d (input %d bytes)", b, n, len(b))
+		}
+	}
+	for i := 0; i < 256; i++ {
+		check([]byte{byte(i)})
+	}
+	for i := 0; i < 256; i++ {
+		for j := 0; j < 256; j++ {
+			check([]byte{byte(i), byte(j)})
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 16)
+	for i := 0; i < 50000; i++ {
+		n := 3 + rng.Intn(14)
+		for j := 0; j < n; j++ {
+			buf[j] = byte(rng.Intn(256))
+		}
+		check(buf[:n])
+	}
+}

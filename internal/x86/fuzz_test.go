@@ -1,0 +1,30 @@
+package x86
+
+import (
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the instruction decoder. Decode
+// may reject, but it must never panic, and every success must consume a
+// plausible x86-64 length: 1..15 bytes, within the input. (The superset
+// CFG decodes at every byte offset of .text, so the decoder sees every
+// possible garbage suffix in normal operation.) Seed corpus:
+// testdata/fuzz/FuzzDecode (regenerate with scripts/gencorpus).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xC3})                               // ret
+	f.Add([]byte{0xF3, 0x0F, 0x1E, 0xFA})             // endbr64
+	f.Add([]byte{0x48, 0x8B, 0x04, 0x25, 1, 2, 3, 4}) // mov rax, [disp32]
+	f.Add([]byte{0x48, 0x8D, 0x05, 1, 2, 3, 4})       // lea rax, [rip+d]
+	f.Add([]byte{0xE9, 0x00, 0x00, 0x00})             // truncated jmp rel32
+	f.Add([]byte{0x66, 0x48})                         // bare prefixes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) || n > 15 {
+			t.Fatalf("Decode(%x) accepted with length %d", data, n)
+		}
+	})
+}

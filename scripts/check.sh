@@ -1,8 +1,11 @@
 #!/bin/sh
-# Repo hygiene gate: formatting, vet, build, and the race-sensitive
-# test packages (obs has concurrent counters; core drives the traced
-# pipeline; farm is the concurrent rewrite pool + cache + HTTP layer).
-# Run from the repo root. Fails fast on the first problem.
+# Repo hygiene gate: formatting, vet, build, the race-sensitive test
+# packages (obs has concurrent counters; core drives the traced
+# pipeline; farm is the concurrent rewrite pool + cache + HTTP layer;
+# harden's failpoints are armed via atomics; elfx parses hostile input),
+# and a fuzz smoke pass that replays the checked-in seed corpora under
+# testdata/fuzz/ without the fuzzing engine. Run from the repo root.
+# Fails fast on the first problem.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,5 +18,8 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./internal/obs/... ./internal/core/... ./internal/farm/...
+go test -race ./internal/obs/... ./internal/core/... ./internal/farm/... \
+    ./internal/harden/... ./internal/elfx/...
+go test -run=Fuzz ./internal/elfx/... ./internal/ehframe/... \
+    ./internal/x86/... ./internal/core/...
 echo "check.sh: OK"

@@ -30,6 +30,7 @@ package suri
 import (
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/harden"
 	"repro/internal/serialize"
 )
 
@@ -103,4 +104,51 @@ func NewPool(cfg PoolConfig) *Pool { return farm.New(cfg) }
 // memory (LRU); a non-empty dir enables write-through disk persistence.
 func NewCache(maxEntries int, dir string) (*Cache, error) {
 	return farm.NewCache(maxEntries, dir)
+}
+
+// Budget bounds the pipeline's resource consumption (CFG rounds, decoded
+// instructions, blocks, jump-table entries, emulator steps). The zero
+// value means "defaults": generous bounds that real binaries never hit
+// but that stop runaway inputs deterministically.
+type Budget = harden.Budget
+
+// BudgetExceeded is the typed error a governor returns when a Budget
+// bound is crossed; errors.Is(err, ErrBudget) matches any resource.
+type BudgetExceeded = harden.BudgetExceeded
+
+// ErrBudget matches any budget exhaustion; ErrCanceled matches the
+// wall-clock variant (a canceled Options.Cancel channel).
+var (
+	ErrBudget   = harden.ErrBudget
+	ErrCanceled = harden.ErrCanceled
+)
+
+// Verdict classifies a validated rewrite: "validated" (first attempt
+// passed differential execution), "degraded" (a retry under widened
+// budgets passed), or "fallback" (the original binary was returned
+// unmodified because no attempt produced a validated rewrite).
+type Verdict = core.Verdict
+
+// Verdict values.
+const (
+	VerdictValidated = core.VerdictValidated
+	VerdictDegraded  = core.VerdictDegraded
+	VerdictFallback  = core.VerdictFallback
+)
+
+// ValidateOptions configure RewriteValidated: the pipeline Options plus
+// the input vectors to differentially execute under.
+type ValidateOptions = core.ValidateOptions
+
+// ValidatedResult is a guarded rewrite outcome: the binary to ship
+// (original bytes on fallback), the verdict, and attempt accounting.
+type ValidatedResult = core.ValidatedResult
+
+// RewriteValidated is Rewrite with a safety net: it differentially
+// executes the rewritten binary against the original in the emulator,
+// retries under widened budgets on failure, and — if no attempt
+// validates — returns the original binary unmodified with the fallback
+// verdict. It never makes the caller worse off than not rewriting.
+func RewriteValidated(bin []byte, opts ValidateOptions) (*ValidatedResult, error) {
+	return core.RewriteValidated(bin, opts)
 }
