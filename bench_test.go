@@ -360,3 +360,60 @@ func BenchmarkRewriteTraced(b *testing.B) {
 		}
 	}
 }
+
+// The *Legacy benchmarks below run the pre-optimization hot paths kept
+// in-tree as paired baselines (cfg.Options.Legacy, emu LegacyDecode,
+// asm.AssembleLegacy). scripts/bench.sh runs each pair back to back and
+// records the medians in BENCH_perf.json; the determinism guards
+// (TestRewriteLegacyParityAcrossSuites and friends) prove both paths
+// produce byte-identical output, so the deltas are pure speed.
+
+// BenchmarkRewriteLegacy is BenchmarkRewrite through the legacy decode
+// loop and re-measure-everything relaxer.
+func BenchmarkRewriteLegacy(b *testing.B) {
+	bin := benchRewriteBin(b)
+	b.SetBytes(int64(len(bin)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suri.Rewrite(bin, suri.Options{LegacyHotPaths: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSupersetCFGLegacy is BenchmarkSupersetCFG without the decode
+// plane or version-skipped table reanalysis.
+func BenchmarkSupersetCFGLegacy(b *testing.B) {
+	bin := benchRewriteBin(b)
+	f, err := elfx.Read(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cfg.DefaultOptions()
+	opts.Legacy = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Build(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulatorLegacy is BenchmarkEmulator through the per-address
+// map icache and byte-at-a-time fetch.
+func BenchmarkEmulatorLegacy(b *testing.B) {
+	bin := benchRewriteBin(b)
+	var steps uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := emu.Run(bin, emu.Options{LegacyDecode: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(steps)/float64(b.N), "instructions/op")
+	}
+}

@@ -61,25 +61,69 @@ func (r *Result) SectionData(name string) *OutSection {
 // starts in its rel8 form and is promoted to rel32 when the displacement
 // does not fit; promotion is never undone, so layout converges even in the
 // presence of alignment padding.
+//
+// Relaxation is incremental: encoded lengths are computed once per item
+// (symbolic branches once per form), so each layout round is pure address
+// arithmetic and each grow pass re-examines only branches still short.
+// Emission appends into one reused buffer per section. AssembleLegacy
+// runs the pre-optimization algorithm; both produce identical bytes.
 func Assemble(p *Program, base uint64) (*Result, error) {
 	a := assembler{prog: p, base: base, long: make(map[[2]int]bool)}
 	return a.run()
 }
 
+// AssembleLegacy is the pre-optimization assembler: every relaxation
+// round recomputes every item's encoded length from scratch and emission
+// encodes into fresh per-item buffers. It is retained as the paired
+// benchmark baseline and as the oracle for determinism tests — its
+// output is byte-identical to Assemble's.
+func AssembleLegacy(p *Program, base uint64) (*Result, error) {
+	a := assembler{prog: p, base: base, long: make(map[[2]int]bool), legacy: true}
+	return a.run()
+}
+
 type assembler struct {
-	prog *Program
-	base uint64
-	long map[[2]int]bool // (section, item) -> branch forced to rel32
+	prog   *Program
+	base   uint64
+	long   map[[2]int]bool // (section, item) -> branch forced to rel32
+	legacy bool
 
 	syms   map[string]uint64
 	addrs  [][]uint64 // per section, per item
 	starts []uint64   // per section start address
 	ends   []uint64   // per section end address
+
+	// info caches per-item layout facts (nil in legacy mode): the fixed
+	// encoded size of non-branch items and both form lengths of symbolic
+	// branches, computed once before the first round.
+	info [][]itemInfo
+}
+
+// itemInfo kinds.
+const (
+	kOther  uint8 = iota // fixed-size item (instruction or data)
+	kLabel               // defines a symbol, zero size
+	kBranch              // symbolic rel8/rel32 branch, two possible sizes
+	kAlign               // size depends on the current address
+)
+
+type itemInfo struct {
+	kind     uint8
+	long     bool   // branch promoted to rel32
+	size     uint64 // kOther: encoded size; kAlign: alignment
+	shortLen uint64 // kBranch: rel8 form length
+	longLen  uint64 // kBranch: rel32 form length
+	name     string // kLabel: symbol name
 }
 
 const maxRelaxRounds = 64
 
 func (a *assembler) run() (*Result, error) {
+	if !a.legacy {
+		if err := a.buildInfo(); err != nil {
+			return nil, err
+		}
+	}
 	rounds := 0
 	for round := 0; ; round++ {
 		if round > maxRelaxRounds {
@@ -104,9 +148,132 @@ func (a *assembler) run() (*Result, error) {
 	return res, err
 }
 
+// buildInfo computes every item's encoded length once. Symbolic branches
+// get both form lengths so later rounds never re-enter the encoder.
+func (a *assembler) buildInfo() error {
+	a.info = make([][]itemInfo, len(a.prog.Sections))
+	for si, s := range a.prog.Sections {
+		infos := make([]itemInfo, len(s.Items))
+		for ii, it := range s.Items {
+			switch v := it.(type) {
+			case Label:
+				infos[ii] = itemInfo{kind: kLabel, name: v.Name}
+			case AlignTo:
+				infos[ii] = itemInfo{kind: kAlign, size: v.N}
+			case Ins:
+				if v.Sym != "" {
+					if _, isRel := v.X.Src.(x86.Rel); isRel && (v.X.Op == x86.JMP || v.X.Op == x86.JCC) {
+						in := v.X
+						in.Src = x86.Rel(0)
+						in.LongBranch = false
+						sn, err := x86.EncodedLen(in)
+						if err != nil {
+							return fmt.Errorf("asm: section %s item %d: %w", s.Name, ii, err)
+						}
+						in.LongBranch = true
+						ln, err := x86.EncodedLen(in)
+						if err != nil {
+							return fmt.Errorf("asm: section %s item %d: %w", s.Name, ii, err)
+						}
+						infos[ii] = itemInfo{kind: kBranch, shortLen: uint64(sn), longLen: uint64(ln)}
+						continue
+					}
+				}
+				n, err := a.itemSize(si, ii, it, 0)
+				if err != nil {
+					return fmt.Errorf("asm: section %s item %d: %w", s.Name, ii, err)
+				}
+				infos[ii] = itemInfo{kind: kOther, size: n}
+			default:
+				// Bytes/Quad/QuadLit/LongLit/LongDiff/Space: constant size.
+				n, err := a.itemSize(si, ii, it, 0)
+				if err != nil {
+					return fmt.Errorf("asm: section %s item %d: %w", s.Name, ii, err)
+				}
+				infos[ii] = itemInfo{kind: kOther, size: n}
+			}
+		}
+		a.info[si] = infos
+	}
+	return nil
+}
+
 // layout assigns addresses to every item and defines all symbols under the
-// current relaxation state.
+// current relaxation state. In incremental mode this is pure arithmetic
+// over the item-info cache; symbol/address storage is allocated on the
+// first round and reused afterwards.
 func (a *assembler) layout() error {
+	if a.legacy {
+		return a.layoutLegacy()
+	}
+	first := a.syms == nil
+	if first {
+		a.syms = make(map[string]uint64)
+		for _, set := range a.prog.Sets {
+			if _, dup := a.syms[set.Name]; dup {
+				return fmt.Errorf("asm: duplicate symbol %q", set.Name)
+			}
+			a.syms[set.Name] = set.Addr
+		}
+		a.addrs = make([][]uint64, len(a.prog.Sections))
+		a.starts = make([]uint64, len(a.prog.Sections))
+		a.ends = make([]uint64, len(a.prog.Sections))
+		for si := range a.prog.Sections {
+			a.addrs[si] = make([]uint64, len(a.prog.Sections[si].Items))
+		}
+	}
+
+	cursor := a.base
+	for si := range a.prog.Sections {
+		s := a.prog.Sections[si]
+		align := s.Align
+		if align == 0 {
+			align = 1
+		}
+		cursor = alignUp(cursor, align)
+		if s.HasAddr {
+			if s.Addr < cursor {
+				return fmt.Errorf("asm: section %s fixed at %#x overlaps previous section ending at %#x",
+					s.Name, s.Addr, cursor)
+			}
+			cursor = s.Addr
+		}
+		a.starts[si] = cursor
+		addrs := a.addrs[si]
+		infos := a.info[si]
+		for ii := range infos {
+			addrs[ii] = cursor
+			inf := &infos[ii]
+			switch inf.kind {
+			case kLabel:
+				if first {
+					if _, dup := a.syms[inf.name]; dup {
+						return fmt.Errorf("asm: duplicate symbol %q in section %s", inf.name, s.Name)
+					}
+				}
+				a.syms[inf.name] = cursor
+			case kBranch:
+				if inf.long {
+					cursor += inf.longLen
+				} else {
+					cursor += inf.shortLen
+				}
+			case kAlign:
+				if inf.size != 0 {
+					cursor = alignUp(cursor, inf.size)
+				}
+			default:
+				cursor += inf.size
+			}
+		}
+		a.ends[si] = cursor
+	}
+	return nil
+}
+
+// layoutLegacy is the pre-optimization layout pass: fresh maps/slices and
+// a full itemSize recomputation every round.
+func (a *assembler) layoutLegacy() error {
 	a.syms = make(map[string]uint64)
 	for _, set := range a.prog.Sets {
 		if _, dup := a.syms[set.Name]; dup {
@@ -184,8 +351,38 @@ func (a *assembler) itemSize(si, ii int, it Item, addr uint64) (uint64, error) {
 }
 
 // growBranches promotes any symbolic rel8 branch whose displacement no
-// longer fits. It reports whether anything changed.
+// longer fits. It reports whether anything changed. In incremental mode
+// only still-short branches are examined, with cached form lengths.
 func (a *assembler) growBranches() (bool, error) {
+	if a.legacy {
+		return a.growBranchesLegacy()
+	}
+	grown := false
+	for si := range a.prog.Sections {
+		s := a.prog.Sections[si]
+		infos := a.info[si]
+		for ii := range infos {
+			inf := &infos[ii]
+			if inf.kind != kBranch || inf.long {
+				continue
+			}
+			v := s.Items[ii].(Ins)
+			target, ok := a.syms[v.Sym]
+			if !ok {
+				return false, fmt.Errorf("asm: undefined symbol %q in section %s", v.Sym, s.Name)
+			}
+			rel := int64(target) + v.Add - int64(a.addrs[si][ii]+inf.shortLen)
+			if rel < -128 || rel > 127 {
+				inf.long = true
+				a.long[[2]int{si, ii}] = true
+				grown = true
+			}
+		}
+	}
+	return grown, nil
+}
+
+func (a *assembler) growBranchesLegacy() (bool, error) {
 	grown := false
 	for si, s := range a.prog.Sections {
 		for ii, it := range s.Items {
@@ -218,6 +415,30 @@ func (a *assembler) growBranches() (bool, error) {
 	return grown, nil
 }
 
+// sizeOf returns the item's laid-out size, from the cache when present.
+func (a *assembler) sizeOf(si, ii int, it Item, addr uint64) (uint64, error) {
+	if a.info != nil {
+		inf := &a.info[si][ii]
+		switch inf.kind {
+		case kLabel:
+			return 0, nil
+		case kBranch:
+			if inf.long {
+				return inf.longLen, nil
+			}
+			return inf.shortLen, nil
+		case kAlign:
+			if inf.size == 0 {
+				return 0, nil
+			}
+			return alignUp(addr, inf.size) - addr, nil
+		default:
+			return inf.size, nil
+		}
+	}
+	return a.itemSize(si, ii, it, addr)
+}
+
 func (a *assembler) emit() (*Result, error) {
 	res := &Result{Symbols: a.syms}
 	for si, s := range a.prog.Sections {
@@ -243,12 +464,20 @@ func (a *assembler) emit() (*Result, error) {
 		data := make([]byte, 0, out.Size)
 		for ii, it := range s.Items {
 			addr := a.addrs[si][ii]
-			b, relocs, err := a.emitItem(si, ii, it, addr)
+			if a.legacy {
+				b, relocs, err := a.emitItem(si, ii, it, addr)
+				if err != nil {
+					return nil, fmt.Errorf("asm: section %s item %d (%s): %w", s.Name, ii, ItemString(it), err)
+				}
+				data = append(data, b...)
+				res.Relocs = append(res.Relocs, relocs...)
+				continue
+			}
+			var err error
+			data, err = a.emitItemTo(res, data, si, ii, it, addr)
 			if err != nil {
 				return nil, fmt.Errorf("asm: section %s item %d (%s): %w", s.Name, ii, ItemString(it), err)
 			}
-			data = append(data, b...)
-			res.Relocs = append(res.Relocs, relocs...)
 		}
 		if uint64(len(data)) != out.Size {
 			return nil, fmt.Errorf("asm: section %s: emitted %d bytes, layout said %d", s.Name, len(data), out.Size)
@@ -304,6 +533,123 @@ func (a *assembler) emitItem(si, ii int, it Item, addr uint64) ([]byte, []Reloc,
 		return make([]byte, v.N), nil, nil
 	}
 	return nil, nil, fmt.Errorf("unknown item type %T", it)
+}
+
+// emitItemTo appends the item's bytes to data (relocations go straight
+// into res), avoiding the per-item allocations of the legacy path.
+func (a *assembler) emitItemTo(res *Result, data []byte, si, ii int, it Item, addr uint64) ([]byte, error) {
+	switch v := it.(type) {
+	case Label:
+		return data, nil
+	case Ins:
+		return a.emitInsTo(data, si, ii, v, addr)
+	case Bytes:
+		return append(data, v.Data...), nil
+	case Quad:
+		target, ok := a.resolve(v.Sym)
+		if !ok {
+			return data, fmt.Errorf("undefined symbol %q", v.Sym)
+		}
+		val := uint64(int64(target) + v.Add)
+		res.Relocs = append(res.Relocs, Reloc{Offset: addr, Addend: val})
+		return binary.LittleEndian.AppendUint64(data, val), nil
+	case QuadLit:
+		return binary.LittleEndian.AppendUint64(data, uint64(v)), nil
+	case LongLit:
+		return binary.LittleEndian.AppendUint32(data, uint32(v)), nil
+	case LongDiff:
+		plus, ok := a.resolve(v.Plus)
+		if !ok {
+			return data, fmt.Errorf("undefined symbol %q", v.Plus)
+		}
+		minus, ok := a.resolve(v.Minus)
+		if !ok {
+			return data, fmt.Errorf("undefined symbol %q", v.Minus)
+		}
+		diff := int64(plus) - int64(minus) + v.Add
+		if diff < -1<<31 || diff > 1<<31-1 {
+			return data, fmt.Errorf("difference %s-%s = %#x exceeds 32 bits", v.Plus, v.Minus, diff)
+		}
+		return binary.LittleEndian.AppendUint32(data, uint32(int32(diff))), nil
+	case AlignTo:
+		size, _ := a.sizeOf(si, ii, it, addr)
+		if a.prog.Sections[si].Flags&Exec != 0 {
+			return x86.AppendNopBytes(data, int(size)), nil
+		}
+		return appendZeros(data, int(size)), nil
+	case Space:
+		return appendZeros(data, int(v.N)), nil
+	}
+	return data, fmt.Errorf("unknown item type %T", it)
+}
+
+func appendZeros(data []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		data = append(data, 0)
+	}
+	return data
+}
+
+// emitInsTo is emitIns in appending form, using the cached item sizes
+// and the allocation-free EncodeAppend.
+func (a *assembler) emitInsTo(data []byte, si, ii int, v Ins, addr uint64) ([]byte, error) {
+	in := v.X
+	if v.DispPlus != "" || v.DispMinus != "" {
+		b, _, err := a.emitInsDiff(v)
+		return append(data, b...), err
+	}
+	if v.Sym == "" {
+		return x86.EncodeAppend(data, in)
+	}
+	target, ok := a.resolve(v.Sym)
+	if !ok {
+		return data, fmt.Errorf("undefined symbol %q", v.Sym)
+	}
+	size, err := a.sizeOf(si, ii, v, addr)
+	if err != nil {
+		return data, err
+	}
+	dest := int64(target) + v.Add
+	rel := dest - int64(addr+size)
+	mark := len(data)
+
+	if _, isRel := in.Src.(x86.Rel); isRel {
+		if rel < -1<<31 || rel > 1<<31-1 {
+			return data, fmt.Errorf("branch to %q out of rel32 range (%#x)", v.Sym, rel)
+		}
+		in.Src = x86.Rel(int32(rel))
+		in.LongBranch = a.long[[2]int{si, ii}]
+		data, err = x86.EncodeAppend(data, in)
+		if err != nil {
+			return data, err
+		}
+		if uint64(len(data)-mark) != size {
+			return data, fmt.Errorf("branch size drifted: assumed %d, got %d", size, len(data)-mark)
+		}
+		return data, nil
+	}
+
+	m, ok := in.MemArg()
+	if !ok || !m.Rip {
+		return data, fmt.Errorf("symbolic operand %q on instruction without relative operand: %s", v.Sym, in)
+	}
+	if rel < -1<<31 || rel > 1<<31-1 {
+		return data, fmt.Errorf("RIP reference to %q out of disp32 range (%#x)", v.Sym, rel)
+	}
+	m.Disp = int32(rel)
+	if _, isMem := in.Dst.(x86.Mem); isMem {
+		in.Dst = m
+	} else {
+		in.Src = m
+	}
+	data, err = x86.EncodeAppend(data, in)
+	if err != nil {
+		return data, err
+	}
+	if uint64(len(data)-mark) != size {
+		return data, fmt.Errorf("RIP operand size drifted: assumed %d, got %d", size, len(data)-mark)
+	}
+	return data, nil
 }
 
 func (a *assembler) emitIns(si, ii int, v Ins, addr uint64) ([]byte, []Reloc, error) {

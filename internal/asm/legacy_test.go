@@ -1,0 +1,134 @@
+package asm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/x86"
+)
+
+// randomProgram builds a seeded program exercising every item kind the
+// incremental relaxer caches: short and long branches in both
+// directions, calls, alignment, raw data, and the data directives.
+func randomProgram(r *rand.Rand, n int) *Program {
+	var p Program
+	p.Sets = append(p.Sets, Set{Name: "pin", Addr: 0x5000})
+	text := p.Section(".text", Alloc|Exec)
+	nlabels := n/4 + 2
+	lab := func(i int) string { return fmt.Sprintf("l%03d", i) }
+	for i := 0; i < n; i++ {
+		if i%(n/nlabels+1) == 0 && i/(n/nlabels+1) < nlabels {
+			text.L(lab(i / (n/nlabels + 1)))
+		}
+		switch r.Intn(8) {
+		case 0:
+			text.IS(x86.Inst{Op: x86.JMP, Src: x86.Rel(0)}, lab(r.Intn(nlabels)), 0)
+		case 1:
+			text.IS(x86.Inst{Op: x86.JCC, Cond: x86.CondE, Src: x86.Rel(0)}, lab(r.Intn(nlabels)), 0)
+		case 2:
+			text.IS(x86.Inst{Op: x86.CALL, Src: x86.Rel(0)}, lab(r.Intn(nlabels)), 0)
+		case 3:
+			text.Align2(uint64(8 << r.Intn(3)))
+		case 4:
+			// Padding that pushes label distances past the rel8 range
+			// often enough to force several relaxation rounds.
+			text.Raw(bytes.Repeat([]byte{0x90}, r.Intn(120)))
+		case 5:
+			text.I(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.Imm(int64(r.Intn(1 << 16)))})
+		case 6:
+			text.I(x86.Inst{Op: x86.RET})
+		default:
+			text.I(x86.Inst{Op: x86.NOP})
+		}
+	}
+	for i := 0; i < nlabels; i++ {
+		text.L(lab(i) + "_dup_guard") // unique; keeps label table dense
+	}
+	// Every referenced label must exist even if the loop above emitted
+	// fewer anchor points than nlabels.
+	defined := map[string]bool{}
+	for _, it := range text.Items {
+		if l, ok := it.(Label); ok {
+			defined[l.Name] = true
+		}
+	}
+	for i := 0; i < nlabels; i++ {
+		if !defined[lab(i)] {
+			text.L(lab(i))
+		}
+	}
+	text.I(x86.Inst{Op: x86.RET})
+
+	data := p.Section(".data", Alloc|Write)
+	data.L("dat")
+	data.Q(lab(0), 8)
+	data.D8(uint64(r.Int63()))
+	data.D4(uint32(r.Int31()))
+	data.Diff(lab(1), lab(0), 4)
+	data.Items = append(data.Items, Space{N: uint64(r.Intn(64))})
+	return &p
+}
+
+// TestAssembleIncrementalMatchesLegacy is the relaxation determinism
+// oracle: the incremental assembler (cached lengths, arithmetic layout
+// rounds) must produce byte-identical output, the same symbol table,
+// the same relocations, and the same round count as the full
+// re-measure-everything legacy assembler, across many random programs.
+func TestAssembleIncrementalMatchesLegacy(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := randomProgram(rand.New(rand.NewSource(seed)), 400)
+		base := uint64(0x1000)
+		a, errA := Assemble(p, base)
+		b, errB := AssembleLegacy(p, base)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: error divergence: incremental=%v legacy=%v", seed, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.RelaxRounds != b.RelaxRounds {
+			t.Errorf("seed %d: RelaxRounds %d vs legacy %d", seed, a.RelaxRounds, b.RelaxRounds)
+		}
+		if !reflect.DeepEqual(a.Symbols, b.Symbols) {
+			t.Errorf("seed %d: symbol tables differ", seed)
+		}
+		if !reflect.DeepEqual(a.Relocs, b.Relocs) {
+			t.Errorf("seed %d: relocations differ: %v vs %v", seed, a.Relocs, b.Relocs)
+		}
+		if len(a.Sections) != len(b.Sections) {
+			t.Fatalf("seed %d: section count %d vs %d", seed, len(a.Sections), len(b.Sections))
+		}
+		for i := range a.Sections {
+			sa, sb := &a.Sections[i], &b.Sections[i]
+			if sa.Name != sb.Name || sa.Addr != sb.Addr || sa.Size != sb.Size {
+				t.Errorf("seed %d: section %q layout differs: %+v vs %+v", seed, sa.Name, sa, sb)
+			}
+			if !bytes.Equal(sa.Data, sb.Data) {
+				t.Errorf("seed %d: section %q bytes differ", seed, sa.Name)
+			}
+		}
+	}
+}
+
+// TestAssembleReuseDeterministic re-assembles the same program twice
+// through the incremental path: the item-info cache must not leak state
+// between runs.
+func TestAssembleReuseDeterministic(t *testing.T) {
+	p := randomProgram(rand.New(rand.NewSource(7)), 300)
+	a, err := Assemble(p, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Assemble(p, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sections {
+		if !bytes.Equal(a.Sections[i].Data, b.Sections[i].Data) {
+			t.Errorf("section %q differs across identical assemblies", a.Sections[i].Name)
+		}
+	}
+}

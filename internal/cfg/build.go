@@ -70,6 +70,20 @@ type Options struct {
 	// harden.ErrCanceled. Callers wire a context's Done channel here.
 	Cancel <-chan struct{}
 
+	// Plane, if non-nil, is a pre-warmed decode plane over the text
+	// section's bytes, letting repeated builds of the same binary (e.g.
+	// validated-rewrite retries) skip re-decoding. It must have been
+	// built over the same text slab; a mismatched plane is ignored.
+	// When nil, the builder allocates a fresh plane (unless Legacy).
+	Plane *x86.Plane
+
+	// Legacy disables the decode-plane hot paths: every decode runs the
+	// raw decoder, entry harvesting rescans all blocks each round, and
+	// jump-table analysis re-runs for every dispatch every round. This
+	// is the pre-optimization behaviour, retained as the paired-bench
+	// baseline and the oracle for determinism tests.
+	Legacy bool
+
 	// Trace, if set, records sub-spans of the build (entry harvesting,
 	// recursive disassembly, jump-table slicing). Nil disables tracing
 	// at zero cost.
@@ -126,6 +140,20 @@ type builder struct {
 	// BoundsCmp fallback uses them as scan barriers.
 	knownBases  map[uint64]bool
 	useBarriers bool
+
+	// plane memoizes decode results per text offset (nil in Legacy mode).
+	plane *x86.Plane
+
+	// graphVersion counts graph mutations (new block, split, new entry,
+	// new table base). A dispatch whose table was analyzed at the current
+	// version cannot produce a different result, so analyzeAllTables
+	// skips it — the converged final round touches no table at all.
+	graphVersion uint64
+	tableVer     map[uint64]uint64
+
+	// harvestGrew records whether decode-time harvesting added an entry
+	// since the last round boundary (replaces the legacy full rescan).
+	harvestGrew bool
 
 	// totalInsts counts instructions decoded across the whole build
 	// (checked against opts.MaxTotalInsts).
@@ -190,6 +218,14 @@ func Build(f *elfx.File, opts Options) (*Graph, error) {
 		owner:      make(map[uint64]ownerRef),
 		entrySet:   make(map[uint64]bool),
 		knownBases: make(map[uint64]bool),
+		tableVer:   make(map[uint64]uint64),
+	}
+	if !opts.Legacy {
+		b.plane = opts.Plane
+		if b.plane == nil || b.plane.Len() != len(text.Data) {
+			b.plane = x86.NewPlane(text.Data)
+		}
+		b.g.Plane = b.plane
 	}
 	if err := b.run(); err != nil {
 		return nil, err
@@ -218,8 +254,17 @@ func (b *builder) run() error {
 		span = tr.Start("disasm")
 		span.SetInt("round", int64(round))
 		b.drain()
-		grew := b.harvestFromCode()
-		b.drain()
+		var grew bool
+		if b.opts.Legacy {
+			// Legacy: rescan every block for RIP references to endbr64.
+			grew = b.harvestFromCode()
+			b.drain()
+		} else {
+			// Plane mode: harvesting happened inline at decode time (each
+			// instruction is scanned exactly once, when first decoded).
+			grew = b.harvestGrew
+			b.harvestGrew = false
+		}
 		span.SetInt("blocks", int64(len(b.g.Blocks)))
 		span.End()
 		if b.err != nil {
@@ -306,6 +351,7 @@ func (b *builder) addEntry(addr uint64) bool {
 	if !b.inText(addr) || b.entrySet[addr] {
 		return false
 	}
+	b.graphVersion++
 	b.entrySet[addr] = true
 	b.g.Entries = append(b.g.Entries, addr)
 	sort.Slice(b.g.Entries, func(i, j int) bool { return b.g.Entries[i] < b.g.Entries[j] })
@@ -365,6 +411,8 @@ func (b *builder) split(y *Block, idx int) *Block {
 	y.HasFall = true
 	y.Invalid = false
 	y.Table = nil
+	b.graphVersion++
+	delete(b.tableVer, y.Addr) // y's terminator changed; reanalyze
 	b.g.Blocks[cut] = z
 	for i := idx; i < len(addrs); i++ {
 		b.owner[addrs[i]] = ownerRef{block: z, idx: i - idx}
@@ -379,6 +427,7 @@ func (b *builder) split(y *Block, idx int) *Block {
 // decode disassembles a fresh block starting at addr.
 func (b *builder) decode(addr uint64) *Block {
 	blk := &Block{Addr: addr}
+	b.graphVersion++
 	b.g.Blocks[addr] = blk
 	b.g.invalidatePreds()
 	if err := harden.Inject(harden.FPCfgDecode); err != nil {
@@ -421,7 +470,14 @@ func (b *builder) decode(addr uint64) *Block {
 			return blk
 		}
 		off := cur - b.text.Addr
-		in, size, err := x86.Decode(b.text.Data[off:])
+		var in x86.Inst
+		var size int
+		var err error
+		if b.plane != nil {
+			in, size, err = b.plane.Decode(int(off))
+		} else {
+			in, size, err = x86.Decode(b.text.Data[off:])
+		}
 		if err != nil {
 			blk.Invalid = true
 			return blk
@@ -430,6 +486,17 @@ func (b *builder) decode(addr uint64) *Block {
 		blk.Insts = append(blk.Insts, in)
 		blk.Sizes = append(blk.Sizes, size)
 		next := cur + uint64(size)
+
+		// Decode-time harvest (plane mode): a RIP-relative reference to
+		// endbr64 is a static property of the instruction, so scanning it
+		// once here replaces the legacy per-round rescan of every block.
+		if !b.opts.Legacy {
+			if t, ok := in.RipTarget(cur, size); ok && b.inText(t) && IsEndbr(b.f, t) {
+				if b.addEntry(t) {
+					b.harvestGrew = true
+				}
+			}
+		}
 
 		switch in.Op {
 		case x86.RET, x86.UD2, x86.HLT, x86.INT3:

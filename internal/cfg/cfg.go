@@ -96,6 +96,12 @@ type Graph struct {
 	// the notes make the degradation observable to callers and verdicts.
 	Degraded []string
 
+	// Plane is the decode plane the build warmed over the text section
+	// (nil under Options.Legacy). Callers can pass it to later builds of
+	// the same binary via Options.Plane, or Freeze it to share across
+	// goroutines.
+	Plane *x86.Plane
+
 	// preds is built lazily.
 	preds map[uint64][]uint64
 }
@@ -182,6 +188,11 @@ type Stats struct {
 	MultiBase    int
 	TableEntries int
 	Invalid      int
+
+	// PlaneHits/PlaneMisses are the decode plane's cache counters at the
+	// time Stats was taken (zero under Options.Legacy).
+	PlaneHits   uint64
+	PlaneMisses uint64
 }
 
 // Stats returns summary statistics for the graph.
@@ -191,6 +202,9 @@ func (g *Graph) Stats() Stats {
 		Instructions: g.NumInstructions(),
 		Entries:      len(g.Entries),
 		Tables:       len(g.Tables),
+	}
+	if g.Plane != nil {
+		st.PlaneHits, st.PlaneMisses = g.Plane.Stats()
 	}
 	for _, b := range g.Blocks {
 		if b.Invalid {

@@ -1,0 +1,134 @@
+package cfg
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/elfx"
+)
+
+// graphShape reduces a graph to its observable structure for equality
+// checks (plane cache counters excluded by construction).
+type graphShape struct {
+	Entries []uint64
+	Blocks  map[uint64][]uint64 // addr -> [end, #insts, fall, invalid]
+	Tables  int
+}
+
+func shapeOf(g *Graph) graphShape {
+	s := graphShape{Entries: g.Entries, Blocks: make(map[uint64][]uint64), Tables: len(g.Tables)}
+	for addr, b := range g.Blocks {
+		fall := uint64(0)
+		if b.HasFall {
+			fall = b.Fall
+		}
+		inv := uint64(0)
+		if b.Invalid {
+			inv = 1
+		}
+		s.Blocks[addr] = []uint64{b.End(), uint64(len(b.Insts)), fall, inv}
+	}
+	return s
+}
+
+// TestPlaneModeMatchesLegacy is the CFG determinism oracle: building
+// with the shared decode plane and version-skipped table reanalysis must
+// produce exactly the graph the legacy per-round rescan produced.
+func TestPlaneModeMatchesLegacy(t *testing.T) {
+	for _, ccfg := range []cc.Config{cc.DefaultConfig(), {Compiler: cc.GCC13, Opt: cc.O2}} {
+		bin, err := cc.Compile(switchModule(), ccfg)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		f, err := elfx.Read(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lopts := DefaultOptions()
+		lopts.Legacy = true
+		gl, err := Build(f, lopts)
+		if err != nil {
+			t.Fatalf("legacy Build: %v", err)
+		}
+		gp, err := Build(f, DefaultOptions())
+		if err != nil {
+			t.Fatalf("plane Build: %v", err)
+		}
+		if gl.Plane != nil {
+			t.Error("legacy build produced a plane")
+		}
+		if gp.Plane == nil {
+			t.Fatal("plane build produced no plane")
+		}
+		if !reflect.DeepEqual(shapeOf(gl), shapeOf(gp)) {
+			t.Errorf("config %+v: legacy and plane graphs differ", ccfg)
+		}
+		if _, m := gp.Plane.Stats(); m == 0 {
+			t.Errorf("plane recorded no decode misses")
+		}
+		// A second build over the warm plane must be served from cache.
+		ropts := DefaultOptions()
+		ropts.Plane = gp.Plane
+		g2, err := Build(f, ropts)
+		if err != nil {
+			t.Fatalf("warm rebuild: %v", err)
+		}
+		if !reflect.DeepEqual(shapeOf(g2), shapeOf(gp)) {
+			t.Errorf("config %+v: warm rebuild changed the graph", ccfg)
+		}
+		if h, _ := gp.Plane.Stats(); h == 0 {
+			t.Errorf("warm rebuild recorded no plane hits")
+		}
+	}
+}
+
+// TestSharedFrozenPlaneConcurrent shares one frozen warm plane across
+// concurrent builds of the same binary — the farm's validated-rewrite
+// pattern. Run under -race this proves read-only sharing is safe.
+func TestSharedFrozenPlaneConcurrent(t *testing.T) {
+	bin, err := cc.Compile(switchModule(), cc.DefaultConfig())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f, err := elfx.Read(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Build(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Plane.Freeze()
+	want := shapeOf(warm)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine parses its own file (elfx.File is not
+			// documented concurrency-safe) but shares the frozen plane.
+			ff, err := elfx.Read(bin)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			opts := DefaultOptions()
+			opts.Plane = warm.Plane
+			g, err := Build(ff, opts)
+			if err != nil {
+				t.Errorf("Build with shared plane: %v", err)
+				return
+			}
+			if g.Plane != warm.Plane {
+				t.Error("build did not adopt the shared plane")
+			}
+			if !reflect.DeepEqual(shapeOf(g), want) {
+				t.Error("graph built on shared plane differs from baseline")
+			}
+		}()
+	}
+	wg.Wait()
+}

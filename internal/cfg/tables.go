@@ -25,9 +25,24 @@ func (b *builder) analyzeAllTables() (bool, error) {
 		if last.Op != x86.JMP || !last.IsIndirectBranch() {
 			continue
 		}
+		if !b.opts.Legacy {
+			// Dirty-version skip: a table analyzed at the current graph
+			// version cannot produce a different result (the analysis is
+			// a pure function of graph state + known bases). On the
+			// converged final round this makes the pass O(#tables).
+			if v, ok := b.tableVer[blk.Addr]; ok && v == b.graphVersion {
+				if blk.Table != nil {
+					tables = append(tables, blk.Table)
+				}
+				continue
+			}
+		}
 		t, err := b.analyzeTable(blk)
 		if err != nil {
 			return false, err
+		}
+		if !b.opts.Legacy {
+			b.tableVer[blk.Addr] = b.graphVersion
 		}
 		if t == nil {
 			blk.Table = nil
@@ -173,7 +188,12 @@ func (b *builder) analyzeTable(blk *Block) (*JumpTable, error) {
 	}
 
 	for _, base := range t.Bases {
-		b.knownBases[base] = true
+		if !b.knownBases[base] {
+			b.knownBases[base] = true
+			// New bases act as scan barriers for other tables, so their
+			// discovery must invalidate previously analyzed results.
+			b.graphVersion++
+		}
 	}
 
 	// Step 3: size each candidate table under the configured policy.

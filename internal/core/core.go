@@ -84,6 +84,11 @@ type Options struct {
 	// sub-spans inside the CFG builder) and feeds pipeline statistics
 	// into the metric registry. Nil disables collection at zero cost.
 	Obs *obs.Collector
+
+	// LegacyHotPaths selects the pre-optimization CFG decode loop and
+	// assembler relaxation — the paired-benchmark baseline (scripts/
+	// bench.sh). Output bytes are identical either way.
+	LegacyHotPaths bool
 }
 
 // Stats aggregates the pipeline measurements reported in §4.2.4/§4.3.1.
@@ -107,6 +112,12 @@ type Stats struct {
 	TableEntries   int // over-approximated entries in isolated tables
 	AdjustedRelas  int
 	RewrittenBytes int
+
+	// Hot-path instrumentation: branch-relaxation layout passes and
+	// decode-plane cache behavior during CFG construction.
+	RelaxRounds int
+	PlaneHits   uint64
+	PlaneMisses uint64
 }
 
 // Result is a completed rewrite.
@@ -165,6 +176,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	copts.MaxBlocks = budget.Blocks
 	copts.Cancel = opts.Cancel
 	copts.Trace = tr
+	copts.Legacy = opts.LegacyHotPaths
 
 	// 1. Superset CFG Builder.
 	span := tr.Start("cfg")
@@ -260,6 +272,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 		TableItems: sym.TableItems,
 		Sets:       sets,
 		Obs:        opts.Obs,
+		Legacy:     opts.LegacyHotPaths,
 	})
 	if err != nil {
 		span.End()
@@ -283,6 +296,9 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 		TableEntries:       sym.NewEntries,
 		AdjustedRelas:      layout.AdjustedRelas,
 		RewrittenBytes:     len(out),
+		RelaxRounds:        layout.RelaxRounds,
+		PlaneHits:          gst.PlaneHits,
+		PlaneMisses:        gst.PlaneMisses,
 	}
 	feedMetrics(opts.Obs.Metrics(), stats)
 	return &Result{
@@ -311,6 +327,9 @@ func feedMetrics(reg *obs.Registry, s Stats) {
 	reg.Counter("suri.table_entries").Add(int64(s.TableEntries))
 	reg.Counter("suri.adjusted_relas").Add(int64(s.AdjustedRelas))
 	reg.Counter("suri.rewritten_bytes").Add(int64(s.RewrittenBytes))
+	reg.Counter("suri.relax_rounds").Add(int64(s.RelaxRounds))
+	reg.Counter("suri.plane_hits").Add(int64(s.PlaneHits))
+	reg.Counter("suri.plane_misses").Add(int64(s.PlaneMisses))
 }
 
 // Render prints S' in GNU-as-like text for inspection. The .set pins

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// TestRewriteLegacyParityAcrossSuites is the end-to-end determinism
+// guard for the hot-path overhaul: across generated programs from every
+// benchmark suite, a rewrite through the decode-plane CFG builder and
+// incremental relaxer must produce a byte-identical binary to the
+// legacy (pre-optimization) paths, and both the original and rewritten
+// binaries must behave identically under the legacy and superblock
+// emulator fetch paths.
+func TestRewriteLegacyParityAcrossSuites(t *testing.T) {
+	for _, suite := range prog.Suites(0.02) {
+		for pi, p := range suite.Programs {
+			if pi >= 2 {
+				break
+			}
+			p := p
+			t.Run(fmt.Sprintf("%s/%s", suite.Name, p.Name), func(t *testing.T) {
+				bin, err := cc.Compile(p.Module, cc.DefaultConfig())
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				fast, err := Rewrite(bin, Options{})
+				if err != nil {
+					t.Fatalf("Rewrite: %v", err)
+				}
+				legacy, err := Rewrite(bin, Options{LegacyHotPaths: true})
+				if err != nil {
+					t.Fatalf("Rewrite legacy: %v", err)
+				}
+				if !bytes.Equal(fast.Binary, legacy.Binary) {
+					t.Fatalf("rewritten binaries differ: %d vs %d bytes", len(fast.Binary), len(legacy.Binary))
+				}
+				if fast.Stats.Blocks != legacy.Stats.Blocks ||
+					fast.Stats.Instructions != legacy.Stats.Instructions ||
+					fast.Stats.Tables != legacy.Stats.Tables {
+					t.Errorf("graph stats diverge: %+v vs %+v", fast.Stats, legacy.Stats)
+				}
+				if fast.Stats.RelaxRounds != legacy.Stats.RelaxRounds {
+					t.Errorf("RelaxRounds %d vs legacy %d", fast.Stats.RelaxRounds, legacy.Stats.RelaxRounds)
+				}
+				if fast.Stats.PlaneMisses == 0 {
+					t.Error("plane-mode rewrite recorded no decode misses")
+				}
+				if legacy.Stats.PlaneHits != 0 || legacy.Stats.PlaneMisses != 0 {
+					t.Error("legacy rewrite recorded plane traffic")
+				}
+
+				var input []byte
+				if len(p.Inputs) > 0 {
+					input = inputBytes(p.Inputs[0])
+				}
+				for _, image := range [][]byte{bin, fast.Binary} {
+					a, errA := emu.Run(image, emu.Options{Input: input, LegacyDecode: true})
+					b, errB := emu.Run(image, emu.Options{Input: input})
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("emulator error divergence: legacy=%v fast=%v", errA, errB)
+					}
+					if errA != nil {
+						continue
+					}
+					if a.Exit != b.Exit || a.Steps != b.Steps || !bytes.Equal(a.Stdout, b.Stdout) {
+						t.Errorf("emulator paths diverge: exit %d/%d steps %d/%d stdout %d/%d bytes",
+							a.Exit, b.Exit, a.Steps, b.Steps, len(a.Stdout), len(b.Stdout))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestValidatedRewriteMachineReuse exercises the validator's machine
+// reuse (Reload across inputs and attempts) against a multi-input
+// program: verdicts and outputs must be unaffected by plane carry-over.
+func TestValidatedRewriteMachineReuse(t *testing.T) {
+	bin, err := cc.Compile(trapModule(), cc.DefaultConfig())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inputs := [][]byte{nil, inputBytes([]int64{1, 2, 3}), inputBytes([]int64{9, 8, 7})}
+	res, err := RewriteValidated(bin, ValidateOptions{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictValidated {
+		t.Fatalf("verdict = %s (%s), want validated", res.Verdict, res.Reason)
+	}
+	legacy, err := RewriteValidated(bin, ValidateOptions{
+		Options: Options{LegacyHotPaths: true}, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Verdict != VerdictValidated {
+		t.Fatalf("legacy verdict = %s (%s), want validated", legacy.Verdict, legacy.Reason)
+	}
+	if !bytes.Equal(res.Binary, legacy.Binary) {
+		t.Error("validated binaries differ between hot-path modes")
+	}
+}

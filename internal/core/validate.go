@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/elfx"
 	"repro/internal/emu"
 	"repro/internal/harden"
 )
@@ -79,13 +80,17 @@ func RewriteValidated(bin []byte, opts ValidateOptions) (*ValidatedResult, error
 	budgets := []harden.Budget{opts.Budget.WithDefaults(), opts.Budget.Widen()}
 	var reason string
 	attempts := 0
+	// One validator for both attempts: the original binary's parsed
+	// file, emulator machine, and predecoded pages carry over across the
+	// retry and across every input.
+	v := &validator{orig: bin, legacy: opts.LegacyHotPaths}
 	for i, budget := range budgets {
 		attempts++
 		ropts := opts.Options
 		ropts.Budget = budget
 		res, err := Rewrite(bin, ropts)
 		if err == nil {
-			err = validate(bin, res.Binary, inputs, budget.EmuSteps)
+			err = v.validate(res.Binary, inputs, budget.EmuSteps)
 			if err == nil {
 				verdict := VerdictValidated
 				if i > 0 {
@@ -132,21 +137,46 @@ func canceled(ch <-chan struct{}) bool {
 	}
 }
 
+// validator runs the differential executions of a guarded rewrite. It
+// amortizes setup across attempts and inputs: the original binary is
+// parsed once and executed on a single machine whose predecoded page
+// planes survive emu.Reload (same image, same bias), and each attempt's
+// rewritten binary likewise reuses one machine across all inputs.
+type validator struct {
+	orig   []byte
+	legacy bool
+
+	origF *elfx.File
+	origM *emu.Machine
+}
+
 // validate differentially executes the original and rewritten binaries
 // on each input, requiring identical stdout and exit status. An
 // original that cannot run under the emulator makes behaviour
 // preservation unprovable, which is reported as a failure — the caller
 // falls back to the original, the only binary known to be correct.
-func validate(orig, rewritten []byte, inputs [][]byte, emuSteps uint64) error {
+func (v *validator) validate(rewritten []byte, inputs [][]byte, emuSteps uint64) error {
+	if v.origF == nil {
+		f, err := elfx.Read(v.orig)
+		if err != nil {
+			return fmt.Errorf("suri: validate: original binary: %w", err)
+		}
+		v.origF = f
+	}
+	rf, err := elfx.Read(rewritten)
+	if err != nil {
+		return fmt.Errorf("suri: validate: rewritten binary: %w", err)
+	}
+	var rewrittenM *emu.Machine
 	for _, in := range inputs {
-		a, err := emu.Run(orig, emu.Options{Input: in, MaxSteps: emuSteps})
+		a, err := runOn(&v.origM, v.origF, emu.Options{Input: in, MaxSteps: emuSteps, LegacyDecode: v.legacy})
 		if err != nil {
 			return fmt.Errorf("suri: validate: original binary: %w", err)
 		}
 		// Bound the rewritten run by a generous multiple of the
 		// original's work: a mis-symbolized binary can loop forever, and
 		// this turns that into a quick typed failure.
-		b, err := emu.Run(rewritten, emu.Options{Input: in, MaxSteps: a.Steps*10 + 1_000_000})
+		b, err := runOn(&rewrittenM, rf, emu.Options{Input: in, MaxSteps: a.Steps*10 + 1_000_000, LegacyDecode: v.legacy})
 		if err != nil {
 			return fmt.Errorf("suri: validate: rewritten binary: %w", err)
 		}
@@ -158,4 +188,25 @@ func validate(orig, rewritten []byte, inputs [][]byte, emuSteps uint64) error {
 		}
 	}
 	return nil
+}
+
+// runOn executes f to completion on *slot, loading a fresh machine on
+// first use and Reload-ing (planes preserved) thereafter.
+func runOn(slot **emu.Machine, f *elfx.File, opts emu.Options) (*emu.Result, error) {
+	m := *slot
+	if m == nil {
+		var err error
+		m, err = emu.LoadFile(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		*slot = m
+	} else if err := emu.Reload(m, f, opts); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	_, code := m.Exited()
+	return &emu.Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: code, Steps: m.Steps, Prof: m.Prof}, nil
 }

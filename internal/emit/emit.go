@@ -33,6 +33,10 @@ type Input struct {
 	// Obs, if set, receives emission metrics (assembler relaxation
 	// rounds, emitted bytes). Nil disables collection at zero cost.
 	Obs *obs.Collector
+
+	// Legacy assembles with the pre-optimization (full re-measure per
+	// relaxation round) assembler — the paired-benchmark baseline.
+	Legacy bool
 }
 
 // TablePatch is one in-place jump-table entry rewrite.
@@ -50,6 +54,9 @@ type Layout struct {
 	NewRodataSize uint64
 	NewEntry      uint64
 	AdjustedRelas int
+
+	// RelaxRounds is how many layout passes branch relaxation took.
+	RelaxRounds int
 }
 
 // RelaxRoundBounds are the histogram buckets for branch-relaxation
@@ -90,7 +97,11 @@ func Emit(in Input) ([]byte, *Layout, error) {
 	if err := harden.Inject(harden.FPEmitAssemble); err != nil {
 		return nil, nil, fmt.Errorf("emit: %w", err)
 	}
-	res, err := asm.Assemble(prog, newBase)
+	assemble := asm.Assemble
+	if in.Legacy {
+		assemble = asm.AssembleLegacy
+	}
+	res, err := assemble(prog, newBase)
 	if err != nil {
 		return nil, nil, fmt.Errorf("emit: assembling S': %w", err)
 	}
@@ -161,7 +172,7 @@ func Emit(in Input) ([]byte, *Layout, error) {
 	}
 
 	// New sections from the assembled S'.
-	layout := &Layout{AdjustedRelas: adjusted}
+	layout := &Layout{AdjustedRelas: adjusted, RelaxRounds: res.RelaxRounds}
 	for _, s := range res.Sections {
 		sec := &elfx.Section{
 			Name:  s.Name,

@@ -1,0 +1,98 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFetchSpanSemantics pins down the ranged-fetch contract: it copies
+// across executable page boundaries, stops at the first unmapped or
+// non-executable page, and returns the byte count.
+func TestFetchSpanSemantics(t *testing.T) {
+	m := NewMemory()
+	base := uint64(0x40_0000)
+	m.Map(base, 2*PageSize, PermR|PermX)
+	fill := make([]byte, 2*PageSize)
+	for i := range fill {
+		fill[i] = byte(i)
+	}
+	// Write needs PermW; poke through a temporary permission change.
+	m.Protect(base, 2*PageSize, PermR|PermW)
+	if err := m.Write(base, fill); err != nil {
+		t.Fatal(err)
+	}
+	m.Protect(base, 2*PageSize, PermR|PermX)
+
+	var buf [15]byte
+	// Straddle the page boundary: 8 bytes before, 7 after.
+	n := m.FetchSpan(base+PageSize-8, buf[:])
+	if n != len(buf) {
+		t.Fatalf("FetchSpan across pages = %d bytes, want %d", n, len(buf))
+	}
+	if !bytes.Equal(buf[:n], fill[PageSize-8:PageSize-8+15]) {
+		t.Error("FetchSpan bytes differ from page content")
+	}
+	// Stop at the end of the mapping.
+	n = m.FetchSpan(base+2*PageSize-5, buf[:])
+	if n != 5 {
+		t.Errorf("FetchSpan at mapping end = %d bytes, want 5", n)
+	}
+	// A non-executable page yields nothing.
+	m.Map(base+4*PageSize, PageSize, PermR)
+	if n := m.FetchSpan(base+4*PageSize, buf[:]); n != 0 {
+		t.Errorf("FetchSpan on non-exec page = %d bytes, want 0", n)
+	}
+	// Unmapped yields nothing.
+	if n := m.FetchSpan(0xdead_0000, buf[:]); n != 0 {
+		t.Errorf("FetchSpan on unmapped = %d bytes, want 0", n)
+	}
+}
+
+// TestFetchSpanNoAutoRW ensures the exec fetch path never maps the
+// sanitizer shadow region on demand — only data accesses may.
+func TestFetchSpanNoAutoRW(t *testing.T) {
+	m := NewMemory()
+	m.AddAutoRW(Range{Start: ShadowStart, End: ShadowEnd})
+	var buf [8]byte
+	if n := m.FetchSpan(ShadowStart+0x100, buf[:]); n != 0 {
+		t.Errorf("FetchSpan auto-mapped the shadow region (%d bytes)", n)
+	}
+	if _, ok := m.pages[(ShadowStart+0x100)&^uint64(PageSize-1)]; ok {
+		t.Error("FetchSpan created a shadow page")
+	}
+}
+
+// TestFetchSpanAllocs gates the fetch hot path at zero allocations.
+func TestFetchSpanAllocs(t *testing.T) {
+	m := NewMemory()
+	base := uint64(0x40_0000)
+	m.Map(base, 2*PageSize, PermR|PermX)
+	var buf [15]byte
+	if avg := testing.AllocsPerRun(500, func() {
+		m.FetchSpan(base+PageSize-8, buf[:])
+	}); avg != 0 {
+		t.Errorf("FetchSpan allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestMachineResetPreservesPlanes checks the Reset contract: run state
+// is zeroed while the predecoded page planes survive for the next
+// Reload of the same image.
+func TestMachineResetPreservesPlanes(t *testing.T) {
+	m := NewMachine()
+	m.Steps = 99
+	m.Stdout = []byte("x")
+	m.RIP = 0x1234
+	m.MaxSteps = 7
+	m.planes[0x1000] = nil // marker entry
+	m.Reset()
+	if m.Steps != 0 || len(m.Stdout) != 0 || m.RIP != 0 {
+		t.Errorf("Reset left run state: steps=%d stdout=%d rip=%#x", m.Steps, len(m.Stdout), m.RIP)
+	}
+	if m.MaxSteps != defaultMaxSteps {
+		t.Errorf("Reset MaxSteps = %d, want default", m.MaxSteps)
+	}
+	if _, ok := m.planes[0x1000]; !ok {
+		t.Error("Reset dropped the predecoded planes")
+	}
+}

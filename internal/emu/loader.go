@@ -33,6 +33,10 @@ type Options struct {
 	// heat, syscall log, CET event counters); the profile is returned
 	// in Result.Prof. Disabled costs nothing.
 	Profile bool
+
+	// LegacyDecode selects the pre-plane fetch path (per-address map
+	// cache, byte-at-a-time fetch) — the paired-benchmark baseline.
+	LegacyDecode bool
 }
 
 // Default placement constants.
@@ -59,8 +63,27 @@ func Load(bin []byte, opts Options) (*Machine, error) {
 
 // LoadFile is Load for an already-parsed ELF file (Raw must be set).
 func LoadFile(f *elfx.File, opts Options) (*Machine, error) {
+	m := NewMachine()
+	if err := loadInto(m, f, opts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reload re-initializes a machine for a fresh run of the same image,
+// preserving its predecoded page planes. The caller contract is that f
+// is the identical file previously loaded into m, at the same bias —
+// executable pages are then byte-identical, so the decode planes carry
+// over soundly. Validated rewrites use this to amortize decoding across
+// retry attempts and per-input runs.
+func Reload(m *Machine, f *elfx.File, opts Options) error {
+	m.Reset()
+	return loadInto(m, f, opts)
+}
+
+func loadInto(m *Machine, f *elfx.File, opts Options) error {
 	if f.Raw == nil {
-		return nil, fmt.Errorf("emu: file has no raw bytes")
+		return fmt.Errorf("emu: file has no raw bytes")
 	}
 	bias := opts.Bias
 	if bias == 0 {
@@ -75,13 +98,13 @@ func LoadFile(f *elfx.File, opts Options) (*Machine, error) {
 		stackSize = DefaultStackSize
 	}
 
-	m := NewMachine()
 	if opts.MaxSteps != 0 {
 		m.MaxSteps = opts.MaxSteps
 	}
 	if opts.Profile {
 		m.Prof = NewProfile()
 	}
+	m.LegacyDecode = opts.LegacyDecode
 	m.SetInput(opts.Input)
 
 	// Map PT_LOAD segments read-write first, copy file content, apply
@@ -100,10 +123,10 @@ func LoadFile(f *elfx.File, opts Options) (*Machine, error) {
 		m.Mem.Map(va, seg.Memsz, PermR|PermW)
 		if seg.Filesz > 0 {
 			if seg.Off+seg.Filesz > uint64(len(f.Raw)) {
-				return nil, fmt.Errorf("emu: segment at %#x overruns file", seg.Vaddr)
+				return fmt.Errorf("emu: segment at %#x overruns file", seg.Vaddr)
 			}
 			if err := m.Mem.Write(va, f.Raw[seg.Off:seg.Off+seg.Filesz]); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		perm := PermR
@@ -114,17 +137,17 @@ func LoadFile(f *elfx.File, opts Options) (*Machine, error) {
 			perm |= PermX
 		}
 		if perm&PermW != 0 && perm&PermX != 0 {
-			return nil, fmt.Errorf("emu: W+X segment at %#x refused", seg.Vaddr)
+			return fmt.Errorf("emu: W+X segment at %#x refused", seg.Vaddr)
 		}
 		finals = append(finals, pending{vaddr: va, memsz: seg.Memsz, perm: perm})
 	}
 
 	for _, r := range relocations(f) {
 		if r.Type != elfx.RX8664Relative {
-			return nil, fmt.Errorf("emu: unsupported relocation type %d", r.Type)
+			return fmt.Errorf("emu: unsupported relocation type %d", r.Type)
 		}
 		if err := m.Mem.WriteU64(bias+r.Off, bias+uint64(r.Addend), 8); err != nil {
-			return nil, fmt.Errorf("emu: relocation at %#x: %w", r.Off, err)
+			return fmt.Errorf("emu: relocation at %#x: %w", r.Off, err)
 		}
 	}
 
@@ -142,7 +165,7 @@ func LoadFile(f *elfx.File, opts Options) (*Machine, error) {
 
 	m.RIP = bias + f.Entry
 	m.EnforceCET = f.HasCET() && !opts.DisableCET
-	return m, nil
+	return nil
 }
 
 // relocations returns the file's rebase relocations, preferring the

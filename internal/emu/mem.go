@@ -133,6 +133,36 @@ func (m *Memory) Fetch(addr uint64, buf []byte) error {
 	return m.access(addr, buf, PermX, "exec", false)
 }
 
+// FetchSpan copies up to len(buf) executable bytes starting at addr in
+// one ranged walk (at most two pages for an instruction fetch), stopping
+// at the first unmapped or non-executable page. It returns the number of
+// bytes copied and never allocates — the instruction-fetch hot path
+// calls it instead of issuing byte-at-a-time Fetches.
+func (m *Memory) FetchSpan(addr uint64, buf []byte) int {
+	done := 0
+	for done < len(buf) {
+		p := m.execPage(addr + uint64(done))
+		if p == nil {
+			break
+		}
+		off := int((addr + uint64(done)) & (PageSize - 1))
+		n := copyLen(len(buf)-done, PageSize-off)
+		copy(buf[done:done+n], p.data[off:off+n])
+		done += n
+	}
+	return done
+}
+
+// execPage returns the executable page containing addr, or nil. AutoRW
+// ranges are never executable, so no on-demand mapping happens here.
+func (m *Memory) execPage(addr uint64) *page {
+	p, ok := m.pages[addr&^(PageSize-1)]
+	if !ok || p.perm&PermX == 0 {
+		return nil
+	}
+	return p
+}
+
 func (m *Memory) access(addr uint64, buf []byte, need uint8, kind string, store bool) error {
 	for done := 0; done < len(buf); {
 		p, err := m.pageFor(addr+uint64(done), need, kind)

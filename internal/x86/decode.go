@@ -193,7 +193,9 @@ func (d *decoder) immForWidth(w uint8) (int64, error) {
 	}
 }
 
-var aluByBase = map[byte]Op{0x00: ADD, 0x08: OR, 0x20: AND, 0x28: SUB, 0x30: XOR, 0x38: CMP}
+// aluByDigit maps the /digit of the 80/81/83 immediate group to its Op.
+// The r/m,r opcode bases hit the same table via base>>3 (0x00>>3 == 0,
+// 0x08>>3 == 1, ..., 0x38>>3 == 7), so one flat array serves both.
 var aluByDigit = [8]Op{ADD, OR, BAD, BAD, AND, SUB, XOR, CMP}
 
 func (d *decoder) decode() (Inst, error) {
@@ -416,7 +418,7 @@ func isALUBase(b byte) bool {
 func (d *decoder) decodeALURM(op byte) (Inst, error) {
 	base := op & 0xF8
 	form := op & 0x07
-	aluOp := aluByBase[base]
+	aluOp := aluByDigit[base>>3]
 	w := uint8(1)
 	if form&1 == 1 {
 		w = d.width()
@@ -540,8 +542,14 @@ func (d *decoder) decodeGroup3(op byte) (Inst, error) {
 		if err != nil {
 			return Inst{}, err
 		}
-		ops := map[byte]Op{2: NOT, 3: NEG, 7: IDIV}
-		return Inst{Op: ops[digit], W: w, Dst: rm}, nil
+		g3op := NOT
+		switch digit {
+		case 3:
+			g3op = NEG
+		case 7:
+			g3op = IDIV
+		}
+		return Inst{Op: g3op, W: w, Dst: rm}, nil
 	}
 	return Inst{}, ErrBadInstruction
 }

@@ -12,51 +12,112 @@ import (
 func Encode(in Inst) ([]byte, error) {
 	var e encoder
 	if err := e.encode(in); err != nil {
-		return nil, fmt.Errorf("encode %s: %w", in, err)
+		return nil, encodeErr(in, err)
 	}
-	return e.bytes(), nil
+	return e.appendTo(make([]byte, 0, maxInstLen)), nil
 }
 
-// EncodedLen returns the length Encode would produce, without allocating
-// the final byte slice twice.
+// EncodeAppend appends the encoding of in to dst and returns the extended
+// slice. It allocates nothing beyond dst's own growth, which makes it the
+// hot-path form for the assembler's emit loop.
+func EncodeAppend(dst []byte, in Inst) ([]byte, error) {
+	var e encoder
+	if err := e.encode(in); err != nil {
+		return dst, encodeErr(in, err)
+	}
+	return e.appendTo(dst), nil
+}
+
+// EncodedLen returns the length Encode would produce, without building
+// (or allocating) the bytes. Branch relaxation calls this in a loop, so
+// it must stay allocation-free.
 func EncodedLen(in Inst) (int, error) {
-	b, err := Encode(in)
-	if err != nil {
-		return 0, err
+	var e encoder
+	if err := e.encode(in); err != nil {
+		return 0, encodeErr(in, err)
 	}
-	return len(b), nil
+	return e.encodedLen(), nil
 }
 
-// encoder accumulates the pieces of one instruction encoding.
+// encodeErr builds the error off the hot path; keeping the fmt call out
+// of the callers stops `in` from escaping on the success path.
+//
+//go:noinline
+func encodeErr(in Inst, err error) error {
+	return fmt.Errorf("encode %s: %w", in, err)
+}
+
+// maxInstLen is the architectural x86-64 instruction length limit.
+const maxInstLen = 15
+
+// encoder accumulates the pieces of one instruction encoding in fixed
+// buffers, so encoding performs no heap allocation.
 type encoder struct {
-	prefix  []byte
+	prefix  [2]byte
+	nprefix uint8
 	rex     byte // REX bits beyond 0x40; see needRex
 	needRex bool // force emission of a REX prefix even if rex == 0
-	opcode  []byte
+	opcode  [4]byte
+	nopcode uint8
 	modrm   byte
 	hasMod  bool
 	sib     byte
 	hasSib  bool
-	disp    []byte
-	imm     []byte
+	disp    [4]byte
+	ndisp   uint8
+	imm     [8]byte
+	nimm    uint8
 }
 
-func (e *encoder) bytes() []byte {
-	out := make([]byte, 0, 15)
-	out = append(out, e.prefix...)
+// op sets the opcode bytes.
+func (e *encoder) op(b ...byte) {
+	e.nopcode = uint8(copy(e.opcode[:], b))
+}
+
+func (e *encoder) addPrefix(b byte) {
+	e.prefix[e.nprefix] = b
+	e.nprefix++
+}
+
+func (e *encoder) disp8(v int8) {
+	e.disp[0] = byte(v)
+	e.ndisp = 1
+}
+
+func (e *encoder) disp32(v int32) {
+	binary.LittleEndian.PutUint32(e.disp[:4], uint32(v))
+	e.ndisp = 4
+}
+
+func (e *encoder) appendTo(out []byte) []byte {
+	out = append(out, e.prefix[:e.nprefix]...)
 	if e.rex != 0 || e.needRex {
 		out = append(out, 0x40|e.rex)
 	}
-	out = append(out, e.opcode...)
+	out = append(out, e.opcode[:e.nopcode]...)
 	if e.hasMod {
 		out = append(out, e.modrm)
 		if e.hasSib {
 			out = append(out, e.sib)
 		}
 	}
-	out = append(out, e.disp...)
-	out = append(out, e.imm...)
+	out = append(out, e.disp[:e.ndisp]...)
+	out = append(out, e.imm[:e.nimm]...)
 	return out
+}
+
+func (e *encoder) encodedLen() int {
+	n := int(e.nprefix) + int(e.nopcode) + int(e.ndisp) + int(e.nimm)
+	if e.rex != 0 || e.needRex {
+		n++
+	}
+	if e.hasMod {
+		n++
+		if e.hasSib {
+			n++
+		}
+	}
+	return n
 }
 
 const (
@@ -71,7 +132,7 @@ func (e *encoder) setW(w uint8) {
 		e.rex |= rexW
 	}
 	if w == 2 {
-		e.prefix = append(e.prefix, 0x66)
+		e.addPrefix(0x66)
 	}
 }
 
@@ -91,7 +152,7 @@ func (e *encoder) setReg(r Reg, w uint8) {
 // setOpReg folds r into the low bits of the last opcode byte (push/pop/
 // mov-imm forms).
 func (e *encoder) setOpReg(r Reg, w uint8) {
-	e.opcode[len(e.opcode)-1] |= r.lowBits()
+	e.opcode[e.nopcode-1] |= r.lowBits()
 	e.rex |= r.hiBit() // REX.B
 	if w == 1 && byteRegNeedsRex(r) {
 		e.needRex = true
@@ -126,7 +187,7 @@ func (e *encoder) setMem(m Mem) error {
 			return fmt.Errorf("RIP-relative operand cannot have base or index")
 		}
 		e.modrm |= 0x05 // mod=00 rm=101
-		e.disp = appendInt32(nil, m.Disp)
+		e.disp32(m.Disp)
 		return nil
 	}
 	if m.Index == RSP {
@@ -165,15 +226,9 @@ func (e *encoder) setMem(m Mem) error {
 	} else {
 		// No base: SIB base=101 with mod=00 means disp32 only.
 		e.sib |= 0x05
-		e.disp = appendInt32(nil, m.Disp)
+		e.disp32(m.Disp)
 	}
 	return nil
-}
-
-// setDispMod chooses the mod field and displacement size for a memory
-// operand with a base register.
-func (e *encoder) setDispMod(base Reg, disp int32) {
-	e.setDispModWide(base, disp, false)
 }
 
 func (e *encoder) setDispModWide(base Reg, disp int32, wide bool) {
@@ -184,11 +239,11 @@ func (e *encoder) setDispModWide(base Reg, disp int32, wide bool) {
 	}
 	if !wide && disp >= -128 && disp <= 127 {
 		e.modrm |= 0x40 // mod=01
-		e.disp = []byte{byte(int8(disp))}
+		e.disp8(int8(disp))
 		return
 	}
 	e.modrm |= 0x80 // mod=10
-	e.disp = appendInt32(nil, disp)
+	e.disp32(disp)
 }
 
 func scaleBits(s uint8) byte {
@@ -204,59 +259,60 @@ func scaleBits(s uint8) byte {
 	}
 }
 
-func appendInt32(b []byte, v int32) []byte {
-	return binary.LittleEndian.AppendUint32(b, uint32(v))
-}
-
 func (e *encoder) setImm(v int64, size int) {
 	switch size {
 	case 1:
-		e.imm = append(e.imm, byte(int8(v)))
+		e.imm[0] = byte(int8(v))
+		e.nimm = 1
 	case 2:
-		e.imm = binary.LittleEndian.AppendUint16(e.imm, uint16(v))
+		binary.LittleEndian.PutUint16(e.imm[:2], uint16(v))
+		e.nimm = 2
 	case 4:
-		e.imm = binary.LittleEndian.AppendUint32(e.imm, uint32(v))
+		binary.LittleEndian.PutUint32(e.imm[:4], uint32(v))
+		e.nimm = 4
 	case 8:
-		e.imm = binary.LittleEndian.AppendUint64(e.imm, uint64(v))
+		binary.LittleEndian.PutUint64(e.imm[:8], uint64(v))
+		e.nimm = 8
 	}
 }
 
 func fitsInt8(v int64) bool  { return v >= -128 && v <= 127 }
 func fitsInt32(v int64) bool { return v >= -1<<31 && v <= 1<<31-1 }
 
-// aluEncoding maps ALU ops to their /digit for the 80/81/83 immediate
-// group and their r/m,r opcode base.
-var aluDigit = map[Op]byte{ADD: 0, OR: 1, AND: 4, SUB: 5, XOR: 6, CMP: 7}
-var aluBase = map[Op]byte{ADD: 0x00, OR: 0x08, AND: 0x20, SUB: 0x28, XOR: 0x30, CMP: 0x38}
+// ALU op tables: the /digit for the 80/81/83 immediate group and the
+// r/m,r opcode base. Flat arrays indexed by Op keep the encoder's hot
+// path free of map lookups.
+var aluDigit = [numOps]byte{ADD: 0, OR: 1, AND: 4, SUB: 5, XOR: 6, CMP: 7}
+var aluBase = [numOps]byte{ADD: 0x00, OR: 0x08, AND: 0x20, SUB: 0x28, XOR: 0x30, CMP: 0x38}
 
-var shiftDigit = map[Op]byte{SHL: 4, SHR: 5, SAR: 7}
+var shiftDigit = [numOps]byte{SHL: 4, SHR: 5, SAR: 7}
 
 func (e *encoder) encode(in Inst) error {
 	switch in.Op {
 	case ENDBR64:
-		e.opcode = []byte{0xF3, 0x0F, 0x1E, 0xFA}
+		e.op(0xF3, 0x0F, 0x1E, 0xFA)
 		return nil
 	case NOP:
-		e.opcode = []byte{0x90}
+		e.op(0x90)
 		return nil
 	case SYSCALL:
-		e.opcode = []byte{0x0F, 0x05}
+		e.op(0x0F, 0x05)
 		return nil
 	case UD2:
-		e.opcode = []byte{0x0F, 0x0B}
+		e.op(0x0F, 0x0B)
 		return nil
 	case HLT:
-		e.opcode = []byte{0xF4}
+		e.op(0xF4)
 		return nil
 	case INT3:
-		e.opcode = []byte{0xCC}
+		e.op(0xCC)
 		return nil
 	case RET:
-		e.opcode = []byte{0xC3}
+		e.op(0xC3)
 		return nil
 	case CQO:
 		e.setW(widthOrDefault(in.W))
-		e.opcode = []byte{0x99}
+		e.op(0x99)
 		return nil
 	case PUSH:
 		return e.encodePush(in)
@@ -265,7 +321,7 @@ func (e *encoder) encode(in Inst) error {
 		if !ok {
 			return fmt.Errorf("pop requires a register operand")
 		}
-		e.opcode = []byte{0x58}
+		e.op(0x58)
 		e.setOpReg(r, 8)
 		return nil
 	case MOV:
@@ -311,15 +367,15 @@ func widthOrDefault(w uint8) uint8 {
 func (e *encoder) encodePush(in Inst) error {
 	switch v := in.Src.(type) {
 	case Reg:
-		e.opcode = []byte{0x50}
+		e.op(0x50)
 		e.setOpReg(v, 8)
 		return nil
 	case Imm:
 		if fitsInt8(int64(v)) {
-			e.opcode = []byte{0x6A}
+			e.op(0x6A)
 			e.setImm(int64(v), 1)
 		} else if fitsInt32(int64(v)) {
-			e.opcode = []byte{0x68}
+			e.op(0x68)
 			e.setImm(int64(v), 4)
 		} else {
 			return fmt.Errorf("push immediate out of range")
@@ -339,9 +395,9 @@ func (e *encoder) encodeMov(in Inst) error {
 			// mov r, r/m: 8A (byte) / 8B
 			e.setW(w)
 			if w == 1 {
-				e.opcode = []byte{0x8A}
+				e.op(0x8A)
 			} else {
-				e.opcode = []byte{0x8B}
+				e.op(0x8B)
 			}
 			e.setReg(dst, w)
 			return e.setRM(src, w)
@@ -350,7 +406,7 @@ func (e *encoder) encodeMov(in Inst) error {
 			if w == 8 && !fitsInt32(v) {
 				// movabs r64, imm64
 				e.setW(8)
-				e.opcode = []byte{0xB8}
+				e.op(0xB8)
 				e.setOpReg(dst, 8)
 				e.setImm(v, 8)
 				return nil
@@ -358,18 +414,18 @@ func (e *encoder) encodeMov(in Inst) error {
 			if w == 8 {
 				// C7 /0 id, sign-extended
 				e.setW(8)
-				e.opcode = []byte{0xC7}
+				e.op(0xC7)
 				e.setImm(v, 4)
 				return e.setRM(dst, 8)
 			}
 			if w == 1 {
-				e.opcode = []byte{0xB0}
+				e.op(0xB0)
 				e.setOpReg(dst, 1)
 				e.setImm(v, 1)
 				return nil
 			}
 			e.setW(w)
-			e.opcode = []byte{0xB8}
+			e.op(0xB8)
 			e.setOpReg(dst, w)
 			e.setImm(v, int(w))
 			return nil
@@ -380,9 +436,9 @@ func (e *encoder) encodeMov(in Inst) error {
 			// mov r/m, r: 88 (byte) / 89
 			e.setW(w)
 			if w == 1 {
-				e.opcode = []byte{0x88}
+				e.op(0x88)
 			} else {
-				e.opcode = []byte{0x89}
+				e.op(0x89)
 			}
 			e.setReg(src, w)
 			return e.setRM(dst, w)
@@ -390,7 +446,7 @@ func (e *encoder) encodeMov(in Inst) error {
 			v := int64(src)
 			e.setW(w)
 			if w == 1 {
-				e.opcode = []byte{0xC6}
+				e.op(0xC6)
 				if err := e.setRM(dst, w); err != nil {
 					return err
 				}
@@ -400,7 +456,7 @@ func (e *encoder) encodeMov(in Inst) error {
 			if !fitsInt32(v) {
 				return fmt.Errorf("mov m, imm out of range")
 			}
-			e.opcode = []byte{0xC7}
+			e.op(0xC7)
 			if err := e.setRM(dst, w); err != nil {
 				return err
 			}
@@ -435,7 +491,7 @@ func (e *encoder) encodeMovx(in Inst) error {
 	default:
 		return fmt.Errorf("movzx/movsx requires SrcW of 1 or 2")
 	}
-	e.opcode = []byte{0x0F, op}
+	e.op(0x0F, op)
 	e.setReg(dst, w)
 	return e.setRM(in.Src, in.SrcW)
 }
@@ -446,7 +502,7 @@ func (e *encoder) encodeMovsxd(in Inst) error {
 		return fmt.Errorf("movsxd destination must be a register")
 	}
 	e.setW(8)
-	e.opcode = []byte{0x63}
+	e.op(0x63)
 	e.setReg(dst, 8)
 	return e.setRM(in.Src, 4)
 }
@@ -461,7 +517,7 @@ func (e *encoder) encodeLea(in Inst) error {
 		return fmt.Errorf("lea source must be a memory operand")
 	}
 	e.setW(widthOrDefault(in.W))
-	e.opcode = []byte{0x8D}
+	e.op(0x8D)
 	e.setReg(dst, 8)
 	return e.setMem(m)
 }
@@ -477,9 +533,9 @@ func (e *encoder) encodeALU(in Inst) error {
 			// op r, r/m
 			e.setW(w)
 			if w == 1 {
-				e.opcode = []byte{base + 0x02}
+				e.op(base + 0x02)
 			} else {
-				e.opcode = []byte{base + 0x03}
+				e.op(base + 0x03)
 			}
 			e.setReg(dst, w)
 			return e.setRM(src, w)
@@ -491,9 +547,9 @@ func (e *encoder) encodeALU(in Inst) error {
 		case Reg:
 			e.setW(w)
 			if w == 1 {
-				e.opcode = []byte{base}
+				e.op(base)
 			} else {
-				e.opcode = []byte{base + 0x01}
+				e.op(base + 0x01)
 			}
 			e.setReg(src, w)
 			return e.setRM(dst, w)
@@ -508,7 +564,7 @@ func (e *encoder) encodeALUImm(op Op, dst Arg, v int64, w uint8, digit byte) err
 	e.setW(w)
 	e.modrm |= digit << 3
 	if w == 1 {
-		e.opcode = []byte{0x80}
+		e.op(0x80)
 		if err := e.setRM(dst, w); err != nil {
 			return err
 		}
@@ -516,7 +572,7 @@ func (e *encoder) encodeALUImm(op Op, dst Arg, v int64, w uint8, digit byte) err
 		return nil
 	}
 	if fitsInt8(v) {
-		e.opcode = []byte{0x83}
+		e.op(0x83)
 		if err := e.setRM(dst, w); err != nil {
 			return err
 		}
@@ -526,7 +582,7 @@ func (e *encoder) encodeALUImm(op Op, dst Arg, v int64, w uint8, digit byte) err
 	if !fitsInt32(v) {
 		return fmt.Errorf("%v immediate out of range", op)
 	}
-	e.opcode = []byte{0x81}
+	e.op(0x81)
 	if err := e.setRM(dst, w); err != nil {
 		return err
 	}
@@ -544,18 +600,18 @@ func (e *encoder) encodeTest(in Inst) error {
 	case Reg:
 		e.setW(w)
 		if w == 1 {
-			e.opcode = []byte{0x84}
+			e.op(0x84)
 		} else {
-			e.opcode = []byte{0x85}
+			e.op(0x85)
 		}
 		e.setReg(src, w)
 		return e.setRM(in.Dst, w)
 	case Imm:
 		e.setW(w)
 		if w == 1 {
-			e.opcode = []byte{0xF6}
+			e.op(0xF6)
 		} else {
-			e.opcode = []byte{0xF7}
+			e.op(0xF7)
 		}
 		if err := e.setRM(in.Dst, w); err != nil {
 			return err
@@ -582,7 +638,7 @@ func (e *encoder) encodeImul(in Inst) error {
 	e.setW(w)
 	if in.HasImm3 {
 		if fitsInt8(in.Imm3) {
-			e.opcode = []byte{0x6B}
+			e.op(0x6B)
 			e.setReg(dst, w)
 			if err := e.setRM(in.Src, w); err != nil {
 				return err
@@ -593,7 +649,7 @@ func (e *encoder) encodeImul(in Inst) error {
 		if !fitsInt32(in.Imm3) {
 			return fmt.Errorf("imul immediate out of range")
 		}
-		e.opcode = []byte{0x69}
+		e.op(0x69)
 		e.setReg(dst, w)
 		if err := e.setRM(in.Src, w); err != nil {
 			return err
@@ -601,7 +657,7 @@ func (e *encoder) encodeImul(in Inst) error {
 		e.setImm(in.Imm3, 4)
 		return nil
 	}
-	e.opcode = []byte{0x0F, 0xAF}
+	e.op(0x0F, 0xAF)
 	e.setReg(dst, w)
 	return e.setRM(in.Src, w)
 }
@@ -610,9 +666,9 @@ func (e *encoder) encodeGroup3(in Inst) error {
 	w := widthOrDefault(in.W)
 	e.setW(w)
 	if w == 1 {
-		e.opcode = []byte{0xF6}
+		e.op(0xF6)
 	} else {
-		e.opcode = []byte{0xF7}
+		e.op(0xF7)
 	}
 	var digit byte
 	switch in.Op {
@@ -635,16 +691,16 @@ func (e *encoder) encodeShift(in Inst) error {
 	case Imm:
 		if src == 1 {
 			if w == 1 {
-				e.opcode = []byte{0xD0}
+				e.op(0xD0)
 			} else {
-				e.opcode = []byte{0xD1}
+				e.op(0xD1)
 			}
 			return e.setRM(in.Dst, w)
 		}
 		if w == 1 {
-			e.opcode = []byte{0xC0}
+			e.op(0xC0)
 		} else {
-			e.opcode = []byte{0xC1}
+			e.op(0xC1)
 		}
 		if err := e.setRM(in.Dst, w); err != nil {
 			return err
@@ -656,9 +712,9 @@ func (e *encoder) encodeShift(in Inst) error {
 			return fmt.Errorf("variable shift count must be CL")
 		}
 		if w == 1 {
-			e.opcode = []byte{0xD2}
+			e.op(0xD2)
 		} else {
-			e.opcode = []byte{0xD3}
+			e.op(0xD3)
 		}
 		return e.setRM(in.Dst, w)
 	}
@@ -669,18 +725,18 @@ func (e *encoder) encodeJmp(in Inst) error {
 	switch src := in.Src.(type) {
 	case Rel:
 		if fitsInt8(int64(src)) && !in.LongBranch {
-			e.opcode = []byte{0xEB}
+			e.op(0xEB)
 			e.setImm(int64(src), 1)
 		} else {
-			e.opcode = []byte{0xE9}
+			e.op(0xE9)
 			e.setImm(int64(src), 4)
 		}
 		return nil
 	case Reg, Mem:
 		if in.NoTrack {
-			e.prefix = append(e.prefix, 0x3E)
+			e.addPrefix(0x3E)
 		}
-		e.opcode = []byte{0xFF}
+		e.op(0xFF)
 		e.modrm |= 4 << 3
 		return e.setRM(src, 0) // width-agnostic: always 64-bit
 	}
@@ -693,11 +749,11 @@ func (e *encoder) encodeJcc(in Inst) error {
 		return fmt.Errorf("jcc requires a relative target")
 	}
 	if fitsInt8(int64(rel)) && !in.LongBranch {
-		e.opcode = []byte{0x70 + byte(in.Cond)}
+		e.op(0x70 + byte(in.Cond))
 		e.setImm(int64(rel), 1)
 		return nil
 	}
-	e.opcode = []byte{0x0F, 0x80 + byte(in.Cond)}
+	e.op(0x0F, 0x80+byte(in.Cond))
 	e.setImm(int64(rel), 4)
 	return nil
 }
@@ -705,14 +761,14 @@ func (e *encoder) encodeJcc(in Inst) error {
 func (e *encoder) encodeCall(in Inst) error {
 	switch src := in.Src.(type) {
 	case Rel:
-		e.opcode = []byte{0xE8}
+		e.op(0xE8)
 		e.setImm(int64(src), 4)
 		return nil
 	case Reg, Mem:
 		if in.NoTrack {
-			e.prefix = append(e.prefix, 0x3E)
+			e.addPrefix(0x3E)
 		}
-		e.opcode = []byte{0xFF}
+		e.op(0xFF)
 		e.modrm |= 2 << 3
 		return e.setRM(src, 0)
 	}
@@ -720,7 +776,7 @@ func (e *encoder) encodeCall(in Inst) error {
 }
 
 func (e *encoder) encodeSetcc(in Inst) error {
-	e.opcode = []byte{0x0F, 0x90 + byte(in.Cond)}
+	e.op(0x0F, 0x90+byte(in.Cond))
 	return e.setRM(in.Dst, 1)
 }
 
@@ -731,7 +787,7 @@ func (e *encoder) encodeCmovcc(in Inst) error {
 	}
 	w := widthOrDefault(in.W)
 	e.setW(w)
-	e.opcode = []byte{0x0F, 0x40 + byte(in.Cond)}
+	e.op(0x0F, 0x40+byte(in.Cond))
 	e.setReg(dst, w)
 	return e.setRM(in.Src, w)
 }
@@ -739,16 +795,20 @@ func (e *encoder) encodeCmovcc(in Inst) error {
 // NopBytes returns n bytes of padding using the recommended multi-byte NOP
 // sequences, matching what compilers emit between functions.
 func NopBytes(n int) []byte {
-	out := make([]byte, 0, n)
+	return AppendNopBytes(make([]byte, 0, n), n)
+}
+
+// AppendNopBytes appends n bytes of multi-byte-NOP padding to dst.
+func AppendNopBytes(dst []byte, n int) []byte {
 	for n > 0 {
 		k := n
 		if k > 9 {
 			k = 9
 		}
-		out = append(out, nopSeq[k]...)
+		dst = append(dst, nopSeq[k]...)
 		n -= k
 	}
-	return out
+	return dst
 }
 
 // Recommended multi-byte NOPs (Intel SDM table 4-12).

@@ -1,0 +1,336 @@
+package x86
+
+import "sync/atomic"
+
+// Plane is a per-binary decode plane: a flat table indexed by byte
+// offset into one text slab that memoizes the result of Decode at each
+// offset, making every decode after the first a single array load.
+// Within one superset-disassembly pass the builder rarely revisits an
+// offset, so the plane's value is reuse: a rebuild of the same text
+// (cfg.Options.Plane), the emulator fetching one page's instructions
+// millions of times, or a frozen plane shared by farm workers.
+//
+// A Plane is single-goroutine while warm. After Freeze it becomes
+// immutable and safe to share across goroutines: cached entries are
+// read-only, cold offsets decode on the fly without being written back,
+// and the hit/miss counters switch to an atomic pair.
+//
+// Two storage modes trade hit cost against GC cost:
+//
+//   - NewPlane stores pointer-free flattened instructions. The chunk
+//     memory is invisible to the garbage collector (no scan, no write
+//     barriers), which matters for whole-binary planes that live as
+//     long as a CFG; a hit re-materializes the Inst (cheap, but boxing
+//     a Mem or large Imm operand can allocate).
+//   - NewExecPlane stores decoded Insts directly. A hit is a plain
+//     struct copy — the right shape for the emulator, where one page's
+//     instructions are fetched millions of times — at the price of
+//     pointer-bearing chunks the GC must scan.
+//
+// Entry storage is chunked and allocated on first touch: superset
+// disassembly decodes at instruction boundaries, not at every byte, so
+// an eager entry-per-byte table would spend more time zeroing memory
+// than the memoization saves on a cold build.
+type Plane struct {
+	text  []byte
+	flat  []*flatChunk
+	boxed []*boxedChunk
+
+	frozen bool
+
+	// Warm-phase counters: plain integers, because atomics on the
+	// decode hot path cost more than the memoization saves on a cold
+	// build. Freeze folds them into the shared atomic pair.
+	hits   uint64
+	misses uint64
+
+	sharedHits   atomic.Uint64
+	sharedMisses atomic.Uint64
+}
+
+// planeChunkShift sizes a chunk at 512 entries: big enough to amortize
+// the allocation across a basic block's worth of decodes, small enough
+// that a sparse text touch pattern stays cheap.
+const (
+	planeChunkShift = 9
+	planeChunkLen   = 1 << planeChunkShift
+	planeChunkMask  = planeChunkLen - 1
+)
+
+type boxedChunk struct {
+	ents [planeChunkLen]boxedEntry
+}
+
+type flatChunk struct {
+	ents [planeChunkLen]flatEntry
+}
+
+// Entry states. Decode can only fail with the two sentinel errors
+// (plus the >15-byte length check, which is ErrBadInstruction), so the
+// error is stored as a one-byte state instead of an interface.
+const (
+	planeCold byte = iota
+	planeOK
+	planeBad
+	planeTrunc
+)
+
+type boxedEntry struct {
+	inst  Inst
+	size  uint8
+	state byte
+}
+
+// flatEntry is a pointer-free image of a decoded instruction. Operand
+// interfaces are collapsed into tagged unions so a populated chunk is
+// noscan memory.
+type flatEntry struct {
+	op    Op
+	cond  Cond
+	w     uint8
+	srcW  uint8
+	flags uint8 // bit0 HasImm3, bit1 NoTrack, bit2 LongBranch
+	size  uint8
+	state byte
+	imm3  int64
+	dst   flatArg
+	src   flatArg
+}
+
+// flatArg kinds.
+const (
+	faNone byte = iota
+	faReg
+	faImm
+	faMem
+	faRel
+)
+
+type flatArg struct {
+	kind   byte
+	reg    Reg   // faReg: the register; faMem: the base
+	index  Reg   // faMem
+	scale  uint8 // faMem
+	mflags uint8 // faMem: bit0 Rip, bit1 Wide
+	disp   int32 // faMem
+	val    int64 // faImm / faRel
+}
+
+func flattenArg(a Arg, fa *flatArg) bool {
+	switch v := a.(type) {
+	case nil:
+		fa.kind = faNone
+	case Reg:
+		fa.kind, fa.reg = faReg, v
+	case Imm:
+		fa.kind, fa.val = faImm, int64(v)
+	case Rel:
+		fa.kind, fa.val = faRel, int64(v)
+	case Mem:
+		fa.kind = faMem
+		fa.reg, fa.index, fa.scale, fa.disp = v.Base, v.Index, v.Scale, v.Disp
+		fa.mflags = 0
+		if v.Rip {
+			fa.mflags |= 1
+		}
+		if v.Wide {
+			fa.mflags |= 2
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+func (fa *flatArg) arg() Arg {
+	switch fa.kind {
+	case faReg:
+		return fa.reg
+	case faImm:
+		return Imm(fa.val)
+	case faRel:
+		return Rel(fa.val)
+	case faMem:
+		return Mem{Base: fa.reg, Index: fa.index, Scale: fa.scale, Disp: fa.disp,
+			Rip: fa.mflags&1 != 0, Wide: fa.mflags&2 != 0}
+	}
+	return nil
+}
+
+func (e *flatEntry) store(in Inst, size int) bool {
+	if !flattenArg(in.Dst, &e.dst) || !flattenArg(in.Src, &e.src) {
+		return false
+	}
+	e.op, e.cond, e.w, e.srcW, e.imm3 = in.Op, in.Cond, in.W, in.SrcW, in.Imm3
+	e.flags = 0
+	if in.HasImm3 {
+		e.flags |= 1
+	}
+	if in.NoTrack {
+		e.flags |= 2
+	}
+	if in.LongBranch {
+		e.flags |= 4
+	}
+	e.size = uint8(size)
+	return true
+}
+
+func (e *flatEntry) inst() Inst {
+	return Inst{
+		Op: e.op, Cond: e.cond, W: e.w, SrcW: e.srcW,
+		Dst: e.dst.arg(), Src: e.src.arg(),
+		Imm3: e.imm3, HasImm3: e.flags&1 != 0,
+		NoTrack: e.flags&2 != 0, LongBranch: e.flags&4 != 0,
+	}
+}
+
+func chunkCount(n int) int { return (n + planeChunkMask) >> planeChunkShift }
+
+// NewPlane builds a cold decode plane over text with pointer-free
+// (GC-invisible) entry storage. Only the chunk index is allocated up
+// front; entry chunks materialize on first decode.
+func NewPlane(text []byte) *Plane {
+	return &Plane{text: text, flat: make([]*flatChunk, chunkCount(len(text)))}
+}
+
+// NewExecPlane builds a cold decode plane whose entries store the
+// decoded Inst directly, making hits a plain copy. Use for small, hot
+// slabs (the emulator's executable pages).
+func NewExecPlane(text []byte) *Plane {
+	return &Plane{text: text, boxed: make([]*boxedChunk, chunkCount(len(text)))}
+}
+
+// Text returns the slab the plane decodes. Callers must not mutate it.
+func (p *Plane) Text() []byte { return p.text }
+
+// Len returns the slab length in bytes.
+func (p *Plane) Len() int { return len(p.text) }
+
+// Decode returns the instruction at byte offset off, memoizing the
+// result. Offsets outside the slab return ErrTruncated. The returned
+// error is always one of the Decode sentinels, never a wrapper, so
+// errors.Is and == both work.
+func (p *Plane) Decode(off int) (Inst, int, error) {
+	if off < 0 || off >= len(p.text) {
+		return Inst{}, 0, ErrTruncated
+	}
+	if p.boxed != nil {
+		return p.decodeBoxed(off)
+	}
+	return p.decodeFlat(off)
+}
+
+func (p *Plane) decodeFlat(off int) (Inst, int, error) {
+	c := p.flat[off>>planeChunkShift]
+	if c == nil {
+		if p.frozen {
+			p.sharedMisses.Add(1)
+			return Decode(p.text[off:])
+		}
+		c = &flatChunk{}
+		p.flat[off>>planeChunkShift] = c
+	}
+	e := &c.ents[off&planeChunkMask]
+	if e.state != planeCold {
+		p.count(true)
+		if e.state == planeOK {
+			return e.inst(), int(e.size), nil
+		}
+		return Inst{}, 0, planeErr(e.state)
+	}
+	p.count(false)
+	in, n, err := Decode(p.text[off:])
+	if !p.frozen {
+		if err == nil {
+			if e.store(in, n) {
+				e.state = planeOK
+			}
+		} else if err == ErrTruncated {
+			e.state = planeTrunc
+		} else {
+			e.state = planeBad
+		}
+	}
+	return in, n, err
+}
+
+func (p *Plane) decodeBoxed(off int) (Inst, int, error) {
+	c := p.boxed[off>>planeChunkShift]
+	if c == nil {
+		if p.frozen {
+			p.sharedMisses.Add(1)
+			return Decode(p.text[off:])
+		}
+		c = &boxedChunk{}
+		p.boxed[off>>planeChunkShift] = c
+	}
+	e := &c.ents[off&planeChunkMask]
+	if e.state != planeCold {
+		p.count(true)
+		if e.state == planeOK {
+			return e.inst, int(e.size), nil
+		}
+		return Inst{}, 0, planeErr(e.state)
+	}
+	p.count(false)
+	in, n, err := Decode(p.text[off:])
+	if !p.frozen {
+		if err == nil {
+			e.inst = in
+			e.size = uint8(n)
+			e.state = planeOK
+		} else if err == ErrTruncated {
+			e.state = planeTrunc
+		} else {
+			e.state = planeBad
+		}
+	}
+	return in, n, err
+}
+
+func (p *Plane) count(hit bool) {
+	if p.frozen {
+		if hit {
+			p.sharedHits.Add(1)
+		} else {
+			p.sharedMisses.Add(1)
+		}
+		return
+	}
+	if hit {
+		p.hits++
+	} else {
+		p.misses++
+	}
+}
+
+func planeErr(state byte) error {
+	if state == planeTrunc {
+		return ErrTruncated
+	}
+	return ErrBadInstruction
+}
+
+// Freeze makes the plane immutable: subsequent Decode calls never write
+// entries (cold offsets decode fresh each time), which makes the plane
+// safe to share across goroutines — e.g. one warm plane reused by every
+// farm worker validating the same binary.
+func (p *Plane) Freeze() {
+	if p.frozen {
+		return
+	}
+	p.sharedHits.Add(p.hits)
+	p.sharedMisses.Add(p.misses)
+	p.hits, p.misses = 0, 0
+	p.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (p *Plane) Frozen() bool { return p.frozen }
+
+// Stats returns the cumulative hit/miss counts. A hit is a Decode
+// served from a memoized entry; a miss ran the real decoder.
+func (p *Plane) Stats() (hits, misses uint64) {
+	return p.sharedHits.Load() + p.hits, p.sharedMisses.Load() + p.misses
+}

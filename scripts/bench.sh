@@ -1,0 +1,123 @@
+#!/bin/sh
+# Paired hot-path benchmarks (BENCH_perf.json): runs the optimized and
+# legacy variants of BenchmarkRewrite, BenchmarkSupersetCFG, and
+# BenchmarkEmulator as COUNT separate single-round `go test` invocations
+# (`-count=N` would run one benchmark's rounds back to back, so round i
+# of a pair would not share machine conditions; a loop of -count=1 runs
+# keeps the fast and legacy variants adjacent within every round), then
+# records per-round samples, medians, paired per-round speedups, and
+# emulated instructions/second for the emulator pair. The determinism guards
+# (TestRewriteLegacyParityAcrossSuites, TestAssembleIncrementalMatchesLegacy,
+# TestPlaneModeMatchesLegacy) prove both paths produce byte-identical
+# output, so the deltas here are pure speed. Run from the repo root:
+#
+#	scripts/bench.sh            # COUNT=5 rounds, BENCHTIME=20x
+#	COUNT=3 BENCHTIME=5x scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-20x}"
+OUT="${OUT:-BENCH_perf.json}"
+
+# Warm-up round (discarded): first iterations pay compile, page-cache,
+# and branch-predictor costs that would skew round 1 for every pair.
+go test -run '^$' -count=1 -benchtime=3x \
+	-bench 'Benchmark(Rewrite|RewriteLegacy|SupersetCFG|SupersetCFGLegacy|Emulator|EmulatorLegacy)$' . >/dev/null
+
+raw=""
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+	round=$(go test -run '^$' -count=1 -benchtime="$BENCHTIME" \
+		-bench 'Benchmark(Rewrite|RewriteLegacy|SupersetCFG|SupersetCFGLegacy|Emulator|EmulatorLegacy)$' .)
+	raw="$raw$round
+"
+	i=$((i + 1))
+done
+
+printf '%s\n' "$raw" | awk -v count="$COUNT" -v benchtime="$BENCHTIME" '
+function median(arr, n,    i, tmp, j, t) {
+	for (i = 1; i <= n; i++) tmp[i] = arr[i]
+	for (i = 1; i <= n; i++)
+		for (j = i + 1; j <= n; j++)
+			if (tmp[j] < tmp[i]) { t = tmp[i]; tmp[i] = tmp[j]; tmp[j] = t }
+	if (n % 2) return tmp[(n + 1) / 2]
+	return (tmp[n / 2] + tmp[n / 2 + 1]) / 2
+}
+function samples(name,    s, i) {
+	s = ""
+	for (i = 1; i <= n[name]; i++) s = s (i > 1 ? ", " : "") ns[name, i]
+	return s
+}
+function speedups(fast, legacy,    s, i, rounds) {
+	rounds = n[fast] < n[legacy] ? n[fast] : n[legacy]
+	s = ""
+	for (i = 1; i <= rounds; i++)
+		s = s (i > 1 ? ", " : "") sprintf("%.2f", ns[legacy, i] / ns[fast, i])
+	return s
+}
+function medspeed(fast, legacy,    i, rounds, r) {
+	rounds = n[fast] < n[legacy] ? n[fast] : n[legacy]
+	for (i = 1; i <= rounds; i++) r[i] = ns[legacy, i] / ns[fast, i]
+	return median(r, rounds)
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	n[name]++
+	ns[name, n[name]] = $3
+	for (i = 4; i < NF; i++)
+		if ($(i + 1) == "instructions/op") {
+			iops[name, n[name]] = $i
+			niops[name]++
+		}
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"optimized vs legacy hot paths: Rewrite, SupersetCFG, Emulator\",\n"
+	printf "  \"go\": \"%d x (go test -bench ... -benchtime=%s -count=1), warm-up round discarded; fast and legacy variants adjacent within each round\",\n", count, benchtime
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"samples_ns_per_op\": {\n"
+	printf "    \"rewrite\": [%s],\n", samples("Rewrite")
+	printf "    \"rewrite_legacy\": [%s],\n", samples("RewriteLegacy")
+	printf "    \"superset_cfg\": [%s],\n", samples("SupersetCFG")
+	printf "    \"superset_cfg_legacy\": [%s],\n", samples("SupersetCFGLegacy")
+	printf "    \"emulator\": [%s],\n", samples("Emulator")
+	printf "    \"emulator_legacy\": [%s]\n", samples("EmulatorLegacy")
+	printf "  },\n"
+	printf "  \"median_ns_per_op\": {\n"
+	printf "    \"rewrite\": %d, \"rewrite_legacy\": %d,\n", median2("Rewrite"), median2("RewriteLegacy")
+	printf "    \"superset_cfg\": %d, \"superset_cfg_legacy\": %d,\n", median2("SupersetCFG"), median2("SupersetCFGLegacy")
+	printf "    \"emulator\": %d, \"emulator_legacy\": %d\n", median2("Emulator"), median2("EmulatorLegacy")
+	printf "  },\n"
+	printf "  \"paired_speedup_per_round\": {\n"
+	printf "    \"rewrite\": [%s],\n", speedups("Rewrite", "RewriteLegacy")
+	printf "    \"superset_cfg\": [%s],\n", speedups("SupersetCFG", "SupersetCFGLegacy")
+	printf "    \"emulator\": [%s]\n", speedups("Emulator", "EmulatorLegacy")
+	printf "  },\n"
+	printf "  \"median_paired_speedup\": {\n"
+	printf "    \"rewrite\": %.2f,\n", medspeed("Rewrite", "RewriteLegacy")
+	printf "    \"superset_cfg\": %.2f,\n", medspeed("SupersetCFG", "SupersetCFGLegacy")
+	printf "    \"emulator\": %.2f\n", medspeed("Emulator", "EmulatorLegacy")
+	printf "  },\n"
+	ifast = iops["Emulator", 1]; ileg = iops["EmulatorLegacy", 1]
+	printf "  \"emulator_insts_per_sec\": {\n"
+	printf "    \"optimized\": %d, \"legacy\": %d,\n", ifast * 1e9 / median2("Emulator"), ileg * 1e9 / median2("EmulatorLegacy")
+	printf "    \"instructions_per_op\": %d, \"instructions_per_op_legacy\": %d\n", ifast, ileg
+	printf "  },\n"
+	printf "  \"notes\": [\n"
+	printf "    \"Both variants execute identical work: the emulator pair retires the same instructions/op and the rewrite pair produces byte-identical binaries (see the *Legacy parity tests).\",\n"
+	printf "    \"Legacy paths stay in-tree behind Options.LegacyHotPaths / cfg.Options.Legacy / emu LegacyDecode / asm.AssembleLegacy, so this comparison is re-runnable at any commit.\",\n"
+	printf "    \"superset_cfg measures a single cold build, where the plane is mostly store overhead (intra-build hits are ~zero by design: the builder owner map already avoids re-decoding). Plane hits accrue on reuse — warm rebuilds of the same text via cfg.Options.Plane and frozen planes shared across farm goroutines. The rewrite win comes from decode-time entry harvesting (replacing the legacy per-round all-block rescan), version-gated jump-table re-analysis, and incremental relaxation.\"\n"
+	printf "  ]\n"
+	printf "}\n"
+}
+function median2(name,    i, arr) {
+	for (i = 1; i <= n[name]; i++) arr[i] = ns[name, i]
+	return median(arr, n[name])
+}
+' >"$OUT"
+
+echo "bench.sh: wrote $OUT"

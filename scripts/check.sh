@@ -2,8 +2,12 @@
 # Repo hygiene gate: formatting, vet, build, the race-sensitive test
 # packages (obs has concurrent counters; core drives the traced
 # pipeline; farm is the concurrent rewrite pool + cache + HTTP layer;
-# harden's failpoints are armed via atomics; elfx parses hostile input),
-# and a fuzz smoke pass that replays the checked-in seed corpora under
+# harden's failpoints are armed via atomics; elfx parses hostile input;
+# x86 and cfg share frozen decode planes across goroutines), the
+# hot-path allocation gates (cached plane decode, emulator fetch span,
+# and arithmetic encode must stay allocation-free), a one-iteration
+# benchmark smoke to keep the paired rewrite benchmarks runnable, and a
+# fuzz smoke pass that replays the checked-in seed corpora under
 # testdata/fuzz/ without the fuzzing engine. Run from the repo root.
 # Fails fast on the first problem.
 set -eu
@@ -20,6 +24,9 @@ go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/core/... ./internal/farm/... \
     ./internal/harden/... ./internal/elfx/...
+go test -race -run 'Plane|Frozen|Shared' ./internal/x86/... ./internal/cfg/...
+go test -run 'Allocs$' -count=1 ./internal/x86/... ./internal/emu/...
+go test -run '^$' -bench 'Benchmark(Rewrite|RewriteLegacy)$' -benchtime=1x . >/dev/null
 go test -run=Fuzz ./internal/elfx/... ./internal/ehframe/... \
     ./internal/x86/... ./internal/core/...
 echo "check.sh: OK"
