@@ -5,8 +5,14 @@
 //
 // Usage:
 //
-//	suri [-o out.bin] [-ignore-ehframe] [-stats] [-sprime] [-trace] [-stats-json]
+//	suri [-o out.bin] [-ignore-ehframe] [-instrument pass,pass,...] [-stats]
+//	     [-sprime] [-trace] [-stats-json]
 //	     [-validate] [-validate-input a,b,...] input.bin
+//
+// -instrument applies standard instrumentation passes (coverage,
+// counters, calltrace, shadowstack — comma-separated) to the
+// symbolized stream before emission; an unknown pass name fails like
+// any other instrument-stage error ("suri: instrument: ...").
 //
 // -trace prints a per-stage span tree of the pipeline (the Figure 4
 // stages, with nested CFG-builder sub-spans); -stats-json prints the
@@ -65,6 +71,7 @@ func (l *inputList) Set(s string) error {
 func main() {
 	out := flag.String("o", "", "output path (default: <input>.suri)")
 	ignoreEh := flag.Bool("ignore-ehframe", false, "do not use call frame information (§4.3.3)")
+	instrument := flag.String("instrument", "", "comma-separated standard instrumentation passes (coverage,counters,calltrace,shadowstack)")
 	stats := flag.Bool("stats", false, "print pipeline statistics")
 	sprime := flag.Bool("sprime", false, "print the symbolized assembly S' to stdout")
 	trace := flag.Bool("trace", false, "print the per-stage pipeline span tree")
@@ -88,6 +95,15 @@ func main() {
 		col = obs.New()
 	}
 	opts := suri.Options{IgnoreEhFrame: *ignoreEh, Obs: col}
+	if *instrument != "" {
+		passes, perr := suri.ParsePasses(*instrument)
+		if perr != nil {
+			// A bad pass list dies exactly like an in-pipeline instrument
+			// failure, so scripts key on one stage name either way.
+			fail(&suri.StageError{Stage: "instrument", Err: perr})
+		}
+		opts.Passes = passes
+	}
 
 	var (
 		outBin []byte

@@ -4,9 +4,13 @@
 //
 //	POST /rewrite   binary in -> {"cache_hit":…,"stats":{…},"binary":"<base64>"}
 //	                query: ignore-ehframe=1, allow-noncet=1, validate=1,
-//	                       timeout=<duration>, budget-insts=<n>, budget-steps=<n>
+//	                       timeout=<duration>, budget-insts=<n>, budget-steps=<n>,
+//	                       instrument=<pass,pass,...> (standard instrumentation
+//	                       passes, e.g. coverage,shadowstack; unknown names
+//	                       answer 422 with the instrument stage; instrumented
+//	                       artifacts are cached under their own content key)
 //	GET  /healthz   liveness probe
-//	GET  /metrics   farm.* / suri.* counters as deterministic text
+//	GET  /metrics   farm.* / suri.* / instr_* counters as deterministic text
 //
 // Usage:
 //

@@ -5,6 +5,17 @@
 // Usage:
 //
 //	suridump [-dis] [-no-ehframe] prog.bin
+//	suridump -entries [-instrument pass,pass,...] [-no-ehframe] prog.bin
+//
+// -entries runs the full rewrite pipeline instead and prints the final
+// symbolized stream S' one entry per line, each prefixed with a
+// provenance mark:
+//
+//	' '  instruction copied from the original binary
+//	'~'  entry synthesized by the pipeline (trap pads, table isolation)
+//	'+'  entry inserted by an -instrument pass
+//
+// so instrumentation placement is auditable without running anything.
 package main
 
 import (
@@ -13,12 +24,16 @@ import (
 	"os"
 
 	"repro/internal/cfg"
+	"repro/internal/core"
 	"repro/internal/elfx"
+	"repro/internal/instr"
 )
 
 func main() {
 	dis := flag.Bool("dis", false, "print full disassembly")
 	noEh := flag.Bool("no-ehframe", false, "ignore call frame information")
+	entries := flag.Bool("entries", false, "rewrite and print the final S' stream with provenance marks")
+	instrument := flag.String("instrument", "", "standard instrumentation passes to apply in -entries mode (comma-separated)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -27,6 +42,12 @@ func main() {
 	}
 	bin, err := os.ReadFile(flag.Arg(0))
 	fail(err)
+
+	if *entries {
+		dumpEntries(bin, *instrument, *noEh)
+		return
+	}
+
 	f, err := elfx.Read(bin)
 	fail(err)
 
@@ -69,6 +90,41 @@ func main() {
 			for i, in := range b.Insts {
 				fmt.Printf("  %#8x: %s\n", addrs[i], in)
 			}
+		}
+	}
+}
+
+// dumpEntries rewrites the binary and prints S' with provenance marks.
+func dumpEntries(bin []byte, passList string, noEh bool) {
+	// AllowNonCET keeps the dump usable on binaries outside the rewrite
+	// scope — this is an inspection tool, not a soundness claim.
+	opts := core.Options{IgnoreEhFrame: noEh, AllowNonCET: true}
+	if passList != "" {
+		passes, err := instr.ParseList(passList)
+		fail(err)
+		opts.Passes = passes
+	}
+	res, err := core.Rewrite(bin, opts)
+	fail(err)
+	for i, e := range res.SPrime {
+		mark := byte(' ')
+		switch {
+		case res.InstrMarks != nil && res.InstrMarks[i]:
+			mark = '+'
+		case e.Synth:
+			mark = '~'
+		}
+		for _, l := range e.Labels {
+			fmt.Printf("%c %s:\n", mark, l)
+		}
+		if e.Target != "" {
+			if e.Addend != 0 {
+				fmt.Printf("%c   %s\t# -> %s%+d\n", mark, e.Inst, e.Target, e.Addend)
+			} else {
+				fmt.Printf("%c   %s\t# -> %s\n", mark, e.Inst, e.Target)
+			}
+		} else {
+			fmt.Printf("%c   %s\n", mark, e.Inst)
 		}
 	}
 }

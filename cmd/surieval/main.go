@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	surieval [-scale 0.1] [-table 2|3|4|5|all] [-full] [-timing] [-j N]
+//	surieval [-scale 0.1] [-table 2|3|4|5|instr|all] [-full] [-timing] [-j N]
 //
 // -scale sets the corpus size as a fraction of the paper's 197-program
 // benchmark; -full is shorthand for -scale 1 (the paper's 9,456-binary
-// corpus across 48 configurations; expect a long run). -timing prints a
-// per-table timing breakdown (span tree + per-tool metrics) at the end.
+// corpus across 48 configurations; expect a long run). -table instr
+// measures the standard instrumentation passes (coverage, counters,
+// calltrace, shadowstack, and their composition) against the
+// uninstrumented rewrite. -timing prints a per-table timing breakdown
+// (span tree + per-tool metrics) at the end.
 // -j fans the corpus loops of Tables 2/3/4 and the §4.2.4/§4.3.1 census
 // out over a rewrite farm with N workers; results are folded in job
 // order, so the table text is byte-identical to -j 1. Ctrl-C cancels
@@ -32,7 +35,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 0.06, "corpus scale (1.0 = paper-sized: 197 programs x 48 configs)")
-	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|431|433|424|all")
+	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|431|433|424|instr|all")
 	full := flag.Bool("full", false, "run the paper-sized corpus (overrides -scale)")
 	timing := flag.Bool("timing", false, "print a per-table timing breakdown at the end")
 	jobs := flag.Int("j", 1, "parallel rewrite-farm workers for the corpus loops (1 = sequential)")
@@ -151,6 +154,23 @@ func main() {
 		fmt.Printf("  extra instructions w/o CFI:  %6.2f%%   (paper: 20.2%%; see EXPERIMENTS.md)\n", imp.ExtraInstrPct)
 		fmt.Printf("  overhead with / without CFI: %6.2f%% / %.2f%% (paper: 0.23%% / 0.65%%)\n\n",
 			imp.OverheadWithPct, imp.OverheadNoCFIPct)
+	}
+
+	if run("instr") {
+		// Six rewrites + seven emulator runs per binary: subsample like
+		// the §4.3.3 ablation does.
+		full := corpus("ubuntu20.04")
+		var cases []eval.Case
+		for i, c := range full {
+			if i%4 == 0 {
+				cases = append(cases, c)
+			}
+		}
+		section("instr", func() {
+			rows, err := eval.InstrOverheadTable(cases)
+			fail(err)
+			fmt.Println(eval.FormatInstrOverhead(rows))
+		})
 	}
 
 	if run("5") {

@@ -3,12 +3,21 @@
 //
 // Usage:
 //
-//	surirun [-in file] [-bias 0x10000000] [-steps] [-no-cet] [-profile] [-profile-json] prog.bin
+//	surirun [-in file] [-bias 0x10000000] [-steps] [-no-cet] [-profile] [-profile-json]
+//	        [-cov] [-cov-out file] prog.bin
 //
 // -profile prints an execution profile to stderr (opcode histogram,
 // CET event counters, block heat, syscall summary); -profile-json
 // prints the same profile as JSON (also to stderr, keeping stdout for
 // the emulated program's output).
+//
+// -cov captures the binary's instrumentation payload (the .suri.instr
+// section a `suri -instrument ...` rewrite appends — coverage bitmaps,
+// block counters, call logs) after the run and prints a summary to
+// stderr; -cov-out additionally dumps the raw payload bytes to a file
+// (implies -cov). Both fail if the binary carries no .suri.instr
+// section. The payload reflects the program state at exit, whether the
+// run succeeded or died.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/elfx"
 	"repro/internal/emu"
 )
 
@@ -26,6 +36,8 @@ func main() {
 	noCET := flag.Bool("no-cet", false, "disable CET enforcement")
 	profile := flag.Bool("profile", false, "print execution profile to stderr")
 	profileJSON := flag.Bool("profile-json", false, "print execution profile as JSON to stderr")
+	cov := flag.Bool("cov", false, "capture the .suri.instr payload after the run; summary to stderr")
+	covOut := flag.String("cov-out", "", "dump the captured .suri.instr payload bytes to this file (implies -cov)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -41,13 +53,24 @@ func main() {
 		fail(err)
 	}
 
-	res, err := emu.Run(bin, emu.Options{
+	opts := emu.Options{
 		Bias: *bias, Input: input, Shadow: true, DisableCET: *noCET,
 		Profile: *profile || *profileJSON,
-	})
+	}
+	if *cov || *covOut != "" {
+		opts.Capture = instrRange(bin)
+	}
+
+	res, err := emu.Run(bin, opts)
 	if res != nil {
 		os.Stdout.Write(res.Stdout)
 		os.Stderr.Write(res.Stderr)
+	}
+	if *cov || *covOut != "" {
+		dumpPayload(res)
+		if *covOut != "" && res != nil {
+			fail(os.WriteFile(*covOut, res.Captured, 0o644))
+		}
 	}
 	fail(err)
 	if *steps {
@@ -62,6 +85,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, string(js))
 	}
 	os.Exit(res.Exit)
+}
+
+// instrRange locates the .suri.instr payload section; its link-time
+// address range is what the emulator captures at exit.
+func instrRange(bin []byte) emu.Range {
+	f, err := elfx.Read(bin)
+	fail(err)
+	for _, s := range f.Sections {
+		if s.Name == ".suri.instr" {
+			return emu.Range{Start: s.Addr, End: s.Addr + s.Size}
+		}
+	}
+	fail(fmt.Errorf("%s has no .suri.instr section (rewrite it with suri -instrument first)", flag.Arg(0)))
+	panic("unreachable")
+}
+
+// dumpPayload summarizes the captured payload on stderr.
+func dumpPayload(res *emu.Result) {
+	if res == nil {
+		return
+	}
+	nz := 0
+	for _, b := range res.Captured {
+		if b != 0 {
+			nz++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[instr payload: %d bytes captured, %d non-zero]\n", len(res.Captured), nz)
 }
 
 func fail(err error) {

@@ -15,10 +15,12 @@ import (
 	"repro/internal/elfx"
 	"repro/internal/emit"
 	"repro/internal/harden"
+	"repro/internal/instr"
 	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/serialize"
 	"repro/internal/symbolize"
+	"repro/internal/x86"
 )
 
 // ErrNotCETPIE is returned for binaries outside SURI's problem scope
@@ -62,8 +64,19 @@ type Options struct {
 	IgnoreEhFrame bool
 
 	// Instrument, if set, edits S' (§3.1 step 4: "users can modify S'
-	// at this stage").
+	// at this stage"). It is the raw hook; Passes is the structured
+	// form and runs after it.
 	Instrument Instrumenter
+
+	// Passes runs the internal/instr pass pipeline over S' after the
+	// raw Instrument hook. Pass payload data becomes the writable
+	// .suri.instr section of the rewritten binary.
+	Passes []instr.Pass
+
+	// Plane, if set, supplies the decode plane for the CFG builder —
+	// typically a frozen plane shared across concurrent rewrites of
+	// the same binary (see x86.Plane.Freeze).
+	Plane *x86.Plane
 
 	// AllowNonCET skips the problem-scope check (used by experiments).
 	AllowNonCET bool
@@ -118,6 +131,11 @@ type Stats struct {
 	RelaxRounds int
 	PlaneHits   uint64
 	PlaneMisses uint64
+
+	// Instrumentation passes (internal/instr).
+	InstrPasses       int
+	InstrInserted     int
+	InstrPayloadBytes int
 }
 
 // Result is a completed rewrite.
@@ -128,6 +146,10 @@ type Result struct {
 	// SPrime is the final instrumented assembly stream (for inspection;
 	// render with Render).
 	SPrime []serialize.Entry
+
+	// InstrMarks, parallel to SPrime when Options.Passes ran, flags
+	// the entries the instrumentation passes inserted; nil otherwise.
+	InstrMarks []bool
 
 	// Graph is the superset CFG.
 	Graph *cfg.Graph
@@ -177,6 +199,9 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	copts.Cancel = opts.Cancel
 	copts.Trace = tr
 	copts.Legacy = opts.LegacyHotPaths
+	if opts.Plane != nil {
+		copts.Plane = opts.Plane
+	}
 
 	// 1. Superset CFG Builder.
 	span := tr.Start("cfg")
@@ -239,7 +264,9 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	span.SetInt("multi_base", int64(sym.MultiBase))
 	span.End()
 
-	// User instrumentation of S'.
+	// User instrumentation of S': first the raw hook, then the pass
+	// pipeline. Either failure surfaces as a StageError naming the
+	// instrument stage (the CLI exit and surid's 422 both key on it).
 	span = tr.Start("instrument")
 	if err := harden.Inject(harden.FPInstrument); err != nil {
 		span.End()
@@ -251,6 +278,25 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 			span.End()
 			return nil, stageErr("instrument", err)
 		}
+	}
+	var instrMarks []bool
+	var instrItems []asm.Item
+	instrStats := [3]int{}
+	if len(opts.Passes) > 0 {
+		ires, ierr := instr.Apply(entries, opts.Passes, instr.Options{
+			Budget: opts.Budget, Cancel: opts.Cancel, Obs: opts.Obs,
+		})
+		if ierr != nil {
+			span.End()
+			return nil, stageErr("instrument", ierr)
+		}
+		entries = ires.Entries
+		instrMarks = ires.Inserted
+		instrItems = ires.Payload
+		instrStats = [3]int{ires.Passes, ires.Added, ires.PayloadBytes}
+		span.SetInt("passes", int64(ires.Passes))
+		span.SetInt("inserted", int64(ires.Added))
+		span.SetInt("payload_bytes", int64(ires.PayloadBytes))
 	}
 	span.End()
 
@@ -270,6 +316,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 		Graph:      g,
 		Entries:    entries,
 		TableItems: sym.TableItems,
+		InstrItems: instrItems,
 		Sets:       sets,
 		Obs:        opts.Obs,
 		Legacy:     opts.LegacyHotPaths,
@@ -299,15 +346,19 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 		RelaxRounds:        layout.RelaxRounds,
 		PlaneHits:          gst.PlaneHits,
 		PlaneMisses:        gst.PlaneMisses,
+		InstrPasses:        instrStats[0],
+		InstrInserted:      instrStats[1],
+		InstrPayloadBytes:  instrStats[2],
 	}
 	feedMetrics(opts.Obs.Metrics(), stats)
 	return &Result{
-		Binary: out,
-		SPrime: entries,
-		Graph:  g,
-		Layout: layout,
-		Stats:  stats,
-		Trace:  root,
+		Binary:     out,
+		SPrime:     entries,
+		InstrMarks: instrMarks,
+		Graph:      g,
+		Layout:     layout,
+		Stats:      stats,
+		Trace:      root,
 	}, nil
 }
 
@@ -330,6 +381,9 @@ func feedMetrics(reg *obs.Registry, s Stats) {
 	reg.Counter("suri.relax_rounds").Add(int64(s.RelaxRounds))
 	reg.Counter("suri.plane_hits").Add(int64(s.PlaneHits))
 	reg.Counter("suri.plane_misses").Add(int64(s.PlaneMisses))
+	reg.Counter("instr_passes_run").Add(int64(s.InstrPasses))
+	reg.Counter("instr_entries_inserted").Add(int64(s.InstrInserted))
+	reg.Counter("instr_payload_bytes").Add(int64(s.InstrPayloadBytes))
 }
 
 // Render prints S' in GNU-as-like text for inspection. The .set pins

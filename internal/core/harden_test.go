@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/harden"
+	"repro/internal/instr"
 	"repro/internal/prog"
 	"repro/internal/serialize"
 	"repro/internal/x86"
@@ -47,7 +48,14 @@ func TestFaultInjectionMatrix(t *testing.T) {
 		t.Run(pt, func(t *testing.T) {
 			disarm := harden.NewPlan(harden.Fault{Point: pt}).Arm()
 			defer disarm()
-			_, err := Rewrite(bin, Options{})
+			opts := Options{}
+			if pt == harden.FPInstrPass {
+				// The per-pass failpoint only fires when the instr pass
+				// pipeline actually runs; its fault must still surface as
+				// a StageError naming the instrument stage.
+				opts.Passes = []instr.Pass{instr.Coverage{}}
+			}
+			_, err := Rewrite(bin, opts)
 			if err == nil {
 				t.Fatalf("failpoint %s: rewrite succeeded", pt)
 			}

@@ -23,6 +23,7 @@ type Input struct {
 	Graph      *cfg.Graph
 	Entries    []serialize.Entry // S' (repaired, symbolized, instrumented)
 	TableItems []asm.Item        // isolated jump tables
+	InstrItems []asm.Item        // instrumentation payload (.suri.instr)
 	Sets       map[string]uint64 // pinned original-layout labels
 
 	// TablePatches rewrite 4-byte jump-table entries in place inside the
@@ -52,6 +53,8 @@ type Layout struct {
 	NewTextSize   uint64
 	NewRodataAddr uint64
 	NewRodataSize uint64
+	InstrAddr     uint64 // writable instrumentation payload (.suri.instr)
+	InstrSize     uint64
 	NewEntry      uint64
 	AdjustedRelas int
 
@@ -92,6 +95,15 @@ func Emit(in Input) ([]byte, *Layout, error) {
 	ro.Items = in.TableItems
 	if len(ro.Items) == 0 {
 		ro.D8(0) // keep the section non-empty for a stable layout
+	}
+
+	// Instrumentation payload: a writable zero-initialized region the
+	// inserted code addresses RIP-relatively. Appended last so layouts
+	// without instrumentation are byte-identical to before.
+	if len(in.InstrItems) > 0 {
+		id := prog.Section(".suri.instr", asm.Alloc|asm.Write)
+		id.Align = elfx.PageSize
+		id.Items = in.InstrItems
 	}
 
 	if err := harden.Inject(harden.FPEmitAssemble); err != nil {
@@ -183,11 +195,16 @@ func Emit(in Input) ([]byte, *Layout, error) {
 			Align: s.Align,
 			Data:  s.Data,
 		}
-		if s.Flags&asm.Exec != 0 {
+		switch {
+		case s.Flags&asm.Exec != 0:
 			sec.Flags |= elfx.SHFExecinstr
 			layout.NewTextAddr = s.Addr
 			layout.NewTextSize = s.Size
-		} else {
+		case s.Flags&asm.Write != 0:
+			sec.Flags |= elfx.SHFWrite
+			layout.InstrAddr = s.Addr
+			layout.InstrSize = s.Size
+		default:
 			layout.NewRodataAddr = s.Addr
 			layout.NewRodataSize = s.Size
 		}
@@ -214,6 +231,9 @@ func Emit(in Input) ([]byte, *Layout, error) {
 		flags := uint32(elfx.PFR)
 		if s.Flags&asm.Exec != 0 {
 			flags |= elfx.PFX
+		}
+		if s.Flags&asm.Write != 0 {
+			flags |= elfx.PFW
 		}
 		out.Segments = append(out.Segments, &elfx.Segment{
 			Type: elfx.PTLoad, Flags: flags,

@@ -37,6 +37,13 @@ type Options struct {
 	// LegacyDecode selects the pre-plane fetch path (per-address map
 	// cache, byte-at-a-time fetch) — the paired-benchmark baseline.
 	LegacyDecode bool
+
+	// Capture, if non-empty (Start < End), snapshots the given
+	// link-time address range — typically the .suri.instr payload
+	// section — from guest memory after the run finishes. The load
+	// bias is applied automatically; the bytes land in
+	// Result.Captured (best-effort: nil if the range is unmapped).
+	Capture Range
 }
 
 // Default placement constants.
@@ -213,6 +220,9 @@ type Result struct {
 
 	// Prof is the execution profile when Options.Profile was set.
 	Prof *Profile
+
+	// Captured is the Options.Capture range's post-run contents.
+	Captured []byte
 }
 
 // Run loads and executes a binary to completion.
@@ -222,8 +232,27 @@ func Run(bin []byte, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if err := m.Run(); err != nil {
-		return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: -1, Steps: m.Steps, Prof: m.Prof}, err
+		return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: -1, Steps: m.Steps,
+			Prof: m.Prof, Captured: capture(m, opts)}, err
 	}
 	_, code := m.Exited()
-	return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: code, Steps: m.Steps, Prof: m.Prof}, nil
+	return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: code, Steps: m.Steps,
+		Prof: m.Prof, Captured: capture(m, opts)}, nil
+}
+
+// capture snapshots the Options.Capture range (link-time addresses)
+// from guest memory, applying the load bias.
+func capture(m *Machine, opts Options) []byte {
+	if opts.Capture.Start >= opts.Capture.End {
+		return nil
+	}
+	bias := opts.Bias
+	if bias == 0 {
+		bias = DefaultBias
+	}
+	buf := make([]byte, opts.Capture.End-opts.Capture.Start)
+	if err := m.Mem.Read(bias+opts.Capture.Start, buf); err != nil {
+		return nil
+	}
+	return buf
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/elfx"
 	"repro/internal/emu"
 	"repro/internal/farm"
+	"repro/internal/instr"
 	"repro/internal/obs"
 	"repro/internal/sanitizer"
 )
@@ -313,6 +314,97 @@ func MeasureInstrumentationFarm(ctx context.Context, cases []Case, pool *farm.Po
 		st.ExtraEntriesPct = 100 * float64(entries-trueEntries) / float64(trueEntries)
 	}
 	return st, nil
+}
+
+// InstrOverheadRow is one line of the instrumentation-overhead table:
+// one standard pass set measured against the uninstrumented rewrite of
+// the same binaries.
+type InstrOverheadRow struct {
+	Passes   string
+	StepsPct float64 // mean retired-instruction overhead vs the uninstrumented rewrite
+	AddedPct float64 // pass-inserted entries as a share of the uninstrumented S'
+	Payload  int     // mean payload-region bytes (.suri.instr)
+	Binaries int
+}
+
+// InstrOverheadTable measures every standard instrumentation pass, and
+// their full composition, over the cases that ship input vectors. The
+// baseline for each binary is its UNINSTRUMENTED rewrite, so the
+// pipeline's own overhead (Table 4) divides out and the ratio isolates
+// the inserted code. Behaviour is checked, not assumed: an instrumented
+// binary whose stdout or exit status diverges from the original is an
+// error, never a silently dropped sample.
+func InstrOverheadTable(cases []Case) ([]InstrOverheadRow, error) {
+	sets := append(instr.Names(), strings.Join(instr.Names(), ","))
+	type acc struct {
+		ratio   float64
+		added   float64
+		payload int
+		n       int
+	}
+	accs := make([]acc, len(sets))
+	for _, c := range cases {
+		if len(c.Prog.Inputs) == 0 {
+			continue
+		}
+		in := inputBytes(c.Prog.Inputs[0])
+		orig, err := emu.Run(c.Bin, emu.Options{Input: in})
+		if err != nil {
+			continue // the original itself doesn't run under this input
+		}
+		base, err := core.Rewrite(c.Bin, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		bres, err := emu.Run(base.Binary, emu.Options{Input: in, MaxSteps: orig.Steps*10 + 1_000_000})
+		if err != nil || bres.Steps == 0 {
+			continue
+		}
+		for i, set := range sets {
+			passes, err := instr.ParseList(set)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Rewrite(c.Bin, core.Options{Passes: passes})
+			if err != nil {
+				return nil, fmt.Errorf("instrument %s: %w", set, err)
+			}
+			ires, err := emu.Run(res.Binary, emu.Options{Input: in, MaxSteps: orig.Steps*100 + 10_000_000})
+			if err != nil {
+				return nil, fmt.Errorf("instrument %s: run: %w", set, err)
+			}
+			if string(ires.Stdout) != string(orig.Stdout) || ires.Exit != orig.Exit {
+				return nil, fmt.Errorf("instrument %s: behaviour diverged from the original", set)
+			}
+			accs[i].ratio += float64(ires.Steps)/float64(bres.Steps) - 1
+			accs[i].added += float64(res.Stats.InstrInserted) / float64(base.Stats.Instructions)
+			accs[i].payload += res.Stats.InstrPayloadBytes
+			accs[i].n++
+		}
+	}
+	rows := make([]InstrOverheadRow, len(sets))
+	for i, set := range sets {
+		rows[i] = InstrOverheadRow{Passes: set}
+		if a := accs[i]; a.n > 0 {
+			rows[i].StepsPct = 100 * a.ratio / float64(a.n)
+			rows[i].AddedPct = 100 * a.added / float64(a.n)
+			rows[i].Payload = a.payload / a.n
+			rows[i].Binaries = a.n
+		}
+	}
+	return rows, nil
+}
+
+// FormatInstrOverhead renders the instrumentation-overhead table.
+func FormatInstrOverhead(rows []InstrOverheadRow) string {
+	var b strings.Builder
+	b.WriteString("Instrumentation overhead: standard passes vs the uninstrumented rewrite\n")
+	fmt.Fprintf(&b, "%-42s %8s %8s %10s %6s\n", "Passes", "Steps%", "Added%", "Payload", "#Bins")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-42s %7.2f%% %7.2f%% %9dB %6d\n",
+			r.Passes, r.StepsPct, r.AddedPct, r.Payload, r.Binaries)
+	}
+	return b.String()
 }
 
 // CFIImpact reproduces §4.3.3: superset CFG construction time and size

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/instr"
 )
 
 // Key is the content address of one rewrite: SHA-256 over the input
@@ -25,15 +26,24 @@ type Key [sha256.Size]byte
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
 // Fingerprint computes the content address of a rewrite request. The
-// second result is false when the request is uncacheable: an
+// second result is false when the request is uncacheable: a raw
 // Instrument hook is an arbitrary function whose behaviour cannot be
-// hashed, so instrumented rewrites always run.
+// hashed, so such rewrites always run. Instrumentation passes, by
+// contrast, are cacheable when every pass declares a stable identity
+// (instr.Fingerprinter) — instrumented artifacts then get their own
+// content address.
 func Fingerprint(bin []byte, opts core.Options) (Key, bool) {
 	if opts.Instrument != nil {
 		return Key{}, false
 	}
+	passFP, ok := instr.FingerprintList(opts.Passes)
+	if !ok {
+		return Key{}, false
+	}
 	h := sha256.New()
 	h.Write(bin)
+	h.Write([]byte(passFP))
+	h.Write([]byte{0}) // terminate the variable-length pass identity
 	var flags [2]byte
 	if opts.IgnoreEhFrame {
 		flags[0] = 1

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/instr"
 	"repro/internal/serialize"
 )
 
@@ -49,7 +50,36 @@ func TestFingerprint(t *testing.T) {
 	}); ok {
 		t.Fatal("instrumented rewrite must be uncacheable: the hook's behaviour cannot be hashed")
 	}
+
+	// Standard passes declare stable identities, so pass-instrumented
+	// artifacts are cacheable — under their own content address.
+	cov, ok := farm.Fingerprint([]byte("bin"), core.Options{Passes: []instr.Pass{instr.Coverage{}}})
+	if !ok {
+		t.Fatal("fingerprinted pass must be cacheable")
+	}
+	if cov == base {
+		t.Fatal("pass list not fingerprinted: instrumented and plain artifacts share a key")
+	}
+	if k, _ := farm.Fingerprint([]byte("bin"), core.Options{Passes: []instr.Pass{instr.Counters{}}}); k == cov {
+		t.Fatal("different passes share a key")
+	}
+	if k, _ := farm.Fingerprint([]byte("bin"), core.Options{Passes: []instr.Pass{instr.Coverage{Blocks: true}}}); k == cov {
+		t.Fatal("pass variants share a key")
+	}
+	if _, ok := farm.Fingerprint([]byte("bin"), core.Options{Passes: []instr.Pass{anonPass{}}}); ok {
+		t.Fatal("a pass without a Fingerprint must make the rewrite uncacheable")
+	}
 }
+
+// anonPass implements instr.Pass but not instr.Fingerprinter.
+type anonPass struct{}
+
+func (anonPass) Name() string               { return "anon" }
+func (anonPass) Setup(*instr.Context) error { return nil }
+func (anonPass) Visit(*instr.Context, instr.Site) ([]serialize.Entry, []serialize.Entry) {
+	return nil, nil
+}
+func (anonPass) Epilogue(*instr.Context) []serialize.Entry { return nil }
 
 // TestCacheLRU: memory keeps the most recently used entries; eviction
 // without a persistence dir is a true miss.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harden"
+	"repro/internal/instr"
 )
 
 // ServerOptions configure the HTTP front-end (cmd/surid).
@@ -68,7 +69,9 @@ type errorResponse struct {
 //	POST /rewrite   binary in -> RewriteResponse out
 //	                query: ignore-ehframe=1, allow-noncet=1, validate=1,
 //	                       timeout=<duration>, budget-insts=<n>,
-//	                       budget-steps=<n>
+//	                       budget-steps=<n>,
+//	                       instrument=<pass,pass,...> (standard instr
+//	                       passes, e.g. coverage,shadowstack)
 //	GET  /healthz   liveness probe
 //	GET  /metrics   the obs registry as deterministic text
 //
@@ -122,6 +125,18 @@ func NewHandler(p *Pool, opts ServerOptions) http.Handler {
 			IgnoreEhFrame: q.Get("ignore-ehframe") == "1",
 			AllowNonCET:   q.Get("allow-noncet") == "1",
 			Budget:        opts.Budget,
+		}
+		if v := q.Get("instrument"); v != "" {
+			passes, err := instr.ParseList(v)
+			if err != nil {
+				httpErrors.Inc()
+				// An unknown pass name is an instrument-stage failure from
+				// the client's perspective: 422 with the stage attached.
+				writeError(w, http.StatusUnprocessableEntity,
+					&core.StageError{Stage: "instrument", Err: err})
+				return
+			}
+			copts.Passes = passes
 		}
 		if v := q.Get("budget-insts"); v != "" {
 			n, err := strconv.ParseInt(v, 10, 64)

@@ -301,6 +301,81 @@ func TestServerValidatedRewrite(t *testing.T) {
 	}
 }
 
+// TestServerInstrumentedRewrite: ?instrument= applies standard passes;
+// the instrumented artifact caches under its own content address (a
+// plain rewrite of the same binary is neither hit nor poisoned), and an
+// unknown pass name is rejected up front as an instrument-stage 422.
+func TestServerInstrumentedRewrite(t *testing.T) {
+	cache, err := farm.NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := newTestServer(t, farm.Config{Workers: 2, Cache: cache}, farm.ServerOptions{})
+	bin := testBinary(t)
+
+	resp, plain := postRewrite(t, srv.URL, bin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain POST: status %d", resp.StatusCode)
+	}
+
+	post := func() (*http.Response, farm.RewriteResponse) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/rewrite?instrument=coverage,shadowstack",
+			"application/octet-stream", bytes.NewReader(bin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out farm.RewriteResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, out
+	}
+	resp, first := post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("instrumented POST: status %d", resp.StatusCode)
+	}
+	if first.CacheHit {
+		t.Fatal("instrumented rewrite hit the plain artifact's cache entry")
+	}
+	if first.Stats.InstrPasses != 2 || first.Stats.InstrInserted == 0 || first.Stats.InstrPayloadBytes == 0 {
+		t.Fatalf("instr stats missing: %+v", first.Stats)
+	}
+	if bytes.Equal(first.Binary, plain.Binary) {
+		t.Fatal("instrumented binary is byte-identical to the plain rewrite")
+	}
+	resp, second := post()
+	if resp.StatusCode != http.StatusOK || !second.CacheHit {
+		t.Fatalf("identical instrumented rewrite not served from cache (status %d, hit %v)",
+			resp.StatusCode, second.CacheHit)
+	}
+	if !bytes.Equal(first.Binary, second.Binary) {
+		t.Fatal("cached instrumented artifact not byte-identical")
+	}
+
+	resp, err = http.Post(srv.URL+"/rewrite?instrument=bogus", "application/octet-stream",
+		bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown pass: status %d, want 422", resp.StatusCode)
+	}
+	var e struct {
+		Stage string `json:"stage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stage != "instrument" {
+		t.Fatalf("unknown pass stage = %q, want \"instrument\"", e.Stage)
+	}
+}
+
 // TestServerMaxInflight: with the single worker wedged and one request
 // holding the only inflight slot, the next request is rejected with
 // 503 instead of queueing.

@@ -42,6 +42,7 @@ const (
 	FPAudit          = "repair.audit"
 	FPSymbolize      = "symbolize.run"
 	FPInstrument     = "core.instrument"
+	FPInstrPass      = "instr.pass"
 	FPEmitAssemble   = "emit.assemble"
 	FPEmitWrite      = "emit.write"
 )
@@ -63,6 +64,7 @@ var Failpoints = map[string]string{
 	FPAudit:          "audit",
 	FPSymbolize:      "symbolize",
 	FPInstrument:     "instrument",
+	FPInstrPass:      "instrument",
 	FPEmitAssemble:   "emit",
 	FPEmitWrite:      "emit",
 }

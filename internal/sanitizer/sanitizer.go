@@ -10,12 +10,20 @@
 // bounds or global variables (§4.4: "our sanitizer does not sanitize
 // global variables"), so intra-frame overflows and global overflows are
 // inherent false negatives — exactly the paper's Table 5 structure.
+//
+// Since the instr framework landed the sanitizer is just another
+// instr.Pass: the Prologue/Epilogue/MemAccess sites, the label movement
+// onto inserted code, and the synthesized-entry bookkeeping all come
+// from the framework; this package only supplies the shadow-poisoning
+// sequences. It needs no payload region — the shadow map lives at the
+// fixed ShadowBase the emulator maps read-write on demand.
 package sanitizer
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/instr"
 	"repro/internal/serialize"
 	"repro/internal/x86"
 )
@@ -37,135 +45,90 @@ const (
 	BASan
 )
 
+// Pass is the sanitizer as an instrumentation pass.
+type Pass struct {
+	Tool Tool
+}
+
+// NewPass returns the sanitizer flavour as an instr.Pass.
+func NewPass(tool Tool) instr.Pass { return Pass{Tool: tool} }
+
+// Name implements instr.Pass.
+func (p Pass) Name() string {
+	if p.Tool == BASan {
+		return "basan"
+	}
+	return "sanitizer"
+}
+
+// Fingerprint implements instr.Fingerprinter.
+func (p Pass) Fingerprint() string { return p.Name() + "/v1" }
+
+// Setup implements instr.Pass. The shadow map is the fixed auto-RW
+// region at ShadowBase, so no payload is claimed.
+func (Pass) Setup(*instr.Context) error { return nil }
+
+// Visit implements instr.Pass.
+func (p Pass) Visit(ctx *instr.Context, s instr.Site) (before, after []serialize.Entry) {
+	// Frame-boundary poisoning after each prologue:
+	//   endbr64; push rbp; mov rbp, rsp; sub rsp, N
+	if s.Points&instr.Prologue != 0 {
+		after = poisonFrame(0xFF)
+		// Both tools also guard the 16 bytes below the stack pointer
+		// against underflows. Ours unpoisons it at the epilogue; BASan
+		// never does — its documented stack-corruption bug, which leaves
+		// stale poison where later frames live (the source of Table 5's
+		// false positives and extra FNs).
+		after = append(after, belowRSP(0xFF)...)
+		return nil, after
+	}
+
+	// Frame-boundary unpoisoning before each epilogue:
+	//   mov rsp, rbp; pop rbp; ret
+	if s.Points&instr.Epilogue != 0 {
+		before = poisonFrame(0x00)
+		if p.Tool == Ours {
+			before = append(before, belowRSP(0x00)...)
+		}
+		return before, nil
+	}
+
+	// Shadow checks before indexed memory accesses.
+	if s.Points&instr.MemAccess != 0 {
+		if m, ok := indexedAccess(*s.Entry, p.Tool); ok {
+			return shadowCheck(ctx, m), nil
+		}
+	}
+	return nil, nil
+}
+
+// Epilogue implements instr.Pass: the appended "=SAN=" reporter.
+func (Pass) Epilogue(*instr.Context) []serialize.Entry { return reportRoutine() }
+
 // Instrument returns a SURI instrumenter implementing the sanitizer.
 func Instrument(tool Tool) core.Instrumenter {
 	return func(entries []serialize.Entry) ([]serialize.Entry, error) {
-		return instrument(entries, tool)
+		res, err := instr.Apply(entries, []instr.Pass{NewPass(tool)}, instr.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Entries, nil
 	}
 }
 
 // Rewrite applies the sanitizer to a binary via the SURI pipeline.
 func Rewrite(bin []byte, tool Tool) ([]byte, error) {
-	res, err := core.Rewrite(bin, core.Options{Instrument: Instrument(tool)})
+	res, err := core.Rewrite(bin, core.Options{Passes: []instr.Pass{NewPass(tool)}})
 	if err != nil {
 		return nil, fmt.Errorf("sanitizer: %w", err)
 	}
 	return res.Binary, nil
 }
 
-var labelSeq int
-
-func sanLabel(p string) string {
-	labelSeq++
-	return fmt.Sprintf(".Lsan_%s%d", p, labelSeq)
-}
-
-func instrument(entries []serialize.Entry, tool Tool) ([]serialize.Entry, error) {
-	var out []serialize.Entry
-	for i := 0; i < len(entries); i++ {
-		e := entries[i]
-
-		// Frame-boundary poisoning after each prologue:
-		//   endbr64; push rbp; mov rbp, rsp; sub rsp, N
-		if isProloguePoint(entries, i) {
-			out = append(out, e)
-			out = append(out, poisonFrame(0xFF)...)
-			// Both tools also guard the 16 bytes below the stack pointer
-			// against underflows. Ours unpoisons it at the epilogue;
-			// BASan never does — its documented stack-corruption bug,
-			// which leaves stale poison where later frames live (the
-			// source of Table 5's false positives and extra FNs).
-			out = append(out, belowRSP(0xFF)...)
-			continue
-		}
-
-		// Frame-boundary unpoisoning before each epilogue:
-		//   mov rsp, rbp; pop rbp; ret
-		if isEpiloguePoint(entries, i) {
-			fix := poisonFrame(0x00)
-			if tool == Ours {
-				fix = append(fix, belowRSP(0x00)...)
-			}
-			if len(e.Labels) > 0 {
-				fix[0].Labels = append(e.Labels, fix[0].Labels...)
-				e.Labels = nil
-			}
-			out = append(out, fix...)
-			out = append(out, e)
-			continue
-		}
-
-		// Shadow checks before indexed memory accesses.
-		if m, ok := indexedAccess(e, tool); ok {
-			chk := shadowCheck(m)
-			if len(e.Labels) > 0 {
-				chk[0].Labels = append(e.Labels, chk[0].Labels...)
-				e.Labels = nil
-			}
-			out = append(out, chk...)
-		}
-		out = append(out, e)
-	}
-	return append(out, reportRoutine()...), nil
-}
-
-// isProloguePoint reports whether entries[i] is the "sub rsp, N" (or the
-// "mov rbp, rsp" of a frameless function) completing a prologue.
-func isProloguePoint(entries []serialize.Entry, i int) bool {
-	e := entries[i]
-	if e.Synth || e.Inst.Op != x86.SUB {
-		return false
-	}
-	d, ok := e.Inst.Dst.(x86.Reg)
-	if !ok || d != x86.RSP {
-		return false
-	}
-	if _, isImm := e.Inst.Src.(x86.Imm); !isImm {
-		return false
-	}
-	// Preceding instruction should be "mov rbp, rsp".
-	for j := i - 1; j >= 0 && j >= i-2; j-- {
-		p := entries[j]
-		if p.Synth {
-			continue
-		}
-		if p.Inst.Op == x86.MOV {
-			if pd, ok := p.Inst.Dst.(x86.Reg); ok && pd == x86.RBP {
-				if ps, ok := p.Inst.Src.(x86.Reg); ok && ps == x86.RSP {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	return false
-}
-
-// isEpiloguePoint reports whether entries[i] starts "mov rsp, rbp; pop
-// rbp; ret".
-func isEpiloguePoint(entries []serialize.Entry, i int) bool {
-	e := entries[i]
-	if e.Synth || e.Inst.Op != x86.MOV {
-		return false
-	}
-	d, dok := e.Inst.Dst.(x86.Reg)
-	s, sok := e.Inst.Src.(x86.Reg)
-	if !dok || !sok || d != x86.RSP || s != x86.RBP {
-		return false
-	}
-	if i+2 >= len(entries) {
-		return false
-	}
-	return entries[i+1].Inst.Op == x86.POP && entries[i+2].Inst.Op == x86.RET
-}
-
 // indexedAccess returns the memory operand to check: a load/store with an
 // index register (array-style access). BASan skips byte-wide loads — one
 // of its precision gaps.
 func indexedAccess(e serialize.Entry, tool Tool) (x86.Mem, bool) {
-	if e.Synth {
-		return x86.Mem{}, false
-	}
 	switch e.Inst.Op {
 	case x86.MOV, x86.MOVZX, x86.MOVSX, x86.MOVSXD:
 	default:
@@ -186,11 +149,10 @@ func indexedAccess(e serialize.Entry, tool Tool) (x86.Mem, bool) {
 
 // shadowCheck emits: lea r10,[m]; shr r10,3; cmp byte [r10+shadow],0;
 // je ok; call san_report; ok:
-func shadowCheck(m x86.Mem) []serialize.Entry {
-	ok := sanLabel("ok")
-	lea := m
+func shadowCheck(ctx *instr.Context, m x86.Mem) []serialize.Entry {
+	ok := ctx.Label("ok")
 	return []serialize.Entry{
-		synth(x86.Inst{Op: x86.LEA, W: 8, Dst: x86.R10, Src: lea}),
+		synth(x86.Inst{Op: x86.LEA, W: 8, Dst: x86.R10, Src: m}),
 		synth(x86.Inst{Op: x86.SHR, W: 8, Dst: x86.R10, Src: x86.Imm(3)}),
 		synth(x86.Inst{Op: x86.CMP, W: 1,
 			Dst: x86.Mem{Base: x86.R10, Index: x86.NoReg, Disp: ShadowBase}, Src: x86.Imm(0)}),

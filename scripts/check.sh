@@ -3,11 +3,14 @@
 # packages (obs has concurrent counters; core drives the traced
 # pipeline; farm is the concurrent rewrite pool + cache + HTTP layer;
 # harden's failpoints are armed via atomics; elfx parses hostile input;
-# x86 and cfg share frozen decode planes across goroutines), the
+# instr runs concurrent instrumented rewrites over one frozen decode
+# plane; x86 and cfg share frozen decode planes across goroutines), the
 # hot-path allocation gates (cached plane decode, emulator fetch span,
-# and arithmetic encode must stay allocation-free), a one-iteration
-# benchmark smoke to keep the paired rewrite benchmarks runnable, and a
-# fuzz smoke pass that replays the checked-in seed corpora under
+# and arithmetic encode must stay allocation-free), one-iteration
+# benchmark smokes to keep the paired rewrite and instrumentation
+# benchmarks runnable, an end-to-end coverage-pass smoke (rewrite with
+# the coverage pass, emulate, check the bitmap filled), and a fuzz
+# smoke pass that replays the checked-in seed corpora under
 # testdata/fuzz/ without the fuzzing engine. Run from the repo root.
 # Fails fast on the first problem.
 set -eu
@@ -23,10 +26,13 @@ fi
 go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/core/... ./internal/farm/... \
-    ./internal/harden/... ./internal/elfx/...
+    ./internal/harden/... ./internal/elfx/... ./internal/instr/...
 go test -race -run 'Plane|Frozen|Shared' ./internal/x86/... ./internal/cfg/...
 go test -run 'Allocs$' -count=1 ./internal/x86/... ./internal/emu/...
 go test -run '^$' -bench 'Benchmark(Rewrite|RewriteLegacy)$' -benchtime=1x . >/dev/null
+go test -run '^$' -bench 'BenchmarkInstr(Rewrite|Run)(None|Coverage)$' -benchtime=1x \
+    ./internal/instr >/dev/null
+go test -run 'TestCoverageArtifact' -count=1 ./internal/instr >/dev/null
 go test -run=Fuzz ./internal/elfx/... ./internal/ehframe/... \
     ./internal/x86/... ./internal/core/...
 echo "check.sh: OK"

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/harden"
+	"repro/internal/instr"
 	"repro/internal/serialize"
 )
 
@@ -48,8 +49,44 @@ type Result = core.Result
 // Stats aggregates pipeline measurements.
 type Stats = core.Stats
 
-// Instrumenter edits S' before emission.
+// Instrumenter edits S' before emission. It is the raw escape hatch;
+// prefer composable Pass values (Options.Passes), which are validated,
+// budgeted, and cacheable.
 type Instrumenter = core.Instrumenter
+
+// Pass is one composable instrumentation pass over S'. Set
+// Options.Passes to run passes inside the pipeline's instrument stage:
+//
+//	passes, _ := suri.ParsePasses("coverage,shadowstack")
+//	out, err := suri.Rewrite(binary, suri.Options{Passes: passes})
+//
+// The standard library passes are CoveragePass, CountersPass,
+// CallTracePass, and ShadowStackPass; custom passes implement the
+// interface directly (see internal/instr for the contract).
+type Pass = instr.Pass
+
+// CoveragePass is the AFL-style coverage bitmap pass (edge coverage by
+// default; Blocks selects per-block coverage).
+type CoveragePass = instr.Coverage
+
+// CountersPass counts basic-block executions in a payload array.
+type CountersPass = instr.Counters
+
+// CallTracePass records, per indirect call/jump site, how many times it
+// fired and the last target it reached.
+type CallTracePass = instr.CallTrace
+
+// ShadowStackPass maintains a software shadow stack and kills the
+// program (exit 135, "=SS=" on stderr) on a return-address mismatch.
+type ShadowStackPass = instr.ShadowStack
+
+// ParsePasses resolves a comma-separated list of standard pass names
+// ("coverage", "counters", "calltrace", "shadowstack") into Pass values;
+// it is the parser behind suri -instrument and surid ?instrument=.
+func ParsePasses(list string) ([]Pass, error) { return instr.ParseList(list) }
+
+// PassNames returns the standard pass names ParsePasses accepts, sorted.
+func PassNames() []string { return instr.Names() }
 
 // ErrNotCETPIE is returned for binaries outside the problem scope (§2.1).
 var ErrNotCETPIE = core.ErrNotCETPIE
