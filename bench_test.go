@@ -361,6 +361,23 @@ func BenchmarkRewriteTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkRewriteFlight is the surid service configuration: a live
+// collector with the always-on flight recorder attached (shared across
+// iterations, as the server shares one ring across requests), journaling
+// every stage completion. Compare against BenchmarkRewriteTraced for
+// the recorder's marginal cost.
+func BenchmarkRewriteFlight(b *testing.B) {
+	bin := benchRewriteBin(b)
+	col := obs.New().EnableFlight(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suri.Rewrite(bin, suri.Options{Obs: col.WithRequest("bench")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // The *Legacy benchmarks below run the pre-optimization hot paths kept
 // in-tree as paired baselines (cfg.Options.Legacy, emu LegacyDecode,
 // asm.AssembleLegacy). scripts/bench.sh runs each pair back to back and

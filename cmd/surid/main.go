@@ -1,21 +1,31 @@
 // Command surid serves the SURI pipeline as an HTTP batch service: a
 // concurrent rewrite farm with a content-addressed artifact cache
-// behind three endpoints:
+// behind an observable endpoint set:
 //
-//	POST /rewrite   binary in -> {"cache_hit":…,"stats":{…},"binary":"<base64>"}
-//	                query: ignore-ehframe=1, allow-noncet=1, validate=1,
-//	                       timeout=<duration>, budget-insts=<n>, budget-steps=<n>,
-//	                       instrument=<pass,pass,...> (standard instrumentation
-//	                       passes, e.g. coverage,shadowstack; unknown names
-//	                       answer 422 with the instrument stage; instrumented
-//	                       artifacts are cached under their own content key)
-//	GET  /healthz   liveness probe
-//	GET  /metrics   farm.* / suri.* / instr_* counters as deterministic text
+//	POST /rewrite       binary in -> {"cache_hit":…,"stats":{…},"binary":"<base64>"}
+//	                    query: ignore-ehframe=1, allow-noncet=1, validate=1,
+//	                           trace=1 (attach the request's span tree),
+//	                           timeout=<duration>, budget-insts=<n>, budget-steps=<n>,
+//	                           instrument=<pass,pass,...> (standard instrumentation
+//	                           passes, e.g. coverage,shadowstack; unknown names
+//	                           answer 422 with the instrument stage; instrumented
+//	                           artifacts are cached under their own content key)
+//	GET  /healthz       structured liveness/readiness JSON (503 while draining)
+//	GET  /metrics       Prometheus text exposition (?format=text for the
+//	                    human-readable obs dump)
+//	GET  /debug/flight  the flight recorder's retained events (?n=, ?req=)
+//	GET  /debug/pprof/  stdlib profiling endpoints, only with -pprof
+//
+// Every request gets an ID (client-supplied X-Suri-Request-Id or
+// server-minted), echoed on the response and tagging the request's
+// flight-recorder events; failed requests dump their captured events to
+// the server log.
 //
 // Usage:
 //
 //	surid [-addr :8649] [-j N] [-cache-dir DIR] [-cache-entries N] [-max-inflight N]
 //	      [-max-body BYTES] [-timeout D] [-budget N] [-budget-steps N]
+//	      [-flight N] [-pprof]
 //
 // -j sets the farm's worker count (default GOMAXPROCS); -cache-dir
 // enables write-through disk persistence of rewrite artifacts, so a
@@ -25,10 +35,13 @@
 // -timeout bounds each request's wall clock and is wired into the
 // pipeline as a cancellation budget (per-request ?timeout= can only
 // tighten it); -budget / -budget-steps set the default decoded-
-// instruction and emulator-step budgets (0 = pipeline defaults).
-// Budget or timeout exhaustion answers 422 with the failing stage and
-// the "fallback" verdict. SIGINT/SIGTERM trigger a graceful shutdown:
-// in-flight requests finish, then the farm drains and exits.
+// instruction and emulator-step budgets (0 = pipeline defaults);
+// -flight sizes the always-on flight recorder ring (0 disables it);
+// -pprof mounts /debug/pprof/. Budget or timeout exhaustion answers 422
+// with the failing stage and the "fallback" verdict. SIGINT/SIGTERM
+// trigger a graceful shutdown: /healthz flips to draining so load
+// balancers stop routing here, in-flight requests finish, then the
+// farm drains and exits.
 package main
 
 import (
@@ -60,9 +73,14 @@ func main() {
 	reqTimeout := flag.Duration("timeout", 0, "per-request deadline, wired into the pipeline budget (0 = none)")
 	budgetInsts := flag.Int64("budget", 0, "default decoded-instruction budget per rewrite (0 = pipeline default)")
 	budgetSteps := flag.Uint64("budget-steps", 0, "default emulator-step budget per validation run (0 = pipeline default)")
+	flightEvents := flag.Int("flight", 4096, "flight recorder capacity in events (0 = disabled)")
+	enablePprof := flag.Bool("pprof", false, "serve stdlib profiling under /debug/pprof/")
 	flag.Parse()
 
 	col := obs.New()
+	if *flightEvents > 0 {
+		col.EnableFlight(*flightEvents)
+	}
 	cache, err := farm.NewCache(*cacheEntries, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "surid:", err)
@@ -74,15 +92,15 @@ func main() {
 		Cache:      cache,
 		Obs:        col,
 	})
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: farm.NewHandler(pool, farm.ServerOptions{
-			MaxInflight:    *maxInflight,
-			MaxBodyBytes:   *maxBody,
-			RequestTimeout: *reqTimeout,
-			Budget:         harden.Budget{TotalInsts: *budgetInsts, EmuSteps: *budgetSteps},
-		}),
-	}
+	server := farm.NewServer(pool, farm.ServerOptions{
+		MaxInflight:    *maxInflight,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+		Budget:         harden.Budget{TotalInsts: *budgetInsts, EmuSteps: *budgetSteps},
+		EnablePprof:    *enablePprof,
+		ErrorLog:       log.Default(),
+	})
+	srv := &http.Server{Addr: *addr, Handler: server}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -90,7 +108,10 @@ func main() {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		log.Print("surid: shutting down")
+		log.Print("surid: draining")
+		// Flip health to 503 first so load balancers stop sending new
+		// traffic, then let in-flight requests finish.
+		server.SetDraining(true)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
@@ -98,8 +119,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("surid: listening on %s (%d workers, cache %d entries, dir %q)",
-		*addr, pool.Workers(), *cacheEntries, *cacheDir)
+	log.Printf("surid: listening on %s (%d workers, cache %d entries, dir %q, flight %d)",
+		*addr, pool.Workers(), *cacheEntries, *cacheDir, *flightEvents)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "surid:", err)
 		os.Exit(1)

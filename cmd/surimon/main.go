@@ -1,0 +1,102 @@
+// Command surimon is a live text monitor for a running surid: it polls
+// GET /metrics (Prometheus exposition) and GET /debug/flight, and
+// renders request rates, error deltas, latency quantiles, per-stage
+// medians, and the newest flight-recorder events as deterministic text.
+//
+// Usage:
+//
+//	surimon [-addr http://localhost:8649] [-interval 2s] [-events 8] [-once]
+//
+// -once scrapes and renders a single frame and exits 0 — the scriptable
+// mode (each frame is a pure function of the scraped payloads, so
+// output is stable for a quiesced server). Without it, surimon renders
+// a frame every -interval, each annotated with deltas against the
+// previous frame, until interrupted. A scrape failure is reported on
+// stderr and exits 1 (-once) or retries next tick.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8649", "surid base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	events := flag.Int("events", 8, "flight-recorder events per frame (0 = none)")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var prev *Sample
+	for {
+		cur, flight, err := scrape(client, *addr, *events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "surimon:", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			os.Stdout.WriteString(Render(prev, cur, flight))
+			prev = cur
+		}
+		if *once {
+			return
+		}
+		fmt.Println()
+		time.Sleep(*interval)
+	}
+}
+
+// scrape fetches one /metrics payload and, when n > 0, the newest n
+// flight events. A missing flight recorder (404) is not an error —
+// the frame simply omits the flight section.
+func scrape(client *http.Client, addr string, n int) (*Sample, *FlightDump, error) {
+	body, status, err := get(client, addr+"/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	if status != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET /metrics: status %d", status)
+	}
+	sample, err := ParseProm(string(body))
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse /metrics: %w", err)
+	}
+	if n <= 0 {
+		return sample, nil, nil
+	}
+	body, status, err = get(client, fmt.Sprintf("%s/debug/flight?n=%d", addr, n))
+	if err != nil {
+		return nil, nil, err
+	}
+	if status == http.StatusNotFound {
+		return sample, nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET /debug/flight: status %d", status)
+	}
+	var flight FlightDump
+	if err := json.Unmarshal(body, &flight); err != nil {
+		return nil, nil, fmt.Errorf("parse /debug/flight: %w", err)
+	}
+	return sample, &flight, nil
+}
+
+func get(client *http.Client, url string) ([]byte, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}

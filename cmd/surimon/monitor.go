@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sample is one scrape of a Prometheus text exposition: scalar series
+// (counters and gauges) plus histogram bucket/sum/count families.
+type Sample struct {
+	Scalars map[string]int64
+	Buckets map[string][]Bucket // metric -> cumulative buckets, exposition order
+	Sums    map[string]int64
+	Counts  map[string]int64
+}
+
+// Bucket is one cumulative histogram bucket: the le label (a decimal
+// nanosecond bound, or "+Inf") and the cumulative count at that bound.
+type Bucket struct {
+	LE  string
+	Cum int64
+}
+
+// ParseProm parses the subset of the Prometheus text format surid
+// emits: `# TYPE` comments, bare `name value` samples, and
+// `name_bucket{le="..."} value` histogram series. Unknown lines are
+// skipped rather than fatal, so the monitor tolerates format growth.
+func ParseProm(text string) (*Sample, error) {
+	s := &Sample{
+		Scalars: map[string]int64{},
+		Buckets: map[string][]Bucket{},
+		Sums:    map[string]int64{},
+		Counts:  map[string]int64{},
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name, valStr := fields[0], fields[1]
+		val, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base, labels := name[:i], name[i:]
+			if strings.HasSuffix(base, "_bucket") {
+				metric := strings.TrimSuffix(base, "_bucket")
+				le := ""
+				if j := strings.Index(labels, `le="`); j >= 0 {
+					rest := labels[j+len(`le="`):]
+					if k := strings.IndexByte(rest, '"'); k >= 0 {
+						le = rest[:k]
+					}
+				}
+				s.Buckets[metric] = append(s.Buckets[metric], Bucket{LE: le, Cum: val})
+			}
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_sum"):
+			s.Sums[strings.TrimSuffix(name, "_sum")] = val
+		case strings.HasSuffix(name, "_count"):
+			s.Counts[strings.TrimSuffix(name, "_count")] = val
+		default:
+			s.Scalars[name] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Quantile estimates the q-quantile of a scraped histogram from its
+// cumulative buckets, interpolating linearly inside the winning bucket
+// (the same estimator obs.Histogram.Quantile uses, reconstructed from
+// the wire format). Observations past the last finite bound are pinned
+// to it. Returns 0 for an unknown or empty series.
+func (s *Sample) Quantile(metric string, q float64) int64 {
+	buckets := s.Buckets[metric]
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Cum
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var lastFinite int64
+	for _, b := range buckets {
+		if b.LE != "+Inf" {
+			if v, err := strconv.ParseInt(b.LE, 10, 64); err == nil {
+				lastFinite = v
+			}
+		}
+	}
+	var prevCum int64
+	var lo int64
+	for _, b := range buckets {
+		if float64(b.Cum) >= rank && b.Cum > prevCum {
+			if b.LE == "+Inf" {
+				return lastFinite
+			}
+			hi, err := strconv.ParseInt(b.LE, 10, 64)
+			if err != nil {
+				return lastFinite
+			}
+			inBucket := float64(b.Cum - prevCum)
+			frac := (rank - float64(prevCum)) / inBucket
+			return lo + int64(frac*float64(hi-lo))
+		}
+		prevCum = b.Cum
+		if b.LE != "+Inf" {
+			if v, err := strconv.ParseInt(b.LE, 10, 64); err == nil {
+				lo = v
+			}
+		}
+	}
+	return lastFinite
+}
+
+// FlightEvent mirrors the obs.Event wire shape /debug/flight serves.
+type FlightEvent struct {
+	Seq    uint64 `json:"seq"`
+	Req    string `json:"req"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Detail string `json:"detail"`
+	Dur    int64  `json:"dur_ns"`
+}
+
+// FlightDump mirrors the /debug/flight payload.
+type FlightDump struct {
+	Total  uint64        `json:"total"`
+	Events []FlightEvent `json:"events"`
+}
+
+// delta formats "cur (+diff)" against the previous sample (no suffix on
+// the first scrape, when prev is nil).
+func delta(prev *Sample, cur *Sample, name string) string {
+	v := cur.Scalars[name]
+	if prev == nil {
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("%d (+%d)", v, v-prev.Scalars[name])
+}
+
+// Render formats one dashboard frame from the current scrape, the
+// previous scrape (nil on the first frame), and the flight dump (nil
+// when the recorder is disabled). The output is a pure function of its
+// inputs — no clocks, no host state — so it is deterministic and
+// golden-testable, and `surimon -once` output is scriptable.
+func Render(prev, cur *Sample, flight *FlightDump) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests   %s\n", delta(prev, cur, "farm_http_requests"))
+	fmt.Fprintf(&b, "errors     %s\n", delta(prev, cur, "farm_http_errors"))
+	fmt.Fprintf(&b, "rejected   %s\n", delta(prev, cur, "farm_http_rejected"))
+	fmt.Fprintf(&b, "inflight   %d\n", cur.Scalars["farm_http_inflight"])
+
+	hits := cur.Scalars["farm_cache_hits"]
+	misses := cur.Scalars["farm_cache_misses"]
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(&b, "cache      hits=%d misses=%d ratio=%.2f\n", hits, misses, ratio)
+
+	const lat = "farm_http_request_ns"
+	fmt.Fprintf(&b, "latency    n=%d p50=%s p99=%s p999=%s\n",
+		cur.Counts[lat],
+		time.Duration(cur.Quantile(lat, 0.50)),
+		time.Duration(cur.Quantile(lat, 0.99)),
+		time.Duration(cur.Quantile(lat, 0.999)))
+
+	// Per-stage latency medians, sorted by stage name.
+	var stages []string
+	for metric := range cur.Buckets {
+		if strings.HasPrefix(metric, "suri_stage_ns_") {
+			stages = append(stages, metric)
+		}
+	}
+	sort.Strings(stages)
+	for _, metric := range stages {
+		fmt.Fprintf(&b, "stage      %-12s n=%d p50=%s\n",
+			strings.TrimPrefix(metric, "suri_stage_ns_"),
+			cur.Counts[metric], time.Duration(cur.Quantile(metric, 0.50)))
+	}
+
+	if flight != nil {
+		fmt.Fprintf(&b, "flight     total=%d retained=%d\n", flight.Total, len(flight.Events))
+		for _, e := range flight.Events {
+			fmt.Fprintf(&b, "  [%d] %s", e.Seq, e.Kind)
+			if e.Name != "" {
+				fmt.Fprintf(&b, " %s", e.Name)
+			}
+			if e.Req != "" {
+				fmt.Fprintf(&b, " req=%s", e.Req)
+			}
+			if e.Detail != "" {
+				fmt.Fprintf(&b, " %q", e.Detail)
+			}
+			if e.Dur > 0 {
+				fmt.Fprintf(&b, " %s", time.Duration(e.Dur))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+const promFixture = `# TYPE farm_cache_hits counter
+farm_cache_hits 3
+# TYPE farm_cache_misses counter
+farm_cache_misses 9
+# TYPE farm_http_errors counter
+farm_http_errors 2
+# TYPE farm_http_rejected counter
+farm_http_rejected 0
+# TYPE farm_http_requests counter
+farm_http_requests 14
+# TYPE farm_http_inflight gauge
+farm_http_inflight 1
+# TYPE farm_http_request_ns histogram
+farm_http_request_ns_bucket{le="100"} 50
+farm_http_request_ns_bucket{le="200"} 80
+farm_http_request_ns_bucket{le="400"} 95
+farm_http_request_ns_bucket{le="+Inf"} 100
+farm_http_request_ns_sum 20000
+farm_http_request_ns_count 100
+# TYPE suri_stage_ns_cfg histogram
+suri_stage_ns_cfg_bucket{le="1000"} 10
+suri_stage_ns_cfg_bucket{le="+Inf"} 10
+suri_stage_ns_cfg_sum 5000
+suri_stage_ns_cfg_count 10
+`
+
+func fixtureSample(t *testing.T) *Sample {
+	t.Helper()
+	s, err := ParseProm(promFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseProm(t *testing.T) {
+	s := fixtureSample(t)
+	if s.Scalars["farm_http_requests"] != 14 || s.Scalars["farm_http_inflight"] != 1 {
+		t.Fatalf("scalars: %+v", s.Scalars)
+	}
+	if s.Sums["farm_http_request_ns"] != 20000 || s.Counts["farm_http_request_ns"] != 100 {
+		t.Fatalf("sum/count: %+v %+v", s.Sums, s.Counts)
+	}
+	buckets := s.Buckets["farm_http_request_ns"]
+	if len(buckets) != 4 || buckets[0] != (Bucket{LE: "100", Cum: 50}) || buckets[3] != (Bucket{LE: "+Inf", Cum: 100}) {
+		t.Fatalf("buckets: %+v", buckets)
+	}
+}
+
+// TestQuantileFromExposition mirrors the obs-side estimator test: the
+// monitor must reconstruct the same quantiles from the wire format that
+// obs.Histogram.Quantile computes from the live counts.
+func TestQuantileFromExposition(t *testing.T) {
+	s := fixtureSample(t)
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 100},  // rank 50 lands exactly on the first bound
+		{0.40, 80},   // interpolated inside [0,100)
+		{0.95, 400},  // rank 95 on the third bound
+		{0.999, 400}, // overflow pinned to the last finite bound
+	} {
+		if got := s.Quantile("farm_http_request_ns", tc.q); got != tc.want {
+			t.Errorf("Quantile(%.3f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := s.Quantile("no_such_metric", 0.5); got != 0 {
+		t.Errorf("unknown metric quantile = %d, want 0", got)
+	}
+}
+
+// TestRenderGolden locks the frame format: a pure function of the two
+// samples and the flight dump, byte for byte.
+func TestRenderGolden(t *testing.T) {
+	cur := fixtureSample(t)
+	prevText := strings.ReplaceAll(promFixture, "farm_http_requests 14", "farm_http_requests 11")
+	prevText = strings.ReplaceAll(prevText, "farm_http_errors 2", "farm_http_errors 2")
+	prev, err := ParseProm(prevText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight := &FlightDump{
+		Total: 40,
+		Events: []FlightEvent{
+			{Seq: 38, Kind: "stage", Name: "cfg", Req: "r000007", Dur: 1500},
+			{Seq: 39, Kind: "stage_error", Name: "repair", Req: "r000008", Detail: "injected"},
+			{Seq: 40, Kind: "request", Name: "/rewrite", Detail: "ok", Dur: 2500},
+		},
+	}
+	want := "requests   14 (+3)\n" +
+		"errors     2 (+0)\n" +
+		"rejected   0 (+0)\n" +
+		"inflight   1\n" +
+		"cache      hits=3 misses=9 ratio=0.25\n" +
+		"latency    n=100 p50=100ns p99=400ns p999=400ns\n" +
+		"stage      cfg          n=10 p50=500ns\n" +
+		"flight     total=40 retained=3\n" +
+		"  [38] stage cfg req=r000007 1.5µs\n" +
+		"  [39] stage_error repair req=r000008 \"injected\"\n" +
+		"  [40] request /rewrite \"ok\" 2.5µs\n"
+	if got := Render(prev, cur, flight); got != want {
+		t.Fatalf("frame drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// First frame: no deltas, no flight section.
+	first := Render(nil, cur, nil)
+	if !strings.HasPrefix(first, "requests   14\n") || strings.Contains(first, "\nflight") {
+		t.Fatalf("first frame unexpected:\n%s", first)
+	}
+}
+
+// TestScrapeLiveServer points the scraper at a real surid handler: the
+// Prometheus payload parses, the flight dump arrives, and a frame
+// renders without error.
+func TestScrapeLiveServer(t *testing.T) {
+	col := obs.New().EnableFlight(64)
+	p := farm.New(farm.Config{Workers: 1, Obs: col})
+	defer p.Close()
+	srv := httptest.NewServer(farm.NewHandler(p, farm.ServerOptions{}))
+	defer srv.Close()
+
+	sample, flight, err := scrape(http.DefaultClient, srv.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sample.Scalars["farm_http_requests"]; !ok {
+		t.Fatalf("scrape missing farm_http_requests: %+v", sample.Scalars)
+	}
+	if flight == nil {
+		t.Fatal("flight dump missing despite enabled recorder")
+	}
+	frame := Render(nil, sample, flight)
+	if !strings.Contains(frame, "requests   0\n") || !strings.Contains(frame, "flight     total=0") {
+		t.Fatalf("live frame unexpected:\n%s", frame)
+	}
+
+	// A flightless server degrades to a metrics-only frame.
+	p2 := farm.New(farm.Config{Workers: 1, Obs: obs.New()})
+	defer p2.Close()
+	srv2 := httptest.NewServer(farm.NewHandler(p2, farm.ServerOptions{}))
+	defer srv2.Close()
+	_, flight2, err := scrape(http.DefaultClient, srv2.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flight2 != nil {
+		t.Fatal("flight dump present despite disabled recorder")
+	}
+}

@@ -4,12 +4,14 @@
 // Usage:
 //
 //	surirun [-in file] [-bias 0x10000000] [-steps] [-no-cet] [-profile] [-profile-json]
-//	        [-cov] [-cov-out file] prog.bin
+//	        [-heat-json file] [-cov] [-cov-out file] prog.bin
 //
 // -profile prints an execution profile to stderr (opcode histogram,
 // CET event counters, block heat, syscall summary); -profile-json
 // prints the same profile as JSON (also to stderr, keeping stdout for
-// the emulated program's output).
+// the emulated program's output); -heat-json writes the block-heat map
+// alone to a file ("-" for stderr) under the versioned suri.heat.v1
+// schema — the stable feed for hot-block tooling.
 //
 // -cov captures the binary's instrumentation payload (the .suri.instr
 // section a `suri -instrument ...` rewrite appends — coverage bitmaps,
@@ -36,6 +38,7 @@ func main() {
 	noCET := flag.Bool("no-cet", false, "disable CET enforcement")
 	profile := flag.Bool("profile", false, "print execution profile to stderr")
 	profileJSON := flag.Bool("profile-json", false, "print execution profile as JSON to stderr")
+	heatJSON := flag.String("heat-json", "", "write the suri.heat.v1 block-heat export to this file (\"-\" = stderr)")
 	cov := flag.Bool("cov", false, "capture the .suri.instr payload after the run; summary to stderr")
 	covOut := flag.String("cov-out", "", "dump the captured .suri.instr payload bytes to this file (implies -cov)")
 	flag.Parse()
@@ -55,7 +58,7 @@ func main() {
 
 	opts := emu.Options{
 		Bias: *bias, Input: input, Shadow: true, DisableCET: *noCET,
-		Profile: *profile || *profileJSON,
+		Profile: *profile || *profileJSON || *heatJSON != "",
 	}
 	if *cov || *covOut != "" {
 		opts.Capture = instrRange(bin)
@@ -83,6 +86,15 @@ func main() {
 		js, jerr := res.Prof.JSON()
 		fail(jerr)
 		fmt.Fprintln(os.Stderr, string(js))
+	}
+	if *heatJSON != "" {
+		js, jerr := res.Prof.HeatJSON()
+		fail(jerr)
+		if *heatJSON == "-" {
+			fmt.Fprintln(os.Stderr, string(js))
+		} else {
+			fail(os.WriteFile(*heatJSON, append(js, '\n'), 0o644))
+		}
 	}
 	os.Exit(res.Exit)
 }

@@ -167,15 +167,54 @@ type Result struct {
 // Rewrite runs the full SURI pipeline over a binary image.
 func Rewrite(bin []byte, opts Options) (*Result, error) {
 	tr := opts.Obs.Trace()
+	reg := opts.Obs.Metrics()
 	root := tr.Start("rewrite")
 	defer root.End()
+
+	// fail tags err with its stage and journals it to the flight
+	// recorder — StageErrors and budget trips are exactly the crash
+	// forensics /debug/flight exists to retain.
+	fail := func(stage string, err error) error {
+		opts.Obs.Record(obs.Event{Kind: "stage_error", Name: stage, Detail: err.Error()})
+		if errors.Is(err, harden.ErrBudget) {
+			opts.Obs.Record(obs.Event{Kind: "budget", Name: stage, Detail: err.Error()})
+		}
+		return stageErr(stage, err)
+	}
+
+	// stage runs one pipeline stage under its span. The span is closed
+	// on every exit path — normal, error, and panic — via the deferred
+	// safety net, so an injected fault or a panicking user hook can
+	// never leak an open span onto the trace's stack (the harden matrix
+	// test asserts OpenSpans() == 0 after each fault). Completions feed
+	// the per-stage latency histogram and the flight journal.
+	stage := func(name string, fn func(span *obs.Span) error) error {
+		span := tr.Start(name)
+		ended := false
+		defer func() {
+			if !ended {
+				span.End()
+			}
+		}()
+		err := fn(span)
+		span.End()
+		ended = true
+		if reg != nil {
+			reg.LatencyHistogram("suri.stage_ns." + name).Observe(span.Duration())
+		}
+		if err != nil {
+			return fail(name, err)
+		}
+		opts.Obs.Record(obs.Event{Kind: "stage", Name: name, Dur: span.Duration()})
+		return nil
+	}
 
 	// checkCancel makes wall-clock cancellation responsive at stage
 	// granularity; the CFG builder additionally checks per work item.
 	checkCancel := func(stage string) error {
 		select {
 		case <-opts.Cancel:
-			return stageErr(stage, harden.ErrCanceled)
+			return fail(stage, harden.ErrCanceled)
 		default:
 			return nil
 		}
@@ -183,7 +222,7 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 
 	f, err := elfx.Read(bin)
 	if err != nil {
-		return nil, stageErr("elf", err)
+		return nil, fail("elf", err)
 	}
 	if !opts.AllowNonCET && (!f.IsPIE() || !f.HasCET()) {
 		return nil, ErrNotCETPIE
@@ -204,130 +243,148 @@ func Rewrite(bin []byte, opts Options) (*Result, error) {
 	}
 
 	// 1. Superset CFG Builder.
-	span := tr.Start("cfg")
-	g, err := cfg.Build(f, copts)
-	if err != nil {
-		span.End()
-		return nil, stageErr("cfg", err)
+	var g *cfg.Graph
+	var gst cfg.Stats
+	if err := stage("cfg", func(span *obs.Span) error {
+		var err error
+		if g, err = cfg.Build(f, copts); err != nil {
+			return err
+		}
+		gst = g.Stats()
+		span.SetInt("blocks", int64(gst.Blocks))
+		span.SetInt("entries", int64(gst.Entries))
+		span.SetInt("instructions", int64(gst.Instructions))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	gst := g.Stats()
-	span.SetInt("blocks", int64(gst.Blocks))
-	span.SetInt("entries", int64(gst.Entries))
-	span.SetInt("instructions", int64(gst.Instructions))
-	span.End()
 
 	// 2. CFG Serializer.
 	if err := checkCancel("serialize"); err != nil {
 		return nil, err
 	}
-	span = tr.Start("serialize")
-	entries, err := serialize.Serialize(g)
-	if err != nil {
-		span.End()
-		return nil, stageErr("serialize", err)
+	var entries []serialize.Entry
+	if err := stage("serialize", func(span *obs.Span) error {
+		var err error
+		if entries, err = serialize.Serialize(g); err != nil {
+			return err
+		}
+		span.SetInt("entries", int64(len(entries)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	span.SetInt("entries", int64(len(entries)))
-	span.End()
 
 	// 3. Pointer Repairer.
 	if err := checkCancel("repair"); err != nil {
 		return nil, err
 	}
-	span = tr.Start("repair")
-	rep, err := repair.Repair(entries, g)
-	if err != nil {
-		span.End()
-		return nil, stageErr("repair", err)
+	var rep *repair.Result
+	if err := stage("repair", func(span *obs.Span) error {
+		var err error
+		if rep, err = repair.Repair(entries, g); err != nil {
+			return err
+		}
+		span.SetInt("code_pointers", int64(rep.CodePointers))
+		span.SetInt("pinned", int64(rep.Pinned))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	span.SetInt("code_pointers", int64(rep.CodePointers))
-	span.SetInt("pinned", int64(rep.Pinned))
-	span.End()
 
-	span = tr.Start("audit")
-	if _, err := repair.Audit(entries, g); err != nil {
-		span.End()
-		return nil, stageErr("audit", err)
+	if err := stage("audit", func(*obs.Span) error {
+		_, err := repair.Audit(entries, g)
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	span.End()
 
 	// 4. Superset Symbolizer.
 	if err := checkCancel("symbolize"); err != nil {
 		return nil, err
 	}
-	span = tr.Start("symbolize")
-	entries, sym, err := symbolize.Symbolize(entries, g)
-	if err != nil {
-		span.End()
-		return nil, stageErr("symbolize", err)
+	var sym *symbolize.Result
+	if err := stage("symbolize", func(span *obs.Span) error {
+		var err error
+		if entries, sym, err = symbolize.Symbolize(entries, g); err != nil {
+			return err
+		}
+		span.SetInt("tables", int64(sym.Tables))
+		span.SetInt("multi_base", int64(sym.MultiBase))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	span.SetInt("tables", int64(sym.Tables))
-	span.SetInt("multi_base", int64(sym.MultiBase))
-	span.End()
 
 	// User instrumentation of S': first the raw hook, then the pass
 	// pipeline. Either failure surfaces as a StageError naming the
 	// instrument stage (the CLI exit and surid's 422 both key on it).
-	span = tr.Start("instrument")
-	if err := harden.Inject(harden.FPInstrument); err != nil {
-		span.End()
-		return nil, stageErr("instrument", err)
-	}
-	if opts.Instrument != nil {
-		entries, err = opts.Instrument(entries)
-		if err != nil {
-			span.End()
-			return nil, stageErr("instrument", err)
-		}
-	}
 	var instrMarks []bool
 	var instrItems []asm.Item
 	instrStats := [3]int{}
-	if len(opts.Passes) > 0 {
-		ires, ierr := instr.Apply(entries, opts.Passes, instr.Options{
-			Budget: opts.Budget, Cancel: opts.Cancel, Obs: opts.Obs,
-		})
-		if ierr != nil {
-			span.End()
-			return nil, stageErr("instrument", ierr)
+	if err := stage("instrument", func(span *obs.Span) error {
+		if err := harden.Inject(harden.FPInstrument); err != nil {
+			return err
 		}
-		entries = ires.Entries
-		instrMarks = ires.Inserted
-		instrItems = ires.Payload
-		instrStats = [3]int{ires.Passes, ires.Added, ires.PayloadBytes}
-		span.SetInt("passes", int64(ires.Passes))
-		span.SetInt("inserted", int64(ires.Added))
-		span.SetInt("payload_bytes", int64(ires.PayloadBytes))
+		if opts.Instrument != nil {
+			var err error
+			if entries, err = opts.Instrument(entries); err != nil {
+				return err
+			}
+		}
+		if len(opts.Passes) > 0 {
+			ires, ierr := instr.Apply(entries, opts.Passes, instr.Options{
+				Budget: opts.Budget, Cancel: opts.Cancel, Obs: opts.Obs,
+			})
+			if ierr != nil {
+				return ierr
+			}
+			entries = ires.Entries
+			instrMarks = ires.Inserted
+			instrItems = ires.Payload
+			instrStats = [3]int{ires.Passes, ires.Added, ires.PayloadBytes}
+			span.SetInt("passes", int64(ires.Passes))
+			span.SetInt("inserted", int64(ires.Added))
+			span.SetInt("payload_bytes", int64(ires.PayloadBytes))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	span.End()
 
 	// 5. Emitter.
 	if err := checkCancel("emit"); err != nil {
 		return nil, err
 	}
-	span = tr.Start("emit")
-	sets := make(map[string]uint64, len(rep.Sets)+len(sym.Sets))
-	for k, v := range rep.Sets {
-		sets[k] = v
+	var out []byte
+	var layout *emit.Layout
+	if err := stage("emit", func(span *obs.Span) error {
+		sets := make(map[string]uint64, len(rep.Sets)+len(sym.Sets))
+		for k, v := range rep.Sets {
+			sets[k] = v
+		}
+		for k, v := range sym.Sets {
+			sets[k] = v
+		}
+		var err error
+		out, layout, err = emit.Emit(emit.Input{
+			Graph:      g,
+			Entries:    entries,
+			TableItems: sym.TableItems,
+			InstrItems: instrItems,
+			Sets:       sets,
+			Obs:        opts.Obs,
+			Legacy:     opts.LegacyHotPaths,
+		})
+		if err != nil {
+			return err
+		}
+		span.SetInt("bytes", int64(len(out)))
+		span.SetInt("adjusted_relas", int64(layout.AdjustedRelas))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for k, v := range sym.Sets {
-		sets[k] = v
-	}
-	out, layout, err := emit.Emit(emit.Input{
-		Graph:      g,
-		Entries:    entries,
-		TableItems: sym.TableItems,
-		InstrItems: instrItems,
-		Sets:       sets,
-		Obs:        opts.Obs,
-		Legacy:     opts.LegacyHotPaths,
-	})
-	if err != nil {
-		span.End()
-		return nil, stageErr("emit", err)
-	}
-	span.SetInt("bytes", int64(len(out)))
-	span.SetInt("adjusted_relas", int64(layout.AdjustedRelas))
-	span.End()
 
 	orig, synth := serialize.Count(entries)
 	stats := Stats{

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/harden"
 	"repro/internal/instr"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/serialize"
 	"repro/internal/x86"
@@ -48,7 +49,12 @@ func TestFaultInjectionMatrix(t *testing.T) {
 		t.Run(pt, func(t *testing.T) {
 			disarm := harden.NewPlan(harden.Fault{Point: pt}).Arm()
 			defer disarm()
-			opts := Options{}
+			// A live collector with a flight recorder rides along so the
+			// matrix also proves (a) no injected fault can leak an open
+			// span — every stage span is closed via defer — and (b) the
+			// fault is journaled as a stage_error flight event.
+			col := obs.NewWithClock(&obs.FakeClock{Step: 1}).EnableFlight(64)
+			opts := Options{Obs: col}
 			if pt == harden.FPInstrPass {
 				// The per-pass failpoint only fires when the instr pass
 				// pipeline actually runs; its fault must still surface as
@@ -64,6 +70,20 @@ func TestFaultInjectionMatrix(t *testing.T) {
 			}
 			if got, want := Stage(err), harden.Failpoints[pt]; got != want {
 				t.Fatalf("failpoint %s: stage = %q, want %q (err: %v)", pt, got, want, err)
+			}
+			if open := col.Trace().OpenSpans(); open != 0 {
+				t.Fatalf("failpoint %s: %d spans left open after the fault", pt, open)
+			}
+			found := false
+			for _, e := range col.Flight().Events() {
+				if e.Kind == "stage_error" && e.Name == Stage(err) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("failpoint %s: no stage_error flight event recorded (events: %+v)",
+					pt, col.Flight().Events())
 			}
 		})
 	}
@@ -120,7 +140,8 @@ func TestBudgetExceededSurfacesAsCfgStage(t *testing.T) {
 		{"blocks", harden.Budget{Blocks: 3}, "cfg.blocks"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := Rewrite(bin, Options{Budget: tc.budget})
+			col := obs.New().EnableFlight(16)
+			_, err := Rewrite(bin, Options{Budget: tc.budget, Obs: col})
 			if err == nil {
 				t.Fatal("tiny budget rewrite succeeded")
 			}
@@ -132,6 +153,15 @@ func TestBudgetExceededSurfacesAsCfgStage(t *testing.T) {
 			}
 			if !errors.Is(err, &harden.BudgetExceeded{Resource: tc.resource}) {
 				t.Fatalf("resource != %s: %v", tc.resource, err)
+			}
+			// Budget exhaustion journals both the stage_error and a
+			// dedicated budget event.
+			kinds := map[string]bool{}
+			for _, e := range col.Flight().Events() {
+				kinds[e.Kind] = true
+			}
+			if !kinds["stage_error"] || !kinds["budget"] {
+				t.Fatalf("flight events missing stage_error/budget: %v", kinds)
 			}
 		})
 	}
@@ -147,6 +177,30 @@ func TestCancelAbortsRewrite(t *testing.T) {
 	}
 	if !errors.Is(err, harden.ErrCanceled) || Stage(err) != "cfg" {
 		t.Fatalf("err = %v (stage %q), want canceled in cfg", err, Stage(err))
+	}
+}
+
+// TestPanicLeavesNoOpenSpans: a user instrumentation hook that panics
+// must not leak an open stage span — the deferred End in the stage
+// wrapper closes it on the unwind path too.
+func TestPanicLeavesNoOpenSpans(t *testing.T) {
+	bin := matrixBinary(t)
+	col := obs.New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("instrument hook panic did not propagate")
+			}
+		}()
+		Rewrite(bin, Options{
+			Obs: col,
+			Instrument: func([]serialize.Entry) ([]serialize.Entry, error) {
+				panic("user hook exploded")
+			},
+		})
+	}()
+	if open := col.Trace().OpenSpans(); open != 0 {
+		t.Fatalf("%d spans left open after a panicking hook", open)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/elfx"
 	"repro/internal/emu"
 	"repro/internal/harden"
+	"repro/internal/obs"
 )
 
 // Verdict is the machine-readable outcome of a validated rewrite.
@@ -96,6 +97,7 @@ func RewriteValidated(bin []byte, opts ValidateOptions) (*ValidatedResult, error
 				if i > 0 {
 					verdict = VerdictDegraded
 				}
+				opts.Obs.Record(obs.Event{Kind: "verdict", Detail: string(verdict)})
 				return &ValidatedResult{
 					Verdict:  verdict,
 					Binary:   res.Binary,
@@ -117,6 +119,7 @@ func RewriteValidated(bin []byte, opts ValidateOptions) (*ValidatedResult, error
 			break
 		}
 	}
+	opts.Obs.Record(obs.Event{Kind: "verdict", Detail: string(VerdictFallback) + ": " + reason})
 	return &ValidatedResult{
 		Verdict:  VerdictFallback,
 		Binary:   bin,

@@ -183,6 +183,37 @@ type cetJSON struct {
 	ShadowPops      uint64 `json:"shadow_pops"`
 }
 
+// HeatSchema versions the HeatJSON payload. Consumers (dashboards,
+// diffing scripts) match on it; additive fields keep the version,
+// meaning changes bump it.
+const HeatSchema = "suri.heat.v1"
+
+// heatExport is the stable block-heat wire shape: schema tag, retired
+// total, and the heat rows sorted count-descending with address as the
+// deterministic tie-break.
+type heatExport struct {
+	Schema  string    `json:"schema"`
+	Retired uint64    `json:"retired"`
+	Blocks  int       `json:"blocks"`
+	Heat    []heatRow `json:"heat"`
+}
+
+// HeatJSON renders the block-heat map alone under the versioned
+// HeatSchema — the `surirun -heat-json` export, small enough to feed
+// hot-block pipelines without the full profile payload.
+func (p *Profile) HeatJSON() ([]byte, error) {
+	out := heatExport{
+		Schema:  HeatSchema,
+		Retired: p.Retired(),
+		Heat:    p.heatRows(),
+	}
+	out.Blocks = len(out.Heat)
+	if out.Heat == nil {
+		out.Heat = []heatRow{}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
 // JSON renders the profile as indented, deterministic JSON.
 func (p *Profile) JSON() ([]byte, error) {
 	out := profileJSON{

@@ -180,3 +180,48 @@ func TestProfileTextShape(t *testing.T) {
 		}
 	}
 }
+
+// TestHeatJSONGolden locks the versioned suri.heat.v1 export: schema
+// tag present, rows count-descending with address tie-break, block and
+// retired totals consistent with the profile.
+func TestHeatJSONGolden(t *testing.T) {
+	prof := runProfiled(t)
+	js, err := prof.HeatJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Schema  string `json:"schema"`
+		Retired uint64 `json:"retired"`
+		Blocks  int    `json:"blocks"`
+		Heat    []struct {
+			Addr  uint64 `json:"addr"`
+			Count uint64 `json:"count"`
+		} `json:"heat"`
+	}
+	if err := json.Unmarshal(js, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != HeatSchema {
+		t.Fatalf("schema = %q, want %q", out.Schema, HeatSchema)
+	}
+	if out.Retired != prof.Retired() || out.Blocks != len(out.Heat) || out.Blocks == 0 {
+		t.Fatalf("totals inconsistent: %+v (retired %d)", out, prof.Retired())
+	}
+	for i := 1; i < len(out.Heat); i++ {
+		prev, cur := out.Heat[i-1], out.Heat[i]
+		if cur.Count > prev.Count || (cur.Count == prev.Count && cur.Addr <= prev.Addr) {
+			t.Fatalf("heat rows out of order at %d: %+v", i, out.Heat)
+		}
+	}
+	checkProfileGolden(t, "heat.json", js)
+
+	// An empty profile still emits the schema envelope with a [] array.
+	empty, err := NewProfile().HeatJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(empty), HeatSchema) || !strings.Contains(string(empty), `"heat": []`) {
+		t.Fatalf("empty heat export malformed:\n%s", empty)
+	}
+}

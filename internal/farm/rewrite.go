@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // RewriteResult is a farm-served rewrite: the rewritten ELF image, its
@@ -17,24 +18,32 @@ type RewriteResult struct {
 // Rewrite runs the SURI pipeline over bin through the farm. Cacheable
 // requests (no Instrument hook) are served from the content-addressed
 // cache when possible — no job is queued on a hit — and stored back on
-// success. The job runs core.Rewrite with a metrics-only view of the
-// pool's collector, so pipeline statistics aggregate across workers
-// without corrupting the trace's open-span stack (the farm's own
-// per-job span covers timing).
+// success. By default the job runs core.Rewrite with a metrics-only
+// view of the pool's collector, so pipeline statistics aggregate across
+// workers without corrupting the trace's open-span stack (the farm's
+// own per-job span covers timing); a caller that already set opts.Obs —
+// the HTTP layer passes a request-scoped view for `?trace=1` — keeps
+// its collector, and cache probes are journaled through it.
 func (p *Pool) Rewrite(ctx context.Context, bin []byte, opts core.Options) (*RewriteResult, error) {
+	if opts.Obs == nil {
+		opts.Obs = p.cfg.Obs.MetricsOnly()
+	}
 	key, cacheable := Fingerprint(bin, opts)
 	cache := p.cfg.Cache
 	if cacheable && cache != nil {
 		if art, disk, ok := cache.get(key); ok {
 			p.counter("farm.cache_hits").Inc()
+			detail := "hit"
 			if disk {
 				p.counter("farm.cache_disk_hits").Inc()
+				detail = "disk_hit"
 			}
+			opts.Obs.Record(obs.Event{Kind: "cache", Detail: detail})
 			return &RewriteResult{Binary: art.Binary, Stats: art.Stats, CacheHit: true}, nil
 		}
 		p.counter("farm.cache_misses").Inc()
+		opts.Obs.Record(obs.Event{Kind: "cache", Detail: "miss"})
 	}
-	opts.Obs = p.cfg.Obs.MetricsOnly()
 	v, err := p.Do(ctx, "rewrite", func(jobCtx context.Context) (any, error) {
 		// Wire the job's context (request timeout, pool shutdown) into
 		// the pipeline so a dead client stops burning a worker.
@@ -76,7 +85,9 @@ type ValidatedResult struct {
 // execution against the request's inputs, which are not part of the
 // artifact address.
 func (p *Pool) RewriteValidated(ctx context.Context, bin []byte, opts core.ValidateOptions) (*ValidatedResult, error) {
-	opts.Obs = p.cfg.Obs.MetricsOnly()
+	if opts.Obs == nil {
+		opts.Obs = p.cfg.Obs.MetricsOnly()
+	}
 	v, err := p.Do(ctx, "rewrite_validated", func(jobCtx context.Context) (any, error) {
 		o := opts
 		o.Cancel = jobCtx.Done()

@@ -6,14 +6,25 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harden"
 	"repro/internal/instr"
+	"repro/internal/obs"
 )
+
+// RequestIDHeader carries the request ID: clients may supply one for
+// end-to-end correlation; otherwise the server generates one. The ID is
+// always echoed on the response and tags every flight-recorder event
+// and trace produced while serving the request.
+const RequestIDHeader = "X-Suri-Request-Id"
 
 // ServerOptions configure the HTTP front-end (cmd/surid).
 type ServerOptions struct {
@@ -38,20 +49,32 @@ type ServerOptions struct {
 	// ?budget-insts= / ?budget-steps= query parameters override single
 	// fields.
 	Budget harden.Budget
+
+	// EnablePprof mounts the stdlib net/http/pprof handlers under
+	// /debug/pprof/. Off by default: profiling endpoints expose heap
+	// contents and should only face operators.
+	EnablePprof bool
+
+	// ErrorLog, when set, receives a dump of the failing request's
+	// flight-recorder events whenever a /rewrite request ends in error —
+	// the crash-forensics path. Nil disables dumping.
+	ErrorLog *log.Logger
 }
 
 // RewriteResponse is the JSON body of a successful POST /rewrite: the
 // rewritten ELF image (base64 under encoding/json), the pipeline
 // statistics, and whether the artifact came from the cache. Validated
 // rewrites (?validate=1) additionally carry the verdict, the attempt
-// count, and — for anything below "validated" — the reason.
+// count, and — for anything below "validated" — the reason. With
+// ?trace=1 the request's span tree rides along under "trace".
 type RewriteResponse struct {
-	CacheHit bool       `json:"cache_hit"`
-	Stats    core.Stats `json:"stats"`
-	Verdict  string     `json:"verdict,omitempty"`
-	Attempts int        `json:"attempts,omitempty"`
-	Reason   string     `json:"reason,omitempty"`
-	Binary   []byte     `json:"binary"`
+	CacheHit bool            `json:"cache_hit"`
+	Stats    core.Stats      `json:"stats"`
+	Verdict  string          `json:"verdict,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Reason   string          `json:"reason,omitempty"`
+	Trace    json.RawMessage `json:"trace,omitempty"`
+	Binary   []byte          `json:"binary"`
 }
 
 // errorResponse is the JSON body of a failed request; Stage names the
@@ -64,158 +87,346 @@ type errorResponse struct {
 	Verdict string `json:"verdict,omitempty"`
 }
 
-// NewHandler builds the surid HTTP API over a pool:
+// HealthResponse is the GET /healthz body: enough service state for a
+// load balancer (status, drain) and a human (uptime, utilization,
+// cache efficacy) in one deterministic JSON object.
+type HealthResponse struct {
+	Status        string  `json:"status"` // "ok" | "draining"
+	GoVersion     string  `json:"go_version"`
+	UptimeNS      int64   `json:"uptime_ns"`
+	Workers       int     `json:"workers"`
+	Inflight      int     `json:"inflight"`
+	MaxInflight   int     `json:"max_inflight"`
+	Requests      int64   `json:"requests"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	FlightEvents  uint64  `json:"flight_events"`
+	Draining      bool    `json:"draining"`
+}
+
+// Server is the surid HTTP API over a pool:
 //
-//	POST /rewrite   binary in -> RewriteResponse out
-//	                query: ignore-ehframe=1, allow-noncet=1, validate=1,
-//	                       timeout=<duration>, budget-insts=<n>,
-//	                       budget-steps=<n>,
-//	                       instrument=<pass,pass,...> (standard instr
-//	                       passes, e.g. coverage,shadowstack)
-//	GET  /healthz   liveness probe
-//	GET  /metrics   the obs registry as deterministic text
+//	POST /rewrite       binary in -> RewriteResponse out
+//	                    query: ignore-ehframe=1, allow-noncet=1,
+//	                           validate=1, trace=1, timeout=<duration>,
+//	                           budget-insts=<n>, budget-steps=<n>,
+//	                           instrument=<pass,pass,...>
+//	GET  /healthz       structured liveness/readiness (503 once draining)
+//	GET  /metrics       Prometheus text exposition (?format=text for the
+//	                    human-readable obs dump)
+//	GET  /debug/flight  last-N flight-recorder events (?n=, ?req=)
+//	GET  /debug/pprof/  stdlib profiling, when ServerOptions.EnablePprof
 //
-// The handler shares the pool's collector, so farm.*, suri.*, and
-// http-layer counters all surface on one /metrics page.
-func NewHandler(p *Pool, opts ServerOptions) http.Handler {
+// The server shares the pool's collector, so farm.*, suri.*, and
+// http-layer series all surface on one /metrics page, and every
+// request's events land in the same flight recorder.
+type Server struct {
+	pool  *Pool
+	opts  ServerOptions
+	mux   *http.ServeMux
+	clock obs.Clock
+	start int64
+
+	draining atomic.Bool
+	reqSeq   atomic.Uint64
+	inflight chan struct{}
+
+	requests      *obs.Counter
+	rejected      *obs.Counter
+	httpErrors    *obs.Counter
+	inflightGauge *obs.Gauge
+}
+
+// NewServer builds the surid HTTP front-end over a pool.
+func NewServer(p *Pool, opts ServerOptions) *Server {
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = 4 * p.Workers()
 	}
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 64 << 20
 	}
+	clock := p.Obs().Clock()
+	if clock == nil {
+		clock = obs.NewClock()
+	}
 	reg := p.Obs().Metrics()
-	// Pre-register the HTTP series so a fresh /metrics export is stable.
-	requests := reg.Counter("farm.http_requests")
-	rejected := reg.Counter("farm.http_rejected")
-	httpErrors := reg.Counter("farm.http_errors")
-	inflightGauge := reg.Gauge("farm.http_inflight")
-	inflightGauge.Set(0)
+	s := &Server{
+		pool:     p,
+		opts:     opts,
+		clock:    clock,
+		start:    clock.Now(),
+		inflight: make(chan struct{}, opts.MaxInflight),
+		// Pre-register the HTTP series so a fresh /metrics export is
+		// stable.
+		requests:      reg.Counter("farm.http_requests"),
+		rejected:      reg.Counter("farm.http_rejected"),
+		httpErrors:    reg.Counter("farm.http_errors"),
+		inflightGauge: reg.Gauge("farm.http_inflight"),
+	}
+	s.inflightGauge.Set(0)
+	// Pre-register the request-latency histogram too: a fresh /metrics
+	// export carries the full (all-zero) series, so scrapers and the
+	// golden test see a stable shape from the first request onward.
+	reg.LatencyHistogram("farm.http_request_ns")
 
-	inflight := make(chan struct{}, opts.MaxInflight)
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rewrite", s.handleRewrite)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	if opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.mux = mux
+	return s
+}
 
-	mux.HandleFunc("POST /rewrite", func(w http.ResponseWriter, r *http.Request) {
-		requests.Inc()
-		select {
-		case inflight <- struct{}{}:
-			inflightGauge.Set(int64(len(inflight)))
-			defer func() {
-				<-inflight
-				inflightGauge.Set(int64(len(inflight)))
-			}()
-		default:
-			rejected.Inc()
-			writeError(w, http.StatusServiceUnavailable, errors.New("farm: too many in-flight rewrites"))
-			return
+// NewHandler builds the surid HTTP API over a pool. Kept for callers
+// that only need an http.Handler; NewServer exposes drain control.
+func NewHandler(p *Pool, opts ServerOptions) http.Handler {
+	return NewServer(p, opts)
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the drain flag /healthz reports. A draining server
+// keeps serving requests — the pool drains in-flight work during
+// Shutdown — but answers health probes with 503 so load balancers stop
+// routing new traffic to it.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the drain flag.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// requestID returns the client-supplied correlation ID or mints one.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" {
+		return id
+	}
+	return fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	rid := s.requestID(r)
+	w.Header().Set(RequestIDHeader, rid)
+	// Request-scoped collector view: a private trace (span trees of
+	// concurrent requests must not interleave) over the pool's shared
+	// registry and flight recorder, with events tagged by request ID.
+	rc := s.pool.Obs().WithRequest(rid)
+	t0 := s.clock.Now()
+	status, err := s.serveRewrite(w, r, rc)
+	dur := s.clock.Now() - t0
+	s.pool.Obs().Metrics().LatencyHistogram("farm.http_request_ns").Observe(dur)
+	outcome := "ok"
+	if err != nil {
+		s.httpErrors.Inc()
+		outcome = fmt.Sprintf("%d %s", status, err)
+	}
+	rc.Record(obs.Event{Kind: "request", Name: "/rewrite", Detail: outcome, Dur: dur})
+	if err != nil && s.opts.ErrorLog != nil {
+		// Dump-on-error: replay the failing request's retained events so
+		// the post-mortem is in the log, not lost with the ring.
+		for _, e := range rc.Flight().RequestEvents(rid) {
+			s.opts.ErrorLog.Printf("flight %s seq=%d kind=%s name=%s detail=%q dur=%d",
+				e.Req, e.Seq, e.Kind, e.Name, e.Detail, e.Dur)
 		}
-		bin, err := io.ReadAll(http.MaxBytesReader(w, r.Body, opts.MaxBodyBytes))
+	}
+}
+
+// serveRewrite runs one POST /rewrite request to completion, writing
+// the response itself; it returns the status and error for the caller's
+// accounting (err == nil means 200 was written).
+func (s *Server) serveRewrite(w http.ResponseWriter, r *http.Request, rc *obs.Collector) (int, error) {
+	fail := func(status int, err error) (int, error) {
+		writeError(w, status, err)
+		return status, err
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		s.inflightGauge.Set(int64(len(s.inflight)))
+		defer func() {
+			<-s.inflight
+			s.inflightGauge.Set(int64(len(s.inflight)))
+		}()
+	default:
+		s.rejected.Inc()
+		return fail(http.StatusServiceUnavailable, errors.New("farm: too many in-flight rewrites"))
+	}
+	bin, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		return fail(status, err)
+	}
+	q := r.URL.Query()
+	copts := core.Options{
+		IgnoreEhFrame: q.Get("ignore-ehframe") == "1",
+		AllowNonCET:   q.Get("allow-noncet") == "1",
+		Budget:        s.opts.Budget,
+		Obs:           rc,
+	}
+	if v := q.Get("instrument"); v != "" {
+		passes, err := instr.ParseList(v)
 		if err != nil {
-			httpErrors.Inc()
-			status := http.StatusBadRequest
-			var mbe *http.MaxBytesError
-			if errors.As(err, &mbe) {
-				status = http.StatusRequestEntityTooLarge
-			}
-			writeError(w, status, err)
-			return
+			// An unknown pass name is an instrument-stage failure from
+			// the client's perspective: 422 with the stage attached.
+			return fail(http.StatusUnprocessableEntity,
+				&core.StageError{Stage: "instrument", Err: err})
 		}
-		q := r.URL.Query()
-		copts := core.Options{
-			IgnoreEhFrame: q.Get("ignore-ehframe") == "1",
-			AllowNonCET:   q.Get("allow-noncet") == "1",
-			Budget:        opts.Budget,
+		copts.Passes = passes
+	}
+	if v := q.Get("budget-insts"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			return fail(http.StatusBadRequest, fmt.Errorf("farm: bad budget-insts %q", v))
 		}
-		if v := q.Get("instrument"); v != "" {
-			passes, err := instr.ParseList(v)
-			if err != nil {
-				httpErrors.Inc()
-				// An unknown pass name is an instrument-stage failure from
-				// the client's perspective: 422 with the stage attached.
-				writeError(w, http.StatusUnprocessableEntity,
-					&core.StageError{Stage: "instrument", Err: err})
-				return
-			}
-			copts.Passes = passes
+		copts.Budget.TotalInsts = n
+	}
+	if v := q.Get("budget-steps"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return fail(http.StatusBadRequest, fmt.Errorf("farm: bad budget-steps %q", v))
 		}
-		if v := q.Get("budget-insts"); v != "" {
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil || n <= 0 {
-				httpErrors.Inc()
-				writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad budget-insts %q", v))
-				return
-			}
-			copts.Budget.TotalInsts = n
-		}
-		if v := q.Get("budget-steps"); v != "" {
-			n, err := strconv.ParseUint(v, 10, 64)
-			if err != nil || n == 0 {
-				httpErrors.Inc()
-				writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad budget-steps %q", v))
-				return
-			}
-			copts.Budget.EmuSteps = n
-		}
+		copts.Budget.EmuSteps = n
+	}
 
-		timeout := opts.RequestTimeout
-		if v := q.Get("timeout"); v != "" {
-			d, err := time.ParseDuration(v)
-			if err != nil || d <= 0 {
-				httpErrors.Inc()
-				writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad timeout %q", v))
-				return
-			}
-			if timeout <= 0 || d < timeout {
-				timeout = d
-			}
+	timeout := s.opts.RequestTimeout
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return fail(http.StatusBadRequest, fmt.Errorf("farm: bad timeout %q", v))
 		}
-		ctx := r.Context()
-		if timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, timeout)
-			defer cancel()
+		if timeout <= 0 || d < timeout {
+			timeout = d
 		}
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
-		var resp RewriteResponse
-		if q.Get("validate") == "1" {
-			vres, err := p.RewriteValidated(ctx, bin, core.ValidateOptions{Options: copts})
-			if err != nil {
-				httpErrors.Inc()
-				writeError(w, rewriteStatus(r, err), err)
-				return
-			}
-			resp = RewriteResponse{
-				Stats:    vres.Stats,
-				Verdict:  string(vres.Verdict),
-				Attempts: vres.Attempts,
-				Reason:   vres.Reason,
-				Binary:   vres.Binary,
-			}
-		} else {
-			res, err := p.Rewrite(ctx, bin, copts)
-			if err != nil {
-				httpErrors.Inc()
-				writeError(w, rewriteStatus(r, err), err)
-				return
-			}
-			resp = RewriteResponse{CacheHit: res.CacheHit, Stats: res.Stats, Binary: res.Binary}
+	var resp RewriteResponse
+	if q.Get("validate") == "1" {
+		vres, err := s.pool.RewriteValidated(ctx, bin, core.ValidateOptions{Options: copts})
+		if err != nil {
+			return fail(rewriteStatus(r, err), err)
 		}
-		writeJSON(w, http.StatusOK, resp)
-	})
+		resp = RewriteResponse{
+			Stats:    vres.Stats,
+			Verdict:  string(vres.Verdict),
+			Attempts: vres.Attempts,
+			Reason:   vres.Reason,
+			Binary:   vres.Binary,
+		}
+	} else {
+		res, err := s.pool.Rewrite(ctx, bin, copts)
+		if err != nil {
+			return fail(rewriteStatus(r, err), err)
+		}
+		resp = RewriteResponse{CacheHit: res.CacheHit, Stats: res.Stats, Binary: res.Binary}
+	}
+	if q.Get("trace") == "1" {
+		if tj, jerr := rc.Trace().JSON(); jerr == nil {
+			resp.Trace = tj
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "{\"status\":\"ok\"}\n")
-	})
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reg := s.pool.Obs().Metrics()
+	hits := reg.Counter("farm.cache_hits").Value()
+	misses := reg.Counter("farm.cache_misses").Value()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	resp := HealthResponse{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		UptimeNS:      s.clock.Now() - s.start,
+		Workers:       s.pool.Workers(),
+		Inflight:      len(s.inflight),
+		MaxInflight:   cap(s.inflight),
+		Requests:      s.requests.Value(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheHitRatio: ratio,
+		FlightEvents:  s.pool.Obs().Flight().Total(),
+		Draining:      s.draining.Load(),
+	}
+	status := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.pool.Obs().Metrics()
+	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, reg.Text())
-	})
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, reg.Prometheus())
+}
 
-	return mux
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	f := s.pool.Obs().Flight()
+	if f == nil {
+		writeError(w, http.StatusNotFound, errors.New("farm: flight recorder disabled"))
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad n %q", v))
+			return
+		}
+		n = parsed
+	}
+	var payload []byte
+	var err error
+	if req := r.URL.Query().Get("req"); req != "" {
+		evs := f.RequestEvents(req)
+		if evs == nil {
+			evs = []obs.Event{}
+		}
+		payload, err = json.MarshalIndent(struct {
+			Total  uint64      `json:"total"`
+			Events []obs.Event `json:"events"`
+		}{f.Total(), evs}, "", "  ")
+	} else {
+		payload, err = f.JSON(n)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+	io.WriteString(w, "\n")
 }
 
 // rewriteStatus maps a pipeline failure to an HTTP status: 422 when the

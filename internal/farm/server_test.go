@@ -4,14 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cc"
 	"repro/internal/farm"
+	"repro/internal/harden"
 	"repro/internal/obs"
 	"repro/internal/prog"
 )
@@ -30,32 +34,40 @@ func newTestServer(t *testing.T, cfg farm.Config, opts farm.ServerOptions) (*far
 	return p, srv
 }
 
-// goldenMetrics is the full /metrics payload of a fresh surid server
-// (Workers 2, QueueDepth 4, nothing submitted yet). Every farm series
-// is pre-registered, so the export is byte-stable: names sorted, all
-// counters zero, gauges reflecting the pool configuration.
-const goldenMetrics = "counters:\n" +
-	"  farm.cache_disk_hits                              0\n" +
-	"  farm.cache_hits                                   0\n" +
-	"  farm.cache_misses                                 0\n" +
-	"  farm.cache_write_errors                           0\n" +
-	"  farm.http_errors                                  0\n" +
-	"  farm.http_rejected                                0\n" +
-	"  farm.http_requests                                0\n" +
-	"  farm.jobs_canceled                                0\n" +
-	"  farm.jobs_completed                               0\n" +
-	"  farm.jobs_failed                                  0\n" +
-	"  farm.jobs_submitted                               0\n" +
-	"  farm.panics                                       0\n" +
-	"  farm.retries                                      0\n" +
-	"  farm.timeouts                                     0\n" +
-	"  farm.verdict_degraded                             0\n" +
-	"  farm.verdict_fallback                             0\n" +
-	"  farm.verdict_validated                            0\n" +
-	"gauges:\n" +
-	"  farm.http_inflight                                0\n" +
-	"  farm.queue_depth                                  4\n" +
-	"  farm.workers                                      2\n"
+// goldenCounterNames are the farm counters pre-registered on a fresh
+// surid server, in export (sorted) order.
+var goldenCounterNames = []string{
+	"farm.cache_disk_hits", "farm.cache_hits", "farm.cache_misses",
+	"farm.cache_write_errors", "farm.http_errors", "farm.http_rejected",
+	"farm.http_requests", "farm.jobs_canceled", "farm.jobs_completed",
+	"farm.jobs_failed", "farm.jobs_submitted", "farm.panics",
+	"farm.retries", "farm.timeouts", "farm.verdict_degraded",
+	"farm.verdict_fallback", "farm.verdict_validated",
+}
+
+// goldenPrometheus renders the expected /metrics payload of a fresh
+// surid server (Workers 2, QueueDepth 4, nothing submitted yet): every
+// farm series pre-registered, names sanitized to the Prometheus
+// grammar, all counters zero, gauges reflecting the pool configuration,
+// and the all-zero request-latency histogram with one cumulative bucket
+// per obs.LatencyBounds entry.
+func goldenPrometheus() string {
+	var b strings.Builder
+	prom := func(name string) string { return strings.ReplaceAll(name, ".", "_") }
+	for _, name := range goldenCounterNames {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s 0\n", prom(name), prom(name))
+	}
+	fmt.Fprintf(&b, "# TYPE farm_http_inflight gauge\nfarm_http_inflight 0\n")
+	fmt.Fprintf(&b, "# TYPE farm_queue_depth gauge\nfarm_queue_depth 4\n")
+	fmt.Fprintf(&b, "# TYPE farm_workers gauge\nfarm_workers 2\n")
+	fmt.Fprintf(&b, "# TYPE farm_http_request_ns histogram\n")
+	for _, bound := range obs.LatencyBounds {
+		fmt.Fprintf(&b, "farm_http_request_ns_bucket{le=\"%d\"} 0\n", bound)
+	}
+	b.WriteString("farm_http_request_ns_bucket{le=\"+Inf\"} 0\n")
+	b.WriteString("farm_http_request_ns_sum 0\nfarm_http_request_ns_count 0\n")
+	return b.String()
+}
 
 func TestServerGoldenMetricsAndHealthz(t *testing.T) {
 	_, srv := newTestServer(t, farm.Config{Workers: 2, QueueDepth: 4}, farm.ServerOptions{})
@@ -64,23 +76,49 @@ func TestServerGoldenMetricsAndHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
+	var health farm.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(body) != "{\"status\":\"ok\"}\n" {
-		t.Fatalf("healthz: status %d body %q", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", resp.StatusCode)
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("healthz Content-Type = %q", ct)
+	}
+	if health.Status != "ok" || health.Draining {
+		t.Fatalf("healthz: %+v, want status ok, not draining", health)
+	}
+	if health.GoVersion != runtime.Version() || health.Workers != 2 || health.MaxInflight != 8 {
+		t.Fatalf("healthz fields: %+v", health)
+	}
+	if health.UptimeNS < 0 || health.Inflight != 0 || health.Requests != 0 {
+		t.Fatalf("healthz gauges: %+v", health)
 	}
 
 	resp, err = http.Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("metrics Content-Type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	if string(body) != goldenPrometheus() {
+		t.Fatalf("fresh /metrics drifted from golden:\ngot:\n%s\nwant:\n%s", body, goldenPrometheus())
+	}
+
+	// The human-readable obs dump stays reachable behind ?format=text.
+	resp, err = http.Get(srv.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if string(body) != goldenMetrics {
-		t.Fatalf("fresh /metrics drifted from golden:\ngot:\n%s\nwant:\n%s", body, goldenMetrics)
+	if !strings.HasPrefix(string(body), "counters:\n") || !strings.Contains(string(body), "farm.http_requests") {
+		t.Fatalf("?format=text payload unexpected:\n%s", body)
 	}
 
 	// Wrong method on a known path must not be routed.
@@ -91,6 +129,57 @@ func TestServerGoldenMetricsAndHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /rewrite: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerDrainTransition: SetDraining flips /healthz from 200/"ok"
+// to 503/"draining" and back without interrupting request serving —
+// the handoff a load balancer needs during a rolling restart.
+func TestServerDrainTransition(t *testing.T) {
+	p := farm.New(farm.Config{Workers: 1, Obs: obs.New()})
+	server := farm.NewServer(p, farm.ServerOptions{})
+	srv := httptest.NewServer(server)
+	t.Cleanup(func() {
+		srv.Close()
+		p.Close()
+	})
+
+	get := func() (int, farm.HealthResponse) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h farm.HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get(); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("fresh server: %d %q, want 200 ok", code, h.Status)
+	}
+	server.SetDraining(true)
+	code, h := get()
+	if code != http.StatusServiceUnavailable || h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining server: %d %+v, want 503 draining", code, h)
+	}
+	// A draining server still serves (the pool drains in-flight work
+	// during Shutdown; health is advisory for the balancer only).
+	resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream",
+		bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("draining POST /rewrite: status %d, want 422", resp.StatusCode)
+	}
+	server.SetDraining(false)
+	if code, h := get(); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("undrained server: %d %q, want 200 ok", code, h.Status)
 	}
 }
 
@@ -434,5 +523,203 @@ func TestServerMaxInflight(t *testing.T) {
 	}
 	if _, err := blocker.Wait(context.Background()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServerRequestIDsAndTrace: the server echoes a client-supplied
+// X-Suri-Request-Id (or mints one), and ?trace=1 attaches the
+// request-scoped span tree — root "rewrite" with the Fig. 4 stages as
+// children — to the response.
+func TestServerRequestIDsAndTrace(t *testing.T) {
+	_, srv := newTestServer(t, farm.Config{Workers: 2, Obs: obs.New()}, farm.ServerOptions{})
+	bin := testBinary(t)
+
+	req, err := http.NewRequest("POST", srv.URL+"/rewrite?trace=1", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(farm.RequestIDHeader, "req-abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced POST: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(farm.RequestIDHeader); got != "req-abc" {
+		t.Fatalf("request ID not echoed: %q", got)
+	}
+	var out farm.RewriteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trace) == 0 {
+		t.Fatal("?trace=1 response carries no trace")
+	}
+	var spans []struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(out.Trace, &spans); err != nil {
+		t.Fatalf("trace is not a span forest: %v\n%s", err, out.Trace)
+	}
+	if len(spans) != 1 || spans[0].Name != "rewrite" {
+		t.Fatalf("trace roots = %+v, want single \"rewrite\" root", spans)
+	}
+	stages := map[string]bool{}
+	for _, c := range spans[0].Children {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{"cfg", "serialize", "repair", "symbolize", "emit"} {
+		if !stages[want] {
+			t.Fatalf("trace missing stage span %q (got %v)", want, stages)
+		}
+	}
+
+	// An untraced request omits the span tree and gets a server-minted ID.
+	resp2, out2 := postRewrite(t, srv.URL, bin)
+	if len(out2.Trace) != 0 {
+		t.Fatal("untraced response carries a trace")
+	}
+	if got := resp2.Header.Get(farm.RequestIDHeader); got == "" {
+		t.Fatal("server did not mint a request ID")
+	}
+}
+
+// TestServerFlightEndpoint: with a flight recorder enabled, /debug/flight
+// replays the retained events — including the stage_error of a
+// fault-injected pipeline failure, tagged with the failing request's ID.
+func TestServerFlightEndpoint(t *testing.T) {
+	col := obs.New().EnableFlight(256)
+	_, srv := newTestServer(t, farm.Config{Workers: 1, Obs: col}, farm.ServerOptions{})
+	bin := testBinary(t)
+
+	// A clean rewrite first: stage + request events land in the ring.
+	resp, _ := postRewrite(t, srv.URL, bin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean POST: status %d", resp.StatusCode)
+	}
+
+	// Inject a repair-stage fault and fail one request under a known ID.
+	disarm := harden.NewPlan(harden.Fault{Point: harden.FPRepair}).Arm()
+	req, err := http.NewRequest("POST", srv.URL+"/rewrite", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(farm.RequestIDHeader, "req-fault")
+	failResp, err := http.DefaultClient.Do(req)
+	disarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	failResp.Body.Close()
+	if failResp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("injected fault: status %d, want 422", failResp.StatusCode)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/debug/flight?n=64")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight: status %d", code)
+	}
+	var dump struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("flight payload: %v\n%s", err, body)
+	}
+	if dump.Total == 0 || len(dump.Events) == 0 {
+		t.Fatalf("flight ring empty: %+v", dump)
+	}
+	var sawStage, sawStageError, sawRequest bool
+	for _, e := range dump.Events {
+		switch e.Kind {
+		case "stage":
+			sawStage = true
+		case "stage_error":
+			if e.Name == "repair" && e.Req == "req-fault" {
+				sawStageError = true
+			}
+		case "request":
+			sawRequest = true
+		}
+	}
+	if !sawStage || !sawStageError || !sawRequest {
+		t.Fatalf("flight dump missing kinds (stage=%v stage_error=%v request=%v):\n%s",
+			sawStage, sawStageError, sawRequest, body)
+	}
+
+	// Per-request filtering returns only the failing request's capture.
+	code, body = get("/debug/flight?req=req-fault")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight?req=: status %d", code)
+	}
+	dump.Events = nil
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) == 0 {
+		t.Fatal("per-request flight capture empty")
+	}
+	for _, e := range dump.Events {
+		if e.Req != "req-fault" {
+			t.Fatalf("foreign event in per-request capture: %+v", e)
+		}
+	}
+
+	if code, _ := get("/debug/flight?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad n: status %d, want 400", code)
+	}
+}
+
+// TestServerFlightDisabled: without a recorder the endpoint 404s
+// instead of pretending an empty ring is a healthy one.
+func TestServerFlightDisabled(t *testing.T) {
+	_, srv := newTestServer(t, farm.Config{Workers: 1, Obs: obs.New()}, farm.ServerOptions{})
+	resp, err := http.Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flightless /debug/flight: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerPprofGate: the profiling endpoints exist only when opted in.
+func TestServerPprofGate(t *testing.T) {
+	_, off := newTestServer(t, farm.Config{Workers: 1}, farm.ServerOptions{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, farm.Config{Workers: 1}, farm.ServerOptions{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof on: status %d body %.80s", resp.StatusCode, body)
 	}
 }

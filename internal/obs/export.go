@@ -71,7 +71,8 @@ func (r *Registry) Text() string {
 	if len(snap.Histograms) > 0 {
 		b.WriteString("histograms:\n")
 		for _, h := range snap.Histograms {
-			fmt.Fprintf(&b, "  %-38s count=%d sum=%d", h.Name, h.Count, h.Sum)
+			fmt.Fprintf(&b, "  %-38s count=%d sum=%d p50=%d p95=%d p99=%d",
+				h.Name, h.Count, h.Sum, h.P50, h.P95, h.P99)
 			for i, n := range h.Counts {
 				if i < len(h.Bounds) {
 					fmt.Fprintf(&b, " le%d:%d", h.Bounds[i], n)
@@ -116,6 +117,19 @@ func toSpanJSON(s *Span) spanJSON {
 type exportJSON struct {
 	Spans   []spanJSON `json:"spans"`
 	Metrics Snapshot   `json:"metrics"`
+}
+
+// JSON renders the trace's span forest alone as indented deterministic
+// JSON — the `?trace=1` response payload of a request-scoped trace.
+func (t *Trace) JSON() ([]byte, error) {
+	if t == nil {
+		return []byte("[]"), nil
+	}
+	spans := []spanJSON{}
+	for _, root := range t.Roots() {
+		spans = append(spans, toSpanJSON(root))
+	}
+	return json.MarshalIndent(spans, "", "  ")
 }
 
 // JSON renders the span tree and metric snapshot as indented,

@@ -42,6 +42,10 @@ func fixtureCollector() *Collector {
 	h.Observe(1)
 	h.Observe(2)
 	h.Observe(7)
+	lat := reg.LatencyHistogram("farm.request_ns")
+	for _, ns := range []int64{1500, 90_000, 110_000, 130_000, 2_000_000} {
+		lat.Observe(ns)
+	}
 	return c
 }
 
@@ -64,6 +68,10 @@ func checkGolden(t *testing.T, name string, got []byte) {
 
 func TestTextExporterGolden(t *testing.T) {
 	checkGolden(t, "export.txt", []byte(fixtureCollector().Text()))
+}
+
+func TestPrometheusExporterGolden(t *testing.T) {
+	checkGolden(t, "prometheus.txt", []byte(fixtureCollector().Metrics().Prometheus()))
 }
 
 func TestJSONExporterGolden(t *testing.T) {

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRingWrap fills a small ring past capacity and checks that
+// the retained window is the newest events, oldest-first, with gapless
+// sequence numbers and the total still counting everything.
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlight(4, &FakeClock{Step: 1})
+	for i := 0; i < 10; i++ {
+		f.Record(Event{Kind: "stage", Name: string(rune('a' + i))})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total = %d, want 10", f.Total())
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(7 + i)
+		wantName := string(rune('a' + 6 + i))
+		if e.Seq != wantSeq || e.Name != wantName {
+			t.Fatalf("event %d = seq %d name %q, want seq %d name %q", i, e.Seq, e.Name, wantSeq, wantName)
+		}
+		if e.T != int64(6+i) {
+			t.Fatalf("event %d time %d, want %d", i, e.T, 6+i)
+		}
+	}
+	if last := f.Last(2); len(last) != 2 || last[1].Seq != 10 {
+		t.Fatalf("Last(2) = %+v", last)
+	}
+	if all := f.Last(0); len(all) != 4 {
+		t.Fatalf("Last(0) = %d events, want 4", len(all))
+	}
+}
+
+// TestFlightRequestScope routes events through request-scoped collector
+// views and checks that tagging and per-request filtering work.
+func TestFlightRequestScope(t *testing.T) {
+	c := NewWithClock(&FakeClock{Step: 1}).EnableFlight(16)
+	r1 := c.WithRequest("r1")
+	r2 := c.WithRequest("r2").MetricsOnly() // views must keep the scope
+	r1.Record(Event{Kind: "stage", Name: "cfg"})
+	r2.Record(Event{Kind: "stage", Name: "cfg"})
+	r1.Record(Event{Kind: "stage_error", Name: "emit", Detail: "boom"})
+	c.Record(Event{Kind: "request", Name: "/rewrite"})
+
+	got := c.Flight().RequestEvents("r1")
+	if len(got) != 2 || got[0].Name != "cfg" || got[1].Detail != "boom" {
+		t.Fatalf("r1 events = %+v", got)
+	}
+	if got := c.Flight().RequestEvents("r2"); len(got) != 1 {
+		t.Fatalf("r2 events = %+v", got)
+	}
+	if c.Flight().Total() != 4 {
+		t.Fatalf("total = %d, want 4", c.Flight().Total())
+	}
+	// The request-scoped view owns a private trace; spans started there
+	// must not appear on the shared collector's trace.
+	s := r1.Trace().Start("rewrite")
+	s.End()
+	if len(c.Trace().Roots()) != 0 {
+		t.Fatal("request-scoped span leaked into the shared trace")
+	}
+	if len(r1.Trace().Roots()) != 1 {
+		t.Fatal("request-scoped trace lost its span")
+	}
+}
+
+// TestFlightJSONDeterministic renders the ring twice on a fake clock
+// and requires byte equality plus the documented shape.
+func TestFlightJSONDeterministic(t *testing.T) {
+	build := func() *Flight {
+		f := NewFlight(8, &FakeClock{Step: 1000})
+		f.Record(Event{Kind: "stage", Name: "cfg", Dur: 420})
+		f.Record(Event{Kind: "stage_error", Name: "emit", Detail: "injected", Req: "r7"})
+		return f
+	}
+	a, err := build().JSON(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().JSON(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("flight JSON nondeterministic")
+	}
+	var out struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(a, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 2 || len(out.Events) != 2 || out.Events[1].Req != "r7" {
+		t.Fatalf("flight JSON shape wrong: %s", a)
+	}
+	if !strings.Contains(string(a), "\"kind\": \"stage_error\"") {
+		t.Fatalf("stage_error event missing: %s", a)
+	}
+}
+
+// TestFlightConcurrent hammers one ring from many goroutines (run under
+// -race via scripts/check.sh): the total must be exact and the retained
+// window must hold gapless, strictly increasing sequence numbers.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64, nil)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(Event{Kind: "stage", Name: "cfg"})
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", f.Total(), workers*per)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("sequence gap: %d -> %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != workers*per {
+		t.Fatalf("newest seq = %d, want %d", evs[len(evs)-1].Seq, workers*per)
+	}
+}
+
+// TestQuantileEstimates checks the bucket-walking estimator against
+// hand-computed values, including the overflow-bucket lower bound.
+func TestQuantileEstimates(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []int64{100, 200, 400})
+	for i := 0; i < 50; i++ {
+		h.Observe(50) // le100
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(150) // le200
+	}
+	for i := 0; i < 15; i++ {
+		h.Observe(300) // le400
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(10_000) // overflow
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("p50 = %d, want 100 (upper edge of the first bucket)", got)
+	}
+	// rank 95 lands exactly at the top of le400.
+	if got := h.Quantile(0.95); got != 400 {
+		t.Fatalf("p95 = %d, want 400", got)
+	}
+	// Overflow bucket: estimate is pinned to the last bound.
+	if got := h.Quantile(0.999); got != 400 {
+		t.Fatalf("p999 = %d, want 400", got)
+	}
+	// rank 40 is halfway through the 50-observation first bucket.
+	if got := h.Quantile(0.4); got != 80 {
+		t.Fatalf("p40 = %d, want 80", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// Snapshot carries the same estimates.
+	snap := reg.Snapshot().Histograms[0]
+	if snap.P50 != 100 || snap.P95 != 400 || snap.Quantile(0.4) != 80 {
+		t.Fatalf("snapshot quantiles wrong: %+v", snap)
+	}
+}
+
+// TestLatencyHistogramBounds pins the shared latency bucket layout: log
+// spaced, first bound 1µs, covering >100s, and shared by name.
+func TestLatencyHistogramBounds(t *testing.T) {
+	if LatencyBounds[0] != 1024 {
+		t.Fatalf("first bound = %d, want 1024", LatencyBounds[0])
+	}
+	last := LatencyBounds[len(LatencyBounds)-1]
+	if last < 100_000_000_000 {
+		t.Fatalf("last bound = %d, want >= 100s", last)
+	}
+	for i := 1; i < len(LatencyBounds); i++ {
+		if LatencyBounds[i] != 2*LatencyBounds[i-1] {
+			t.Fatalf("bounds not log-spaced at %d", i)
+		}
+	}
+	reg := NewRegistry()
+	if reg.LatencyHistogram("x") != reg.Histogram("x", nil) {
+		t.Fatal("latency histogram identity broken")
+	}
+}

@@ -69,14 +69,114 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// values from the bucket counts: it walks to the bucket holding the
+// target rank and interpolates linearly inside it. Observations in the
+// overflow bucket are credited to the last bound (the estimate is a
+// lower bound there). Returns 0 for an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantile(h.bounds, counts, total, q)
+}
+
+// quantile is the shared bucket-walking estimator used by Histogram.
+// Quantile and HistogramSnapshot.Quantile.
+func quantile(bounds, counts []int64, total int64, q float64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - float64(prev)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + int64(frac*float64(hi-lo))
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
+// LatencyBounds are the log-spaced (powers-of-two) nanosecond bucket
+// bounds used for every latency histogram: 1µs up to ~137s. 28 buckets
+// give ~2x worst-case quantile resolution across the whole range, which
+// is what p50/p99/p999 curves need — exact latencies never matter past
+// their order of magnitude.
+var LatencyBounds = func() []int64 {
+	bounds := make([]int64, 0, 28)
+	for ns := int64(1 << 10); ns <= 1<<37; ns <<= 1 {
+		bounds = append(bounds, ns)
+	}
+	return bounds
+}()
+
+// LatencyHistogram returns the named histogram on the shared log-spaced
+// LatencyBounds, creating it if needed — the one constructor every
+// duration-valued series uses, so /metrics exposes comparable curves.
+func (r *Registry) LatencyHistogram(name string) *Histogram {
+	return r.Histogram(name, LatencyBounds)
+}
+
 // HistogramSnapshot is a consistent-enough copy of a histogram for
-// export: per-bucket counts aligned with Bounds plus one overflow slot.
+// export: per-bucket counts aligned with Bounds plus one overflow slot,
+// and the p50/p95/p99 estimates derived from them.
 type HistogramSnapshot struct {
 	Name   string  `json:"name"`
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"`
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile from the snapshot's bucket counts
+// (same estimator as Histogram.Quantile).
+func (hs *HistogramSnapshot) Quantile(q float64) int64 {
+	return quantile(hs.Bounds, hs.Counts, hs.Count, q)
 }
 
 // Registry names and owns metrics. Lookup creates on first use; the
@@ -187,6 +287,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.buckets {
 			hs.Counts[i] = h.buckets[i].Load()
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })

@@ -17,12 +17,15 @@
 // identical to the pre-obs pipeline.
 package obs
 
-// Collector bundles a trace and a metric registry sharing one clock.
-// A nil *Collector disables all collection at zero cost.
+// Collector bundles a trace, a metric registry, and an optional flight
+// recorder sharing one clock. A nil *Collector disables all collection
+// at zero cost.
 type Collector struct {
-	clock Clock
-	trace *Trace
-	reg   *Registry
+	clock  Clock
+	trace  *Trace
+	reg    *Registry
+	flight *Flight
+	req    string
 }
 
 // New returns a collector on the system monotonic clock.
@@ -53,16 +56,70 @@ func (c *Collector) Metrics() *Registry {
 	return c.reg
 }
 
-// MetricsOnly returns a view of the collector that shares its registry
-// and clock but has tracing disabled. Concurrent pipeline runs pass
-// this to core.Rewrite: the stack-nested stage spans of many parallel
-// rewrites would interleave meaninglessly, while their metrics still
-// aggregate safely through the shared atomic registry. Nil-safe.
+// MetricsOnly returns a view of the collector that shares its registry,
+// flight recorder, and clock but has tracing disabled. Concurrent
+// pipeline runs pass this to core.Rewrite: the stack-nested stage spans
+// of many parallel rewrites would interleave meaninglessly, while their
+// metrics and flight events still aggregate safely through the shared
+// atomic registry and ring. Nil-safe.
 func (c *Collector) MetricsOnly() *Collector {
 	if c == nil {
 		return nil
 	}
-	return &Collector{clock: c.clock, reg: c.reg}
+	return &Collector{clock: c.clock, reg: c.reg, flight: c.flight, req: c.req}
+}
+
+// EnableFlight attaches a flight recorder retaining the last capacity
+// events (no-op on a nil collector, or when one is already attached).
+// Views created afterwards share the recorder; existing views do not.
+func (c *Collector) EnableFlight(capacity int) *Collector {
+	if c != nil && c.flight == nil {
+		c.flight = NewFlight(capacity, c.clock)
+	}
+	return c
+}
+
+// Flight returns the collector's flight recorder, or nil when c is nil
+// or no recorder was enabled.
+func (c *Collector) Flight() *Flight {
+	if c == nil {
+		return nil
+	}
+	return c.flight
+}
+
+// Request returns the request ID this collector view is scoped to.
+func (c *Collector) Request() string {
+	if c == nil {
+		return ""
+	}
+	return c.req
+}
+
+// WithRequest returns a request-scoped view: a fresh private trace (so
+// one request's span tree never interleaves with another's) over the
+// shared registry, flight recorder, and clock, with every flight event
+// recorded through the view tagged with the request ID. Nil-safe.
+func (c *Collector) WithRequest(id string) *Collector {
+	if c == nil {
+		return nil
+	}
+	return &Collector{clock: c.clock, trace: NewTrace(c.clock), reg: c.reg, flight: c.flight, req: id}
+}
+
+// Record forwards a flight event through the collector, tagging it with
+// the collector's request scope. A nil collector — or one without a
+// recorder — ignores the call at the cost of one pointer test; the
+// Event argument lives on the caller's stack, so the disabled path
+// allocates nothing.
+func (c *Collector) Record(e Event) {
+	if c == nil || c.flight == nil {
+		return
+	}
+	if e.Req == "" {
+		e.Req = c.req
+	}
+	c.flight.Record(e)
 }
 
 // Clock returns the collector's clock, or nil when c is nil.

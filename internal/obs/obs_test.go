@@ -122,7 +122,8 @@ func TestConcurrentCounters(t *testing.T) {
 }
 
 // TestNilPathZeroAlloc: the entire disabled path — nil collector, nil
-// trace, nil spans, nil metrics — must allocate nothing.
+// trace, nil spans, nil metrics, nil flight recorder — must allocate
+// nothing.
 func TestNilPathZeroAlloc(t *testing.T) {
 	var c *Collector
 	n := testing.AllocsPerRun(200, func() {
@@ -135,10 +136,28 @@ func TestNilPathZeroAlloc(t *testing.T) {
 		reg.Counter("a").Add(3)
 		reg.Gauge("g").Set(2)
 		reg.Histogram("h", nil).Observe(5)
+		reg.LatencyHistogram("l").Observe(7)
+		c.Record(Event{Kind: "stage", Name: "cfg", Dur: 1})
+		c.Flight().Record(Event{Kind: "stage"})
+		_ = c.Flight().Total()
 		_ = c.Text()
 	})
 	if n != 0 {
 		t.Fatalf("nil path allocated %.1f objects per run, want 0", n)
+	}
+}
+
+// TestFlightlessCollectorZeroAlloc: a live collector WITHOUT a flight
+// recorder must also record events allocation-free — that is the
+// "disabled recorder" configuration benchmarked in BENCH_obs.json.
+func TestFlightlessCollectorZeroAlloc(t *testing.T) {
+	c := New().MetricsOnly()
+	n := testing.AllocsPerRun(200, func() {
+		c.Record(Event{Kind: "stage", Name: "cfg", Dur: 1})
+		c.Flight().Record(Event{Kind: "stage"})
+	})
+	if n != 0 {
+		t.Fatalf("flightless Record allocated %.1f objects per run, want 0", n)
 	}
 }
 

@@ -148,6 +148,18 @@ func (s *Span) Duration() int64 {
 	return s.Stop - s.Start
 }
 
+// OpenSpans returns the number of spans on the open-span stack — zero
+// after a well-behaved pipeline run, whatever path it exited through.
+// The harden matrix test asserts this after every injected fault.
+func (t *Trace) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stack)
+}
+
 // Roots returns the completed top-level spans in start order.
 func (t *Trace) Roots() []*Span {
 	if t == nil {

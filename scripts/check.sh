@@ -26,10 +26,16 @@ fi
 go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/core/... ./internal/farm/... \
-    ./internal/harden/... ./internal/elfx/... ./internal/instr/...
+    ./internal/harden/... ./internal/elfx/... ./internal/instr/... ./cmd/surimon/...
 go test -race -run 'Plane|Frozen|Shared' ./internal/x86/... ./internal/cfg/...
 go test -run 'Allocs$' -count=1 ./internal/x86/... ./internal/emu/...
-go test -run '^$' -bench 'Benchmark(Rewrite|RewriteLegacy)$' -benchtime=1x . >/dev/null
+# Observability gates: the disabled paths (nil collector, live collector
+# without a flight recorder) must stay allocation-free, and the wire
+# formats (Prometheus exposition, flight JSON, trace JSON) must match
+# their goldens.
+go test -run 'ZeroAlloc$' -count=1 ./internal/obs/
+go test -run 'Golden|Flight|Quantile' -count=1 ./internal/obs/ ./internal/emu/
+go test -run '^$' -bench 'Benchmark(Rewrite|RewriteLegacy|RewriteFlight)$' -benchtime=1x . >/dev/null
 go test -run '^$' -bench 'BenchmarkInstr(Rewrite|Run)(None|Coverage)$' -benchtime=1x \
     ./internal/instr >/dev/null
 go test -run 'TestCoverageArtifact' -count=1 ./internal/instr >/dev/null

@@ -32,6 +32,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/harden"
 	"repro/internal/instr"
+	"repro/internal/obs"
 	"repro/internal/serialize"
 )
 
@@ -180,6 +181,24 @@ type ValidateOptions = core.ValidateOptions
 // ValidatedResult is a guarded rewrite outcome: the binary to ship
 // (original bytes on fallback), the verdict, and attempt accounting.
 type ValidatedResult = core.ValidatedResult
+
+// Collector is the observability bundle Options.Obs accepts: a span
+// trace, a metric registry, and an optional flight recorder. A nil
+// *Collector disables all collection at zero cost; EnableFlight
+// attaches the bounded always-on event ring a service wants for crash
+// forensics.
+type Collector = obs.Collector
+
+// FlightEvent is one structured flight-recorder entry (stage
+// completions, stage errors, budget trips, cache probes, verdicts).
+type FlightEvent = obs.Event
+
+// NewCollector returns a live collector on the system monotonic clock:
+//
+//	col := suri.NewCollector().EnableFlight(4096)
+//	out, err := suri.Rewrite(binary, suri.Options{Obs: col})
+//	fmt.Print(col.Text()) // per-stage spans + pipeline metrics
+func NewCollector() *Collector { return obs.New() }
 
 // RewriteValidated is Rewrite with a safety net: it differentially
 // executes the rewritten binary against the original in the emulator,
