@@ -25,7 +25,12 @@
 //
 //	surid [-addr :8649] [-j N] [-cache-dir DIR] [-cache-entries N] [-max-inflight N]
 //	      [-max-body BYTES] [-timeout D] [-budget N] [-budget-steps N]
-//	      [-flight N] [-pprof]
+//	      [-flight N] [-pprof] [-register URL] [-advertise URL]
+//
+// -register joins a surifleet coordinator as a worker: the server posts
+// its own URL (-advertise, default derived from -addr) to the
+// coordinator's /fleet/register and keeps retrying in the background,
+// so worker and coordinator can start in either order.
 //
 // -j sets the farm's worker count (default GOMAXPROCS); -cache-dir
 // enables write-through disk persistence of rewrite artifacts, so a
@@ -54,13 +59,24 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/farm"
+	"repro/internal/fleet"
 	"repro/internal/harden"
 	"repro/internal/obs"
 )
+
+// advertiseURL derives the worker URL a coordinator should dial from
+// the listen address: a bare ":port" advertises localhost.
+func advertiseURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
 
 func main() {
 	addr := flag.String("addr", ":8649", "listen address")
@@ -75,6 +91,8 @@ func main() {
 	budgetSteps := flag.Uint64("budget-steps", 0, "default emulator-step budget per validation run (0 = pipeline default)")
 	flightEvents := flag.Int("flight", 4096, "flight recorder capacity in events (0 = disabled)")
 	enablePprof := flag.Bool("pprof", false, "serve stdlib profiling under /debug/pprof/")
+	register := flag.String("register", "", "coordinator base URL to join as a fleet worker (e.g. http://host:8650)")
+	advertise := flag.String("advertise", "", "URL the coordinator should reach this worker at (default derived from -addr)")
 	flag.Parse()
 
 	col := obs.New()
@@ -118,6 +136,24 @@ func main() {
 			log.Printf("surid: shutdown: %v", err)
 		}
 	}()
+
+	if *register != "" {
+		// Self-registration: announce this worker to the fleet
+		// coordinator once it is reachable. Retried in the background so
+		// worker and coordinator can start in either order; the
+		// coordinator's health sweep takes over from there.
+		workerURL := *advertise
+		if workerURL == "" {
+			workerURL = advertiseURL(*addr)
+		}
+		go func() {
+			if err := fleet.Register(*register, workerURL, 30, time.Second); err != nil {
+				log.Printf("surid: fleet registration with %s failed: %v", *register, err)
+				return
+			}
+			log.Printf("surid: registered with fleet %s as %s", *register, workerURL)
+		}()
+	}
 
 	log.Printf("surid: listening on %s (%d workers, cache %d entries, dir %q, flight %d)",
 		*addr, pool.Workers(), *cacheEntries, *cacheDir, *flightEvents)

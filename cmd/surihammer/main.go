@@ -1,0 +1,332 @@
+// Command surihammer is the fleet load generator: it replays the
+// evaluation corpus (every compiler x linker x optimization-level
+// configuration, 48 per host by default) against a surifleet
+// coordinator at configurable request rates and concurrency, and writes
+// the measured latency distribution and serving rates to a benchmark
+// JSON file.
+//
+// Each run appends (or replaces) one entry per QPS level under a named
+// topology, so the same output file accumulates comparable rows for
+// e.g. a 1-worker and a 3-worker fleet:
+//
+//	surihammer -fleet http://127.0.0.1:8650 -topology 1-worker \
+//	           -expect-workers 1 -qps 4,16 -duration 15s
+//	surihammer -fleet http://127.0.0.1:8650 -topology 3-worker \
+//	           -expect-workers 3 -qps 4,16 -duration 15s
+//
+// Per entry it reports p50/p99/p999 latency, achieved QPS, and the
+// cache-hit, coalesce, and degrade rates the fleet served the run with.
+// -validate-every marks every Nth request ?validate=1, which is what
+// admission control degrades under load — the degrade rate is only
+// meaningful when some requests ask for validation.
+//
+// Usage:
+//
+//	surihammer [-fleet URL] [-topology NAME] [-expect-workers N]
+//	           [-qps N,N,...] [-concurrency N] [-duration D]
+//	           [-scale F] [-host all] [-validate-every N]
+//	           [-out BENCH_scale.json] [-fresh]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/farm"
+	"repro/internal/fleet"
+)
+
+// Entry is one measured load level: a (topology, qps) cell of the
+// scale benchmark.
+type Entry struct {
+	Topology     string  `json:"topology"`
+	Workers      int     `json:"workers"`
+	QPSTarget    float64 `json:"qps_target"`
+	QPSAchieved  float64 `json:"qps_achieved"`
+	Concurrency  int     `json:"concurrency"`
+	DurationSec  float64 `json:"duration_sec"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	Shed         int     `json:"shed"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	P999Ms       float64 `json:"p999_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CoalesceRate float64 `json:"coalesce_rate"`
+	DegradeRate  float64 `json:"degrade_rate"`
+	CorpusSize   int     `json:"corpus_size"`
+}
+
+// Report is the BENCH_scale.json document: entries accumulate across
+// runs so topologies can be compared side by side.
+type Report struct {
+	Generated string  `json:"generated"`
+	Entries   []Entry `json:"entries"`
+}
+
+type reqResult struct {
+	dur      time.Duration
+	err      bool
+	shed     bool
+	hit      bool
+	coalesce bool
+	degraded bool
+}
+
+func main() {
+	fleetURL := flag.String("fleet", "http://127.0.0.1:8650", "coordinator base URL")
+	topology := flag.String("topology", "1-worker", "label for this fleet shape in the report")
+	expectWorkers := flag.Int("expect-workers", 0, "wait until this many workers are alive before loading (0 = don't wait)")
+	qpsList := flag.String("qps", "4,16", "comma-separated request rates to run, one entry each")
+	concurrency := flag.Int("concurrency", 16, "max in-flight requests on the generator side")
+	duration := flag.Duration("duration", 15*time.Second, "wall-clock length of each QPS level")
+	scale := flag.Float64("scale", 0.03, "corpus scale factor (program sizes)")
+	host := flag.String("host", "all", "corpus host profile: all | ubuntu18.04 | ubuntu20.04")
+	validateEvery := flag.Int("validate-every", 5, "mark every Nth request ?validate=1 (0 = never)")
+	out := flag.String("out", "BENCH_scale.json", "report file to create or merge into")
+	fresh := flag.Bool("fresh", false, "discard existing report entries instead of merging")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "surihammer:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "surihammer: building corpus (scale %g, host %s)...\n", *scale, *host)
+	corpus, err := eval.BuildCorpus(*scale, eval.ConfigsFor(*host))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "surihammer: %d corpus cases\n", len(corpus))
+
+	if *expectWorkers > 0 {
+		if err := waitForWorkers(*fleetURL, *expectWorkers, time.Minute); err != nil {
+			fail(err)
+		}
+	}
+
+	var entries []Entry
+	for _, qs := range strings.Split(*qpsList, ",") {
+		qps, err := strconv.ParseFloat(strings.TrimSpace(qs), 64)
+		if err != nil || qps <= 0 {
+			fail(fmt.Errorf("bad qps %q", qs))
+		}
+		alive := aliveWorkers(*fleetURL)
+		fmt.Fprintf(os.Stderr, "surihammer: level %s @ %g qps for %s (%d workers alive)\n",
+			*topology, qps, *duration, alive)
+		e := runLevel(*fleetURL, corpus, qps, *concurrency, *duration, *validateEvery)
+		e.Topology = *topology
+		e.Workers = alive
+		e.CorpusSize = len(corpus)
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr,
+			"surihammer:   %d reqs (%d errors, %d shed)  p50 %.1fms  p99 %.1fms  p999 %.1fms  hit %.0f%%  coalesce %.0f%%  degrade %.0f%%\n",
+			e.Requests, e.Errors, e.Shed, e.P50Ms, e.P99Ms, e.P999Ms,
+			e.CacheHitRate*100, e.CoalesceRate*100, e.DegradeRate*100)
+	}
+
+	if err := mergeReport(*out, entries, *fresh); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "surihammer: wrote %s\n", *out)
+}
+
+// runLevel drives one QPS level open-loop: a ticker paces dispatch, a
+// semaphore bounds generator-side concurrency (a full semaphore skips
+// the tick and counts it as shed-by-generator backpressure).
+func runLevel(base string, corpus []eval.Case, qps float64, concurrency int, d time.Duration, validateEvery int) Entry {
+	interval := time.Duration(float64(time.Second) / qps)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	stop := time.After(d)
+	sem := make(chan struct{}, concurrency)
+	results := make(chan reqResult, 1024)
+	var collected []reqResult
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for r := range results {
+			collected = append(collected, r)
+		}
+	}()
+
+	client := &http.Client{}
+	start := time.Now()
+loop:
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			break loop
+		case <-tick.C:
+		}
+		cs := corpus[i%len(corpus)]
+		validate := validateEvery > 0 && i%validateEvery == 0
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Generator at max concurrency: the fleet is slower than the
+			// offered rate. Record the tick as backpressure, not latency.
+			results <- reqResult{err: false, shed: true}
+			continue
+		}
+		go func() {
+			defer func() { <-sem }()
+			results <- oneRequest(client, base, cs.Bin, validate)
+		}()
+	}
+	// Drain stragglers: every launched request reports exactly once.
+	for i := 0; i < cap(sem); i++ {
+		sem <- struct{}{}
+	}
+	elapsed := time.Since(start)
+	close(results)
+	<-collectDone
+
+	var lat []time.Duration
+	e := Entry{
+		QPSTarget: qps, Concurrency: concurrency,
+		DurationSec: elapsed.Seconds(),
+	}
+	for _, r := range collected {
+		if r.shed {
+			e.Shed++
+			continue
+		}
+		e.Requests++
+		if r.err {
+			e.Errors++
+			continue
+		}
+		lat = append(lat, r.dur)
+		if r.hit {
+			e.CacheHitRate++
+		}
+		if r.coalesce {
+			e.CoalesceRate++
+		}
+		if r.degraded {
+			e.DegradeRate++
+		}
+	}
+	if n := len(lat); n > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(n))
+			if i >= n {
+				i = n - 1
+			}
+			return float64(lat[i]) / float64(time.Millisecond)
+		}
+		e.P50Ms, e.P99Ms, e.P999Ms = q(0.50), q(0.99), q(0.999)
+		e.CacheHitRate /= float64(n)
+		e.CoalesceRate /= float64(n)
+		e.DegradeRate /= float64(n)
+	}
+	if e.DurationSec > 0 {
+		e.QPSAchieved = float64(e.Requests-e.Errors) / e.DurationSec
+	}
+	return e
+}
+
+func oneRequest(client *http.Client, base string, bin []byte, validate bool) reqResult {
+	url := base + "/rewrite"
+	if validate {
+		url += "?validate=1"
+	}
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		return reqResult{err: true}
+	}
+	defer resp.Body.Close()
+	var r reqResult
+	r.dur = time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return reqResult{err: true, dur: r.dur}
+	}
+	var body farm.RewriteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return reqResult{err: true, dur: r.dur}
+	}
+	r.hit = body.CacheHit
+	r.coalesce = body.Coalesced
+	r.degraded = body.Verdict == "degraded" && body.Reason != ""
+	return r
+}
+
+// waitForWorkers polls the coordinator's /healthz until the fleet has
+// the expected number of alive workers (the benchmark must not measure
+// a half-started topology).
+func waitForWorkers(base string, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if n := aliveWorkers(base); n >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet at %s did not reach %d alive workers in %s", base, want, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func aliveWorkers(base string) int {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var h fleet.FleetHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0
+	}
+	return h.WorkersAlive
+}
+
+// mergeReport folds new entries into the report file: an entry replaces
+// any previous entry with the same (topology, qps_target), so re-runs
+// refresh cells in place and different topologies accumulate.
+func mergeReport(path string, entries []Entry, fresh bool) error {
+	var rep Report
+	if !fresh {
+		if data, err := os.ReadFile(path); err == nil {
+			json.Unmarshal(data, &rep)
+		}
+	}
+	for _, e := range entries {
+		replaced := false
+		for i, old := range rep.Entries {
+			if old.Topology == e.Topology && old.QPSTarget == e.QPSTarget {
+				rep.Entries[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	sort.SliceStable(rep.Entries, func(i, j int) bool {
+		if rep.Entries[i].Topology != rep.Entries[j].Topology {
+			return rep.Entries[i].Topology < rep.Entries[j].Topology
+		}
+		return rep.Entries[i].QPSTarget < rep.Entries[j].QPSTarget
+	})
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -203,6 +203,51 @@ func Render(prev, cur *Sample, flight *FlightDump) string {
 			cur.Counts[metric], time.Duration(cur.Quantile(metric, 0.50)))
 	}
 
+	// Fleet coordinator frame: only a surifleet scrape carries the
+	// fleet_workers gauge, so plain surid frames stay unchanged.
+	if _, isFleet := cur.Scalars["fleet_workers"]; isFleet {
+		fmt.Fprintf(&b, "fleet      workers=%d alive=%d inflight=%d draining=%d\n",
+			cur.Scalars["fleet_workers"], cur.Scalars["fleet_workers_alive"],
+			cur.Scalars["fleet_inflight"], cur.Scalars["fleet_draining"])
+		fmt.Fprintf(&b, "fleet req  requests=%s batches=%s shed=%s degraded=%s coalesced=%s rehash=%s\n",
+			delta(prev, cur, "fleet_requests"), delta(prev, cur, "fleet_batches"),
+			delta(prev, cur, "fleet_shed"), delta(prev, cur, "fleet_degraded"),
+			delta(prev, cur, "fleet_coalesced"), delta(prev, cur, "fleet_rehash"))
+		fhits := cur.Scalars["fleet_cache_hits"]
+		fdisk := cur.Scalars["fleet_cache_disk_hits"]
+		fmisses := cur.Scalars["fleet_cache_misses"]
+		fratio := 0.0
+		if fhits+fmisses > 0 {
+			fratio = float64(fhits) / float64(fhits+fmisses)
+		}
+		fmt.Fprintf(&b, "fleet cache hits=%d disk=%d misses=%d ratio=%.2f\n",
+			fhits, fdisk, fmisses, fratio)
+		const flat = "fleet_request_ns"
+		fmt.Fprintf(&b, "fleet lat  n=%d p50=%s p99=%s p999=%s\n",
+			cur.Counts[flat],
+			time.Duration(cur.Quantile(flat, 0.50)),
+			time.Duration(cur.Quantile(flat, 0.99)),
+			time.Duration(cur.Quantile(flat, 0.999)))
+
+		// Per-worker latency and error columns, one row per registered
+		// worker, sorted by worker name.
+		var workers []string
+		for metric := range cur.Buckets {
+			if strings.HasPrefix(metric, "fleet_worker_ns_") {
+				workers = append(workers, metric)
+			}
+		}
+		sort.Strings(workers)
+		for _, metric := range workers {
+			name := strings.TrimPrefix(metric, "fleet_worker_ns_")
+			fmt.Fprintf(&b, "worker     %-4s n=%d p50=%s p99=%s errors=%d\n",
+				name, cur.Counts[metric],
+				time.Duration(cur.Quantile(metric, 0.50)),
+				time.Duration(cur.Quantile(metric, 0.99)),
+				cur.Scalars["fleet_worker_errors_"+name])
+		}
+	}
+
 	if flight != nil {
 		fmt.Fprintf(&b, "flight     total=%d retained=%d\n", flight.Total, len(flight.Events))
 		for _, e := range flight.Events {

@@ -122,6 +122,85 @@ func TestRenderGolden(t *testing.T) {
 	}
 }
 
+const fleetFixture = `# TYPE fleet_workers gauge
+fleet_workers 3
+# TYPE fleet_workers_alive gauge
+fleet_workers_alive 2
+# TYPE fleet_inflight gauge
+fleet_inflight 4
+# TYPE fleet_draining gauge
+fleet_draining 0
+# TYPE fleet_requests counter
+fleet_requests 120
+# TYPE fleet_batches counter
+fleet_batches 2
+# TYPE fleet_shed counter
+fleet_shed 1
+# TYPE fleet_degraded counter
+fleet_degraded 5
+# TYPE fleet_coalesced counter
+fleet_coalesced 30
+# TYPE fleet_rehash counter
+fleet_rehash 7
+# TYPE fleet_cache_hits counter
+fleet_cache_hits 60
+# TYPE fleet_cache_disk_hits counter
+fleet_cache_disk_hits 10
+# TYPE fleet_cache_misses counter
+fleet_cache_misses 20
+# TYPE fleet_request_ns histogram
+fleet_request_ns_bucket{le="100"} 50
+fleet_request_ns_bucket{le="200"} 80
+fleet_request_ns_bucket{le="400"} 95
+fleet_request_ns_bucket{le="+Inf"} 100
+fleet_request_ns_sum 20000
+fleet_request_ns_count 100
+# TYPE fleet_worker_ns_w0 histogram
+fleet_worker_ns_w0_bucket{le="100"} 8
+fleet_worker_ns_w0_bucket{le="+Inf"} 10
+fleet_worker_ns_w0_sum 900
+fleet_worker_ns_w0_count 10
+# TYPE fleet_worker_ns_w1 histogram
+fleet_worker_ns_w1_bucket{le="100"} 5
+fleet_worker_ns_w1_bucket{le="+Inf"} 5
+fleet_worker_ns_w1_sum 300
+fleet_worker_ns_w1_count 5
+# TYPE fleet_worker_errors_w0 counter
+fleet_worker_errors_w0 2
+# TYPE fleet_worker_errors_w1 counter
+fleet_worker_errors_w1 0
+`
+
+// TestRenderFleetGolden locks the coordinator frame: the fleet section
+// appears only when the scrape carries the fleet_workers gauge, with
+// per-worker latency rows sorted by worker name.
+func TestRenderFleetGolden(t *testing.T) {
+	cur, err := ParseProm(promFixture + fleetFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevText := strings.ReplaceAll(promFixture+fleetFixture, "fleet_requests 120", "fleet_requests 100")
+	prevText = strings.ReplaceAll(prevText, "fleet_coalesced 30", "fleet_coalesced 25")
+	prev, err := ParseProm(prevText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Render(prev, cur, nil)
+	want := "fleet      workers=3 alive=2 inflight=4 draining=0\n" +
+		"fleet req  requests=120 (+20) batches=2 (+0) shed=1 (+0) degraded=5 (+0) coalesced=30 (+5) rehash=7 (+0)\n" +
+		"fleet cache hits=60 disk=10 misses=20 ratio=0.75\n" +
+		"fleet lat  n=100 p50=100ns p99=400ns p999=400ns\n" +
+		"worker     w0   n=10 p50=62ns p99=100ns errors=2\n" +
+		"worker     w1   n=5 p50=50ns p99=99ns errors=0\n"
+	if !strings.Contains(got, want) {
+		t.Fatalf("fleet frame drifted:\ngot:\n%s\nwant fragment:\n%s", got, want)
+	}
+	// A plain surid scrape renders no fleet section.
+	if plain := Render(nil, fixtureSample(t), nil); strings.Contains(plain, "fleet") {
+		t.Fatalf("fleet section on a non-fleet scrape:\n%s", plain)
+	}
+}
+
 // TestScrapeLiveServer points the scraper at a real surid handler: the
 // Prometheus payload parses, the flight dump arrives, and a frame
 // renders without error.

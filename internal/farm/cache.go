@@ -85,6 +85,25 @@ type CacheStats struct {
 	DiskHits int64 // served from the persistence dir after a memory miss
 	Misses   int64 // served from neither
 	Evicted  int64 // artifacts dropped from memory by LRU pressure
+	Corrupt  int64 // on-disk artifacts rejected by the integrity check
+}
+
+// diskArtifact is the on-disk artifact envelope: the artifact plus a
+// SHA-256 checksum over the binary image. The disk tier is shared
+// infrastructure (multiple fleet nodes over one directory), so a
+// truncated, torn, or bit-flipped file must surface as a cache miss —
+// the pipeline then re-executes and overwrites it — never as a wrong
+// artifact or an error. A JSON parse failure catches truncation; the
+// checksum catches flips that still decode.
+type diskArtifact struct {
+	Sum    string     `json:"sum"`
+	Binary []byte     `json:"binary"`
+	Stats  core.Stats `json:"stats"`
+}
+
+func artifactSum(binary []byte) string {
+	sum := sha256.Sum256(binary)
+	return hex.EncodeToString(sum[:])
 }
 
 // Cache is a content-addressed artifact cache with LRU eviction and
@@ -131,6 +150,21 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 func (c *Cache) Get(k Key) (*Artifact, bool) {
 	art, _, ok := c.get(k)
 	return art, ok
+}
+
+// Lookup is Get plus the hit's tier (disk true when the artifact was
+// reloaded from the persistence dir rather than served from memory) —
+// the fleet coordinator uses it to account its two cache tiers apart.
+func (c *Cache) Lookup(k Key) (art *Artifact, disk, ok bool) {
+	return c.get(k)
+}
+
+// Dir returns the persistence directory ("" when memory-only).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
 }
 
 // get is Get plus the hit's source, so Pool.Rewrite can distinguish
@@ -211,7 +245,11 @@ func (c *Cache) path(k Key) string {
 	return filepath.Join(c.dir, k.String()+".json")
 }
 
-// load reads an artifact from the persistence dir.
+// load reads an artifact from the persistence dir, verifying the
+// integrity envelope. Anything unreadable — missing, truncated (parse
+// failure), checksum mismatch (bit flip), or a pre-envelope file — is
+// a miss: the caller re-executes and the next Put overwrites the bad
+// file, so corruption self-heals without ever reaching a client.
 func (c *Cache) load(k Key) (*Artifact, bool) {
 	if c.dir == "" {
 		return nil, false
@@ -220,17 +258,27 @@ func (c *Cache) load(k Key) (*Artifact, bool) {
 	if err != nil {
 		return nil, false
 	}
-	var art Artifact
-	if json.Unmarshal(data, &art) != nil {
-		return nil, false // corrupt file: treat as a miss, Put overwrites it
+	var disk diskArtifact
+	if json.Unmarshal(data, &disk) != nil || disk.Sum != artifactSum(disk.Binary) {
+		c.mu.Lock()
+		c.stat.Corrupt++
+		c.mu.Unlock()
+		// Drop the bad file eagerly so a Put-less reader (a coordinator
+		// whose request then fails) does not re-verify it forever.
+		os.Remove(c.path(k))
+		return nil, false
 	}
-	return &art, true
+	return &Artifact{Binary: disk.Binary, Stats: disk.Stats}, true
 }
 
 // store writes an artifact atomically (temp file + rename), so a
 // concurrent reader never sees a torn artifact.
 func (c *Cache) store(k Key, art *Artifact) error {
-	data, err := json.Marshal(art)
+	data, err := json.Marshal(diskArtifact{
+		Sum:    artifactSum(art.Binary),
+		Binary: art.Binary,
+		Stats:  art.Stats,
+	})
 	if err != nil {
 		return err
 	}

@@ -121,8 +121,9 @@ type Pool struct {
 	rr       atomic.Uint64 // round-robin submit counter
 	wg       sync.WaitGroup
 
-	span *obs.Span
-	reg  *obs.Registry
+	span  *obs.Span
+	reg   *obs.Registry
+	group Group[*RewriteResult] // coalesces concurrent identical rewrites
 }
 
 // counterNames are pre-registered so a fresh /metrics export already
@@ -131,7 +132,7 @@ var counterNames = []string{
 	"farm.jobs_submitted", "farm.jobs_completed", "farm.jobs_failed",
 	"farm.jobs_canceled", "farm.retries", "farm.timeouts", "farm.panics",
 	"farm.cache_hits", "farm.cache_misses", "farm.cache_disk_hits",
-	"farm.cache_write_errors",
+	"farm.cache_write_errors", "farm.coalesced",
 	"farm.verdict_validated", "farm.verdict_degraded", "farm.verdict_fallback",
 }
 

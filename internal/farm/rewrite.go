@@ -8,11 +8,13 @@ import (
 )
 
 // RewriteResult is a farm-served rewrite: the rewritten ELF image, its
-// pipeline statistics, and whether it came from the artifact cache.
+// pipeline statistics, and how it was served — from the artifact cache,
+// or coalesced onto a concurrent identical execution.
 type RewriteResult struct {
-	Binary   []byte     `json:"binary"`
-	Stats    core.Stats `json:"stats"`
-	CacheHit bool       `json:"cache_hit"`
+	Binary    []byte     `json:"binary"`
+	Stats     core.Stats `json:"stats"`
+	CacheHit  bool       `json:"cache_hit"`
+	Coalesced bool       `json:"coalesced,omitempty"`
 }
 
 // Rewrite runs the SURI pipeline over bin through the farm. Cacheable
@@ -30,7 +32,10 @@ func (p *Pool) Rewrite(ctx context.Context, bin []byte, opts core.Options) (*Rew
 	}
 	key, cacheable := Fingerprint(bin, opts)
 	cache := p.cfg.Cache
-	if cacheable && cache != nil {
+	if !cacheable || cache == nil {
+		return p.rewriteJob(ctx, bin, opts, key, false)
+	}
+	for {
 		if art, disk, ok := cache.get(key); ok {
 			p.counter("farm.cache_hits").Inc()
 			detail := "hit"
@@ -41,9 +46,36 @@ func (p *Pool) Rewrite(ctx context.Context, bin []byte, opts core.Options) (*Rew
 			opts.Obs.Record(obs.Event{Kind: "cache", Detail: detail})
 			return &RewriteResult{Binary: art.Binary, Stats: art.Stats, CacheHit: true}, nil
 		}
-		p.counter("farm.cache_misses").Inc()
-		opts.Obs.Record(obs.Event{Kind: "cache", Detail: "miss"})
+		// Coalesce concurrent identical misses onto one execution: the
+		// leader counts the miss and runs the pipeline; waiters share
+		// its artifact without queueing a job. A waiter whose leader was
+		// canceled loops back — the cache probe then catches the case
+		// where a different leader already finished.
+		res, leader, err := p.group.Do(ctx, key, func() (*RewriteResult, error) {
+			p.counter("farm.cache_misses").Inc()
+			opts.Obs.Record(obs.Event{Kind: "cache", Detail: "miss"})
+			return p.rewriteJob(ctx, bin, opts, key, true)
+		})
+		if !leader && err != nil && isCancellation(err) && ctx.Err() == nil {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !leader {
+			p.counter("farm.coalesced").Inc()
+			opts.Obs.Record(obs.Event{Kind: "cache", Detail: "coalesced"})
+			shared := *res
+			shared.Coalesced = true
+			return &shared, nil
+		}
+		return res, nil
 	}
+}
+
+// rewriteJob queues one pipeline execution on the pool and stores the
+// artifact back into the cache when store is set.
+func (p *Pool) rewriteJob(ctx context.Context, bin []byte, opts core.Options, key Key, store bool) (*RewriteResult, error) {
 	v, err := p.Do(ctx, "rewrite", func(jobCtx context.Context) (any, error) {
 		// Wire the job's context (request timeout, pool shutdown) into
 		// the pipeline so a dead client stops burning a worker.
@@ -60,8 +92,8 @@ func (p *Pool) Rewrite(ctx context.Context, bin []byte, opts core.Options) (*Rew
 	}
 	res := v.(*core.Result)
 	out := &RewriteResult{Binary: res.Binary, Stats: res.Stats}
-	if cacheable && cache != nil {
-		if perr := cache.Put(key, &Artifact{Binary: res.Binary, Stats: res.Stats}); perr != nil {
+	if store {
+		if perr := p.cfg.Cache.Put(key, &Artifact{Binary: res.Binary, Stats: res.Stats}); perr != nil {
 			// Persistence failure must not fail the rewrite; surface it
 			// on the metrics endpoint instead.
 			p.counter("farm.cache_write_errors").Inc()

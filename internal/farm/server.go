@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harden"
-	"repro/internal/instr"
 	"repro/internal/obs"
 )
 
@@ -68,13 +67,16 @@ type ServerOptions struct {
 // count, and — for anything below "validated" — the reason. With
 // ?trace=1 the request's span tree rides along under "trace".
 type RewriteResponse struct {
-	CacheHit bool            `json:"cache_hit"`
-	Stats    core.Stats      `json:"stats"`
-	Verdict  string          `json:"verdict,omitempty"`
-	Attempts int             `json:"attempts,omitempty"`
-	Reason   string          `json:"reason,omitempty"`
-	Trace    json.RawMessage `json:"trace,omitempty"`
-	Binary   []byte          `json:"binary"`
+	CacheHit  bool            `json:"cache_hit"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Source    string          `json:"source,omitempty"`
+	Worker    string          `json:"worker,omitempty"`
+	Stats     core.Stats      `json:"stats"`
+	Verdict   string          `json:"verdict,omitempty"`
+	Attempts  int             `json:"attempts,omitempty"`
+	Reason    string          `json:"reason,omitempty"`
+	Trace     json.RawMessage `json:"trace,omitempty"`
+	Binary    []byte          `json:"binary"`
 }
 
 // errorResponse is the JSON body of a failed request; Stage names the
@@ -246,6 +248,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 // accounting (err == nil means 200 was written).
 func (s *Server) serveRewrite(w http.ResponseWriter, r *http.Request, rc *obs.Collector) (int, error) {
 	fail := func(status int, err error) (int, error) {
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
 		writeError(w, status, err)
 		return status, err
 	}
@@ -269,57 +274,26 @@ func (s *Server) serveRewrite(w http.ResponseWriter, r *http.Request, rc *obs.Co
 		}
 		return fail(status, err)
 	}
-	q := r.URL.Query()
-	copts := core.Options{
-		IgnoreEhFrame: q.Get("ignore-ehframe") == "1",
-		AllowNonCET:   q.Get("allow-noncet") == "1",
-		Budget:        s.opts.Budget,
-		Obs:           rc,
-	}
-	if v := q.Get("instrument"); v != "" {
-		passes, err := instr.ParseList(v)
-		if err != nil {
-			// An unknown pass name is an instrument-stage failure from
-			// the client's perspective: 422 with the stage attached.
-			return fail(http.StatusUnprocessableEntity,
-				&core.StageError{Stage: "instrument", Err: err})
+	params, err := ParseQuery(r.URL.Query(), s.opts.Budget, s.opts.RequestTimeout)
+	if err != nil {
+		status := http.StatusBadRequest
+		var se *core.StageError
+		if errors.As(err, &se) {
+			status = http.StatusUnprocessableEntity
 		}
-		copts.Passes = passes
+		return fail(status, err)
 	}
-	if v := q.Get("budget-insts"); v != "" {
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil || n <= 0 {
-			return fail(http.StatusBadRequest, fmt.Errorf("farm: bad budget-insts %q", v))
-		}
-		copts.Budget.TotalInsts = n
-	}
-	if v := q.Get("budget-steps"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil || n == 0 {
-			return fail(http.StatusBadRequest, fmt.Errorf("farm: bad budget-steps %q", v))
-		}
-		copts.Budget.EmuSteps = n
-	}
-
-	timeout := s.opts.RequestTimeout
-	if v := q.Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			return fail(http.StatusBadRequest, fmt.Errorf("farm: bad timeout %q", v))
-		}
-		if timeout <= 0 || d < timeout {
-			timeout = d
-		}
-	}
+	copts := params.Options
+	copts.Obs = rc
 	ctx := r.Context()
-	if timeout > 0 {
+	if params.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, params.Timeout)
 		defer cancel()
 	}
 
 	var resp RewriteResponse
-	if q.Get("validate") == "1" {
+	if params.Validate {
 		vres, err := s.pool.RewriteValidated(ctx, bin, core.ValidateOptions{Options: copts})
 		if err != nil {
 			return fail(rewriteStatus(r, err), err)
@@ -336,15 +310,40 @@ func (s *Server) serveRewrite(w http.ResponseWriter, r *http.Request, rc *obs.Co
 		if err != nil {
 			return fail(rewriteStatus(r, err), err)
 		}
-		resp = RewriteResponse{CacheHit: res.CacheHit, Stats: res.Stats, Binary: res.Binary}
+		resp = RewriteResponse{
+			CacheHit: res.CacheHit, Coalesced: res.Coalesced,
+			Stats: res.Stats, Binary: res.Binary,
+		}
 	}
-	if q.Get("trace") == "1" {
+	if params.Trace {
 		if tj, jerr := rc.Trace().JSON(); jerr == nil {
 			resp.Trace = tj
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
+}
+
+// retryAfter computes the Retry-After value for a 503: the estimated
+// seconds until capacity frees, derived from the current in-flight
+// depth (the backlog drains at roughly one job per worker per job
+// latency, so backoff grows proportionally with depth) — and pinned to
+// the drain grace window while the server is draining, since capacity
+// here will never free and the client should go re-resolve its
+// balancer instead of hammering a dying process.
+func (s *Server) retryAfter() string {
+	if s.draining.Load() {
+		return "30"
+	}
+	workers := s.pool.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + len(s.inflight)/workers
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -447,11 +446,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	if status == http.StatusServiceUnavailable {
-		// The condition is transient (draining inflight slots or a pool
-		// shutdown in progress); tell well-behaved clients when to retry.
-		w.Header().Set("Retry-After", "1")
-	}
 	resp := errorResponse{Error: err.Error(), Stage: core.Stage(err)}
 	if errors.Is(err, harden.ErrBudget) || errors.Is(err, context.DeadlineExceeded) {
 		resp.Verdict = string(core.VerdictFallback)

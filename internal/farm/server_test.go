@@ -38,7 +38,7 @@ func newTestServer(t *testing.T, cfg farm.Config, opts farm.ServerOptions) (*far
 // surid server, in export (sorted) order.
 var goldenCounterNames = []string{
 	"farm.cache_disk_hits", "farm.cache_hits", "farm.cache_misses",
-	"farm.cache_write_errors", "farm.http_errors", "farm.http_rejected",
+	"farm.cache_write_errors", "farm.coalesced", "farm.http_errors", "farm.http_rejected",
 	"farm.http_requests", "farm.jobs_canceled", "farm.jobs_completed",
 	"farm.jobs_failed", "farm.jobs_submitted", "farm.panics",
 	"farm.retries", "farm.timeouts", "farm.verdict_degraded",

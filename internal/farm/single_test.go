@@ -1,0 +1,314 @@
+package farm_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+// TestGroupSequentialAndWaiterCancel: sequential calls each lead (the
+// call unmaps when fn returns), a waiter joining a blocked leader times
+// out on its own context, and releasing the leader completes it.
+func TestGroupSequentialAndWaiterCancel(t *testing.T) {
+	var g farm.Group[int]
+	k := key(9)
+	ctx := context.Background()
+
+	v, leader, err := g.Do(ctx, k, func() (int, error) { return 7, nil })
+	if v != 7 || !leader || err != nil {
+		t.Fatalf("first Do = %d leader=%v err=%v, want 7 true nil", v, leader, err)
+	}
+	v, leader, err = g.Do(ctx, k, func() (int, error) { return 8, nil })
+	if v != 8 || !leader || err != nil {
+		t.Fatalf("sequential Do must lead again: %d leader=%v err=%v", v, leader, err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		lv, _, _ := g.Do(ctx, k, func() (int, error) { close(started); <-release; return 42, nil })
+		done <- lv
+	}()
+	<-started
+	// The leader is parked inside fn, so its call is still mapped: this
+	// waiter joins it, then gives up on its own deadline.
+	wctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	_, leader, err = g.Do(wctx, k, func() (int, error) { return 0, errors.New("must not run") })
+	if leader || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked waiter: leader=%v err=%v, want waiter deadline", leader, err)
+	}
+	close(release)
+	if v := <-done; v != 42 {
+		t.Fatalf("leader value = %d, want 42", v)
+	}
+}
+
+// TestGroupLeaderCancelRetry: a waiter whose leader died of the
+// leader's own cancellation re-enters and produces a fresh result
+// instead of inheriting the foreign error.
+func TestGroupLeaderCancelRetry(t *testing.T) {
+	var g farm.Group[int]
+	k := key(10)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go g.Do(context.Background(), k, func() (int, error) {
+		close(started)
+		<-release
+		return 0, context.Canceled
+	})
+	<-started
+	waiter := make(chan int, 1)
+	go func() {
+		v, _, err := g.Do(context.Background(), k, func() (int, error) { return 99, nil })
+		if err != nil {
+			t.Errorf("retrying waiter: %v", err)
+		}
+		waiter <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	// Whether the second Do joined the doomed leader (and retried) or
+	// arrived after it unwound (and led directly), the outcome is the
+	// same: its own fn runs and succeeds.
+	if v := <-waiter; v != 99 {
+		t.Fatalf("waiter value = %d, want 99", v)
+	}
+}
+
+// TestPoolRewriteCoalesces: N concurrent identical rewrites through a
+// cold pool execute the pipeline exactly once — every interleaving
+// either coalesces onto the single leader or hits the cache the leader
+// filled — and all N artifacts are byte-exact.
+func TestPoolRewriteCoalesces(t *testing.T) {
+	bin := testBinary(t)
+	col := obs.New()
+	cache, err := farm.NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := farm.New(farm.Config{Workers: 2, Cache: cache, Obs: col})
+	defer p.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var bins [][]byte
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			res, err := p.Rewrite(context.Background(), bin, core.Options{})
+			if err != nil {
+				t.Errorf("rewrite: %v", err)
+				return
+			}
+			mu.Lock()
+			bins = append(bins, res.Binary)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	reg := col.Metrics()
+	if got := reg.Counter("farm.jobs_submitted").Value(); got != 1 {
+		t.Fatalf("pipeline executions = %d, want exactly 1", got)
+	}
+	if got := reg.Counter("farm.cache_misses").Value(); got != 1 {
+		t.Fatalf("cache misses = %d, want 1 (the leader)", got)
+	}
+	co := reg.Counter("farm.coalesced").Value()
+	hits := reg.Counter("farm.cache_hits").Value()
+	if co+hits != n-1 {
+		t.Fatalf("coalesced %d + hits %d = %d, want %d", co, hits, co+hits, n-1)
+	}
+	if len(bins) != n {
+		t.Fatalf("results = %d, want %d", len(bins), n)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bins[0], bins[i]) {
+			t.Fatalf("artifact %d differs from artifact 0", i)
+		}
+	}
+}
+
+// TestDiskTierCorruption: a truncated or bit-flipped persisted artifact
+// is a cache miss — never served, never an error — and the next Put
+// self-heals the file.
+func TestDiskTierCorruption(t *testing.T) {
+	dir := t.TempDir()
+	k := key(3)
+	path := filepath.Join(dir, k.String()+".json")
+	fresh := func() *farm.Cache {
+		t.Helper()
+		c, err := farm.NewCache(4, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	put := func() {
+		t.Helper()
+		if err := fresh().Put(k, art(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put()
+
+	// Healthy round-trip through a cold cache (memory empty → disk).
+	if a, ok := fresh().Get(k); !ok || !bytes.Equal(a.Binary, art(3).Binary) {
+		t.Fatalf("healthy disk reload failed: ok=%v", ok)
+	}
+
+	// Truncation: the envelope no longer parses.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := fresh()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("truncated artifact served from disk")
+	}
+	if st := c.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("truncated stats = %+v, want Corrupt 1 Miss 1", st)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("corrupt file not dropped")
+	}
+
+	// Put self-heals; the artifact serves again.
+	put()
+	if _, ok := fresh().Get(k); !ok {
+		t.Fatal("re-Put after truncation did not heal the disk tier")
+	}
+
+	// Bit flip inside the base64 binary payload: JSON may still parse,
+	// but the checksum must reject the altered image.
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := []byte(`"binary":"`)
+	i := bytes.Index(data, marker)
+	if i < 0 {
+		t.Fatalf("no binary field in %q", data)
+	}
+	i += len(marker)
+	if data[i] == 'A' {
+		data[i] = 'B'
+	} else {
+		data[i] = 'A'
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c = fresh()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("bit-flipped artifact served from disk")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("bit-flip stats = %+v, want Corrupt 1", st)
+	}
+
+	// And heal once more.
+	put()
+	if a, ok := fresh().Get(k); !ok || !bytes.Equal(a.Binary, art(3).Binary) {
+		t.Fatal("re-Put after bit flip did not heal the disk tier")
+	}
+}
+
+// TestRetryAfterProportional: 503 responses carry a Retry-After
+// computed from the in-flight depth (deeper backlog → longer backoff)
+// and pinned to the drain window while draining.
+func TestRetryAfterProportional(t *testing.T) {
+	col := obs.New()
+	p := farm.New(farm.Config{Workers: 1, QueueDepth: 1, Obs: col})
+	server := farm.NewServer(p, farm.ServerOptions{MaxInflight: 1})
+	srv := newHTTPServer(t, server, p)
+
+	// Park the single worker so the next /rewrite occupies the one
+	// inflight slot while waiting for it.
+	block := make(chan struct{})
+	fut, err := p.Submit(context.Background(), "block", func(context.Context) (any, error) {
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Post(srv.URL+"/rewrite", "application/octet-stream", bytes.NewReader([]byte("junk")))
+	waitFor(t, func() bool {
+		return col.Metrics().Gauge("farm.http_inflight").Value() == 1
+	})
+
+	resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	// inflight depth 1, 1 worker → 1 + 1/1 = 2 seconds.
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2 (depth-proportional)", ra)
+	}
+
+	server.SetDraining(true)
+	resp, err = http.Post(srv.URL+"/rewrite", "application/octet-stream", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ra := resp.Header.Get("Retry-After"); resp.StatusCode != http.StatusServiceUnavailable || ra != "30" {
+		t.Fatalf("draining: status %d Retry-After %q, want 503 30", resp.StatusCode, ra)
+	}
+
+	close(block)
+	if _, err := fut.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// newHTTPServer wraps a prebuilt farm.Server in an httptest server with
+// pool cleanup.
+func newHTTPServer(t *testing.T, server *farm.Server, p *farm.Pool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(server)
+	t.Cleanup(func() {
+		srv.Close()
+		p.Close()
+	})
+	return srv
+}

@@ -1,0 +1,482 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// fakeWorker is a surid stand-in: it speaks just enough of the worker
+// protocol (POST /rewrite, GET /healthz) for coordinator tests to run
+// in microseconds instead of pipeline-seconds. The rewritten artifact
+// is "rw:"+input, so routing and caching are byte-checkable.
+type fakeWorker struct {
+	srv      *httptest.Server
+	requests atomic.Int64
+	health   atomic.Int32 // 0 ok, 1 draining, 2 broken
+	gate     chan struct{}
+
+	mu        sync.Mutex
+	lastRID   string
+	lastQuery url.Values
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rewrite", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fw.mu.Lock()
+		fw.lastRID = r.Header.Get(farm.RequestIDHeader)
+		fw.lastQuery = r.URL.Query()
+		fw.mu.Unlock()
+		fw.requests.Add(1)
+		if fw.gate != nil {
+			<-fw.gate
+		}
+		resp := farm.RewriteResponse{
+			Stats:  core.Stats{Blocks: 1, RewrittenBytes: len(body)},
+			Binary: append([]byte("rw:"), body...),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		switch fw.health.Load() {
+		case 0:
+			w.WriteHeader(http.StatusOK)
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	})
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+func (fw *fakeWorker) last() (string, url.Values) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.lastRID, fw.lastQuery
+}
+
+func newCoordinator(t *testing.T, opts fleet.Options) *fleet.Coordinator {
+	t.Helper()
+	if opts.Obs == nil {
+		opts.Obs = obs.New().EnableFlight(256)
+	}
+	c, err := fleet.NewCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func serveCoordinator(t *testing.T, c *fleet.Coordinator) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(c)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postFleet(t *testing.T, base string, path string, bin []byte) (*http.Response, farm.RewriteResponse) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out farm.RewriteResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestCoordinatorRoutesAndCaches: the first rewrite forwards to the
+// owning worker; the second is served from the coordinator's memory
+// tier without touching any worker; a fresh coordinator over the same
+// cache dir serves it from disk.
+func TestCoordinatorRoutesAndCaches(t *testing.T) {
+	fw := newFakeWorker(t)
+	dir := t.TempDir()
+	c := newCoordinator(t, fleet.Options{Workers: []string{fw.srv.URL}, CacheDir: dir})
+	srv := serveCoordinator(t, c)
+	bin := []byte("prog-a")
+
+	resp, out := postFleet(t, srv.URL, "/rewrite", bin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.CacheHit || out.Source != "worker" || out.Worker != "w0" {
+		t.Fatalf("first rewrite: hit=%v source=%q worker=%q, want miss via w0", out.CacheHit, out.Source, out.Worker)
+	}
+	if !bytes.Equal(out.Binary, append([]byte("rw:"), bin...)) {
+		t.Fatalf("artifact %q", out.Binary)
+	}
+
+	_, out = postFleet(t, srv.URL, "/rewrite", bin)
+	if !out.CacheHit || out.Source != "coordinator-memory" {
+		t.Fatalf("second rewrite: hit=%v source=%q, want coordinator-memory", out.CacheHit, out.Source)
+	}
+	if fw.requests.Load() != 1 {
+		t.Fatalf("worker saw %d requests, want 1", fw.requests.Load())
+	}
+
+	// A new coordinator node sharing the disk tier starts warm.
+	c2 := newCoordinator(t, fleet.Options{Workers: []string{fw.srv.URL}, CacheDir: dir})
+	srv2 := serveCoordinator(t, c2)
+	_, out = postFleet(t, srv2.URL, "/rewrite", bin)
+	if !out.CacheHit || out.Source != "coordinator-disk" {
+		t.Fatalf("fresh node: hit=%v source=%q, want coordinator-disk", out.CacheHit, out.Source)
+	}
+	if fw.requests.Load() != 1 {
+		t.Fatalf("disk tier did not absorb the request: worker saw %d", fw.requests.Load())
+	}
+}
+
+// TestCoordinatorCoalesces: N concurrent identical rewrites cause
+// exactly one forward — the leader executes, everyone else coalesces
+// onto it or hits the cache it filled, and all N artifacts agree.
+func TestCoordinatorCoalesces(t *testing.T) {
+	fw := newFakeWorker(t)
+	fw.gate = make(chan struct{})
+	c := newCoordinator(t, fleet.Options{Workers: []string{fw.srv.URL}})
+	srv := serveCoordinator(t, c)
+	bin := []byte("prog-coalesce")
+
+	const n = 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var bins [][]byte
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := postFleet(t, srv.URL, "/rewrite", bin)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			mu.Lock()
+			bins = append(bins, out.Binary)
+			mu.Unlock()
+		}()
+	}
+	// Hold the leader inside the worker until it has arrived, then let
+	// the whole batch resolve; late goroutines become cache hits.
+	waitFor(t, func() bool { return fw.requests.Load() == 1 })
+	close(fw.gate)
+	wg.Wait()
+
+	if got := fw.requests.Load(); got != 1 {
+		t.Fatalf("worker executions = %d, want exactly 1", got)
+	}
+	reg := c.Obs().Metrics()
+	if got := reg.Counter("fleet.executions").Value(); got != 1 {
+		t.Fatalf("fleet.executions = %d, want 1", got)
+	}
+	if got := reg.Counter("fleet.cache_misses").Value(); got != 1 {
+		t.Fatalf("fleet.cache_misses = %d, want 1", got)
+	}
+	co := reg.Counter("fleet.coalesced").Value()
+	hits := reg.Counter("fleet.cache_hits").Value()
+	if co+hits != n-1 {
+		t.Fatalf("coalesced %d + hits %d = %d, want %d", co, hits, co+hits, n-1)
+	}
+	if len(bins) != n {
+		t.Fatalf("results = %d, want %d", len(bins), n)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bins[0], bins[i]) {
+			t.Fatalf("artifact %d differs", i)
+		}
+	}
+}
+
+// TestDegradeBeforeShed: under pressure a ?validate=1 request is served
+// as a plain rewrite with verdict "degraded" (never queued behind
+// validation it can't afford), and only past MaxInflight does the
+// coordinator shed with a computed Retry-After.
+func TestDegradeBeforeShed(t *testing.T) {
+	fw := newFakeWorker(t)
+	fw.gate = make(chan struct{})
+	c := newCoordinator(t, fleet.Options{
+		Workers: []string{fw.srv.URL}, MaxInflight: 1, DegradeAt: -1,
+	})
+	srv := serveCoordinator(t, c)
+
+	type result struct {
+		resp *http.Response
+		out  farm.RewriteResponse
+	}
+	first := make(chan result, 1)
+	go func() {
+		resp, out := postFleet(t, srv.URL, "/rewrite?validate=1", []byte("prog-v"))
+		first <- result{resp, out}
+	}()
+	// The degraded leader is parked inside the worker: the one inflight
+	// slot is taken, so the next request must shed.
+	waitFor(t, func() bool { return fw.requests.Load() == 1 })
+
+	resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream", bytes.NewReader([]byte("prog-other")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	close(fw.gate)
+	r := <-first
+	if r.resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded request status = %d, want 200", r.resp.StatusCode)
+	}
+	if r.out.Verdict != string(core.VerdictDegraded) || r.out.Reason == "" {
+		t.Fatalf("verdict %q reason %q, want degraded with reason", r.out.Verdict, r.out.Reason)
+	}
+	if _, q := fw.last(); q.Get("validate") == "1" {
+		t.Fatal("degraded job still asked the worker to validate")
+	}
+	reg := c.Obs().Metrics()
+	if reg.Counter("fleet.degraded").Value() != 1 || reg.Counter("fleet.shed").Value() != 1 {
+		t.Fatalf("degraded=%d shed=%d, want 1 and 1",
+			reg.Counter("fleet.degraded").Value(), reg.Counter("fleet.shed").Value())
+	}
+}
+
+// binOwnedBy crafts request bodies whose content address lands on each
+// worker of a 2-node ring, so failover tests can route deterministically.
+func binOwnedBy(t *testing.T, names []string) map[string][]byte {
+	t.Helper()
+	ring := fleet.BuildRing(names, 0)
+	out := map[string][]byte{}
+	for i := 0; len(out) < len(names) && i < 10000; i++ {
+		bin := []byte(fmt.Sprintf("prog-owned-%d", i))
+		k, ok := farm.Fingerprint(bin, core.Options{})
+		if !ok {
+			t.Fatal("uncacheable")
+		}
+		owner := ring.Owner(fleet.HashKey(k))
+		if _, dup := out[owner]; !dup {
+			out[owner] = bin
+		}
+	}
+	if len(out) != len(names) {
+		t.Fatalf("could not find keys for all of %v", names)
+	}
+	return out
+}
+
+// TestWorkerDeathFailover: a request whose owner is dead fails over to
+// the next worker on the ring, the dead worker leaves the membership,
+// and the health sweep keeps it out until it answers again.
+func TestWorkerDeathFailover(t *testing.T) {
+	fw0 := newFakeWorker(t)
+	fw1 := newFakeWorker(t)
+	c := newCoordinator(t, fleet.Options{Workers: []string{fw0.srv.URL, fw1.srv.URL}})
+	srv := serveCoordinator(t, c)
+	owned := binOwnedBy(t, []string{"w0", "w1"})
+
+	// Sanity: each body routes to its computed owner while both live.
+	_, out := postFleet(t, srv.URL, "/rewrite", owned["w1"])
+	if out.Worker != "w1" {
+		t.Fatalf("w1-owned request served by %q", out.Worker)
+	}
+
+	fw0.srv.Close()
+	resp, out := postFleet(t, srv.URL, "/rewrite", owned["w0"])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover status = %d, want 200", resp.StatusCode)
+	}
+	if out.Worker != "w1" {
+		t.Fatalf("failover served by %q, want w1", out.Worker)
+	}
+	reg := c.Obs().Metrics()
+	if reg.Counter("fleet.rehash").Value() < 1 {
+		t.Fatal("failover did not count a rehash")
+	}
+
+	var health fleet.FleetHealth
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if health.WorkersAlive != 1 || len(health.Workers) != 2 {
+		t.Fatalf("health after death: alive=%d workers=%d, want 1 of 2", health.WorkersAlive, len(health.Workers))
+	}
+	for _, w := range health.Workers {
+		if w.Name == "w0" && w.State != "dead" {
+			t.Fatalf("w0 state %q, want dead", w.State)
+		}
+	}
+	c.CheckHealth() // the sweep must agree, not resurrect it
+	if reg.Gauge("fleet.workers_alive").Value() != 1 {
+		t.Fatal("health sweep resurrected a dead worker")
+	}
+}
+
+// TestRegistrationAndDrain: a fleet can start empty — workers join via
+// /fleet/register — and a draining worker leaves the ring on the next
+// sweep without being declared dead.
+func TestRegistrationAndDrain(t *testing.T) {
+	c := newCoordinator(t, fleet.Options{})
+	srv := serveCoordinator(t, c)
+
+	resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream", strings.NewReader("prog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty fleet status = %d, want 503", resp.StatusCode)
+	}
+
+	fw := newFakeWorker(t)
+	if err := fleet.Register(srv.URL, fw.srv.URL, 3, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r2, out := postFleet(t, srv.URL, "/rewrite", []byte("prog"))
+	if r2.StatusCode != http.StatusOK || out.Worker != "w0" {
+		t.Fatalf("after register: status %d worker %q", r2.StatusCode, out.Worker)
+	}
+
+	fw.health.Store(1) // draining
+	c.CheckHealth()
+	reg := c.Obs().Metrics()
+	if reg.Gauge("fleet.workers_alive").Value() != 0 {
+		t.Fatal("draining worker still routable")
+	}
+	fw.health.Store(0)
+	c.CheckHealth()
+	if reg.Gauge("fleet.workers_alive").Value() != 1 {
+		t.Fatal("recovered worker not restored")
+	}
+}
+
+// TestRequestIDPropagation: the coordinator forwards the client's
+// correlation ID to the worker and echoes it on its own response, so
+// one ID follows the request across nodes.
+func TestRequestIDPropagation(t *testing.T) {
+	fw := newFakeWorker(t)
+	c := newCoordinator(t, fleet.Options{Workers: []string{fw.srv.URL}})
+	srv := serveCoordinator(t, c)
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/rewrite", strings.NewReader("prog-rid"))
+	req.Header.Set(farm.RequestIDHeader, "xcorr-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(farm.RequestIDHeader); got != "xcorr-42" {
+		t.Fatalf("response rid %q, want xcorr-42", got)
+	}
+	rid, _ := fw.last()
+	if rid != "xcorr-42" {
+		t.Fatalf("worker saw rid %q, want xcorr-42", rid)
+	}
+
+	// Without a client ID the coordinator mints an f-prefixed one and
+	// still propagates it downstream.
+	resp2, _ := postFleet(t, srv.URL, "/rewrite", []byte("prog-rid-2"))
+	minted := resp2.Header.Get(farm.RequestIDHeader)
+	rid2, _ := fw.last()
+	if minted == "" || minted[0] != 'f' || rid2 != minted {
+		t.Fatalf("minted rid %q, worker saw %q", minted, rid2)
+	}
+}
+
+// TestBatchStream: /batch streams one NDJSON result per job plus a
+// summary line; malformed lines fail individually without sinking the
+// batch, and degraded jobs report their verdict in-stream.
+func TestBatchStream(t *testing.T) {
+	fw := newFakeWorker(t)
+	c := newCoordinator(t, fleet.Options{Workers: []string{fw.srv.URL}, DegradeAt: -1})
+	srv := serveCoordinator(t, c)
+
+	var in bytes.Buffer
+	writeJob := func(id string, bin []byte, params string) {
+		json.NewEncoder(&in).Encode(fleet.BatchJob{ID: id, Binary: bin, Params: params})
+	}
+	writeJob("a", []byte("prog-1"), "")
+	writeJob("b", []byte("prog-2"), "validate=1")
+	in.WriteString("{\"id\":\"c\",\"params\":\"budget-insts=bogus\"}\n")
+
+	resp, err := http.Post(srv.URL+"/batch", "application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	byID := map[string]fleet.BatchResult{}
+	var summary *fleet.BatchResult
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line fleet.BatchResult
+		if err := dec.Decode(&line); err != nil {
+			break
+		}
+		if line.Summary {
+			s := line
+			summary = &s
+			continue
+		}
+		byID[line.ID] = line
+	}
+	if summary == nil {
+		t.Fatal("no summary line")
+	}
+	if summary.Jobs != 3 || summary.OK != 2 || summary.Failed != 1 {
+		t.Fatalf("summary %+v, want jobs 3 ok 2 failed 1", *summary)
+	}
+	if r := byID["a"]; r.Status != http.StatusOK || r.Response == nil || !bytes.Equal(r.Response.Binary, []byte("rw:prog-1")) {
+		t.Fatalf("job a: %+v", r)
+	}
+	if r := byID["b"]; r.Response == nil || r.Response.Verdict != string(core.VerdictDegraded) {
+		t.Fatalf("job b not degraded: %+v", r)
+	}
+	if r := byID["c"]; r.Status != http.StatusBadRequest || r.Error == "" {
+		t.Fatalf("job c: %+v", r)
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"repro/internal/farm"
+)
+
+// Ring is a consistent-hash ring over worker names. Each worker owns
+// `replicas` virtual points on a 64-bit circle; a key is owned by the
+// first point clockwise from its hash. Consistent hashing is what makes
+// the fleet's per-node caches compose: the same content address always
+// routes to the same worker (so its LRU stays hot for its key range),
+// and membership changes only remap the keys the departed worker owned
+// — every other worker's working set is untouched.
+//
+// Rings hash worker *names* (w0, w1, ...), not URLs: names are stable
+// across restarts and test runs, so key→worker assignment is a pure
+// function of the membership set.
+//
+// A Ring is immutable; the coordinator rebuilds it on membership
+// changes, so lookups are lock-free reads of a snapshot.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	h    uint64
+	name string
+}
+
+// BuildRing places every name on the circle with the given number of
+// virtual points (replicas <= 0 means 64 — enough to keep the expected
+// per-worker load imbalance under ~10% for small fleets).
+func BuildRing(names []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(names)*replicas)}
+	for _, name := range names {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{h: hash64(name + "#" + strconv.Itoa(i)), name: name})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].h < r.points[j].h })
+	return r
+}
+
+// Owners returns up to n distinct worker names in ring order starting
+// at the key's position: the primary owner first, then the successors a
+// request fails over to when the primary is dead. n <= 0 means all.
+func (r *Ring) Owners(h uint64, n int) []string {
+	if r == nil || len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 {
+		n = len(r.points)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	var out []string
+	seen := make(map[string]bool)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.name] {
+			seen[p.name] = true
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
+
+// Owner returns the primary owner of h ("" on an empty ring).
+func (r *Ring) Owner(h uint64) string {
+	owners := r.Owners(h, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// HashKey maps a content address onto the ring's circle.
+func HashKey(k farm.Key) uint64 { return hash64(string(k[:])) }
+
+// hash64 is fnv-1a with a murmur3-style finalizer. Raw FNV barely
+// avalanches across small suffix changes — the virtual points of
+// "w0#0".."w0#63" land on one tight arc, giving a worker 70% of the
+// circle — so the output is re-mixed until single-bit input changes
+// diffuse over the whole word.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec86
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,129 @@
+package fleet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// keys returns n deterministic ring positions (hashes of small ints).
+func ringKeys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		// Spread via a multiplicative hash; any deterministic spread works.
+		out[i] = uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	}
+	return out
+}
+
+// TestRingDeterministic: assignment is a pure function of the
+// membership set — two independently built rings agree on every key.
+func TestRingDeterministic(t *testing.T) {
+	names := []string{"w0", "w1", "w2"}
+	a := fleet.BuildRing(names, 0)
+	b := fleet.BuildRing([]string{"w2", "w1", "w0"}, 0) // order must not matter
+	for _, h := range ringKeys(1000) {
+		if a.Owner(h) != b.Owner(h) {
+			t.Fatalf("rings disagree on %#x: %q vs %q", h, a.Owner(h), b.Owner(h))
+		}
+	}
+}
+
+// TestRingBalance: virtual replicas keep per-worker load within a sane
+// band — no worker starves, none takes a majority, on a 3-node ring.
+func TestRingBalance(t *testing.T) {
+	names := []string{"w0", "w1", "w2"}
+	r := fleet.BuildRing(names, 0)
+	counts := map[string]int{}
+	const n = 30000
+	for _, h := range ringKeys(n) {
+		counts[r.Owner(h)]++
+	}
+	for _, name := range names {
+		share := float64(counts[name]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("worker %s owns %.1f%% of keys (counts %v)", name, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one worker only remaps the keys
+// it owned — every surviving worker keeps its entire key range.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := fleet.BuildRing([]string{"w0", "w1", "w2"}, 0)
+	reduced := fleet.BuildRing([]string{"w0", "w1"}, 0)
+	moved := 0
+	for _, h := range ringKeys(5000) {
+		before := full.Owner(h)
+		after := reduced.Owner(h)
+		if before != "w2" && after != before {
+			t.Fatalf("key %#x moved %s -> %s though its owner survived", h, before, after)
+		}
+		if before == "w2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: no key was owned by the removed worker")
+	}
+}
+
+// TestRingOwners: failover order lists distinct workers, primary first,
+// and degrades gracefully on small and empty rings.
+func TestRingOwners(t *testing.T) {
+	r := fleet.BuildRing([]string{"w0", "w1", "w2"}, 0)
+	for _, h := range ringKeys(100) {
+		owners := r.Owners(h, 0)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%#x, 0) = %v, want all 3", h, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner in %v", owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(h) {
+			t.Fatalf("Owner disagrees with Owners[0]")
+		}
+		if two := r.Owners(h, 2); len(two) != 2 || two[0] != owners[0] || two[1] != owners[1] {
+			t.Fatalf("Owners(h, 2) = %v, want prefix of %v", two, owners)
+		}
+	}
+	var empty *fleet.Ring
+	if empty.Owner(7) != "" || empty.Owners(7, 3) != nil {
+		t.Fatal("nil ring must own nothing")
+	}
+	if fleet.BuildRing(nil, 0).Owner(7) != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// TestRingReplicaScaling: more replicas tighten the balance (sanity
+// check that the replica knob is wired through).
+func TestRingReplicaScaling(t *testing.T) {
+	spread := func(replicas int) float64 {
+		r := fleet.BuildRing([]string{"w0", "w1", "w2", "w3"}, replicas)
+		counts := map[string]int{}
+		const n = 20000
+		for _, h := range ringKeys(n) {
+			counts[r.Owner(h)]++
+		}
+		min, max := n, 0
+		for i := 0; i < 4; i++ {
+			c := counts[fmt.Sprintf("w%d", i)]
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max-min) / n
+	}
+	if s1, s128 := spread(1), spread(128); s128 >= s1 {
+		t.Fatalf("128 replicas spread %.3f not tighter than 1 replica %.3f", s128, s1)
+	}
+}

@@ -1,0 +1,704 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+// forwarded is one completed fleet-level execution: the worker's
+// decoded response plus serving metadata. It is the value coalesced
+// waiters share and the unit the coordinator cache stores.
+type forwarded struct {
+	resp   farm.RewriteResponse
+	worker string // worker name the request ran on
+	status int    // upstream HTTP status (200 on success)
+	errMsg string // upstream error body, when status != 200
+}
+
+// job is one rewrite the coordinator must serve: a binary plus its
+// decoded parameters and the raw query to forward. /rewrite wraps one
+// request in a job; /batch decodes one per NDJSON line.
+type job struct {
+	bin      []byte
+	params   farm.Params
+	query    url.Values
+	degraded bool // admission control stripped ?validate=1
+}
+
+// errorResponse mirrors the worker error body shape so fleet-level
+// failures and passed-through worker failures read the same.
+type errorResponse struct {
+	Error   string `json:"error"`
+	Stage   string `json:"stage,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// FleetWorker is one worker's row in the fleet /healthz body.
+type FleetWorker struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+}
+
+// FleetHealth is the GET /healthz body of the coordinator.
+type FleetHealth struct {
+	Status        string        `json:"status"` // "ok" | "draining"
+	UptimeNS      int64         `json:"uptime_ns"`
+	Workers       []FleetWorker `json:"workers"`
+	WorkersAlive  int           `json:"workers_alive"`
+	Inflight      int           `json:"inflight"`
+	MaxInflight   int           `json:"max_inflight"`
+	Requests      int64         `json:"requests"`
+	CacheHits     int64         `json:"cache_hits"`
+	CacheDiskHits int64         `json:"cache_disk_hits"`
+	CacheMisses   int64         `json:"cache_misses"`
+	Coalesced     int64         `json:"coalesced"`
+	Degraded      int64         `json:"degraded"`
+	Shed          int64         `json:"shed"`
+	Draining      bool          `json:"draining"`
+}
+
+// BatchResult is one NDJSON line of a POST /batch response stream.
+// Exactly one of Response / Error is set per job line; the final line
+// is the summary (Summary == true) and carries only the totals.
+type BatchResult struct {
+	ID       string                `json:"id,omitempty"`
+	Status   int                   `json:"status,omitempty"`
+	Response *farm.RewriteResponse `json:"response,omitempty"`
+	Error    string                `json:"error,omitempty"`
+
+	Summary bool  `json:"summary,omitempty"`
+	Jobs    int64 `json:"jobs,omitempty"`
+	OK      int64 `json:"ok,omitempty"`
+	Failed  int64 `json:"failed,omitempty"`
+}
+
+// BatchJob is one NDJSON line of a POST /batch request stream.
+type BatchJob struct {
+	ID     string `json:"id"`
+	Binary []byte `json:"binary"`
+	Params string `json:"params,omitempty"` // /rewrite query grammar
+}
+
+func (c *Coordinator) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rewrite", c.handleRewrite)
+	mux.HandleFunc("POST /batch", c.handleBatch)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", c.handleFlight)
+	mux.HandleFunc("POST /fleet/register", c.handleRegister)
+	c.mux = mux
+}
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// requestID returns the client-supplied correlation ID or mints one.
+// Fleet-minted IDs are f-prefixed so a flight dump distinguishes
+// coordinator-minted from worker-minted requests at a glance.
+func (c *Coordinator) requestID(r *http.Request) string {
+	if id := r.Header.Get(farm.RequestIDHeader); id != "" {
+		return id
+	}
+	return fmt.Sprintf("f%06d", c.reqSeq.Add(1))
+}
+
+// admit applies admission control for one job and accounts the
+// in-flight slot. It returns release (nil when the job was shed with
+// 503-worth of pressure). Degrade-before-shed: a validate request over
+// the degrade threshold is downgraded in place; only a request over
+// MaxInflight is refused.
+func (c *Coordinator) admit(j *job) (release func(), shed bool) {
+	n := c.inflight.Add(1)
+	c.reg.Gauge("fleet.inflight").Set(n)
+	release = func() {
+		c.reg.Gauge("fleet.inflight").Set(c.inflight.Add(-1))
+	}
+	if n > int64(c.opts.MaxInflight) {
+		release()
+		c.reg.Counter("fleet.shed").Inc()
+		return nil, true
+	}
+	if j.params.Validate && (c.opts.DegradeAt < 0 || n > int64(c.opts.DegradeAt)) {
+		j.params.Validate = false
+		j.degraded = true
+		c.reg.Counter("fleet.degraded").Inc()
+	}
+	return release, false
+}
+
+// retryAfter mirrors the worker policy: backoff proportional to the
+// backlog per alive worker, pinned to the drain window while draining.
+func (c *Coordinator) retryAfter() string {
+	if c.draining.Load() {
+		return "30"
+	}
+	c.mu.Lock()
+	alive := 0
+	for _, w := range c.workers {
+		if w.getState() == workerAlive {
+			alive++
+		}
+	}
+	c.mu.Unlock()
+	if alive < 1 {
+		alive = 1
+	}
+	secs := 1 + int(c.inflight.Load())/alive
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
+// serve runs one admitted job end to end: coordinator cache, coalesced
+// forward, verdict rewriting for degraded jobs. The returned status is
+// the HTTP status the result should be written with.
+func (c *Coordinator) serve(ctx context.Context, j *job, rc *obs.Collector) (int, *farm.RewriteResponse, error) {
+	c.reg.Counter("fleet.requests").Inc()
+	if c.opts.RequestTimeout > 0 && (j.params.Timeout <= 0 || j.params.Timeout > c.opts.RequestTimeout) {
+		j.params.Timeout = c.opts.RequestTimeout
+	}
+	if j.params.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.params.Timeout)
+		defer cancel()
+	}
+
+	key, cacheable := farm.Fingerprint(j.bin, j.params.Options)
+
+	// Validated rewrites carry a verdict the cached plain artifact does
+	// not, so they bypass the coordinator cache and coalescing — but
+	// still hash-route, keeping the owning worker's cache hot.
+	if j.params.Validate {
+		fw, err := c.forward(ctx, j, key, cacheable, rc)
+		if err != nil {
+			return http.StatusServiceUnavailable, nil, err
+		}
+		return c.finish(j, fw)
+	}
+
+	for {
+		if art, disk, ok := c.cache.Lookup(key); cacheable && ok {
+			source := "coordinator-memory"
+			name := "fleet.cache_hits"
+			if disk {
+				source = "coordinator-disk"
+				name = "fleet.cache_disk_hits"
+			}
+			c.reg.Counter(name).Inc()
+			rc.Record(obs.Event{Kind: "fleet", Name: "cache_hit", Detail: source})
+			resp := &farm.RewriteResponse{
+				CacheHit: true, Source: source,
+				Stats: art.Stats, Binary: art.Binary,
+			}
+			return c.finishResp(j, resp)
+		}
+		if !cacheable {
+			fw, err := c.forward(ctx, j, key, false, rc)
+			if err != nil {
+				return http.StatusServiceUnavailable, nil, err
+			}
+			return c.finish(j, fw)
+		}
+		fw, leader, err := c.group.Do(ctx, key, func() (*forwarded, error) {
+			c.reg.Counter("fleet.cache_misses").Inc()
+			rc.Record(obs.Event{Kind: "fleet", Name: "cache_miss"})
+			fw, err := c.forward(ctx, j, key, true, rc)
+			if err != nil {
+				return nil, err
+			}
+			if fw.status == http.StatusOK {
+				if perr := c.cache.Put(key, &farm.Artifact{Binary: fw.resp.Binary, Stats: fw.resp.Stats}); perr != nil {
+					rc.Record(obs.Event{Kind: "fleet", Name: "cache_write_error", Detail: perr.Error()})
+				}
+			}
+			return fw, nil
+		})
+		if err != nil {
+			if !leader && isCancellation(err) && ctx.Err() == nil {
+				continue // the leader died of its own deadline, not ours
+			}
+			return http.StatusServiceUnavailable, nil, err
+		}
+		if !leader {
+			c.reg.Counter("fleet.coalesced").Inc()
+			rc.Record(obs.Event{Kind: "fleet", Name: "coalesced", Detail: fw.worker})
+			cp := *fw
+			cp.resp.Coalesced = true
+			fw = &cp
+		}
+		return c.finish(j, fw)
+	}
+}
+
+// finish converts a forward outcome into the response to write,
+// applying the degraded-verdict rewrite.
+func (c *Coordinator) finish(j *job, fw *forwarded) (int, *farm.RewriteResponse, error) {
+	if fw.status != http.StatusOK {
+		return fw.status, nil, errors.New(fw.errMsg)
+	}
+	resp := fw.resp
+	return c.finishResp(j, &resp)
+}
+
+// finishResp stamps degraded-admission verdicts onto an otherwise-ready
+// response. A job whose ?validate=1 was stripped under load reports
+// verdict "degraded": the artifact is a real rewrite, but the
+// validation the client asked for never ran, and the reason says why.
+func (c *Coordinator) finishResp(j *job, resp *farm.RewriteResponse) (int, *farm.RewriteResponse, error) {
+	if j.degraded {
+		resp.Verdict = string(core.VerdictDegraded)
+		resp.Reason = "fleet: validation shed by admission control"
+	}
+	return http.StatusOK, resp, nil
+}
+
+// forward sends the job to its owning worker, failing over clockwise
+// around the ring (or round-robin for unhashable jobs) when a worker is
+// unreachable. A worker that cannot be reached is marked dead on the
+// spot — its keys re-hash to the survivors without waiting for the next
+// health sweep.
+func (c *Coordinator) forward(ctx context.Context, j *job, key farm.Key, hashable bool, rc *obs.Collector) (*forwarded, error) {
+	candidates := c.routable(HashKey(key), hashable)
+	if len(candidates) == 0 {
+		return nil, errors.New("fleet: no alive workers")
+	}
+	q := forwardQuery(j)
+	var lastErr error
+	for i, w := range candidates {
+		if w.getState() != workerAlive {
+			continue
+		}
+		if i > 0 {
+			c.reg.Counter("fleet.rehash").Inc()
+			rc.Record(obs.Event{Kind: "fleet", Name: "rehash", Detail: w.name})
+		}
+		fw, err := c.forwardTo(ctx, w, j.bin, q, rc)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			c.reg.Counter("fleet.forward_errors").Inc()
+			c.markDead(w, err.Error())
+			lastErr = err
+			continue
+		}
+		if fw.status == http.StatusServiceUnavailable {
+			// Overloaded or draining, not dead: spill to the next owner
+			// without evicting it from the ring.
+			c.reg.Counter("fleet.forward_errors").Inc()
+			rc.Record(obs.Event{Kind: "fleet", Name: "spill", Detail: w.name})
+			lastErr = fmt.Errorf("fleet: worker %s unavailable: %s", w.name, fw.errMsg)
+			continue
+		}
+		return fw, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("fleet: no alive workers")
+	}
+	return nil, lastErr
+}
+
+// forwardTo performs one HTTP hop to one worker, propagating the
+// request ID so /debug/flight?req= correlates across nodes, and feeds
+// the per-worker latency histogram.
+func (c *Coordinator) forwardTo(ctx context.Context, w *worker, bin []byte, q url.Values, rc *obs.Collector) (*forwarded, error) {
+	u := w.url + "/rewrite"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(bin))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if rid := rc.Request(); rid != "" {
+		req.Header.Set(farm.RequestIDHeader, rid)
+	}
+	t0 := c.clock.Now()
+	resp, err := c.client.Do(req)
+	dur := c.clock.Now() - t0
+	c.reg.Counter("fleet.worker_requests." + w.name).Inc()
+	c.reg.LatencyHistogram("fleet.worker_ns." + w.name).Observe(dur)
+	if err != nil {
+		c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBodyBytes*2))
+	if err != nil {
+		c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+		return nil, err
+	}
+	rc.Record(obs.Event{Kind: "fleet", Name: "forward", Detail: fmt.Sprintf("%s %d", w.name, resp.StatusCode), Dur: dur})
+	fw := &forwarded{worker: w.name, status: resp.StatusCode}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &fw.resp); err != nil {
+			c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+			return nil, fmt.Errorf("fleet: worker %s: bad response: %w", w.name, err)
+		}
+		c.reg.Counter("fleet.executions").Inc()
+		fw.resp.Source = "worker"
+		fw.resp.Worker = w.name
+	} else {
+		var e errorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			fw.errMsg = e.Error
+		} else {
+			fw.errMsg = fmt.Sprintf("fleet: worker %s: status %d", w.name, resp.StatusCode)
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+		}
+	}
+	return fw, nil
+}
+
+// forwardQuery rebuilds the query to send downstream: the original
+// grammar minus validate when admission degraded the job (the worker
+// must run the cheap path) and minus trace (worker traces are not
+// stitched into the coordinator response).
+func forwardQuery(j *job) url.Values {
+	q := url.Values{}
+	for k, vs := range j.query {
+		q[k] = vs
+	}
+	if j.degraded {
+		q.Del("validate")
+	}
+	q.Del("trace")
+	return q
+}
+
+func (c *Coordinator) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	rid := c.requestID(r)
+	w.Header().Set(farm.RequestIDHeader, rid)
+	rc := c.col.WithRequest(rid)
+	t0 := c.clock.Now()
+	status, err := c.serveRewrite(w, r, rc)
+	dur := c.clock.Now() - t0
+	c.reg.LatencyHistogram("fleet.request_ns").Observe(dur)
+	outcome := "ok"
+	if err != nil {
+		c.reg.Counter("fleet.http_errors").Inc()
+		outcome = fmt.Sprintf("%d %s", status, err)
+	}
+	rc.Record(obs.Event{Kind: "request", Name: "/rewrite", Detail: outcome, Dur: dur})
+}
+
+func (c *Coordinator) serveRewrite(w http.ResponseWriter, r *http.Request, rc *obs.Collector) (int, error) {
+	fail := func(status int, err error) (int, error) {
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", c.retryAfter())
+		}
+		writeError(w, status, err)
+		return status, err
+	}
+	bin, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.opts.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		return fail(status, err)
+	}
+	q := r.URL.Query()
+	params, err := farm.ParseQuery(q, c.opts.Budget, c.opts.RequestTimeout)
+	if err != nil {
+		status := http.StatusBadRequest
+		var se *core.StageError
+		if errors.As(err, &se) {
+			status = http.StatusUnprocessableEntity
+		}
+		return fail(status, err)
+	}
+	j := &job{bin: bin, params: params, query: q}
+	release, shed := c.admit(j)
+	if shed {
+		return fail(http.StatusServiceUnavailable, errors.New("fleet: too many in-flight rewrites"))
+	}
+	defer release()
+	status, resp, err := c.serve(r.Context(), j, rc)
+	if err != nil {
+		return fail(status, err)
+	}
+	writeJSON(w, status, resp)
+	return status, nil
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rid := c.requestID(r)
+	w.Header().Set(farm.RequestIDHeader, rid)
+	rc := c.col.WithRequest(rid)
+	c.reg.Counter("fleet.batches").Inc()
+
+	// /batch reads jobs and writes results on one connection at the same
+	// time. Without full duplex the server closes the unread request
+	// body at the first response flush ("invalid Read on closed Body"),
+	// so results could only stream after the last job line — which is
+	// exactly what streaming is supposed to avoid.
+	http.NewResponseController(w).EnableFullDuplex()
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		// Push the headers now: a streaming client writes its job lines
+		// only after it has seen the response open, so holding the
+		// headers until the first result would deadlock the stream.
+		flusher.Flush()
+	}
+	out := &lineWriter{enc: json.NewEncoder(w), flush: flusher}
+
+	sem := make(chan struct{}, c.opts.BatchConcurrency)
+	var jobs, ok, failed int64
+	var wg waitGroup
+	sc := newLineScanner(r.Body, int(c.opts.MaxBodyBytes))
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var bj BatchJob
+		if err := json.Unmarshal(line, &bj); err != nil {
+			failed++
+			jobs++
+			out.write(BatchResult{ID: bj.ID, Status: http.StatusBadRequest, Error: "fleet: bad batch line: " + err.Error()})
+			continue
+		}
+		q, err := url.ParseQuery(bj.Params)
+		if err != nil {
+			failed++
+			jobs++
+			out.write(BatchResult{ID: bj.ID, Status: http.StatusBadRequest, Error: "fleet: bad params: " + err.Error()})
+			continue
+		}
+		params, err := farm.ParseQuery(q, c.opts.Budget, c.opts.RequestTimeout)
+		if err != nil {
+			failed++
+			jobs++
+			out.write(BatchResult{ID: bj.ID, Status: http.StatusBadRequest, Error: err.Error()})
+			continue
+		}
+		jobs++
+		c.reg.Counter("fleet.batch_jobs").Inc()
+		j := &job{bin: bj.Binary, params: params, query: q}
+		id := bj.ID
+		// Batch jobs queue on the semaphore instead of shedding: the
+		// client already committed the whole stream, so backpressure —
+		// not 503s — is the right control inside one batch.
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			release, shed := c.admit(j)
+			var res BatchResult
+			if shed {
+				res = BatchResult{ID: id, Status: http.StatusServiceUnavailable, Error: "fleet: shed"}
+			} else {
+				status, resp, err := c.serve(r.Context(), j, rc.MetricsOnly())
+				release()
+				if err != nil {
+					res = BatchResult{ID: id, Status: status, Error: err.Error()}
+				} else {
+					res = BatchResult{ID: id, Status: status, Response: resp}
+				}
+			}
+			if res.Error != "" {
+				out.addFailed()
+			} else {
+				out.addOK()
+			}
+			out.write(res)
+		}()
+	}
+	wg.Wait()
+	okN, failedN := out.totals()
+	ok = okN
+	failed = failedN + failed
+	summary := BatchResult{Summary: true, Jobs: jobs, OK: ok, Failed: failed}
+	if err := sc.Err(); err != nil {
+		// A truncated or over-long job stream must not masquerade as a
+		// clean batch: the summary says the input died, and how.
+		summary.Error = "fleet: batch input: " + err.Error()
+	}
+	out.write(summary)
+	rc.Record(obs.Event{Kind: "request", Name: "/batch", Detail: fmt.Sprintf("jobs=%d ok=%d failed=%d", jobs, ok, failed)})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	rows := make([]FleetWorker, 0, len(c.workers))
+	alive := 0
+	for _, wk := range c.workers {
+		st := wk.getState()
+		if st == workerAlive {
+			alive++
+		}
+		rows = append(rows, FleetWorker{Name: wk.name, URL: wk.url, State: st.String()})
+	}
+	c.mu.Unlock()
+	resp := FleetHealth{
+		Status:        "ok",
+		UptimeNS:      c.clock.Now() - c.start,
+		Workers:       rows,
+		WorkersAlive:  alive,
+		Inflight:      int(c.inflight.Load()),
+		MaxInflight:   c.opts.MaxInflight,
+		Requests:      c.reg.Counter("fleet.requests").Value(),
+		CacheHits:     c.reg.Counter("fleet.cache_hits").Value(),
+		CacheDiskHits: c.reg.Counter("fleet.cache_disk_hits").Value(),
+		CacheMisses:   c.reg.Counter("fleet.cache_misses").Value(),
+		Coalesced:     c.reg.Counter("fleet.coalesced").Value(),
+		Degraded:      c.reg.Counter("fleet.degraded").Value(),
+		Shed:          c.reg.Counter("fleet.shed").Value(),
+		Draining:      c.draining.Load(),
+	}
+	status := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := c.col.Metrics()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, reg.Text())
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, reg.Prometheus())
+}
+
+func (c *Coordinator) handleFlight(w http.ResponseWriter, r *http.Request) {
+	f := c.col.Flight()
+	if f == nil {
+		writeError(w, http.StatusNotFound, errors.New("fleet: flight recorder disabled"))
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad n %q", v))
+			return
+		}
+		n = parsed
+	}
+	var payload []byte
+	var err error
+	if req := r.URL.Query().Get("req"); req != "" {
+		evs := f.RequestEvents(req)
+		if evs == nil {
+			evs = []obs.Event{}
+		}
+		payload, err = json.MarshalIndent(struct {
+			Total  uint64      `json:"total"`
+			Events []obs.Event `json:"events"`
+		}{f.Total(), evs}, "", "  ")
+	} else {
+		payload, err = f.JSON(n)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+	io.WriteString(w, "\n")
+}
+
+// handleRegister admits a worker into the fleet: surid posts its own
+// advertised URL on startup (-register) and the next health sweep — or
+// the next forward — keeps it honest.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad register body: %w", err))
+		return
+	}
+	u, err := url.Parse(body.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad worker url %q", body.URL))
+		return
+	}
+	wk, added := c.addWorker(body.URL)
+	if added {
+		c.reg.Counter("fleet.registered").Inc()
+	}
+	c.col.Record(obs.Event{Kind: "fleet", Name: "register", Detail: wk.name + " " + body.URL})
+	writeJSON(w, http.StatusOK, struct {
+		Name string `json:"name"`
+	}{wk.name})
+}
+
+// Register announces a worker to a coordinator (the surid -register
+// client side). Safe to call before the coordinator is up when retries
+// are allowed.
+func Register(coordinatorURL, workerURL string, attempts int, wait time.Duration) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	body, _ := json.Marshal(struct {
+		URL string `json:"url"`
+	}{workerURL})
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(wait)
+		}
+		resp, err := http.Post(coordinatorURL+"/fleet/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("fleet: register: status %d", resp.StatusCode)
+	}
+	return lastErr
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline error — the leader-died-of-its-own-deadline case a coalesced
+// waiter retries instead of inheriting.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Stage: core.Stage(err)})
+}

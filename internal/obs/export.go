@@ -71,8 +71,8 @@ func (r *Registry) Text() string {
 	if len(snap.Histograms) > 0 {
 		b.WriteString("histograms:\n")
 		for _, h := range snap.Histograms {
-			fmt.Fprintf(&b, "  %-38s count=%d sum=%d p50=%d p95=%d p99=%d",
-				h.Name, h.Count, h.Sum, h.P50, h.P95, h.P99)
+			fmt.Fprintf(&b, "  %-38s count=%d sum=%d p50=%d p95=%d p99=%d p999=%d",
+				h.Name, h.Count, h.Sum, h.P50, h.P95, h.P99, h.P999)
 			for i, n := range h.Counts {
 				if i < len(h.Bounds) {
 					fmt.Fprintf(&b, " le%d:%d", h.Bounds[i], n)

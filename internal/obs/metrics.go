@@ -161,7 +161,7 @@ func (r *Registry) LatencyHistogram(name string) *Histogram {
 
 // HistogramSnapshot is a consistent-enough copy of a histogram for
 // export: per-bucket counts aligned with Bounds plus one overflow slot,
-// and the p50/p95/p99 estimates derived from them.
+// and the p50/p95/p99/p999 estimates derived from them.
 type HistogramSnapshot struct {
 	Name   string  `json:"name"`
 	Bounds []int64 `json:"bounds"`
@@ -171,6 +171,7 @@ type HistogramSnapshot struct {
 	P50    int64   `json:"p50"`
 	P95    int64   `json:"p95"`
 	P99    int64   `json:"p99"`
+	P999   int64   `json:"p999"`
 }
 
 // Quantile estimates the q-quantile from the snapshot's bucket counts
@@ -290,6 +291,7 @@ func (r *Registry) Snapshot() Snapshot {
 		hs.P50 = hs.Quantile(0.50)
 		hs.P95 = hs.Quantile(0.95)
 		hs.P99 = hs.Quantile(0.99)
+		hs.P999 = hs.Quantile(0.999)
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })

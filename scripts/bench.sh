@@ -27,6 +27,15 @@
 # variants of the same rewrite, paired per round, with the zero-alloc
 # disabled-path gate re-run alongside. OBSCOUNT/OBSBENCHTIME/OBSOUT
 # override it independently.
+#
+# A fourth section (BENCH_scale.json) measures fleet serving at scale:
+# it builds the real surid / surifleet / surihammer binaries, stands up
+# a 1-worker and then a 3-worker fleet on loopback ports, and drives
+# each with surihammer replaying the full compiler-config corpus at two
+# QPS levels, recording p50/p99/p999 latency plus cache-hit, coalesce,
+# and degrade rates per topology. SCALEQPS/SCALEDUR/SCALESCALE/SCALEOUT
+# override it independently; SCALE=0 skips the section (it launches
+# servers, which CI sandboxes may forbid).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -329,3 +338,59 @@ END {
 ' >"$OBSOUT"
 
 echo "bench.sh: wrote $OBSOUT"
+
+# Fourth section (BENCH_scale.json): fleet serving throughput/latency.
+# Real binaries, real sockets — a coordinator consistent-hashing over
+# registered surid workers, loaded by surihammer. Each topology runs the
+# same QPS ladder; entries merge into one report so the 1-worker and
+# 3-worker rows are directly comparable.
+SCALE_SECTION="${SCALE:-1}"
+SCALEOUT="${SCALEOUT:-BENCH_scale.json}"
+SCALEQPS="${SCALEQPS:-4,16}"
+SCALEDUR="${SCALEDUR:-10s}"
+SCALESCALE="${SCALESCALE:-0.03}"
+
+if [ "$SCALE_SECTION" != "0" ]; then
+	bindir=$(mktemp -d)
+	pids=""
+	cleanup() {
+		# shellcheck disable=SC2086
+		[ -n "$pids" ] && kill $pids 2>/dev/null || true
+		rm -rf "$bindir"
+	}
+	trap cleanup EXIT
+	go build -o "$bindir" ./cmd/surid ./cmd/surifleet ./cmd/surihammer
+
+	# 1-worker topology.
+	"$bindir/surifleet" -addr 127.0.0.1:18650 -health-interval 500ms >/dev/null 2>&1 &
+	pids="$pids $!"
+	"$bindir/surid" -addr 127.0.0.1:18651 -register http://127.0.0.1:18650 >/dev/null 2>&1 &
+	pids="$pids $!"
+	"$bindir/surihammer" -fleet http://127.0.0.1:18650 -topology 1-worker \
+		-expect-workers 1 -qps "$SCALEQPS" -duration "$SCALEDUR" \
+		-scale "$SCALESCALE" -out "$SCALEOUT" -fresh
+	# shellcheck disable=SC2086
+	kill $pids 2>/dev/null || true
+	wait 2>/dev/null || true
+	pids=""
+
+	# 3-worker topology (fresh ports, fresh caches: the comparison must
+	# not inherit the 1-worker run's warm artifacts).
+	"$bindir/surifleet" -addr 127.0.0.1:18660 -health-interval 500ms >/dev/null 2>&1 &
+	pids="$pids $!"
+	for port in 18661 18662 18663; do
+		"$bindir/surid" -addr 127.0.0.1:$port -register http://127.0.0.1:18660 >/dev/null 2>&1 &
+		pids="$pids $!"
+	done
+	"$bindir/surihammer" -fleet http://127.0.0.1:18660 -topology 3-worker \
+		-expect-workers 3 -qps "$SCALEQPS" -duration "$SCALEDUR" \
+		-scale "$SCALESCALE" -out "$SCALEOUT"
+	# shellcheck disable=SC2086
+	kill $pids 2>/dev/null || true
+	wait 2>/dev/null || true
+	pids=""
+	trap - EXIT
+	rm -rf "$bindir"
+
+	echo "bench.sh: wrote $SCALEOUT"
+fi

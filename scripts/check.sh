@@ -11,7 +11,9 @@
 # benchmarks runnable, an end-to-end coverage-pass smoke (rewrite with
 # the coverage pass, emulate, check the bitmap filled), and a fuzz
 # smoke pass that replays the checked-in seed corpora under
-# testdata/fuzz/ without the fuzzing engine. Run from the repo root.
+# testdata/fuzz/ without the fuzzing engine, and the fleet e2e smoke
+# (a coordinator fronting two in-process rewrite workers, including the
+# kill-one-worker-mid-batch failover test). Run from the repo root.
 # Fails fast on the first problem.
 set -eu
 cd "$(dirname "$0")/.."
@@ -27,6 +29,11 @@ go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/core/... ./internal/farm/... \
     ./internal/harden/... ./internal/elfx/... ./internal/instr/... ./cmd/surimon/...
+# Fleet e2e smoke under the race detector: the coordinator's hash ring,
+# coalescing, admission control, and membership against real in-process
+# workers — TestE2EKillWorkerMidBatch kills a worker mid-stream and
+# requires every batch job to fail over to the survivor.
+go test -race ./internal/fleet/...
 go test -race -run 'Plane|Frozen|Shared' ./internal/x86/... ./internal/cfg/...
 go test -run 'Allocs$' -count=1 ./internal/x86/... ./internal/emu/...
 # Observability gates: the disabled paths (nil collector, live collector
