@@ -139,15 +139,16 @@ func main() {
 
 	if *register != "" {
 		// Self-registration: announce this worker to the fleet
-		// coordinator once it is reachable. Retried in the background so
-		// worker and coordinator can start in either order; the
-		// coordinator's health sweep takes over from there.
+		// coordinator once it is reachable. Retried in the background
+		// with capped exponential backoff + jitter (each attempt's cause
+		// logged) so worker and coordinator can start in either order;
+		// the coordinator's health sweep takes over from there.
 		workerURL := *advertise
 		if workerURL == "" {
 			workerURL = advertiseURL(*addr)
 		}
 		go func() {
-			if err := fleet.Register(*register, workerURL, 30, time.Second); err != nil {
+			if err := fleet.Register(*register, workerURL, 12, 250*time.Millisecond, log.Printf); err != nil {
 				log.Printf("surid: fleet registration with %s failed: %v", *register, err)
 				return
 			}

@@ -29,7 +29,17 @@
 // /fleet/register (surid -register), a -health-interval sweep probes
 // each worker's /healthz, and a dead or draining worker leaves the hash
 // ring — its keys re-hash to the survivors, and in-flight requests fail
-// over with bounded retry.
+// over with bounded retry. A dead worker whose /healthz recovers
+// rejoins on the next sweep.
+//
+// Resilience: -replicate N pushes each executed artifact to the next N
+// ring successors (PUT /cache on the worker), so killing a key's owner
+// costs a failover cache hit, not a recompute; -hedge-after D races a
+// forward against the ring successor once it has been in flight longer
+// than max(D, -hedge-multiplier × the worker's rolling -hedge-quantile
+// latency), first success wins, the loser is canceled. -chaos arms
+// seeded transport faults (drop, delay, 5xx, slow-body, probe flap) for
+// soak-testing exactly those paths.
 //
 // Usage:
 //
@@ -37,6 +47,8 @@
 //	          [-cache-dir DIR] [-cache-entries N] [-max-inflight N]
 //	          [-degrade-at N] [-batch-concurrency N] [-max-body BYTES]
 //	          [-timeout D] [-health-interval D] [-retry N]
+//	          [-replicate N] [-replica-queue N] [-hedge-after D]
+//	          [-hedge-quantile Q] [-hedge-multiplier M] [-chaos SPEC]
 //	          [-budget N] [-budget-steps N] [-flight N]
 package main
 
@@ -71,6 +83,12 @@ func main() {
 	reqTimeout := flag.Duration("timeout", 0, "per-request deadline (0 = none)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "worker health poll period (0 = disabled)")
 	retry := flag.Int("retry", 0, "ring successors to try per request (0 = all)")
+	replicate := flag.Int("replicate", 0, "push each executed artifact to this many ring successors (0 = off)")
+	replicaQueue := flag.Int("replica-queue", 0, "async replication backlog before drop-and-count (0 = 64)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge threshold floor: race the ring successor once a forward exceeds it (0 = hedging off)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0, "per-worker rolling latency quantile the hedge threshold tracks (0 = 0.9)")
+	hedgeMultiplier := flag.Float64("hedge-multiplier", 0, "hedge at this multiple of the worker's quantile latency (0 = 2)")
+	chaos := flag.String("chaos", "", "transport fault plan: seed:<n>[:maxVictims[:minDur]] or mode:worker[:dur[:after[:times]]] ';'-chained (modes: "+strings.Join(harden.ChaosModes, ", ")+")")
 	budgetInsts := flag.Int64("budget", 0, "default decoded-instruction budget, must match the workers (0 = pipeline default)")
 	budgetSteps := flag.Uint64("budget-steps", 0, "default emulator-step budget, must match the workers (0 = pipeline default)")
 	flightEvents := flag.Int("flight", 4096, "flight recorder capacity in events (0 = disabled)")
@@ -99,12 +117,33 @@ func main() {
 		RequestTimeout:   *reqTimeout,
 		HealthInterval:   *healthInterval,
 		Retry:            *retry,
+		Replicate:        *replicate,
+		ReplicaQueue:     *replicaQueue,
+		HedgeAfter:       *hedgeAfter,
+		HedgeQuantile:    *hedgeQuantile,
+		HedgeMultiplier:  *hedgeMultiplier,
 		Obs:              col,
 		ErrorLog:         log.Default(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "surifleet:", err)
 		os.Exit(1)
+	}
+	if *chaos != "" {
+		// Chaos plans are keyed by ring name (w0, w1, ...), which the
+		// coordinator assigns to -workers in order.
+		names := make([]string, len(workerURLs))
+		for i := range workerURLs {
+			names[i] = fmt.Sprintf("w%d", i)
+		}
+		plan, err := fleet.ParseChaos(*chaos, names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "surifleet:", err)
+			os.Exit(1)
+		}
+		disarm := plan.Arm()
+		defer disarm()
+		log.Printf("surifleet: CHAOS ARMED %q -> %v", *chaos, plan.Points())
 	}
 	srv := &http.Server{Addr: *addr, Handler: coord}
 

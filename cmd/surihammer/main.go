@@ -14,18 +14,22 @@
 //	surihammer -fleet http://127.0.0.1:8650 -topology 3-worker \
 //	           -expect-workers 3 -qps 4,16 -duration 15s
 //
-// Per entry it reports p50/p99/p999 latency, achieved QPS, and the
-// cache-hit, coalesce, and degrade rates the fleet served the run with.
+// Per entry it reports p50/p99/p999 latency, achieved QPS, the
+// cache-hit, coalesce, and degrade rates the fleet served the run with,
+// and the resilience deltas (hedge rate and wins, replicas pushed /
+// errored / dropped) read from the coordinator's /healthz counters.
 // -validate-every marks every Nth request ?validate=1, which is what
 // admission control degrades under load — the degrade rate is only
-// meaningful when some requests ask for validation.
+// meaningful when some requests ask for validation. -chaos labels the
+// run with the fault spec armed on the coordinator and turns the run
+// into an assertion: any lost request fails the process.
 //
 // Usage:
 //
 //	surihammer [-fleet URL] [-topology NAME] [-expect-workers N]
 //	           [-qps N,N,...] [-concurrency N] [-duration D]
 //	           [-scale F] [-host all] [-validate-every N]
-//	           [-out BENCH_scale.json] [-fresh]
+//	           [-chaos SPEC] [-out BENCH_scale.json] [-fresh]
 package main
 
 import (
@@ -65,6 +69,16 @@ type Entry struct {
 	CoalesceRate float64 `json:"coalesce_rate"`
 	DegradeRate  float64 `json:"degrade_rate"`
 	CorpusSize   int     `json:"corpus_size"`
+
+	// Resilience counters, measured as coordinator-side deltas across
+	// the level (from /healthz before and after).
+	Chaos          string  `json:"chaos,omitempty"` // armed -chaos spec, when the run was a chaos soak
+	Hedges         int64   `json:"hedges"`
+	HedgeWins      int64   `json:"hedge_wins"`
+	HedgeRate      float64 `json:"hedge_rate"` // hedges / requests
+	ReplicasPushed int64   `json:"replicas_pushed"`
+	ReplicaErrors  int64   `json:"replica_errors"`
+	ReplicaDropped int64   `json:"replica_dropped"`
 }
 
 // Report is the BENCH_scale.json document: entries accumulate across
@@ -95,6 +109,7 @@ func main() {
 	validateEvery := flag.Int("validate-every", 5, "mark every Nth request ?validate=1 (0 = never)")
 	out := flag.String("out", "BENCH_scale.json", "report file to create or merge into")
 	fresh := flag.Bool("fresh", false, "discard existing report entries instead of merging")
+	chaos := flag.String("chaos", "", "label the run with the coordinator's armed -chaos spec and fail on any lost request")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -124,21 +139,59 @@ func main() {
 		alive := aliveWorkers(*fleetURL)
 		fmt.Fprintf(os.Stderr, "surihammer: level %s @ %g qps for %s (%d workers alive)\n",
 			*topology, qps, *duration, alive)
+		before := fleetSnapshot(*fleetURL)
 		e := runLevel(*fleetURL, corpus, qps, *concurrency, *duration, *validateEvery)
+		after := fleetSnapshot(*fleetURL)
 		e.Topology = *topology
 		e.Workers = alive
 		e.CorpusSize = len(corpus)
+		e.Chaos = *chaos
+		e.Hedges = after.Hedges - before.Hedges
+		e.HedgeWins = after.HedgeWins - before.HedgeWins
+		e.ReplicasPushed = after.ReplicasPush - before.ReplicasPush
+		e.ReplicaErrors = after.ReplicaErrors - before.ReplicaErrors
+		e.ReplicaDropped = after.ReplicaDrops - before.ReplicaDrops
+		if e.Requests > 0 {
+			e.HedgeRate = float64(e.Hedges) / float64(e.Requests)
+		}
 		entries = append(entries, e)
 		fmt.Fprintf(os.Stderr,
-			"surihammer:   %d reqs (%d errors, %d shed)  p50 %.1fms  p99 %.1fms  p999 %.1fms  hit %.0f%%  coalesce %.0f%%  degrade %.0f%%\n",
+			"surihammer:   %d reqs (%d errors, %d shed)  p50 %.1fms  p99 %.1fms  p999 %.1fms  hit %.0f%%  coalesce %.0f%%  degrade %.0f%%  hedge %.0f%% (%d won)  repl %d pushed/%d err/%d dropped\n",
 			e.Requests, e.Errors, e.Shed, e.P50Ms, e.P99Ms, e.P999Ms,
-			e.CacheHitRate*100, e.CoalesceRate*100, e.DegradeRate*100)
+			e.CacheHitRate*100, e.CoalesceRate*100, e.DegradeRate*100,
+			e.HedgeRate*100, e.HedgeWins, e.ReplicasPushed, e.ReplicaErrors, e.ReplicaDropped)
 	}
 
 	if err := mergeReport(*out, entries, *fresh); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "surihammer: wrote %s\n", *out)
+	if *chaos != "" {
+		// A chaos soak is an assertion, not just a measurement: with up
+		// to fleet-minus-one victims a clean failover path always exists,
+		// so any lost request is a coordinator bug.
+		var lost int
+		for _, e := range entries {
+			lost += e.Errors
+		}
+		if lost > 0 {
+			fail(fmt.Errorf("chaos soak %q lost %d requests", *chaos, lost))
+		}
+		fmt.Fprintf(os.Stderr, "surihammer: chaos soak %q clean: zero lost requests\n", *chaos)
+	}
+}
+
+// fleetSnapshot reads the coordinator's health counters; a zero value
+// on error keeps the deltas harmless.
+func fleetSnapshot(base string) fleet.FleetHealth {
+	var h fleet.FleetHealth
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return h
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(resp.Body).Decode(&h)
+	return h
 }
 
 // runLevel drives one QPS level open-loop: a ticker paces dispatch, a

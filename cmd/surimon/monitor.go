@@ -222,6 +222,10 @@ func Render(prev, cur *Sample, flight *FlightDump) string {
 		}
 		fmt.Fprintf(&b, "fleet cache hits=%d disk=%d misses=%d ratio=%.2f\n",
 			fhits, fdisk, fmisses, fratio)
+		fmt.Fprintf(&b, "fleet resil hedges=%s wins=%s replicas=%s replerr=%s repldrop=%s\n",
+			delta(prev, cur, "fleet_hedges"), delta(prev, cur, "fleet_hedge_wins"),
+			delta(prev, cur, "fleet_replicas_pushed"), delta(prev, cur, "fleet_replica_errors"),
+			delta(prev, cur, "fleet_replica_dropped"))
 		const flat = "fleet_request_ns"
 		fmt.Fprintf(&b, "fleet lat  n=%d p50=%s p99=%s p999=%s\n",
 			cur.Counts[flat],

@@ -148,6 +148,16 @@ fleet_cache_hits 60
 fleet_cache_disk_hits 10
 # TYPE fleet_cache_misses counter
 fleet_cache_misses 20
+# TYPE fleet_hedges counter
+fleet_hedges 9
+# TYPE fleet_hedge_wins counter
+fleet_hedge_wins 6
+# TYPE fleet_replicas_pushed counter
+fleet_replicas_pushed 40
+# TYPE fleet_replica_errors counter
+fleet_replica_errors 1
+# TYPE fleet_replica_dropped counter
+fleet_replica_dropped 3
 # TYPE fleet_request_ns histogram
 fleet_request_ns_bucket{le="100"} 50
 fleet_request_ns_bucket{le="200"} 80
@@ -181,6 +191,8 @@ func TestRenderFleetGolden(t *testing.T) {
 	}
 	prevText := strings.ReplaceAll(promFixture+fleetFixture, "fleet_requests 120", "fleet_requests 100")
 	prevText = strings.ReplaceAll(prevText, "fleet_coalesced 30", "fleet_coalesced 25")
+	prevText = strings.ReplaceAll(prevText, "fleet_hedges 9", "fleet_hedges 5")
+	prevText = strings.ReplaceAll(prevText, "fleet_replicas_pushed 40", "fleet_replicas_pushed 30")
 	prev, err := ParseProm(prevText)
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +201,7 @@ func TestRenderFleetGolden(t *testing.T) {
 	want := "fleet      workers=3 alive=2 inflight=4 draining=0\n" +
 		"fleet req  requests=120 (+20) batches=2 (+0) shed=1 (+0) degraded=5 (+0) coalesced=30 (+5) rehash=7 (+0)\n" +
 		"fleet cache hits=60 disk=10 misses=20 ratio=0.75\n" +
+		"fleet resil hedges=9 (+4) wins=6 (+0) replicas=40 (+10) replerr=1 (+0) repldrop=3 (+0)\n" +
 		"fleet lat  n=100 p50=100ns p99=400ns p999=400ns\n" +
 		"worker     w0   n=10 p50=62ns p99=100ns errors=2\n" +
 		"worker     w1   n=5 p50=50ns p99=99ns errors=0\n"

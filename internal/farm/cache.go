@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -76,6 +77,44 @@ func Fingerprint(bin []byte, opts core.Options) (Key, bool) {
 type Artifact struct {
 	Binary []byte     `json:"binary"`
 	Stats  core.Stats `json:"stats"`
+}
+
+// ParseKey decodes the hex form of a content address (the ?key= of a
+// replication push). It rejects anything that is not exactly one
+// SHA-256 worth of hex.
+func ParseKey(s string) (Key, error) {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return Key{}, fmt.Errorf("farm: bad cache key %q", s)
+	}
+	var k Key
+	copy(k[:], b)
+	return k, nil
+}
+
+// PushArtifact is the wire form of a replicated artifact (the fleet
+// coordinator's PUT /cache body): the artifact plus a checksum over the
+// binary image, the same integrity envelope the disk tier uses. The
+// receiver verifies the sum before storing — a replica corrupted in
+// flight must become a rejected push, never a wrong artifact served as
+// a cache hit.
+type PushArtifact struct {
+	Sum    string     `json:"sum"`
+	Binary []byte     `json:"binary"`
+	Stats  core.Stats `json:"stats"`
+}
+
+// NewPushArtifact seals an artifact into its checksummed wire envelope.
+func NewPushArtifact(art *Artifact) PushArtifact {
+	return PushArtifact{Sum: artifactSum(art.Binary), Binary: art.Binary, Stats: art.Stats}
+}
+
+// Verify checks the envelope and unwraps the artifact.
+func (p *PushArtifact) Verify() (*Artifact, error) {
+	if p.Sum != artifactSum(p.Binary) {
+		return nil, errors.New("farm: replica checksum mismatch")
+	}
+	return &Artifact{Binary: p.Binary, Stats: p.Stats}, nil
 }
 
 // CacheStats is a point-in-time read of the cache's own accounting.

@@ -172,8 +172,14 @@ func NewServer(p *Pool, opts ServerOptions) *Server {
 	// golden test see a stable shape from the first request onward.
 	reg.LatencyHistogram("farm.http_request_ns")
 
+	// Pre-register the replication series too (fleet successor
+	// replication pushes into PUT /cache).
+	reg.Counter("farm.replica_stores")
+	reg.Counter("farm.replica_rejected")
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /rewrite", s.handleRewrite)
+	mux.HandleFunc("PUT /cache", s.handleCachePush)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
@@ -322,6 +328,58 @@ func (s *Server) serveRewrite(w http.ResponseWriter, r *http.Request, rc *obs.Co
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
+}
+
+// handleCachePush is the replication receive path: the fleet
+// coordinator PUTs a content-addressed artifact at the ring successors
+// of the worker that executed it, so this worker can serve the key as
+// a cache hit if the primary dies. The envelope's checksum is verified
+// before the store — a corrupt push is rejected and counted, never
+// cached. Pushes are advisory: failure here costs a future recompute,
+// not a request.
+func (s *Server) handleCachePush(w http.ResponseWriter, r *http.Request) {
+	reg := s.pool.Obs().Metrics()
+	cache := s.pool.Cache()
+	if cache == nil {
+		writeError(w, http.StatusNotFound, errors.New("farm: no cache configured"))
+		return
+	}
+	key, err := ParseKey(r.URL.Query().Get("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The envelope is JSON over a base64 binary plus checksum: allow
+	// double the plain-binary bound.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes*2))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	var push PushArtifact
+	if err := json.Unmarshal(body, &push); err != nil {
+		reg.Counter("farm.replica_rejected").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("farm: bad replica envelope: %w", err))
+		return
+	}
+	art, err := push.Verify()
+	if err != nil {
+		reg.Counter("farm.replica_rejected").Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := cache.Put(key, art); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	reg.Counter("farm.replica_stores").Inc()
+	s.pool.Obs().Record(obs.Event{Kind: "farm", Name: "replica_store", Detail: key.String()[:12]})
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // retryAfter computes the Retry-After value for a 503: the estimated

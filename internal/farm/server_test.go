@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/harden"
 	"repro/internal/obs"
@@ -41,6 +42,7 @@ var goldenCounterNames = []string{
 	"farm.cache_write_errors", "farm.coalesced", "farm.http_errors", "farm.http_rejected",
 	"farm.http_requests", "farm.jobs_canceled", "farm.jobs_completed",
 	"farm.jobs_failed", "farm.jobs_submitted", "farm.panics",
+	"farm.replica_rejected", "farm.replica_stores",
 	"farm.retries", "farm.timeouts", "farm.verdict_degraded",
 	"farm.verdict_fallback", "farm.verdict_validated",
 }
@@ -721,5 +723,116 @@ func TestServerPprofGate(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
 		t.Fatalf("pprof on: status %d body %.80s", resp.StatusCode, body)
+	}
+}
+
+// putCache PUTs one replica envelope at the server's replication
+// endpoint and returns the response (body drained and closed).
+func putCache(t *testing.T, url, key string, env farm.PushArtifact) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url+"/cache?key="+key, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestServerCachePush: a pushed replica is stored under its key and
+// serves the equivalent POST /rewrite as a cache hit — the worker-side
+// half of fleet successor replication.
+func TestServerCachePush(t *testing.T) {
+	col := obs.New()
+	cache, err := farm.NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := newTestServer(t, farm.Config{Workers: 1, Cache: cache, Obs: col}, farm.ServerOptions{})
+	bin := testBinary(t)
+
+	// Rewrite once out of band to obtain a real artifact, then push it
+	// into a *second* worker and prove that worker serves it from cache
+	// without executing the pipeline.
+	res, err := p.Rewrite(context.Background(), bin, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, cacheable := farm.Fingerprint(bin, core.Options{})
+	if !cacheable {
+		t.Fatal("plain rewrite not cacheable")
+	}
+
+	cache2, err := farm.NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2 := obs.New()
+	p2, srv2 := newTestServer(t, farm.Config{Workers: 1, Cache: cache2, Obs: col2}, farm.ServerOptions{})
+	env := farm.NewPushArtifact(&farm.Artifact{Binary: res.Binary, Stats: res.Stats})
+	if resp := putCache(t, srv2.URL, key.String(), env); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("push: status %d, want 204", resp.StatusCode)
+	}
+	reg2 := p2.Obs().Metrics()
+	if got := reg2.Counter("farm.replica_stores").Value(); got != 1 {
+		t.Fatalf("farm.replica_stores = %d, want 1", got)
+	}
+	jobsBefore := reg2.Counter("farm.jobs_submitted").Value()
+	resp, out := postRewrite(t, srv2.URL, bin)
+	if resp.StatusCode != http.StatusOK || !out.CacheHit {
+		t.Fatalf("post-push rewrite: status %d cache_hit %v, want 200 hit", resp.StatusCode, out.CacheHit)
+	}
+	if !bytes.Equal(out.Binary, res.Binary) {
+		t.Fatal("replica-served artifact differs from the original")
+	}
+	if got := reg2.Counter("farm.jobs_submitted").Value(); got != jobsBefore {
+		t.Fatalf("replica hit executed the pipeline: jobs %d -> %d", jobsBefore, got)
+	}
+}
+
+// TestServerCachePushRejects: corrupt envelopes, bad keys, and
+// cacheless workers all refuse the push without storing anything.
+func TestServerCachePushRejects(t *testing.T) {
+	cache, err := farm.NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, srv := newTestServer(t, farm.Config{Workers: 1, Cache: cache, Obs: obs.New()}, farm.ServerOptions{})
+	key, err := farm.ParseKey(strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bit flip in transit: checksum mismatch, 400, counted, not stored.
+	env := farm.NewPushArtifact(&farm.Artifact{Binary: []byte("artifact")})
+	env.Binary = []byte("artifact-corrupted")
+	if resp := putCache(t, srv.URL, key.String(), env); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt push: status %d, want 400", resp.StatusCode)
+	}
+	if got := p.Obs().Metrics().Counter("farm.replica_rejected").Value(); got != 1 {
+		t.Fatalf("farm.replica_rejected = %d, want 1", got)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("corrupt replica was stored")
+	}
+
+	// A malformed key never reaches the cache.
+	if resp := putCache(t, srv.URL, "zz", farm.NewPushArtifact(&farm.Artifact{Binary: []byte("x")})); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key: status %d, want 400", resp.StatusCode)
+	}
+
+	// A worker without a cache cannot accept replicas.
+	_, srvNoCache := newTestServer(t, farm.Config{Workers: 1, Obs: obs.New()}, farm.ServerOptions{})
+	if resp := putCache(t, srvNoCache.URL, key.String(), farm.NewPushArtifact(&farm.Artifact{Binary: []byte("x")})); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cacheless push: status %d, want 404", resp.StatusCode)
 	}
 }

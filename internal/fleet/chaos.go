@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harden"
+)
+
+// ParseChaos builds a transport fault plan from the surifleet -chaos
+// spec. Two grammars:
+//
+//	seed:<n>[:maxVictims[:minDur]]     a seeded schedule over workers
+//	mode:worker[:dur[:after[:times]]]  one explicit fault; ';' chains
+//
+// Modes are harden.ChaosModes (drop, delay, 5xx, slow-body, flap).
+// Examples:
+//
+//	-chaos seed:42                 seeded schedule, <= len(workers)-1 victims
+//	-chaos delay:w1:200ms          every forward to w1 stalls 200ms
+//	-chaos "drop:w0:0s:0:3;flap:w2"  3 dropped forwards to w0, w2 flaps
+//
+// workers are the ring names the plan may afflict (w0, w1, ...); the
+// seeded grammar draws victims from it, the explicit grammar validates
+// against it.
+func ParseChaos(spec string, workers []string) (*harden.FaultPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fleet: empty chaos spec")
+	}
+	known := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		known[w] = true
+	}
+	if rest, ok := strings.CutPrefix(spec, "seed:"); ok {
+		parts := strings.Split(rest, ":")
+		seed, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad chaos seed %q", parts[0])
+		}
+		maxVictims := 0
+		minDur := time.Duration(0)
+		if len(parts) > 1 {
+			if maxVictims, err = strconv.Atoi(parts[1]); err != nil {
+				return nil, fmt.Errorf("fleet: bad chaos maxVictims %q", parts[1])
+			}
+		}
+		if len(parts) > 2 {
+			if minDur, err = time.ParseDuration(parts[2]); err != nil {
+				return nil, fmt.Errorf("fleet: bad chaos minDur %q", parts[2])
+			}
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("fleet: bad chaos spec %q", spec)
+		}
+		return harden.SeededChaosPlan(seed, workers, maxVictims, minDur), nil
+	}
+	var faults []harden.Fault
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 || len(parts) > 5 {
+			return nil, fmt.Errorf("fleet: bad chaos fault %q (want mode:worker[:dur[:after[:times]]])", item)
+		}
+		mode, workerName := parts[0], parts[1]
+		validMode := false
+		for _, m := range harden.ChaosModes {
+			if m == mode {
+				validMode = true
+				break
+			}
+		}
+		if !validMode {
+			return nil, fmt.Errorf("fleet: unknown chaos mode %q (have %s)", mode, strings.Join(harden.ChaosModes, ", "))
+		}
+		if len(known) > 0 && !known[workerName] {
+			return nil, fmt.Errorf("fleet: chaos fault %q names unknown worker %q", item, workerName)
+		}
+		var dur time.Duration
+		var after, times int
+		var err error
+		if len(parts) > 2 {
+			if dur, err = time.ParseDuration(parts[2]); err != nil {
+				return nil, fmt.Errorf("fleet: bad chaos duration %q", parts[2])
+			}
+		}
+		if len(parts) > 3 {
+			if after, err = strconv.Atoi(parts[3]); err != nil || after < 0 {
+				return nil, fmt.Errorf("fleet: bad chaos after %q", parts[3])
+			}
+		}
+		if len(parts) > 4 {
+			if times, err = strconv.Atoi(parts[4]); err != nil || times < 0 {
+				return nil, fmt.Errorf("fleet: bad chaos times %q", parts[4])
+			}
+		}
+		prefix := harden.FPFleetForward
+		if mode == harden.ChaosFlap {
+			prefix = harden.FPFleetProbe
+		}
+		faults = append(faults, harden.ChaosFault(prefix, workerName, mode, dur, after, times))
+	}
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("fleet: empty chaos spec")
+	}
+	return harden.NewPlan(faults...), nil
+}

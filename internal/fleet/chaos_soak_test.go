@@ -1,0 +1,194 @@
+package fleet_test
+
+// TestChaosSoak is the chaos acceptance test: a 3-worker fleet with
+// full replication serves a fixed key set while seeded transport faults
+// (drop, delay, 5xx, slow-body, probe flap) afflict up to 2 of the 3
+// workers, and through every injected schedule the soak asserts the
+// three invariants that define "resilient": zero lost jobs (every
+// request answers 200), zero duplicate pipeline executions (the
+// fleet-wide farm.jobs_submitted total never moves off the warm count),
+// and clean stream summaries (/batch reports ok == jobs, failed == 0).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/fleet"
+	"repro/internal/harden"
+)
+
+// putCache pushes an artifact envelope into one worker's PUT /cache.
+func putCache(t *testing.T, workerURL string, key farm.Key, env farm.PushArtifact) {
+	t.Helper()
+	payload, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, workerURL+"/cache?key="+key.String(), bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cache push: status %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak compiles and rewrites real binaries")
+	}
+	workers := []*farmWorker{newFarmWorker(t), newFarmWorker(t), newFarmWorker(t)}
+	names := []string{"w0", "w1", "w2"}
+	c := newCoordinator(t, fleet.Options{
+		Workers:      []string{workers[0].srv.URL, workers[1].srv.URL, workers[2].srv.URL},
+		CacheEntries: -1, // every request must reach a worker
+		Replicate:    2,  // every worker holds every key
+		HedgeAfter:   5 * time.Millisecond,
+	})
+	srv := serveCoordinator(t, c)
+	reg := c.Obs().Metrics()
+	bin := e2eBinary(t)
+
+	// The working set: 4 keys over one binary, distinguished by their
+	// instruction budget (all >= the default, so behaviour is identical
+	// but the content addresses differ and spread across the ring).
+	const keys = 4
+	var insts [keys]int64
+	var params [keys]string
+	for i := range insts {
+		insts[i] = int64(harden.DefaultTotalInsts) + int64(i)
+		params[i] = fmt.Sprintf("budget-insts=%d", insts[i])
+	}
+
+	// Warm every worker's cache by hand: each key executes exactly once
+	// (directly on w0's farm, bypassing the coordinator so hedging
+	// cannot double the work), then the test pushes the artifact to all
+	// three workers — the state successor replication would converge to.
+	for i := range insts {
+		resp, err := http.Post(workers[0].srv.URL+"/rewrite?"+params[i], "application/octet-stream", bytes.NewReader(bin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out farm.RewriteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm rewrite %d: status %d", i, resp.StatusCode)
+		}
+		key, ok := farm.Fingerprint(bin, core.Options{Budget: harden.Budget{TotalInsts: insts[i]}})
+		if !ok {
+			t.Fatal("uncacheable")
+		}
+		env := farm.NewPushArtifact(&farm.Artifact{Binary: out.Binary, Stats: out.Stats})
+		for _, w := range workers {
+			putCache(t, w.srv.URL, key, env)
+		}
+	}
+	submitted := func() int64 {
+		var n int64
+		for _, w := range workers {
+			n += w.col.Metrics().Counter("farm.jobs_submitted").Value()
+		}
+		return n
+	}
+	if got := submitted(); got != keys {
+		t.Fatalf("executions after warm = %d, want %d", got, keys)
+	}
+
+	batchBody := func() []byte {
+		var b bytes.Buffer
+		for i := range insts {
+			line, _ := json.Marshal(fleet.BatchJob{
+				ID: fmt.Sprintf("job-%d", i), Binary: bin, Params: params[i],
+			})
+			b.Write(append(line, '\n'))
+		}
+		return b.Bytes()
+	}()
+
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			// Up to 2 of 3 victims: a clean failover path always exists,
+			// so a lost job is a coordinator bug, never bad luck.
+			plan := harden.SeededChaosPlan(seed, names, 2, 5*time.Millisecond)
+			disarm := plan.Arm()
+			defer disarm()
+
+			for r := 0; r < 12; r++ {
+				resp, out := postFleet(t, srv.URL, "/rewrite?"+params[r%keys], bin)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("request %d lost under seed %d: status %d", r, seed, resp.StatusCode)
+				}
+				if len(out.Binary) == 0 {
+					t.Fatalf("request %d returned an empty artifact", r)
+				}
+				if r%3 == 2 {
+					// Interleave membership sweeps so probe flaps fire and
+					// chaos-killed workers resurrect mid-soak.
+					c.CheckHealth()
+				}
+			}
+
+			// One streamed batch through the same degraded transport.
+			resp, err := http.Post(srv.URL+"/batch", "application/x-ndjson", bytes.NewReader(batchBody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var summary *fleet.BatchResult
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 64<<10), 64<<20)
+			for sc.Scan() {
+				var line fleet.BatchResult
+				if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+					t.Fatalf("bad batch line %q: %v", sc.Bytes(), err)
+				}
+				if line.Summary {
+					s := line
+					summary = &s
+				} else if line.Status != http.StatusOK || line.Error != "" {
+					t.Fatalf("batch job %s failed under seed %d: %+v", line.ID, seed, line)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatalf("batch stream died: %v", err)
+			}
+			if summary == nil || summary.Jobs != keys || summary.OK != keys || summary.Failed != 0 || summary.Error != "" {
+				t.Fatalf("unclean batch summary under seed %d: %+v", seed, summary)
+			}
+
+			if got := submitted(); got != keys {
+				t.Fatalf("duplicate pipeline executions under seed %d: %d, want %d", seed, got, keys)
+			}
+
+			disarm()
+			// The fleet must converge back to full strength once the
+			// faults clear.
+			waitFor(t, func() bool {
+				c.CheckHealth()
+				return reg.Gauge("fleet.workers_alive").Value() == 3
+			})
+		})
+	}
+
+	if got := submitted(); got != keys {
+		t.Fatalf("executions after soak = %d, want %d (zero duplicates)", got, keys)
+	}
+}

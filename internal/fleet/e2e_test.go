@@ -249,6 +249,73 @@ func TestE2EKillWorkerMidBatch(t *testing.T) {
 	}
 }
 
+// TestE2EKillWorkerPrimary is the replication acceptance test: with
+// successor replication on and the coordinator cache off, killing the
+// worker that owns (and executed) a key must turn the failover request
+// into a replica cache *hit* on the survivor — zero additional pipeline
+// executions, proven by the workers' own farm.jobs_submitted counters.
+func TestE2EKillWorkerPrimary(t *testing.T) {
+	w0, w1 := newFarmWorker(t), newFarmWorker(t)
+	c := newCoordinator(t, fleet.Options{
+		Workers:      []string{w0.srv.URL, w1.srv.URL},
+		CacheEntries: -1, // front-end cache off: a hit can only come from a worker
+		Replicate:    1,
+	})
+	srv := serveCoordinator(t, c)
+	bin := e2eBinary(t)
+
+	// Resolve which worker owns the key, the same way the coordinator
+	// routes it.
+	k, ok := farm.Fingerprint(bin, core.Options{})
+	if !ok {
+		t.Fatal("uncacheable")
+	}
+	byName := map[string]*farmWorker{"w0": w0, "w1": w1}
+	primaryName := fleet.BuildRing([]string{"w0", "w1"}, 0).Owner(fleet.HashKey(k))
+	secondaryName := "w0"
+	if primaryName == "w0" {
+		secondaryName = "w1"
+	}
+	primary, secondary := byName[primaryName], byName[secondaryName]
+
+	// Warm: one real execution on the primary.
+	resp, out := postFleet(t, srv.URL, "/rewrite", bin)
+	if resp.StatusCode != http.StatusOK || out.Worker != primaryName || out.CacheHit {
+		t.Fatalf("warm rewrite: status %d worker %q hit %v, want fresh execution on %s",
+			resp.StatusCode, out.Worker, out.CacheHit, primaryName)
+	}
+	// Replication is async: wait until the artifact has actually landed
+	// in the successor's cache before pulling the plug.
+	waitFor(t, func() bool {
+		return c.Obs().Metrics().Counter("fleet.replicas_pushed").Value() >= 1 &&
+			secondary.pool.Cache().Stats().Entries >= 1
+	})
+	submitted := func() int64 {
+		return w0.col.Metrics().Counter("farm.jobs_submitted").Value() +
+			w1.col.Metrics().Counter("farm.jobs_submitted").Value()
+	}
+	if got := submitted(); got != 1 {
+		t.Fatalf("executions after warm = %d, want 1", got)
+	}
+
+	primary.srv.CloseClientConnections()
+	primary.srv.Close()
+
+	resp2, out2 := postFleet(t, srv.URL, "/rewrite", bin)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("failover status %d, want 200", resp2.StatusCode)
+	}
+	if out2.Worker != secondaryName || !out2.CacheHit {
+		t.Fatalf("failover: worker %q hit %v, want a cache hit on %s", out2.Worker, out2.CacheHit, secondaryName)
+	}
+	if !bytes.Equal(out2.Binary, out.Binary) {
+		t.Fatal("replica artifact differs from the original")
+	}
+	if got := submitted(); got != 1 {
+		t.Fatalf("executions after failover = %d, want still 1 (the replica absorbed the kill)", got)
+	}
+}
+
 // TestE2EFlightCorrelation: one request ID, supplied by the client,
 // indexes flight events on the coordinator AND on the worker that
 // served the forwarded request (satellite: cross-node correlation).

@@ -17,8 +17,23 @@
 // each worker's structured /healthz, a draining or dead worker leaves
 // the ring, and its keys re-hash to the survivors — in-flight forwards
 // to a dying worker fail over with bounded retry, so a worker crash
-// mid-batch loses no jobs. Workers join statically (-workers) or by
-// registering themselves (POST /fleet/register, surid -register).
+// mid-batch loses no jobs. Dead workers keep getting probed, so a node
+// that comes back is re-admitted automatically. Workers join statically
+// (-workers) or by registering themselves (POST /fleet/register,
+// surid -register with capped exponential backoff + jitter).
+//
+// Resilience is layered on the same ring order. With Replicate > 0 the
+// coordinator asynchronously pushes each executed artifact to the key's
+// next R ring successors (worker PUT /cache, checksummed envelope)
+// through a bounded drop-and-count queue, so losing a key's owner fails
+// over to a successor as a cache hit instead of a re-execution. With
+// HedgeAfter > 0 a forward that has been in flight longer than
+// max(floor, multiplier x the worker's rolling latency quantile) races
+// the ring successor — first success wins, the loser is canceled via
+// context — and hedges launch inside the coalescing group, so they can
+// never duplicate pipeline work. The worker transport carries per-worker
+// harden failpoints (drop, delay, 5xx, slow-body, probe flap; see
+// ParseChaos) for deterministic chaos testing.
 //
 // Endpoints:
 //
@@ -65,7 +80,9 @@ type Options struct {
 	Replicas int
 
 	// CacheEntries bounds the coordinator's in-memory artifact LRU
-	// (<= 0 means 256).
+	// (0 means 256). Negative disables the coordinator cache entirely —
+	// every request forwards — which is how replication tests prove a
+	// failover was served by a worker replica and not by the front-end.
 	CacheEntries int
 
 	// CacheDir, when set, is the shared disk tier under the memory LRU.
@@ -109,6 +126,38 @@ type Options struct {
 	// (<= 0 means all routable workers).
 	Retry int
 
+	// Replicate is the successor replication factor: after a forwarded
+	// rewrite executes, the coordinator asynchronously pushes the
+	// artifact (PUT /cache) to the next Replicate ring successors of the
+	// worker that produced it, so that worker's death costs a failover —
+	// not a recompute. 0 disables replication.
+	Replicate int
+
+	// ReplicaQueue bounds the asynchronous replication backlog. The
+	// serving path never blocks on replication: a push arriving at a
+	// full queue is dropped and counted (fleet.replica_dropped) — the
+	// artifact is merely un-replicated until its next execution.
+	// <= 0 means 64.
+	ReplicaQueue int
+
+	// HedgeAfter enables hedged requests and sets the threshold floor:
+	// when a forwarded request has been in flight longer than
+	// max(HedgeAfter, HedgeMultiplier × the worker's rolling
+	// HedgeQuantile latency), the same request is fired at the next ring
+	// successor and the first success wins; the loser is canceled.
+	// 0 disables hedging.
+	HedgeAfter time.Duration
+
+	// HedgeQuantile is the per-worker rolling latency quantile the hedge
+	// threshold tracks (0 means 0.9). Seeded from the cumulative
+	// fleet.worker_ns histogram until the rolling window has samples.
+	HedgeQuantile float64
+
+	// HedgeMultiplier scales the quantile estimate into the threshold
+	// (0 means 2): hedge when the request has taken HedgeMultiplier
+	// times the worker's typical tail latency.
+	HedgeMultiplier float64
+
 	// Obs receives the fleet.* counters, per-worker histograms, and the
 	// coordinator's flight events. Nil disables collection.
 	Obs *obs.Collector
@@ -142,10 +191,12 @@ func (s workerState) String() string {
 // worker is one fleet member. The name (w0, w1, ...) is assigned at
 // registration and is what the hash ring keys on, so assignment is
 // deterministic for a given membership sequence regardless of ports.
+// lat is the rolling latency window the hedge threshold tracks.
 type worker struct {
 	name  string
 	url   string
 	state atomic.Int32
+	lat   *obs.Rolling
 }
 
 func (w *worker) getState() workerState  { return workerState(w.state.Load()) }
@@ -159,6 +210,8 @@ var counterNames = []string{
 	"fleet.cache_hits", "fleet.cache_disk_hits", "fleet.cache_misses",
 	"fleet.executions", "fleet.forward_errors", "fleet.rehash",
 	"fleet.registered", "fleet.http_errors",
+	"fleet.hedges", "fleet.hedge_wins",
+	"fleet.replicas_pushed", "fleet.replica_errors", "fleet.replica_dropped",
 }
 
 // Coordinator is the fleet front-end. Build one with NewCoordinator,
@@ -185,6 +238,9 @@ type Coordinator struct {
 	byURL   map[string]*worker
 	ring    *Ring
 
+	replCh   chan replJob
+	replDone chan struct{}
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	loopDone chan struct{}
@@ -209,9 +265,22 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 64 << 20
 	}
-	cache, err := farm.NewCache(opts.CacheEntries, opts.CacheDir)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: cache: %w", err)
+	if opts.ReplicaQueue <= 0 {
+		opts.ReplicaQueue = 64
+	}
+	if opts.HedgeQuantile <= 0 || opts.HedgeQuantile > 1 {
+		opts.HedgeQuantile = 0.9
+	}
+	if opts.HedgeMultiplier <= 0 {
+		opts.HedgeMultiplier = 2
+	}
+	var cache *farm.Cache
+	if opts.CacheEntries >= 0 {
+		var err error
+		cache, err = farm.NewCache(opts.CacheEntries, opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: cache: %w", err)
+		}
 	}
 	clock := opts.Obs.Clock()
 	if clock == nil {
@@ -240,6 +309,11 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		c.addWorker(url)
 	}
 	c.buildMux()
+	if opts.Replicate > 0 {
+		c.replCh = make(chan replJob, opts.ReplicaQueue)
+		c.replDone = make(chan struct{})
+		go c.replicateLoop()
+	}
 	if opts.HealthInterval > 0 {
 		c.loopDone = make(chan struct{})
 		go c.healthLoop()
@@ -247,11 +321,16 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close stops the health loop. In-flight requests finish on their own.
+// Close stops the health and replication loops. In-flight requests
+// finish on their own; queued replica pushes are abandoned (they are
+// advisory — the artifact is merely un-replicated).
 func (c *Coordinator) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	if c.loopDone != nil {
 		<-c.loopDone
+	}
+	if c.replDone != nil {
+		<-c.replDone
 	}
 }
 
@@ -286,7 +365,7 @@ func (c *Coordinator) addWorker(url string) (*worker, bool) {
 		}
 		return w, false
 	}
-	w := &worker{name: fmt.Sprintf("w%d", len(c.workers)), url: url}
+	w := &worker{name: fmt.Sprintf("w%d", len(c.workers)), url: url, lat: obs.NewRolling(0)}
 	c.workers = append(c.workers, w)
 	c.byURL[url] = w
 	// Pre-register the per-worker series so /metrics exposes the full
@@ -349,6 +428,18 @@ func (c *Coordinator) routable(h uint64, hashable bool) []*worker {
 		out = out[:c.opts.Retry]
 	}
 	return out
+}
+
+// workerByName resolves a ring name back to its member.
+func (c *Coordinator) workerByName(name string) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.name == name {
+			return w
+		}
+	}
+	return nil
 }
 
 // markDead transitions a worker out of the ring after a failed forward
@@ -414,6 +505,12 @@ func (c *Coordinator) CheckHealth() {
 // watching), anything else — connection refused, timeout, garbage — is
 // dead.
 func (c *Coordinator) probe(w *worker) workerState {
+	// Chaos failpoint: a flapping member answers this probe as dead even
+	// though the worker itself is healthy — the next clean probe brings
+	// it back, which is exactly the resurrection path under test.
+	if err := harden.Inject(harden.FPFleetProbe + "." + w.name); err != nil {
+		return workerDead
+	}
 	timeout := time.Second
 	if c.opts.HealthInterval > 0 && c.opts.HealthInterval < timeout {
 		timeout = c.opts.HealthInterval

@@ -27,12 +27,15 @@ import (
 type fakeWorker struct {
 	srv      *httptest.Server
 	requests atomic.Int64
+	canceled atomic.Int64 // gated rewrites abandoned by client cancel
 	health   atomic.Int32 // 0 ok, 1 draining, 2 broken
 	gate     chan struct{}
+	pushGate chan struct{} // blocks PUT /cache while set
 
 	mu        sync.Mutex
 	lastRID   string
 	lastQuery url.Values
+	pushes    []string // replica keys received via PUT /cache
 }
 
 func newFakeWorker(t *testing.T) *fakeWorker {
@@ -47,7 +50,15 @@ func newFakeWorker(t *testing.T) *fakeWorker {
 		fw.mu.Unlock()
 		fw.requests.Add(1)
 		if fw.gate != nil {
-			<-fw.gate
+			select {
+			case <-fw.gate:
+			case <-r.Context().Done():
+				// The coordinator gave up on this arm (hedge loser,
+				// client timeout): the stand-in records the abandonment
+				// the way a real pipeline would observe its Cancel.
+				fw.canceled.Add(1)
+				return
+			}
 		}
 		resp := farm.RewriteResponse{
 			Stats:  core.Stats{Blocks: 1, RewrittenBytes: len(body)},
@@ -55,6 +66,16 @@ func newFakeWorker(t *testing.T) *fakeWorker {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("PUT /cache", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if fw.pushGate != nil {
+			<-fw.pushGate
+		}
+		fw.mu.Lock()
+		fw.pushes = append(fw.pushes, r.URL.Query().Get("key"))
+		fw.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		switch fw.health.Load() {
@@ -75,6 +96,12 @@ func (fw *fakeWorker) last() (string, url.Values) {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	return fw.lastRID, fw.lastQuery
+}
+
+func (fw *fakeWorker) pushCount() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return len(fw.pushes)
 }
 
 func newCoordinator(t *testing.T, opts fleet.Options) *fleet.Coordinator {
@@ -359,7 +386,7 @@ func TestRegistrationAndDrain(t *testing.T) {
 	}
 
 	fw := newFakeWorker(t)
-	if err := fleet.Register(srv.URL, fw.srv.URL, 3, 10*time.Millisecond); err != nil {
+	if err := fleet.Register(srv.URL, fw.srv.URL, 3, 10*time.Millisecond, nil); err != nil {
 		t.Fatal(err)
 	}
 	r2, out := postFleet(t, srv.URL, "/rewrite", []byte("prog"))

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+// Successor replication: after a forwarded rewrite executes, the
+// coordinator pushes the artifact to the next Replicate ring successors
+// of the worker that produced it (PUT /cache on each), so the key's
+// whole failover chain can serve it as a cache hit. Replication is
+// asynchronous and advisory — the serving path only enqueues; a full
+// queue drops the push and counts it, and a failed push costs nothing
+// but a future recompute.
+
+// replicaPushTimeout bounds one PUT /cache hop. Generous: a replica
+// push races nothing and blocks nobody.
+const replicaPushTimeout = 15 * time.Second
+
+// replJob is one artifact awaiting replication to the successors of
+// origin (the worker name that executed it).
+type replJob struct {
+	key    farm.Key
+	art    *farm.Artifact
+	origin string
+}
+
+// enqueueReplica hands an executed artifact to the replication loop.
+// Never blocks: drop-and-count on overload.
+func (c *Coordinator) enqueueReplica(key farm.Key, art *farm.Artifact, origin string, rc *obs.Collector) {
+	if c.replCh == nil {
+		return
+	}
+	select {
+	case c.replCh <- replJob{key: key, art: art, origin: origin}:
+	default:
+		c.reg.Counter("fleet.replica_dropped").Inc()
+		rc.Record(obs.Event{Kind: "fleet", Name: "replica_dropped", Detail: origin})
+	}
+}
+
+// replicateLoop drains the replication queue until Close.
+func (c *Coordinator) replicateLoop() {
+	defer close(c.replDone)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case rj := <-c.replCh:
+			c.pushReplicas(rj)
+		}
+	}
+}
+
+// replicaTargets picks the workers that should hold a copy of key: the
+// first Replicate ring owners after (excluding) the origin worker.
+// Owners walks alive members only, so a dying successor is skipped
+// rather than retried.
+func (c *Coordinator) replicaTargets(key farm.Key, origin string) []*worker {
+	c.mu.Lock()
+	names := c.ring.Owners(HashKey(key), c.opts.Replicate+1)
+	c.mu.Unlock()
+	out := make([]*worker, 0, c.opts.Replicate)
+	for _, name := range names {
+		if name == origin || len(out) == c.opts.Replicate {
+			continue
+		}
+		if w := c.workerByName(name); w != nil && w.getState() == workerAlive {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// pushReplicas sends one artifact to each replica target, marshaling
+// the envelope once.
+func (c *Coordinator) pushReplicas(rj replJob) {
+	targets := c.replicaTargets(rj.key, rj.origin)
+	if len(targets) == 0 {
+		return
+	}
+	payload, err := json.Marshal(farm.NewPushArtifact(rj.art))
+	if err != nil {
+		c.reg.Counter("fleet.replica_errors").Inc()
+		return
+	}
+	for _, w := range targets {
+		if err := c.pushTo(w, rj.key, payload); err != nil {
+			c.reg.Counter("fleet.replica_errors").Inc()
+			c.col.Record(obs.Event{Kind: "fleet", Name: "replica_error", Detail: w.name + ": " + err.Error()})
+			if c.opts.ErrorLog != nil {
+				c.opts.ErrorLog.Printf("fleet: replica push to %s (%s): %v", w.name, w.url, err)
+			}
+			continue
+		}
+		c.reg.Counter("fleet.replicas_pushed").Inc()
+		c.col.Record(obs.Event{Kind: "fleet", Name: "replica_pushed", Detail: w.name})
+	}
+}
+
+// pushTo performs one PUT /cache hop to one worker.
+func (c *Coordinator) pushTo(w *worker, key farm.Key, payload []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), replicaPushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, w.url+"/cache?key="+key.String(), bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("fleet: replica push to %s: status %d", w.name, resp.StatusCode)
+	}
+	return nil
+}

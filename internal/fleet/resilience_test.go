@@ -1,0 +1,511 @@
+package fleet_test
+
+// Resilience-layer unit tests: successor replication, hedged requests,
+// admission-control boundaries, dead-worker resurrection, registration
+// backoff, and the -chaos spec parser. These run against fakeWorker
+// stand-ins so they finish in milliseconds; the e2e proofs over real
+// pipelines live in e2e_test.go and chaos_soak_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/fleet"
+	"repro/internal/harden"
+)
+
+// binsOwnedBy crafts n distinct request bodies whose content addresses
+// all land on owner within a ring over names.
+func binsOwnedBy(t *testing.T, names []string, owner string, n int) [][]byte {
+	t.Helper()
+	ring := fleet.BuildRing(names, 0)
+	var out [][]byte
+	for i := 0; len(out) < n && i < 100000; i++ {
+		bin := []byte(fmt.Sprintf("prog-owned-%s-%d", owner, i))
+		k, ok := farm.Fingerprint(bin, core.Options{})
+		if !ok {
+			t.Fatal("uncacheable")
+		}
+		if ring.Owner(fleet.HashKey(k)) == owner {
+			out = append(out, bin)
+		}
+	}
+	if len(out) != n {
+		t.Fatalf("could not craft %d keys owned by %s", n, owner)
+	}
+	return out
+}
+
+// TestReplicationPushesToSuccessor: after a forwarded rewrite executes,
+// the artifact lands on the ring successor via PUT /cache — and only
+// there, never back on the origin.
+func TestReplicationPushesToSuccessor(t *testing.T) {
+	fw0, fw1 := newFakeWorker(t), newFakeWorker(t)
+	c := newCoordinator(t, fleet.Options{
+		Workers: []string{fw0.srv.URL, fw1.srv.URL}, Replicate: 1,
+	})
+	srv := serveCoordinator(t, c)
+	bin := binsOwnedBy(t, []string{"w0", "w1"}, "w0", 1)[0]
+	key, _ := farm.Fingerprint(bin, core.Options{})
+
+	resp, out := postFleet(t, srv.URL, "/rewrite", bin)
+	if resp.StatusCode != http.StatusOK || out.Worker != "w0" {
+		t.Fatalf("status %d worker %q, want 200 via w0", resp.StatusCode, out.Worker)
+	}
+	reg := c.Obs().Metrics()
+	waitFor(t, func() bool { return reg.Counter("fleet.replicas_pushed").Value() == 1 })
+	waitFor(t, func() bool { return fw1.pushCount() == 1 })
+	if fw0.pushCount() != 0 {
+		t.Fatalf("origin received %d replica pushes, want 0", fw0.pushCount())
+	}
+	fw1.mu.Lock()
+	pushedKey := fw1.pushes[0]
+	fw1.mu.Unlock()
+	if pushedKey != key.String() {
+		t.Fatalf("replica pushed under key %q, want %q", pushedKey, key.String())
+	}
+	if got := reg.Counter("fleet.replica_errors").Value(); got != 0 {
+		t.Fatalf("replica_errors = %d, want 0", got)
+	}
+}
+
+// TestReplicationQueueOverflow: the serving path never blocks on
+// replication — pushes past the bounded queue are dropped and counted,
+// and the queued remainder still drains once the successor unblocks.
+func TestReplicationQueueOverflow(t *testing.T) {
+	fw0, fw1 := newFakeWorker(t), newFakeWorker(t)
+	fw1.pushGate = make(chan struct{})
+	c := newCoordinator(t, fleet.Options{
+		Workers: []string{fw0.srv.URL, fw1.srv.URL}, Replicate: 1, ReplicaQueue: 1,
+	})
+	srv := serveCoordinator(t, c)
+	bins := binsOwnedBy(t, []string{"w0", "w1"}, "w0", 3)
+
+	// Three distinct w0-owned keys: the first push parks on fw1's gate,
+	// the queue (capacity 1) holds at most one more, so at least one of
+	// the three must drop — and the rewrite responses never stall.
+	for _, bin := range bins {
+		resp, _ := postFleet(t, srv.URL, "/rewrite", bin)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	reg := c.Obs().Metrics()
+	dropped := reg.Counter("fleet.replica_dropped").Value()
+	if dropped < 1 {
+		t.Fatalf("replica_dropped = %d, want >= 1 with a full queue", dropped)
+	}
+	close(fw1.pushGate)
+	waitFor(t, func() bool {
+		return reg.Counter("fleet.replicas_pushed").Value() == 3-dropped
+	})
+	if got := int64(fw1.pushCount()); got != 3-dropped {
+		t.Fatalf("successor stored %d replicas, want %d", got, 3-dropped)
+	}
+}
+
+// TestHedgeWinsAndCancelsLoser: a parked primary trips the hedge
+// threshold, the ring successor answers, and the loser's in-flight
+// request is canceled — while the slow-but-alive primary stays in the
+// ring.
+func TestHedgeWinsAndCancelsLoser(t *testing.T) {
+	fw0, fw1 := newFakeWorker(t), newFakeWorker(t)
+	fw0.gate = make(chan struct{}) // never opened: w0 hangs until canceled
+	c := newCoordinator(t, fleet.Options{
+		Workers:    []string{fw0.srv.URL, fw1.srv.URL},
+		HedgeAfter: 10 * time.Millisecond,
+	})
+	srv := serveCoordinator(t, c)
+	bin := binsOwnedBy(t, []string{"w0", "w1"}, "w0", 1)[0]
+
+	resp, out := postFleet(t, srv.URL, "/rewrite", bin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Worker != "w1" {
+		t.Fatalf("served by %q, want the hedge winner w1", out.Worker)
+	}
+	reg := c.Obs().Metrics()
+	if reg.Counter("fleet.hedges").Value() != 1 || reg.Counter("fleet.hedge_wins").Value() != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1 and 1",
+			reg.Counter("fleet.hedges").Value(), reg.Counter("fleet.hedge_wins").Value())
+	}
+	// The losing arm must be canceled, not left running for nobody.
+	waitFor(t, func() bool { return fw0.canceled.Load() == 1 })
+	// A slow worker is not a dead worker: hedging must not evict it.
+	if reg.Gauge("fleet.workers_alive").Value() != 2 {
+		t.Fatal("hedge loser was evicted from the ring")
+	}
+}
+
+// TestNoHedgeWhenDisabled: with HedgeAfter zero the coordinator never
+// races a successor, no matter how slow the primary is.
+func TestNoHedgeWhenDisabled(t *testing.T) {
+	fw0, fw1 := newFakeWorker(t), newFakeWorker(t)
+	fw0.gate = make(chan struct{})
+	c := newCoordinator(t, fleet.Options{Workers: []string{fw0.srv.URL, fw1.srv.URL}})
+	srv := serveCoordinator(t, c)
+	bin := binsOwnedBy(t, []string{"w0", "w1"}, "w0", 1)[0]
+
+	type res struct {
+		status int
+		worker string
+	}
+	done := make(chan res, 1)
+	go func() {
+		resp, out := postFleet(t, srv.URL, "/rewrite", bin)
+		done <- res{resp.StatusCode, out.Worker}
+	}()
+	waitFor(t, func() bool { return fw0.requests.Load() == 1 })
+	time.Sleep(50 * time.Millisecond)
+	reg := c.Obs().Metrics()
+	if reg.Counter("fleet.hedges").Value() != 0 || fw1.requests.Load() != 0 {
+		t.Fatalf("hedges=%d w1.requests=%d, want 0 and 0 with hedging disabled",
+			reg.Counter("fleet.hedges").Value(), fw1.requests.Load())
+	}
+	close(fw0.gate)
+	r := <-done
+	if r.status != http.StatusOK || r.worker != "w0" {
+		t.Fatalf("status %d worker %q, want 200 via w0", r.status, r.worker)
+	}
+}
+
+// TestAdmissionExactBoundaries pins the inclusive/exclusive edges of
+// degrade-before-shed: a validate request arriving exactly at DegradeAt
+// is NOT degraded, a request arriving exactly at MaxInflight is NOT
+// shed — only strictly past each threshold does the policy bite.
+func TestAdmissionExactBoundaries(t *testing.T) {
+	t.Run("at-degrade-at", func(t *testing.T) {
+		fw := newFakeWorker(t)
+		fw.gate = make(chan struct{})
+		c := newCoordinator(t, fleet.Options{
+			Workers: []string{fw.srv.URL}, MaxInflight: 4, DegradeAt: 2,
+		})
+		srv := serveCoordinator(t, c)
+
+		park := make(chan struct{}, 1)
+		go func() {
+			postFleet(t, srv.URL, "/rewrite", []byte("prog-park"))
+			park <- struct{}{}
+		}()
+		waitFor(t, func() bool { return fw.requests.Load() == 1 })
+
+		// Second in-flight request: n == DegradeAt exactly — validation
+		// must survive.
+		validated := make(chan farm.RewriteResponse, 1)
+		go func() {
+			_, out := postFleet(t, srv.URL, "/rewrite?validate=1", []byte("prog-val"))
+			validated <- out
+		}()
+		waitFor(t, func() bool { return fw.requests.Load() == 2 })
+		close(fw.gate)
+		out := <-validated
+		<-park
+		if out.Verdict == string(core.VerdictDegraded) {
+			t.Fatal("request at exactly DegradeAt was degraded; threshold must be exclusive")
+		}
+		if _, q := fw.last(); q.Get("validate") != "1" {
+			t.Fatal("validate=1 was stripped at exactly DegradeAt")
+		}
+		if got := c.Obs().Metrics().Counter("fleet.degraded").Value(); got != 0 {
+			t.Fatalf("fleet.degraded = %d, want 0", got)
+		}
+	})
+
+	t.Run("at-max-inflight", func(t *testing.T) {
+		fw := newFakeWorker(t)
+		fw.gate = make(chan struct{})
+		c := newCoordinator(t, fleet.Options{
+			Workers: []string{fw.srv.URL}, MaxInflight: 2, DegradeAt: 1,
+		})
+		srv := serveCoordinator(t, c)
+
+		done := make(chan int, 2)
+		for i := 0; i < 2; i++ {
+			bin := []byte(fmt.Sprintf("prog-cap-%d", i))
+			go func() {
+				resp, _ := postFleet(t, srv.URL, "/rewrite", bin)
+				done <- resp.StatusCode
+			}()
+			want := int64(i + 1)
+			waitFor(t, func() bool { return fw.requests.Load() == want })
+		}
+		// Both slots taken (the second arrived exactly at MaxInflight and
+		// was admitted); the third is strictly over and must shed.
+		resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream", strings.NewReader("prog-over"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("over-capacity status = %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("503 without Retry-After")
+		}
+		close(fw.gate)
+		for i := 0; i < 2; i++ {
+			if status := <-done; status != http.StatusOK {
+				t.Fatalf("parked request %d got %d, want 200 (shed at exactly MaxInflight?)", i, status)
+			}
+		}
+		if got := c.Obs().Metrics().Counter("fleet.shed").Value(); got != 1 {
+			t.Fatalf("fleet.shed = %d, want 1", got)
+		}
+	})
+}
+
+// TestRetryAfterMonotonic: the shed Retry-After grows with the backlog
+// per alive worker — a deeper queue always quotes an equal-or-later
+// comeback, never an earlier one.
+func TestRetryAfterMonotonic(t *testing.T) {
+	var retryAfters []int
+	for _, maxInflight := range []int{1, 2, 4} {
+		fw := newFakeWorker(t)
+		fw.gate = make(chan struct{})
+		c := newCoordinator(t, fleet.Options{
+			Workers: []string{fw.srv.URL}, MaxInflight: maxInflight, DegradeAt: -1,
+		})
+		srv := serveCoordinator(t, c)
+		done := make(chan struct{}, maxInflight)
+		for i := 0; i < maxInflight; i++ {
+			bin := []byte(fmt.Sprintf("prog-ra-%d", i))
+			go func() {
+				postFleet(t, srv.URL, "/rewrite", bin)
+				done <- struct{}{}
+			}()
+			want := int64(i + 1)
+			waitFor(t, func() bool { return fw.requests.Load() == want })
+		}
+		resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream", strings.NewReader("prog-ra-over"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("maxInflight=%d: status %d, want 503", maxInflight, resp.StatusCode)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("maxInflight=%d: bad Retry-After %q", maxInflight, resp.Header.Get("Retry-After"))
+		}
+		retryAfters = append(retryAfters, ra)
+		close(fw.gate)
+		for i := 0; i < maxInflight; i++ {
+			<-done
+		}
+	}
+	for i := 1; i < len(retryAfters); i++ {
+		if retryAfters[i] < retryAfters[i-1] {
+			t.Fatalf("Retry-After shrank as backlog grew: %v", retryAfters)
+		}
+	}
+	// Backlog/alive with one worker: 1 + maxInflight, exactly.
+	if want := []int{2, 3, 5}; retryAfters[0] != want[0] || retryAfters[1] != want[1] || retryAfters[2] != want[2] {
+		t.Fatalf("Retry-After = %v, want %v", retryAfters, want)
+	}
+}
+
+// TestDeadWorkerResurrection: a worker declared dead rejoins the ring
+// as soon as its /healthz recovers — via an explicit sweep, and (the
+// regression this pins) via the background health loop, which must keep
+// re-probing dead members instead of forgetting them.
+func TestDeadWorkerResurrection(t *testing.T) {
+	t.Run("explicit-sweep", func(t *testing.T) {
+		fw := newFakeWorker(t)
+		c := newCoordinator(t, fleet.Options{Workers: []string{fw.srv.URL}})
+		srv := serveCoordinator(t, c)
+		reg := c.Obs().Metrics()
+
+		fw.health.Store(2) // broken, not draining: the probe says dead
+		c.CheckHealth()
+		if reg.Gauge("fleet.workers_alive").Value() != 0 {
+			t.Fatal("broken worker still alive after sweep")
+		}
+		resp, err := http.Post(srv.URL+"/rewrite", "application/octet-stream", strings.NewReader("prog"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("dead fleet status = %d, want 503", resp.StatusCode)
+		}
+
+		fw.health.Store(0)
+		c.CheckHealth()
+		if reg.Gauge("fleet.workers_alive").Value() != 1 {
+			t.Fatal("recovered worker not resurrected by the sweep")
+		}
+		r2, out := postFleet(t, srv.URL, "/rewrite", []byte("prog"))
+		if r2.StatusCode != http.StatusOK || out.Worker != "w0" {
+			t.Fatalf("after resurrection: status %d worker %q, want 200 via w0", r2.StatusCode, out.Worker)
+		}
+	})
+
+	t.Run("background-loop", func(t *testing.T) {
+		fw := newFakeWorker(t)
+		c := newCoordinator(t, fleet.Options{
+			Workers: []string{fw.srv.URL}, HealthInterval: 20 * time.Millisecond,
+		})
+		serveCoordinator(t, c)
+		reg := c.Obs().Metrics()
+
+		fw.health.Store(2)
+		waitFor(t, func() bool { return reg.Gauge("fleet.workers_alive").Value() == 0 })
+		fw.health.Store(0)
+		// No explicit sweep: the loop itself must re-probe the dead
+		// member and bring it back.
+		waitFor(t, func() bool { return reg.Gauge("fleet.workers_alive").Value() == 1 })
+	})
+
+	t.Run("chaos-flap", func(t *testing.T) {
+		fw := newFakeWorker(t)
+		c := newCoordinator(t, fleet.Options{Workers: []string{fw.srv.URL}})
+		serveCoordinator(t, c)
+		reg := c.Obs().Metrics()
+
+		// One flapping probe: the worker goes dead on the first sweep and
+		// must come back on the next — the fault is spent, the worker was
+		// healthy all along.
+		plan := harden.NewPlan(harden.ChaosFault(harden.FPFleetProbe, "w0", harden.ChaosFlap, 0, 0, 1))
+		disarm := plan.Arm()
+		defer disarm()
+		c.CheckHealth()
+		if reg.Gauge("fleet.workers_alive").Value() != 0 {
+			t.Fatal("flapping probe did not mark the worker dead")
+		}
+		c.CheckHealth()
+		if reg.Gauge("fleet.workers_alive").Value() != 1 {
+			t.Fatal("worker not resurrected after the flap cleared")
+		}
+	})
+}
+
+// TestRegisterBackoff: registration retries space out with logged
+// causes, succeed once the coordinator answers, and report giving up
+// with the final cause.
+func TestRegisterBackoff(t *testing.T) {
+	t.Run("gives-up-with-causes", func(t *testing.T) {
+		var logs []string
+		logf := func(format string, args ...any) {
+			logs = append(logs, fmt.Sprintf(format, args...))
+		}
+		err := fleet.Register("http://127.0.0.1:1", "http://worker:1", 3, time.Millisecond, logf)
+		if err == nil {
+			t.Fatal("register against a dead coordinator succeeded")
+		}
+		joined := strings.Join(logs, "\n")
+		if !strings.Contains(joined, "attempt 1/3") || !strings.Contains(joined, "attempt 2/3") {
+			t.Fatalf("per-attempt causes not logged:\n%s", joined)
+		}
+		if !strings.Contains(joined, "giving up after 3 attempts") {
+			t.Fatalf("final failure not logged:\n%s", joined)
+		}
+		if !strings.Contains(joined, "connection refused") {
+			t.Fatalf("attempt cause missing from logs:\n%s", joined)
+		}
+	})
+
+	t.Run("succeeds-after-retries", func(t *testing.T) {
+		var calls atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 2 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte(`{"name":"w0"}`))
+		}))
+		defer srv.Close()
+		var logs []string
+		logf := func(format string, args ...any) {
+			logs = append(logs, fmt.Sprintf(format, args...))
+		}
+		if err := fleet.Register(srv.URL, "http://worker:1", 5, time.Millisecond, logf); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		if calls.Load() != 3 {
+			t.Fatalf("coordinator saw %d attempts, want 3", calls.Load())
+		}
+		joined := strings.Join(logs, "\n")
+		if !strings.Contains(joined, "status 503") {
+			t.Fatalf("failed attempts did not log the status cause:\n%s", joined)
+		}
+		if !strings.Contains(joined, "ok after 3 attempts") {
+			t.Fatalf("recovery not logged:\n%s", joined)
+		}
+	})
+}
+
+// TestParseChaos: the -chaos grammar round-trips into armable fault
+// plans, and rejects malformed specs with a usable message.
+func TestParseChaos(t *testing.T) {
+	workers := []string{"w0", "w1", "w2"}
+
+	t.Run("explicit", func(t *testing.T) {
+		plan, err := fleet.ParseChaos("delay:w1:200ms;flap:w2", workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disarm := plan.Arm()
+		defer disarm()
+		err = harden.Inject(harden.FPFleetForward + ".w1")
+		var ce *harden.ChaosError
+		if !errors.As(err, &ce) || ce.Mode != harden.ChaosDelay || ce.Dur != 200*time.Millisecond {
+			t.Fatalf("forward.w1 inject = %v, want delay/200ms", err)
+		}
+		if err := harden.Inject(harden.FPFleetProbe + ".w2"); !errors.As(err, &ce) || ce.Mode != harden.ChaosFlap {
+			t.Fatalf("probe.w2 inject = %v, want flap", err)
+		}
+		// Uninvolved points stay clean.
+		if err := harden.Inject(harden.FPFleetForward + ".w0"); err != nil {
+			t.Fatalf("unafflicted worker injected: %v", err)
+		}
+	})
+
+	t.Run("seeded-deterministic", func(t *testing.T) {
+		a, err := fleet.ParseChaos("seed:42:2:50ms", workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := fleet.ParseChaos("seed:42:2:50ms", workers)
+		pa, pb := a.Points(), b.Points()
+		if len(pa) == 0 || len(pa) != len(pb) {
+			t.Fatalf("seeded plans differ in size: %d vs %d", len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("seeded plans diverge: %v vs %v", pa, pb)
+			}
+		}
+		for _, p := range pa {
+			if !strings.HasPrefix(p, "fleet.") {
+				t.Fatalf("seeded chaos point %q outside the fleet transport", p)
+			}
+		}
+	})
+
+	t.Run("rejects", func(t *testing.T) {
+		for _, spec := range []string{
+			"",                  // empty
+			"explode:w0",        // unknown mode
+			"drop:w9",           // unknown worker
+			"delay:w0:soon",     // bad duration
+			"seed:abc",          // bad seed
+			"drop:w0:0s:-1",     // bad after
+			"seed:1:2:50ms:bad", // trailing garbage
+		} {
+			if _, err := fleet.ParseChaos(spec, workers); err == nil {
+				t.Errorf("spec %q accepted, want error", spec)
+			}
+		}
+	})
+}

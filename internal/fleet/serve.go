@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,8 +15,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/harden"
 	"repro/internal/obs"
 )
+
+// chaosSleep is a context-aware stall for the delaying chaos modes.
+func chaosSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // forwarded is one completed fleet-level execution: the worker's
 // decoded response plus serving metadata. It is the value coalesced
@@ -67,6 +84,11 @@ type FleetHealth struct {
 	Coalesced     int64         `json:"coalesced"`
 	Degraded      int64         `json:"degraded"`
 	Shed          int64         `json:"shed"`
+	Hedges        int64         `json:"hedges"`
+	HedgeWins     int64         `json:"hedge_wins"`
+	ReplicasPush  int64         `json:"replicas_pushed"`
+	ReplicaErrors int64         `json:"replica_errors"`
+	ReplicaDrops  int64         `json:"replica_dropped"`
 	Draining      bool          `json:"draining"`
 }
 
@@ -223,9 +245,16 @@ func (c *Coordinator) serve(ctx context.Context, j *job, rc *obs.Collector) (int
 				return nil, err
 			}
 			if fw.status == http.StatusOK {
-				if perr := c.cache.Put(key, &farm.Artifact{Binary: fw.resp.Binary, Stats: fw.resp.Stats}); perr != nil {
-					rc.Record(obs.Event{Kind: "fleet", Name: "cache_write_error", Detail: perr.Error()})
+				art := &farm.Artifact{Binary: fw.resp.Binary, Stats: fw.resp.Stats}
+				if c.cache != nil {
+					if perr := c.cache.Put(key, art); perr != nil {
+						rc.Record(obs.Event{Kind: "fleet", Name: "cache_write_error", Detail: perr.Error()})
+					}
 				}
+				// Successor replication rides on the leader path only: one
+				// push per fleet-wide execution, after the waiters are
+				// already being served.
+				c.enqueueReplica(key, art, fw.worker, rc)
 			}
 			return fw, nil
 		})
@@ -272,7 +301,10 @@ func (c *Coordinator) finishResp(j *job, resp *farm.RewriteResponse) (int, *farm
 // around the ring (or round-robin for unhashable jobs) when a worker is
 // unreachable. A worker that cannot be reached is marked dead on the
 // spot — its keys re-hash to the survivors without waiting for the next
-// health sweep.
+// health sweep. A 5xx answer (overloaded, draining, or chaos) spills to
+// the next owner without evicting the worker from the ring. With
+// hedging enabled, each hop races the ring successor once the hop
+// exceeds the worker's hedge threshold.
 func (c *Coordinator) forward(ctx context.Context, j *job, key farm.Key, hashable bool, rc *obs.Collector) (*forwarded, error) {
 	candidates := c.routable(HashKey(key), hashable)
 	if len(candidates) == 0 {
@@ -288,7 +320,13 @@ func (c *Coordinator) forward(ctx context.Context, j *job, key farm.Key, hashabl
 			c.reg.Counter("fleet.rehash").Inc()
 			rc.Record(obs.Event{Kind: "fleet", Name: "rehash", Detail: w.name})
 		}
-		fw, err := c.forwardTo(ctx, w, j.bin, q, rc)
+		var fw *forwarded
+		var err error
+		if succ := c.hedgeSuccessor(candidates, i); succ != nil {
+			fw, err = c.forwardHedged(ctx, w, succ, j.bin, q, rc)
+		} else {
+			fw, err = c.forwardTo(ctx, w, j.bin, q, rc)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -298,9 +336,9 @@ func (c *Coordinator) forward(ctx context.Context, j *job, key farm.Key, hashabl
 			lastErr = err
 			continue
 		}
-		if fw.status == http.StatusServiceUnavailable {
-			// Overloaded or draining, not dead: spill to the next owner
-			// without evicting it from the ring.
+		if fw.status >= 500 {
+			// Overloaded, draining, or a flaky proxy — not dead: spill to
+			// the next owner without evicting it from the ring.
 			c.reg.Counter("fleet.forward_errors").Inc()
 			rc.Record(obs.Event{Kind: "fleet", Name: "spill", Detail: w.name})
 			lastErr = fmt.Errorf("fleet: worker %s unavailable: %s", w.name, fw.errMsg)
@@ -314,10 +352,52 @@ func (c *Coordinator) forward(ctx context.Context, j *job, key farm.Key, hashabl
 	return nil, lastErr
 }
 
+// hedgeSuccessor picks the hedge partner for candidate i: the next
+// alive candidate in failover order, when hedging is enabled. Nil means
+// forward unhedged (hedging off, or nobody left to race).
+func (c *Coordinator) hedgeSuccessor(candidates []*worker, i int) *worker {
+	if c.opts.HedgeAfter <= 0 {
+		return nil
+	}
+	for k := i + 1; k < len(candidates); k++ {
+		if candidates[k].getState() == workerAlive {
+			return candidates[k]
+		}
+	}
+	return nil
+}
+
 // forwardTo performs one HTTP hop to one worker, propagating the
 // request ID so /debug/flight?req= correlates across nodes, and feeds
-// the per-worker latency histogram.
+// the per-worker latency histogram and the rolling hedge window. A
+// canceled context (a lost hedge race) is returned as an error but not
+// counted against the worker — the worker did nothing wrong — and its
+// duration stays out of the latency series.
 func (c *Coordinator) forwardTo(ctx context.Context, w *worker, bin []byte, q url.Values, rc *obs.Collector) (*forwarded, error) {
+	// Chaos failpoint: the transport to this worker misbehaves per the
+	// armed plan before anything real is sent.
+	var stallBody time.Duration
+	if err := harden.Inject(harden.FPFleetForward + "." + w.name); err != nil {
+		var ce *harden.ChaosError
+		if !errors.As(err, &ce) {
+			return nil, err
+		}
+		switch ce.Mode {
+		case harden.ChaosDrop:
+			c.reg.Counter("fleet.worker_requests." + w.name).Inc()
+			c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+			return nil, fmt.Errorf("fleet: %s: %w", w.name, err)
+		case harden.Chaos5xx:
+			c.reg.Counter("fleet.worker_requests." + w.name).Inc()
+			return &forwarded{worker: w.name, status: http.StatusBadGateway, errMsg: err.Error()}, nil
+		case harden.ChaosDelay:
+			if serr := chaosSleep(ctx, ce.Dur); serr != nil {
+				return nil, serr
+			}
+		case harden.ChaosSlowBody:
+			stallBody = ce.Dur
+		}
+	}
 	u := w.url + "/rewrite"
 	if enc := q.Encode(); enc != "" {
 		u += "?" + enc
@@ -332,19 +412,30 @@ func (c *Coordinator) forwardTo(ctx context.Context, w *worker, bin []byte, q ur
 	}
 	t0 := c.clock.Now()
 	resp, err := c.client.Do(req)
-	dur := c.clock.Now() - t0
 	c.reg.Counter("fleet.worker_requests." + w.name).Inc()
-	c.reg.LatencyHistogram("fleet.worker_ns." + w.name).Observe(dur)
 	if err != nil {
-		c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+		if ctx.Err() == nil {
+			c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+		}
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if stallBody > 0 {
+		// Slow-body chaos: the headers arrived, the body crawls.
+		if serr := chaosSleep(ctx, stallBody); serr != nil {
+			return nil, serr
+		}
+	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBodyBytes*2))
+	dur := c.clock.Now() - t0
 	if err != nil {
-		c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+		if ctx.Err() == nil {
+			c.reg.Counter("fleet.worker_errors." + w.name).Inc()
+		}
 		return nil, err
 	}
+	c.reg.LatencyHistogram("fleet.worker_ns." + w.name).Observe(dur)
+	w.lat.Observe(dur)
 	rc.Record(obs.Event{Kind: "fleet", Name: "forward", Detail: fmt.Sprintf("%s %d", w.name, resp.StatusCode), Dur: dur})
 	fw := &forwarded{worker: w.name, status: resp.StatusCode}
 	if resp.StatusCode == http.StatusOK {
@@ -568,6 +659,11 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Coalesced:     c.reg.Counter("fleet.coalesced").Value(),
 		Degraded:      c.reg.Counter("fleet.degraded").Value(),
 		Shed:          c.reg.Counter("fleet.shed").Value(),
+		Hedges:        c.reg.Counter("fleet.hedges").Value(),
+		HedgeWins:     c.reg.Counter("fleet.hedge_wins").Value(),
+		ReplicasPush:  c.reg.Counter("fleet.replicas_pushed").Value(),
+		ReplicaErrors: c.reg.Counter("fleet.replica_errors").Value(),
+		ReplicaDrops:  c.reg.Counter("fleet.replica_dropped").Value(),
 		Draining:      c.draining.Load(),
 	}
 	status := http.StatusOK
@@ -658,18 +754,40 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 // Register announces a worker to a coordinator (the surid -register
 // client side). Safe to call before the coordinator is up when retries
-// are allowed.
-func Register(coordinatorURL, workerURL string, attempts int, wait time.Duration) error {
+// are allowed: attempts are spaced by exponential backoff starting at
+// base (<= 0 means 250ms), doubling up to 32× base, with ±25% jitter so
+// a rack of workers restarting together does not re-register in
+// lockstep. Every failed attempt's cause is reported through logf
+// (log.Printf-shaped; nil disables logging).
+func Register(coordinatorURL, workerURL string, attempts int, base time.Duration, logf func(format string, args ...any)) error {
 	if attempts < 1 {
 		attempts = 1
 	}
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	maxWait := 32 * base
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	body, _ := json.Marshal(struct {
 		URL string `json:"url"`
 	}{workerURL})
 	var lastErr error
+	backoff := base
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			jitter := time.Duration(rng.Int63n(int64(backoff)/2+1)) - backoff/4
+			wait := backoff + jitter
+			if logf != nil {
+				logf("fleet: register %s with %s: attempt %d/%d failed (%v), next in %s",
+					workerURL, coordinatorURL, i, attempts, lastErr, wait)
+			}
 			time.Sleep(wait)
+			if backoff < maxWait {
+				backoff *= 2
+				if backoff > maxWait {
+					backoff = maxWait
+				}
+			}
 		}
 		resp, err := http.Post(coordinatorURL+"/fleet/register", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -679,9 +797,16 @@ func Register(coordinatorURL, workerURL string, attempts int, wait time.Duration
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusOK {
+			if i > 0 && logf != nil {
+				logf("fleet: register %s with %s: ok after %d attempts", workerURL, coordinatorURL, i+1)
+			}
 			return nil
 		}
 		lastErr = fmt.Errorf("fleet: register: status %d", resp.StatusCode)
+	}
+	if logf != nil {
+		logf("fleet: register %s with %s: giving up after %d attempts: %v",
+			workerURL, coordinatorURL, attempts, lastErr)
 	}
 	return lastErr
 }

@@ -1,0 +1,110 @@
+// Transport chaos: failpoints for the fleet's network edges. The stage
+// failpoints in Failpoints model the *pipeline* breaking (every fault
+// must surface as a StageError); transport failpoints model the
+// *fabric* breaking — a dropped connection, a stalled response, a 5xx
+// from an overloaded proxy, a health probe lying — and the contract is
+// different: the fleet must absorb them (fail over, hedge, re-probe)
+// without losing a job or re-executing one. They therefore live in
+// their own registry, keyed per worker, and deliver a ChaosError that
+// names the failure mode instead of a plain injected fault.
+package harden
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Transport failpoint prefixes. The full point name is prefix + "." +
+// worker name (e.g. "fleet.forward.w1"), so one plan can afflict
+// individual fleet members independently.
+const (
+	// FPFleetForward fires on the coordinator->worker /rewrite hop,
+	// before the request leaves the coordinator.
+	FPFleetForward = "fleet.forward"
+
+	// FPFleetProbe fires inside the coordinator's health probe of one
+	// worker; any delivered fault classifies the worker dead for that
+	// probe (the flapping-member scenario).
+	FPFleetProbe = "fleet.probe"
+)
+
+// Chaos failure modes a transport failpoint can deliver.
+const (
+	ChaosDrop     = "drop"      // connection dies: transport error, no response
+	ChaosDelay    = "delay"     // response stalls for Dur before proceeding
+	Chaos5xx      = "5xx"       // upstream answers 502 with no useful body
+	ChaosSlowBody = "slow-body" // headers arrive, the body stalls for Dur
+	ChaosFlap     = "flap"      // health probe fails; the member looks dead
+)
+
+// ChaosModes lists every transport failure mode, in the order seeded
+// plans draw from — append-only, so a seed replays the same schedule
+// across versions.
+var ChaosModes = []string{ChaosDrop, ChaosDelay, Chaos5xx, ChaosSlowBody, ChaosFlap}
+
+// ChaosError is the fault payload a transport failpoint delivers,
+// wrapped in the usual *InjectedError (so IsInjected still recognizes
+// it). Mode says how the transport should misbehave and Dur how long,
+// for the modes that stall.
+type ChaosError struct {
+	Mode string
+	Dur  time.Duration
+}
+
+func (e *ChaosError) Error() string {
+	if e.Dur > 0 {
+		return fmt.Sprintf("harden: chaos %s (%s)", e.Mode, e.Dur)
+	}
+	return "harden: chaos " + e.Mode
+}
+
+// ChaosFault builds one armed transport fault: mode at point
+// prefix+"."+worker, stalling for dur where the mode stalls, skipping
+// the first after traversals, firing at most times times (0 means
+// unlimited).
+func ChaosFault(prefix, worker, mode string, dur time.Duration, after, times int) Fault {
+	return Fault{
+		Point: prefix + "." + worker,
+		After: after,
+		Times: times,
+		Err:   &ChaosError{Mode: mode, Dur: dur},
+	}
+}
+
+// SeededChaosPlan derives a deterministic transport-fault schedule from
+// a seed: between one and maxVictims distinct workers (never the whole
+// fleet — at least one member stays clean, so every request has a
+// survivable path), each with one mode, a small After offset, and a
+// bounded Times, so each round of chaos clears on its own. Durations
+// for the stalling modes land in [minDur, 5*minDur). The same seed
+// always yields the same schedule.
+func SeededChaosPlan(seed int64, workers []string, maxVictims int, minDur time.Duration) *FaultPlan {
+	if len(workers) == 0 {
+		return NewPlan()
+	}
+	if minDur <= 0 {
+		minDur = 10 * time.Millisecond
+	}
+	if maxVictims <= 0 || maxVictims >= len(workers) {
+		maxVictims = len(workers) - 1
+	}
+	if maxVictims < 1 {
+		maxVictims = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nv := 1 + rng.Intn(maxVictims)
+	perm := rng.Perm(len(workers))
+	faults := make([]Fault, 0, nv)
+	for i := 0; i < nv; i++ {
+		w := workers[perm[i]]
+		mode := ChaosModes[rng.Intn(len(ChaosModes))]
+		dur := minDur + time.Duration(rng.Int63n(int64(4*minDur)))
+		prefix := FPFleetForward
+		if mode == ChaosFlap {
+			prefix = FPFleetProbe
+		}
+		faults = append(faults, ChaosFault(prefix, w, mode, dur, rng.Intn(2), 1+rng.Intn(3)))
+	}
+	return NewPlan(faults...)
+}

@@ -1,0 +1,101 @@
+package harden
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosFaultDelivers pins the transport-failpoint contract: the
+// injected error is an *InjectedError wrapping a *ChaosError carrying
+// the mode and duration, keyed per worker.
+func TestChaosFaultDelivers(t *testing.T) {
+	plan := NewPlan(ChaosFault(FPFleetForward, "w1", ChaosDelay, 25*time.Millisecond, 0, 0))
+	disarm := plan.Arm()
+	defer disarm()
+
+	if err := Inject(FPFleetForward + ".w0"); err != nil {
+		t.Fatalf("unafflicted worker fired: %v", err)
+	}
+	err := Inject(FPFleetForward + ".w1")
+	if err == nil {
+		t.Fatal("armed transport failpoint did not fire")
+	}
+	if !IsInjected(err) {
+		t.Fatalf("chaos fault not recognized as injected: %v", err)
+	}
+	var ce *ChaosError
+	if !errors.As(err, &ce) {
+		t.Fatalf("no ChaosError in chain: %v", err)
+	}
+	if ce.Mode != ChaosDelay || ce.Dur != 25*time.Millisecond {
+		t.Fatalf("payload = %+v", ce)
+	}
+	if !strings.Contains(err.Error(), "chaos delay") {
+		t.Fatalf("error text %q does not name the mode", err)
+	}
+}
+
+// TestChaosSeparateFromStageMatrix: transport points must not leak into
+// the stage-failpoint registry — the matrix test over Failpoints
+// requires every entry to surface as a StageError, which a transport
+// fault never does.
+func TestChaosSeparateFromStageMatrix(t *testing.T) {
+	for pt := range Failpoints {
+		if strings.HasPrefix(pt, "fleet.") {
+			t.Fatalf("transport point %q registered in the stage matrix", pt)
+		}
+	}
+}
+
+// TestSeededChaosPlanDeterministic: same seed, same schedule; and no
+// schedule ever afflicts the whole fleet.
+func TestSeededChaosPlanDeterministic(t *testing.T) {
+	workers := []string{"w0", "w1", "w2"}
+	for seed := int64(0); seed < 20; seed++ {
+		a := SeededChaosPlan(seed, workers, 2, 10*time.Millisecond)
+		b := SeededChaosPlan(seed, workers, 2, 10*time.Millisecond)
+		pa, pb := a.Points(), b.Points()
+		if len(pa) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		if len(pa) != len(pb) {
+			t.Fatalf("seed %d: nondeterministic plan size", seed)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("seed %d: plans differ: %v vs %v", seed, pa, pb)
+			}
+		}
+		if len(pa) > 2 {
+			t.Fatalf("seed %d: %d victims > maxVictims 2", seed, len(pa))
+		}
+	}
+}
+
+// TestSeededChaosPlanBounded: every seeded fault has Times >= 1, so a
+// chaos round always clears, and flap faults land on the probe point.
+func TestSeededChaosPlanBounded(t *testing.T) {
+	workers := []string{"w0", "w1", "w2", "w3"}
+	for seed := int64(0); seed < 50; seed++ {
+		p := SeededChaosPlan(seed, workers, 3, time.Millisecond)
+		for _, pt := range p.Points() {
+			st := p.faults[pt]
+			if st.times < 1 || st.times > 3 {
+				t.Fatalf("seed %d point %s: times %d out of [1,3]", seed, pt, st.times)
+			}
+			var ce *ChaosError
+			if !errors.As(st.err, &ce) {
+				t.Fatalf("seed %d point %s: no chaos payload", seed, pt)
+			}
+			wantPrefix := FPFleetForward
+			if ce.Mode == ChaosFlap {
+				wantPrefix = FPFleetProbe
+			}
+			if !strings.HasPrefix(pt, wantPrefix+".") {
+				t.Fatalf("seed %d: mode %s armed at %s", seed, ce.Mode, pt)
+			}
+		}
+	}
+}

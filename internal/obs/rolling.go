@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Rolling is a bounded window over the most recent int64 observations
+// with quantile reads — the adaptive half of a hedged-request
+// threshold. Unlike Histogram (cumulative since process start, fixed
+// bucket resolution), Rolling forgets: a worker that was slow an hour
+// ago but is fast now converges back within one window, so the
+// threshold tracks the worker's *current* latency distribution.
+//
+// The window is small (default 128) and reads copy it, so a Quantile
+// costs one short sort — cheap next to the network hop it gates. All
+// methods are safe for concurrent use; a nil *Rolling observes nothing
+// and reports zero.
+type Rolling struct {
+	mu   sync.Mutex
+	buf  []int64
+	n    int // filled entries, <= len(buf)
+	next int // ring write cursor
+}
+
+// NewRolling returns a window holding the last size observations
+// (size <= 0 means 128).
+func NewRolling(size int) *Rolling {
+	if size <= 0 {
+		size = 128
+	}
+	return &Rolling{buf: make([]int64, size)}
+}
+
+// Observe appends one sample, displacing the oldest once full.
+func (r *Rolling) Observe(v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many samples the window currently holds.
+func (r *Rolling) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the windowed samples
+// by nearest-rank over a sorted copy; an empty window reports 0, which
+// callers treat as "no estimate yet".
+func (r *Rolling) Quantile(q float64) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return 0
+	}
+	tmp := make([]int64, r.n)
+	copy(tmp, r.buf[:r.n])
+	r.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	if q <= 0 {
+		return tmp[0]
+	}
+	idx := int(q*float64(len(tmp))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRollingQuantile(t *testing.T) {
+	r := NewRolling(8)
+	if got := r.Quantile(0.5); got != 0 {
+		t.Fatalf("empty window quantile = %d, want 0", got)
+	}
+	for _, v := range []int64{10, 20, 30, 40} {
+		r.Observe(v)
+	}
+	if got := r.Quantile(0.5); got != 20 {
+		t.Errorf("p50 of 10..40 = %d, want 20", got)
+	}
+	if got := r.Quantile(1.0); got != 40 {
+		t.Errorf("p100 of 10..40 = %d, want 40", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+}
+
+// TestRollingWindowForgets pins the property Histogram lacks: once the
+// window turns over, old samples stop influencing the quantile.
+func TestRollingWindowForgets(t *testing.T) {
+	r := NewRolling(4)
+	for i := 0; i < 4; i++ {
+		r.Observe(1000) // an ancient slow regime
+	}
+	for i := 0; i < 4; i++ {
+		r.Observe(5) // the worker recovered
+	}
+	if got := r.Quantile(0.9); got != 5 {
+		t.Fatalf("quantile after window turnover = %d, want 5", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len after wrap = %d, want 4", got)
+	}
+}
+
+func TestRollingNilSafe(t *testing.T) {
+	var r *Rolling
+	r.Observe(1) // must not panic
+	if r.Quantile(0.9) != 0 || r.Len() != 0 {
+		t.Fatal("nil Rolling must report zero")
+	}
+}
+
+func TestRollingConcurrent(t *testing.T) {
+	r := NewRolling(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Observe(int64(i))
+				_ = r.Quantile(0.9)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want full window 64", r.Len())
+	}
+}

@@ -33,9 +33,13 @@
 # a 1-worker and then a 3-worker fleet on loopback ports, and drives
 # each with surihammer replaying the full compiler-config corpus at two
 # QPS levels, recording p50/p99/p999 latency plus cache-hit, coalesce,
-# and degrade rates per topology. SCALEQPS/SCALEDUR/SCALESCALE/SCALEOUT
-# override it independently; SCALE=0 skips the section (it launches
-# servers, which CI sandboxes may forbid).
+# and degrade rates per topology. It then reruns the 3-worker shape with
+# one chaos-delayed worker, unhedged (3-worker-slow) and hedged
+# (3-worker-slow-hedged), so the report pins hedging's p999 win under a
+# slow member. SCALEQPS/SCALEDUR/SCALESCALE/SCALEOUT and
+# HEDGEQPS/HEDGEDELAY/HEDGEAFTER override it independently; SCALE=0
+# skips the section (it launches servers, which CI sandboxes may
+# forbid).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -389,6 +393,46 @@ if [ "$SCALE_SECTION" != "0" ]; then
 	kill $pids 2>/dev/null || true
 	wait 2>/dev/null || true
 	pids=""
+
+	# Hedged-vs-unhedged tail latency: the same 3-worker shape with one
+	# deliberately slow member — every forward to w1 stalls HEDGEDELAY via
+	# the -chaos transport failpoint — measured first without hedging,
+	# then with -hedge-after. Static -workers pins the ring names so the
+	# chaos spec and the hedge race aim at the same member;
+	# -cache-entries -1 keeps the coordinator cache out of the path (every
+	# request crosses the degraded transport); -replicate 1 gives a hedge
+	# a warm successor to win on. validate is off so both rows measure
+	# pure serving latency. The acceptance signal is p999(hedged) <=
+	# p999(unhedged) in the 3-worker-slow* rows of $SCALEOUT.
+	HEDGEQPS="${HEDGEQPS:-16}"
+	HEDGEDELAY="${HEDGEDELAY:-200ms}"
+	HEDGEAFTER="${HEDGEAFTER:-25ms}"
+	for hedged in no yes; do
+		for port in 18671 18672 18673; do
+			"$bindir/surid" -addr 127.0.0.1:$port >/dev/null 2>&1 &
+			pids="$pids $!"
+		done
+		hedgeflags=""
+		topo="3-worker-slow"
+		if [ "$hedged" = yes ]; then
+			hedgeflags="-hedge-after $HEDGEAFTER"
+			topo="3-worker-slow-hedged"
+		fi
+		# shellcheck disable=SC2086
+		"$bindir/surifleet" -addr 127.0.0.1:18670 \
+			-workers http://127.0.0.1:18671,http://127.0.0.1:18672,http://127.0.0.1:18673 \
+			-cache-entries -1 -replicate 1 -health-interval 500ms \
+			-chaos "delay:w1:$HEDGEDELAY" $hedgeflags >/dev/null 2>&1 &
+		pids="$pids $!"
+		"$bindir/surihammer" -fleet http://127.0.0.1:18670 -topology "$topo" \
+			-expect-workers 3 -qps "$HEDGEQPS" -duration "$SCALEDUR" \
+			-scale "$SCALESCALE" -validate-every 0 \
+			-chaos "delay:w1:$HEDGEDELAY" -out "$SCALEOUT"
+		# shellcheck disable=SC2086
+		kill $pids 2>/dev/null || true
+		wait 2>/dev/null || true
+		pids=""
+	done
 	trap - EXIT
 	rm -rf "$bindir"
 

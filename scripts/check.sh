@@ -34,6 +34,12 @@ go test -race ./internal/obs/... ./internal/core/... ./internal/farm/... \
 # workers — TestE2EKillWorkerMidBatch kills a worker mid-stream and
 # requires every batch job to fail over to the survivor.
 go test -race ./internal/fleet/...
+# Chaos-soak gate, explicitly and bounded: three seeded fault schedules
+# (drop, delay, 5xx, slow-body, probe flap over up to 2 of 3 workers)
+# must lose zero jobs and execute zero duplicate pipelines, and killing
+# a key's owning worker must be absorbed by a successor replica as a
+# cache hit (TestE2EKillWorkerPrimary).
+go test -race -count=1 -run 'TestChaosSoak|TestE2EKillWorkerPrimary' ./internal/fleet/
 go test -race -run 'Plane|Frozen|Shared' ./internal/x86/... ./internal/cfg/...
 go test -run 'Allocs$' -count=1 ./internal/x86/... ./internal/emu/...
 # Observability gates: the disabled paths (nil collector, live collector
