@@ -235,16 +235,43 @@ func BenchmarkSupersetCFG(b *testing.B) {
 }
 
 // BenchmarkEmulator measures interpreter speed (instructions/second).
+// The engine is pinned: the tiered engine is linked into this binary
+// (through core's validation path), so EngineAuto would no longer
+// measure the interpreter.
 func BenchmarkEmulator(b *testing.B) {
-	p := prog.Generate("bench", 9, prog.Shape{Funcs: 6, Switches: 2, Globals: 6, MainLoop: 16, Stmts: 8, NumInputs: 1})
+	benchEmulator(b, emu.Options{Engine: emu.EngineInterpreter})
+}
+
+// BenchmarkEmulatorTiered is the same run through the tiered
+// superblock engine — cold: every iteration loads a fresh machine and
+// re-translates, so the rate includes translation cost. This is the
+// shape core.RewriteValidated pays on its first input.
+func BenchmarkEmulatorTiered(b *testing.B) {
+	benchEmulator(b, emu.Options{Engine: emu.EngineTiered})
+}
+
+// benchHotBin compiles the compute-heavy engine-ladder module once:
+// ~7M retired instructions per run, so execution dwarfs load/parse
+// setup and insts/sec measures the engine, not the loader. (The
+// standard bench module retires only ~17k instructions — fine for the
+// optimized-vs-legacy pairing, useless for comparing engines.)
+func benchHotBin(b *testing.B) []byte {
+	b.Helper()
+	p := prog.Generate("bench_hot", 11, prog.Shape{Funcs: 8, Switches: 3, Globals: 8, MainLoop: 2048, Stmts: 12, NumInputs: 1})
 	bin, err := cc.Compile(p.Module, cc.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
+	return bin
+}
+
+func benchEmulatorHot(b *testing.B, engine emu.EngineKind) {
+	b.Helper()
+	bin := benchHotBin(b)
 	var steps uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := emu.Run(bin, emu.Options{})
+		res, err := emu.Run(bin, emu.Options{Engine: engine})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,6 +282,91 @@ func BenchmarkEmulator(b *testing.B) {
 		b.ReportMetric(float64(steps)/float64(b.N), "instructions/op")
 	}
 }
+
+// BenchmarkEmulatorHotInterp / BenchmarkEmulatorHotTiered are the
+// engine ladder BENCH_perf.json's tiered_emulator section records:
+// identical work (same instructions/op), interpreter vs tiered.
+func BenchmarkEmulatorHotInterp(b *testing.B) { benchEmulatorHot(b, emu.EngineInterpreter) }
+func BenchmarkEmulatorHotTiered(b *testing.B) { benchEmulatorHot(b, emu.EngineTiered) }
+
+func benchEmulator(b *testing.B, opts emu.Options) {
+	b.Helper()
+	bin := benchRewriteBin(b)
+	var steps uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := emu.Run(bin, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(steps)/float64(b.N), "instructions/op")
+	}
+}
+
+// BenchmarkEmulatorTieredWarm reuses one machine across iterations via
+// emu.Reload, so the translation cache stays hot — the steady state of
+// a validator or fleet worker executing the same image repeatedly.
+func BenchmarkEmulatorTieredWarm(b *testing.B) {
+	bin := benchRewriteBin(b)
+	f, err := elfx.Read(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := emu.Options{Engine: emu.EngineTiered}
+	m, err := emu.LoadFile(f, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(); err != nil { // warm the translation cache
+		b.Fatal(err)
+	}
+	var steps uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := emu.Reload(m, f, opts); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		steps += m.Steps
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(steps)/float64(b.N), "instructions/op")
+	}
+}
+
+// benchValidate measures the full guarded rewrite — pipeline plus two
+// differential executions of the hot module — with the validation
+// engine forced, so the Interp/Tiered pair isolates what the tiered
+// emulator buys end to end on execution-bound validation.
+func benchValidate(b *testing.B, engine emu.EngineKind) {
+	b.Helper()
+	bin := benchHotBin(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vres, err := suri.RewriteValidated(bin, suri.ValidateOptions{Engine: engine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if vres.Verdict != suri.VerdictValidated {
+			b.Fatalf("verdict %s: %s", vres.Verdict, vres.Reason)
+		}
+	}
+}
+
+// BenchmarkValidateInterp is the validated-rewrite latency with the
+// interpreter forced (the pre-tiered baseline).
+func BenchmarkValidateInterp(b *testing.B) { benchValidate(b, emu.EngineInterpreter) }
+
+// BenchmarkValidateTiered is the validated-rewrite latency on the
+// tiered engine (the ?validate=1 serving default).
+func BenchmarkValidateTiered(b *testing.B) { benchValidate(b, emu.EngineTiered) }
 
 // benchRewriteBin compiles the standard benchmark module once.
 func benchRewriteBin(b *testing.B) []byte {

@@ -20,7 +20,11 @@
 // errored / dropped) read from the coordinator's /healthz counters.
 // -validate-every marks every Nth request ?validate=1, which is what
 // admission control degrades under load — the degrade rate is only
-// meaningful when some requests ask for validation. -chaos labels the
+// meaningful when some requests ask for validation. The validated
+// requests' latency distribution is additionally reported on its own
+// (validate_p50_ms / validate_p99_ms), so the report shows what
+// differential execution costs at the fleet level — the number the
+// tiered emulator moves. -chaos labels the
 // run with the fault spec armed on the coordinator and turns the run
 // into an assertion: any lost request fails the process.
 //
@@ -53,18 +57,27 @@ import (
 // Entry is one measured load level: a (topology, qps) cell of the
 // scale benchmark.
 type Entry struct {
-	Topology     string  `json:"topology"`
-	Workers      int     `json:"workers"`
-	QPSTarget    float64 `json:"qps_target"`
-	QPSAchieved  float64 `json:"qps_achieved"`
-	Concurrency  int     `json:"concurrency"`
-	DurationSec  float64 `json:"duration_sec"`
-	Requests     int     `json:"requests"`
-	Errors       int     `json:"errors"`
-	Shed         int     `json:"shed"`
-	P50Ms        float64 `json:"p50_ms"`
-	P99Ms        float64 `json:"p99_ms"`
-	P999Ms       float64 `json:"p999_ms"`
+	Topology    string  `json:"topology"`
+	Workers     int     `json:"workers"`
+	QPSTarget   float64 `json:"qps_target"`
+	QPSAchieved float64 `json:"qps_achieved"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Shed        int     `json:"shed"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+
+	// Validate-path latency, measured over only the ?validate=1
+	// requests (every -validate-every'th): the differential-execution
+	// cost the tiered emulator is meant to shrink. Zero when the level
+	// sent no validated requests.
+	ValidateRequests int     `json:"validate_requests"`
+	ValidateP50Ms    float64 `json:"validate_p50_ms"`
+	ValidateP99Ms    float64 `json:"validate_p99_ms"`
+
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CoalesceRate float64 `json:"coalesce_rate"`
 	DegradeRate  float64 `json:"degrade_rate"`
@@ -95,6 +108,7 @@ type reqResult struct {
 	hit      bool
 	coalesce bool
 	degraded bool
+	validate bool
 }
 
 func main() {
@@ -160,6 +174,11 @@ func main() {
 			e.Requests, e.Errors, e.Shed, e.P50Ms, e.P99Ms, e.P999Ms,
 			e.CacheHitRate*100, e.CoalesceRate*100, e.DegradeRate*100,
 			e.HedgeRate*100, e.HedgeWins, e.ReplicasPushed, e.ReplicaErrors, e.ReplicaDropped)
+		if e.ValidateRequests > 0 {
+			fmt.Fprintf(os.Stderr,
+				"surihammer:   validate path: %d reqs  p50 %.1fms  p99 %.1fms\n",
+				e.ValidateRequests, e.ValidateP50Ms, e.ValidateP99Ms)
+		}
 	}
 
 	if err := mergeReport(*out, entries, *fresh); err != nil {
@@ -245,7 +264,7 @@ loop:
 	close(results)
 	<-collectDone
 
-	var lat []time.Duration
+	var lat, vlat []time.Duration
 	e := Entry{
 		QPSTarget: qps, Concurrency: concurrency,
 		DurationSec: elapsed.Seconds(),
@@ -261,6 +280,9 @@ loop:
 			continue
 		}
 		lat = append(lat, r.dur)
+		if r.validate {
+			vlat = append(vlat, r.dur)
+		}
 		if r.hit {
 			e.CacheHitRate++
 		}
@@ -285,6 +307,22 @@ loop:
 		e.CoalesceRate /= float64(n)
 		e.DegradeRate /= float64(n)
 	}
+	// The validate-path distribution is reported separately: validated
+	// requests run the pipeline plus two differential executions, so
+	// folding them into the overall quantiles hides exactly the cost the
+	// tiered emulator targets.
+	if n := len(vlat); n > 0 {
+		sort.Slice(vlat, func(i, j int) bool { return vlat[i] < vlat[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(n))
+			if i >= n {
+				i = n - 1
+			}
+			return float64(vlat[i]) / float64(time.Millisecond)
+		}
+		e.ValidateRequests = n
+		e.ValidateP50Ms, e.ValidateP99Ms = q(0.50), q(0.99)
+	}
 	if e.DurationSec > 0 {
 		e.QPSAchieved = float64(e.Requests-e.Errors) / e.DurationSec
 	}
@@ -304,6 +342,7 @@ func oneRequest(client *http.Client, base string, bin []byte, validate bool) req
 	defer resp.Body.Close()
 	var r reqResult
 	r.dur = time.Since(t0)
+	r.validate = validate
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
 		return reqResult{err: true, dur: r.dur}

@@ -182,6 +182,16 @@ func Render(prev, cur *Sample, flight *FlightDump) string {
 	}
 	fmt.Fprintf(&b, "cache      hits=%d misses=%d ratio=%.2f\n", hits, misses, ratio)
 
+	// Tiered-emulator row: only servers that ran a validated rewrite
+	// export the emu_tier_* series, so other frames stay unchanged.
+	if _, hasTier := cur.Scalars["emu_tier_steps"]; hasTier {
+		fmt.Fprintf(&b, "tiered     steps=%s blocks=%s trans=%s tcache=hit %d/miss %d guards=budget %d/cet %d\n",
+			delta(prev, cur, "emu_tier_steps"), delta(prev, cur, "emu_tier_blocks"),
+			delta(prev, cur, "emu_tier_translations"),
+			cur.Scalars["emu_tier_cache_hits"], cur.Scalars["emu_tier_cache_misses"],
+			cur.Scalars["emu_tier_guard_budget"], cur.Scalars["emu_tier_guard_cet"])
+	}
+
 	const lat = "farm_http_request_ns"
 	fmt.Fprintf(&b, "latency    n=%d p50=%s p99=%s p999=%s\n",
 		cur.Counts[lat],

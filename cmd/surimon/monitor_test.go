@@ -214,6 +214,47 @@ func TestRenderFleetGolden(t *testing.T) {
 	}
 }
 
+const tierFixture = `# TYPE emu_tier_steps counter
+emu_tier_steps 90000
+# TYPE emu_tier_blocks counter
+emu_tier_blocks 1200
+# TYPE emu_tier_translations counter
+emu_tier_translations 45
+# TYPE emu_tier_cache_hits counter
+emu_tier_cache_hits 1155
+# TYPE emu_tier_cache_misses counter
+emu_tier_cache_misses 60
+# TYPE emu_tier_guard_budget counter
+emu_tier_guard_budget 2
+# TYPE emu_tier_guard_cet counter
+emu_tier_guard_cet 7
+`
+
+// TestRenderTieredRow locks the tiered-emulator row: it appears only
+// when the scrape carries the emu_tier_* series a validated rewrite
+// exports, with deltas against the previous frame.
+func TestRenderTieredRow(t *testing.T) {
+	cur, err := ParseProm(promFixture + tierFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevText := strings.ReplaceAll(promFixture+tierFixture, "emu_tier_steps 90000", "emu_tier_steps 50000")
+	prevText = strings.ReplaceAll(prevText, "emu_tier_blocks 1200", "emu_tier_blocks 700")
+	prev, err := ParseProm(prevText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Render(prev, cur, nil)
+	want := "tiered     steps=90000 (+40000) blocks=1200 (+500) trans=45 (+0) tcache=hit 1155/miss 60 guards=budget 2/cet 7\n"
+	if !strings.Contains(got, want) {
+		t.Fatalf("tiered row drifted:\ngot:\n%s\nwant fragment:\n%s", got, want)
+	}
+	// A scrape without the series renders no tiered row.
+	if plain := Render(nil, fixtureSample(t), nil); strings.Contains(plain, "tiered") {
+		t.Fatalf("tiered row on a scrape without emu_tier_*:\n%s", plain)
+	}
+}
+
 // TestScrapeLiveServer points the scraper at a real surid handler: the
 // Prometheus payload parses, the flight dump arrives, and a frame
 // renders without error.

@@ -4,7 +4,15 @@
 // Usage:
 //
 //	surirun [-in file] [-bias 0x10000000] [-steps] [-no-cet] [-profile] [-profile-json]
-//	        [-heat-json file] [-cov] [-cov-out file] prog.bin
+//	        [-heat-json file] [-cov] [-cov-out file]
+//	        [-engine auto|interpreter|tiered] [-seed-heat file] [-tier-stats]
+//	        prog.bin
+//
+// -engine selects the execution engine: auto (the default) runs the
+// tiered superblock engine with interpreter fallback, interpreter
+// forces the baseline. -seed-heat feeds a prior run's -heat-json export
+// back in so its hot blocks translate on first encounter; -tier-stats
+// prints the tiered engine's translation/exit counters to stderr.
 //
 // -profile prints an execution profile to stderr (opcode histogram,
 // CET event counters, block heat, syscall summary); -profile-json
@@ -29,6 +37,9 @@ import (
 
 	"repro/internal/elfx"
 	"repro/internal/emu"
+
+	// Link the tiered superblock engine so -engine auto/tiered resolves.
+	_ "repro/internal/emu/tiered"
 )
 
 func main() {
@@ -41,7 +52,13 @@ func main() {
 	heatJSON := flag.String("heat-json", "", "write the suri.heat.v1 block-heat export to this file (\"-\" = stderr)")
 	cov := flag.Bool("cov", false, "capture the .suri.instr payload after the run; summary to stderr")
 	covOut := flag.String("cov-out", "", "dump the captured .suri.instr payload bytes to this file (implies -cov)")
+	engine := flag.String("engine", "auto", "execution engine: auto (tiered), interpreter, tiered")
+	seedHeat := flag.String("seed-heat", "", "pre-translate hot blocks from this suri.heat.v1 file (a prior -heat-json export at the same bias)")
+	tierStats := flag.Bool("tier-stats", false, "print tiered-engine counters to stderr after the run")
 	flag.Parse()
+
+	engineKind, err := emu.ParseEngine(*engine)
+	fail(err)
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: surirun [flags] prog.bin")
@@ -59,6 +76,13 @@ func main() {
 	opts := emu.Options{
 		Bias: *bias, Input: input, Shadow: true, DisableCET: *noCET,
 		Profile: *profile || *profileJSON || *heatJSON != "",
+		Engine:  engineKind,
+	}
+	if *seedHeat != "" {
+		data, rerr := os.ReadFile(*seedHeat)
+		fail(rerr)
+		opts.HeatSeed, rerr = emu.ParseHeatSeed(data)
+		fail(rerr)
 	}
 	if *cov || *covOut != "" {
 		opts.Capture = instrRange(bin)
@@ -68,6 +92,9 @@ func main() {
 	if res != nil {
 		os.Stdout.Write(res.Stdout)
 		os.Stderr.Write(res.Stderr)
+	}
+	if *tierStats && res != nil {
+		dumpTierStats(res.Tier)
 	}
 	if *cov || *covOut != "" {
 		dumpPayload(res)
@@ -111,6 +138,21 @@ func instrRange(bin []byte) emu.Range {
 	}
 	fail(fmt.Errorf("%s has no .suri.instr section (rewrite it with suri -instrument first)", flag.Arg(0)))
 	panic("unreachable")
+}
+
+// dumpTierStats summarizes the tiered engine's counters on stderr; an
+// interpreted run (forced, or no tiered engine linked) says so.
+func dumpTierStats(t *emu.TierStats) {
+	if t == nil {
+		fmt.Fprintln(os.Stderr, "[tier: interpreted run, no tiered-engine state]")
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"[tier: %d translations (%d insts), %d block execs, %d tier steps, cache %d hit/%d miss, %d invalidations]\n",
+		t.Translations, t.TransInsts, t.Blocks, t.TierSteps, t.CacheHits, t.CacheMisses, t.Invalidations)
+	fmt.Fprintf(os.Stderr,
+		"[tier exits: fall %d, branch %d, side %d, error %d, exit %d; guards: budget %d, cet %d]\n",
+		t.ExitFall, t.ExitBranch, t.ExitSide, t.ExitError, t.ExitExit, t.GuardBudget, t.GuardCET)
 }
 
 // dumpPayload summarizes the captured payload on stderr.

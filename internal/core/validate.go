@@ -9,6 +9,13 @@ import (
 	"repro/internal/emu"
 	"repro/internal/harden"
 	"repro/internal/obs"
+
+	// Link the tiered execution engine into every binary that validates:
+	// emu.EngineAuto then resolves to it, so differential validation runs
+	// at translated-superblock speed by default. The engine is
+	// parity-tested bit-identical to the interpreter; ValidateOptions.
+	// Engine forces the interpreter for A/B measurement.
+	_ "repro/internal/emu/tiered"
 )
 
 // Verdict is the machine-readable outcome of a validated rewrite.
@@ -41,6 +48,12 @@ type ValidateOptions struct {
 	// one differential execution per stream. Empty means a single run
 	// with no input.
 	Inputs [][]byte
+
+	// Engine selects the differential executions' emulator engine:
+	// EngineAuto (the default) runs the tiered superblock engine linked
+	// in above, EngineInterpreter forces the plane-fetch interpreter
+	// (the A/B baseline). Options.LegacyHotPaths still overrides both.
+	Engine emu.EngineKind
 }
 
 // ValidatedResult is the outcome of a guarded rewrite.
@@ -84,7 +97,11 @@ func RewriteValidated(bin []byte, opts ValidateOptions) (*ValidatedResult, error
 	// One validator for both attempts: the original binary's parsed
 	// file, emulator machine, and predecoded pages carry over across the
 	// retry and across every input.
-	v := &validator{orig: bin, legacy: opts.LegacyHotPaths}
+	v := &validator{orig: bin, legacy: opts.LegacyHotPaths, engine: opts.Engine}
+	// Surface what the tiered engine did across every differential run —
+	// both attempts, both binaries — on the request's metric registry
+	// (-stats-json, /metrics, surimon).
+	defer func() { feedTierMetrics(opts.Obs.Metrics(), v.tierTotal()) }()
 	for i, budget := range budgets {
 		attempts++
 		ropts := opts.Options
@@ -148,9 +165,25 @@ func canceled(ch <-chan struct{}) bool {
 type validator struct {
 	orig   []byte
 	legacy bool
+	engine emu.EngineKind
 
 	origF *elfx.File
 	origM *emu.Machine
+
+	// tier accumulates the tiered-engine counters of retired rewritten-
+	// binary machines (one per attempt); the long-lived origM is added in
+	// tierTotal.
+	tier emu.TierStats
+}
+
+// tierTotal sums the tiered-engine counters over every machine the
+// validator ran.
+func (v *validator) tierTotal() emu.TierStats {
+	t := v.tier
+	if ts := v.origM.TierStats(); ts != nil {
+		t.Add(*ts)
+	}
+	return t
 }
 
 // validate differentially executes the original and rewritten binaries
@@ -171,15 +204,22 @@ func (v *validator) validate(rewritten []byte, inputs [][]byte, emuSteps uint64)
 		return fmt.Errorf("suri: validate: rewritten binary: %w", err)
 	}
 	var rewrittenM *emu.Machine
+	// The rewritten machine dies with this attempt; bank its tiered
+	// counters (including on early divergence returns).
+	defer func() {
+		if ts := rewrittenM.TierStats(); ts != nil {
+			v.tier.Add(*ts)
+		}
+	}()
 	for _, in := range inputs {
-		a, err := runOn(&v.origM, v.origF, emu.Options{Input: in, MaxSteps: emuSteps, LegacyDecode: v.legacy})
+		a, err := runOn(&v.origM, v.origF, emu.Options{Input: in, MaxSteps: emuSteps, LegacyDecode: v.legacy, Engine: v.engine})
 		if err != nil {
 			return fmt.Errorf("suri: validate: original binary: %w", err)
 		}
 		// Bound the rewritten run by a generous multiple of the
 		// original's work: a mis-symbolized binary can loop forever, and
 		// this turns that into a quick typed failure.
-		b, err := runOn(&rewrittenM, rf, emu.Options{Input: in, MaxSteps: a.Steps*10 + 1_000_000, LegacyDecode: v.legacy})
+		b, err := runOn(&rewrittenM, rf, emu.Options{Input: in, MaxSteps: a.Steps*10 + 1_000_000, LegacyDecode: v.legacy, Engine: v.engine})
 		if err != nil {
 			return fmt.Errorf("suri: validate: rewritten binary: %w", err)
 		}
@@ -191,6 +231,25 @@ func (v *validator) validate(rewritten []byte, inputs [][]byte, emuSteps uint64)
 		}
 	}
 	return nil
+}
+
+// feedTierMetrics publishes one validated rewrite's tiered-engine
+// counters into the metric registry under the emu.tier_* series. All
+// zeros (interpreter-forced runs, or no tiered engine linked) still
+// registers the series, so /metrics exports are stable. Nil-safe.
+func feedTierMetrics(reg *obs.Registry, t emu.TierStats) {
+	reg.Counter("emu.tier_translations").Add(int64(t.Translations))
+	reg.Counter("emu.tier_trans_insts").Add(int64(t.TransInsts))
+	reg.Counter("emu.tier_blocks").Add(int64(t.Blocks))
+	reg.Counter("emu.tier_steps").Add(int64(t.TierSteps))
+	reg.Counter("emu.tier_cache_hits").Add(int64(t.CacheHits))
+	reg.Counter("emu.tier_cache_misses").Add(int64(t.CacheMisses))
+	reg.Counter("emu.tier_invalidations").Add(int64(t.Invalidations))
+	reg.Counter("emu.tier_guard_budget").Add(int64(t.GuardBudget))
+	reg.Counter("emu.tier_guard_cet").Add(int64(t.GuardCET))
+	for reason, n := range t.ExitsByReason() {
+		reg.Counter("emu.tier_exits." + reason).Add(int64(n))
+	}
 }
 
 // runOn executes f to completion on *slot, loading a fresh machine on

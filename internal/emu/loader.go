@@ -36,7 +36,19 @@ type Options struct {
 
 	// LegacyDecode selects the pre-plane fetch path (per-address map
 	// cache, byte-at-a-time fetch) — the paired-benchmark baseline.
+	// It forces the interpreter regardless of Engine.
 	LegacyDecode bool
+
+	// Engine selects the execution engine: EngineAuto (default) runs
+	// the tiered engine when linked in, EngineInterpreter forces the
+	// interpreter, EngineTiered fails if no tiered engine is linked.
+	Engine EngineKind
+
+	// HeatSeed maps runtime addresses (load bias applied) to block
+	// execution counts from a prior profiled run (Profile.Heat /
+	// "suri.heat.v1"). The tiered engine translates seeded-hot blocks
+	// on first encounter instead of waiting for its own counter.
+	HeatSeed map[uint64]uint64
 
 	// Capture, if non-empty (Start < End), snapshots the given
 	// link-time address range — typically the .suri.instr payload
@@ -112,7 +124,25 @@ func loadInto(m *Machine, f *elfx.File, opts Options) error {
 		m.Prof = NewProfile()
 	}
 	m.LegacyDecode = opts.LegacyDecode
+	m.Engine = opts.Engine
+	if opts.HeatSeed != nil {
+		m.heatSeed = opts.HeatSeed
+	}
 	m.SetInput(opts.Input)
+
+	// Decode caches (page planes, translations) are sound only while
+	// the executable bytes they were built from are identical. Reload
+	// documents a same-image contract, but trusting it silently would
+	// turn a caller bug into wrong execution — so detect a different
+	// image or bias here and invalidate instead.
+	var img *byte
+	if len(f.Raw) > 0 {
+		img = &f.Raw[0]
+	}
+	if m.loadedImg != nil && (m.loadedImg != img || m.loadedBias != bias) {
+		m.InvalidatePlanes()
+	}
+	m.loadedImg, m.loadedBias = img, bias
 
 	// Map PT_LOAD segments read-write first, copy file content, apply
 	// relocations, then drop to the real permissions (the kernel+ld.so
@@ -221,6 +251,9 @@ type Result struct {
 	// Prof is the execution profile when Options.Profile was set.
 	Prof *Profile
 
+	// Tier is the tiered engine's counters, nil for interpreted runs.
+	Tier *TierStats
+
 	// Captured is the Options.Capture range's post-run contents.
 	Captured []byte
 }
@@ -233,11 +266,11 @@ func Run(bin []byte, opts Options) (*Result, error) {
 	}
 	if err := m.Run(); err != nil {
 		return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: -1, Steps: m.Steps,
-			Prof: m.Prof, Captured: capture(m, opts)}, err
+			Prof: m.Prof, Tier: m.TierStats(), Captured: capture(m, opts)}, err
 	}
 	_, code := m.Exited()
 	return &Result{Stdout: m.Stdout, Stderr: m.Stderr, Exit: code, Steps: m.Steps,
-		Prof: m.Prof, Captured: capture(m, opts)}, nil
+		Prof: m.Prof, Tier: m.TierStats(), Captured: capture(m, opts)}, nil
 }
 
 // capture snapshots the Options.Capture range (link-time addresses)

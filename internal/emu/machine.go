@@ -63,6 +63,11 @@ type Machine struct {
 	// paired-benchmark baseline and the oracle for determinism tests.
 	LegacyDecode bool
 
+	// Engine selects the execution engine (see EngineKind). EngineAuto
+	// resolves to the tiered engine when one is linked in, unless
+	// LegacyDecode forces the legacy interpreter.
+	Engine EngineKind
+
 	// profSeq is the address the previous instruction would fall through
 	// to; a mismatch marks the current instruction as a block leader.
 	profSeq uint64
@@ -75,6 +80,26 @@ type Machine struct {
 
 	// icache is the legacy per-address decode cache (LegacyDecode only).
 	icache map[uint64]cachedInst
+
+	// planeVersion is bumped by InvalidatePlanes; caches keyed on
+	// decoded bytes (the tiered translation cache) revalidate against
+	// it.
+	planeVersion uint64
+
+	// engineState is the tiered engine's opaque per-machine state. It
+	// survives Reset (like the planes it is keyed on) so translations
+	// amortize across Reload of the same image.
+	engineState any
+
+	// heatSeed is Options.HeatSeed: profiled block heat that lets the
+	// tiered engine translate known-hot blocks on first encounter.
+	heatSeed map[uint64]uint64
+
+	// loadedImg/loadedBias identify the image currently loaded, so
+	// Reload can detect a different image or bias and invalidate the
+	// decode planes instead of trusting the same-image contract.
+	loadedImg  *byte
+	loadedBias uint64
 }
 
 type cachedInst struct {
@@ -143,6 +168,12 @@ func (m *Machine) Run() error {
 			}
 		}
 		return nil
+	}
+	if m.Engine == EngineTiered && tieredRunFn == nil {
+		return fmt.Errorf("emu: tiered engine requested but not linked into this binary")
+	}
+	if m.Engine != EngineInterpreter && tieredRunFn != nil {
+		return tieredRunFn(m)
 	}
 	pageBase := uint64(1) // not page-aligned: forces the initial refill
 	var plane *x86.Plane

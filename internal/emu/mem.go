@@ -163,6 +163,31 @@ func (m *Memory) execPage(addr uint64) *page {
 	return p
 }
 
+// PageData returns the backing bytes of the page containing addr when
+// it is mapped with the needed permission, or nil. AutoRW ranges map
+// on demand, exactly as a faulting access would. The tiered engine's
+// data TLB caches the returned slice; it never allocates on the miss
+// path, so callers can probe freely and fall back to Read/Write for
+// the canonical Fault error.
+func (m *Memory) PageData(addr uint64, need uint8) []byte {
+	pa := addr &^ (PageSize - 1)
+	p, ok := m.pages[pa]
+	if !ok {
+		for _, r := range m.autoRW {
+			if r.Contains(addr) {
+				p = &page{perm: PermR | PermW}
+				m.pages[pa] = p
+				ok = true
+				break
+			}
+		}
+	}
+	if !ok || p.perm&need != need {
+		return nil
+	}
+	return p.data[:]
+}
+
 func (m *Memory) access(addr uint64, buf []byte, need uint8, kind string, store bool) error {
 	for done := 0; done < len(buf); {
 		p, err := m.pageFor(addr+uint64(done), need, kind)

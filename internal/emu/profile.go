@@ -198,6 +198,26 @@ type heatExport struct {
 	Heat    []heatRow `json:"heat"`
 }
 
+// ParseHeatSeed decodes a suri.heat.v1 export (the `surirun -heat-json`
+// payload) back into the address→count map Options.HeatSeed takes, so a
+// profiled run's hot blocks pre-translate on the next run. The schema
+// tag is enforced; addresses are runtime addresses, so the consuming
+// run must use the same load bias the profiling run did.
+func ParseHeatSeed(data []byte) (map[uint64]uint64, error) {
+	var in heatExport
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("emu: heat seed: %w", err)
+	}
+	if in.Schema != HeatSchema {
+		return nil, fmt.Errorf("emu: heat seed: schema %q, want %q", in.Schema, HeatSchema)
+	}
+	seed := make(map[uint64]uint64, len(in.Heat))
+	for _, r := range in.Heat {
+		seed[r.Addr] = r.Count
+	}
+	return seed, nil
+}
+
 // HeatJSON renders the block-heat map alone under the versioned
 // HeatSchema — the `surirun -heat-json` export, small enough to feed
 // hot-block pipelines without the full profile payload.

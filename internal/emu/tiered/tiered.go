@@ -1,0 +1,345 @@
+// Package tiered is the machine's second execution engine: it lifts
+// hot basic blocks into superblocks of pre-bound micro-op closures and
+// dispatches them direct-threaded, with every per-step cost that the
+// interpreter pays at execution time — operand decode, the big opcode
+// switch, effective-address interpretation — paid once at translation
+// time instead.
+//
+// The interpreter remains the semantic ground truth. The engine runs a
+// translated block only when every observable effect will be
+// bit-identical to interpreting the same instructions: the step
+// counter, Profile counters (opcode histogram, block heat, CET
+// events, syscall log), CET enforcement, error text, and register/
+// memory state. Wherever that cannot be guaranteed up front — a cold
+// or untranslatable region, a pending endbr64 check at block entry, a
+// step budget that could expire mid-block — it falls back to
+// emu.(*Machine).Step, instruction by instruction.
+//
+// Translations are keyed on (plane version, entry address). The plane
+// version identifies the generation of the machine's decode planes:
+// executable pages are immutable (W^X is enforced at load), so
+// translations stay sound across Machine.Reset and emu.Reload of the
+// identical image, and emu.Reload invalidates the planes — bumping the
+// version and dropping the translation cache — when it detects a
+// different image or bias.
+//
+// Importing this package registers the engine with emu (a blank import
+// suffices); emu.EngineAuto then resolves to it.
+package tiered
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/x86"
+)
+
+func init() {
+	emu.RegisterTiered(run)
+}
+
+const (
+	// hotThreshold is the number of block entries that triggers
+	// translation: the second arrival translates. Measured on the
+	// benchmark corpus, threshold 2 puts >95% of block executions
+	// inside translated code while skipping run-once init/epilogue
+	// blocks.
+	hotThreshold = 2
+
+	// maxBlockOps caps superblock length; longer straight-line runs
+	// split into chained blocks that fall through to each other.
+	maxBlockOps = 256
+
+	// tlbWays sizes the direct-mapped data TLBs (one read, one write).
+	tlbWays = 64
+)
+
+// tlbInvalid tags an empty TLB way; it is not page-aligned, so no
+// real page tag collides with it.
+const tlbInvalid = ^uint64(0)
+
+type tlbEnt struct {
+	page uint64 // page-aligned address, tlbInvalid when empty
+	data []byte // the page's backing bytes
+}
+
+// uop is one translated instruction: a closure over its pre-resolved
+// operands. The return value tells the dispatch loop what happened.
+type uop func(e *engine) int
+
+// uop results.
+const (
+	uNext = iota // fall through to the next op in the block
+	uEnd         // control transferred; the closure set RIP
+	uExit        // the program exited (exit syscall); RIP is at the next inst
+	uErr         // e.err holds the raw error; the closure set RIP
+)
+
+// opMeta retains per-instruction identity for the dispatch loop's
+// profile hooks and error wrapping — the data the interpreter would
+// have in hand at the equivalent step.
+type opMeta struct {
+	in   x86.Inst
+	addr uint64
+	size int
+}
+
+// block is one translated superblock.
+type block struct {
+	entry   uint64
+	ops     []uop
+	meta    []opMeta
+	endFall uint64 // RIP when execution runs off the end of ops
+}
+
+// engine is the per-machine tiered state. It is installed as the
+// machine's EngineState and survives Reset, so translations amortize
+// across Reload of the same image.
+type engine struct {
+	m *emu.Machine
+
+	// planeVersion is the decode-plane generation blocks was built
+	// against; a mismatch with the machine's current version drops the
+	// cache.
+	planeVersion uint64
+
+	// blocks is the translation cache, keyed by entry address. A nil
+	// value is a negative entry: translation was attempted and nothing
+	// came of it (non-executable page, undecodable or page-spanning
+	// first instruction), which is a stable property of the immutable
+	// text bytes.
+	blocks map[uint64]*block
+
+	// counts tracks block-entry arrivals below the translation
+	// threshold.
+	counts map[uint64]uint32
+
+	rtlb [tlbWays]tlbEnt
+	wtlb [tlbWays]tlbEnt
+
+	stats emu.TierStats
+
+	// err carries the raw error out of a uop closure to the dispatch
+	// loop, which wraps it exactly as the interpreter would.
+	err error
+}
+
+// TierStats implements the reporter interface emu.(*Machine).TierStats
+// reads.
+func (e *engine) TierStats() emu.TierStats { return e.stats }
+
+// run drives m to completion. It is the entry point registered with
+// emu.RegisterTiered.
+func run(m *emu.Machine) error {
+	e, _ := m.EngineState().(*engine)
+	if e == nil || e.m != m {
+		e = &engine{
+			m:      m,
+			blocks: make(map[uint64]*block),
+			counts: make(map[uint64]uint32),
+		}
+		e.planeVersion = m.PlaneVersion()
+		m.SetEngineState(e)
+	}
+	if v := m.PlaneVersion(); v != e.planeVersion {
+		e.blocks = make(map[uint64]*block)
+		e.counts = make(map[uint64]uint32)
+		e.planeVersion = v
+		e.stats.Invalidations++
+	}
+	e.flushTLB()
+	e.seed()
+	return e.loop()
+}
+
+// flushTLB empties the data TLBs. Reset gives the machine a fresh
+// Memory, so cached page pointers from the previous run are stale;
+// within one run they stay valid because pages never move and nothing
+// re-protects them after load.
+func (e *engine) flushTLB() {
+	for i := range e.rtlb {
+		e.rtlb[i] = tlbEnt{page: tlbInvalid}
+	}
+	for i := range e.wtlb {
+		e.wtlb[i] = tlbEnt{page: tlbInvalid}
+	}
+}
+
+// seed folds Options.HeatSeed — block heat from a prior profiled run —
+// into the arrival counters, so known-hot blocks translate on first
+// encounter. Raising a counter to the threshold is idempotent, so
+// re-seeding on every run is safe.
+func (e *engine) seed() {
+	for addr, n := range e.m.HeatSeed() {
+		c := uint32(hotThreshold)
+		if n < hotThreshold {
+			c = uint32(n)
+		}
+		if e.counts[addr] < c {
+			e.counts[addr] = c
+		}
+	}
+}
+
+// loop is the tiered run loop: translated superblocks where they
+// exist and every guard passes, interpreter single-steps everywhere
+// else.
+func (e *engine) loop() error {
+	m := e.m
+	// atLeader marks arrivals via control transfer (or run entry) —
+	// the only addresses worth looking up or counting. Sequential
+	// continuation (a fall-through out of a capped block, a cold
+	// straight-line stretch) is mid-block by construction.
+	atLeader := true
+	for {
+		if ex, _ := m.Exited(); ex {
+			return nil
+		}
+		rip := m.RIP
+		if atLeader {
+			b, ok := e.blocks[rip]
+			if !ok {
+				if c := e.counts[rip] + 1; c >= hotThreshold {
+					b = e.translate(rip)
+					e.blocks[rip] = b
+					delete(e.counts, rip)
+				} else {
+					e.counts[rip] = c
+				}
+			}
+			if b != nil {
+				e.stats.CacheHits++
+				switch {
+				case m.EnforceCET && m.EndbrPending():
+					// The endbr64 check, its IBTChecks counter, and
+					// the violation error belong to the interpreter:
+					// one Step performs them bit-identically.
+					e.stats.GuardCET++
+				case m.Steps+uint64(len(b.ops)) > m.MaxSteps:
+					// The budget could expire inside the block; the
+					// interpreter's per-step check produces the exact
+					// budget error at the exact instruction.
+					e.stats.GuardBudget++
+				default:
+					var fell bool
+					var err error
+					if m.Prof == nil && m.TraceFn == nil {
+						fell, err = e.runFast(b)
+					} else {
+						fell, err = e.runProfiled(b)
+					}
+					if err != nil {
+						return err
+					}
+					atLeader = !fell
+					continue
+				}
+			} else {
+				e.stats.CacheMisses++
+			}
+		}
+		// Interpreter fallback. The pre-fetch only measures the
+		// instruction so the next arrival can be classified; Step
+		// re-fetches through the same plane (a cheap array load) and
+		// owns every observable effect, including the canonical error
+		// for a fetch that fails.
+		nextSeq := uint64(0)
+		if _, size, err := m.FetchInst(rip); err == nil {
+			nextSeq = rip + uint64(size)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+		atLeader = nextSeq == 0 || m.RIP != nextSeq
+	}
+}
+
+// runFast dispatches a block with profiling and tracing off — the
+// validation hot path. The caller has verified the step budget covers
+// the whole block and no endbr64 check is pending.
+func (e *engine) runFast(b *block) (fell bool, err error) {
+	m := e.m
+	ops := b.ops
+	e.stats.Blocks++
+	i := 0
+	for {
+		m.Steps++
+		switch ops[i](e) {
+		case uNext:
+			if i++; i < len(ops) {
+				continue
+			}
+			m.RIP = b.endFall
+			e.stats.TierSteps += uint64(len(ops))
+			e.stats.ExitFall++
+			return true, nil
+		case uEnd:
+			e.stats.TierSteps += uint64(i + 1)
+			if i == len(ops)-1 {
+				e.stats.ExitBranch++
+			} else {
+				e.stats.ExitSide++
+			}
+			return false, nil
+		case uExit:
+			e.stats.TierSteps += uint64(i + 1)
+			e.stats.ExitExit++
+			return false, nil
+		default: // uErr
+			e.stats.TierSteps += uint64(i + 1)
+			e.stats.ExitError++
+			mt := &b.meta[i]
+			return false, fmt.Errorf("at %#x (%s): %w", mt.addr, mt.in, e.err)
+		}
+	}
+}
+
+// runProfiled is runFast plus the interpreter's per-step trace and
+// profile hooks, in the interpreter's order: step count, trace,
+// opcode histogram, leader heat, profSeq advance, then execution.
+func (e *engine) runProfiled(b *block) (fell bool, err error) {
+	m := e.m
+	ops := b.ops
+	e.stats.Blocks++
+	i := 0
+	for {
+		mt := &b.meta[i]
+		m.Steps++
+		if m.TraceFn != nil {
+			m.TraceFn(mt.addr)
+		}
+		if p := m.Prof; p != nil {
+			p.Opcode[mt.in.Op]++
+			if mt.addr != m.ProfSeq() {
+				p.Heat[mt.addr]++
+			}
+			m.SetProfSeq(mt.addr + uint64(mt.size))
+		}
+		switch ops[i](e) {
+		case uNext:
+			if i++; i < len(ops) {
+				continue
+			}
+			m.RIP = b.endFall
+			e.stats.TierSteps += uint64(len(ops))
+			e.stats.ExitFall++
+			return true, nil
+		case uEnd:
+			e.stats.TierSteps += uint64(i + 1)
+			if i == len(ops)-1 {
+				e.stats.ExitBranch++
+			} else {
+				e.stats.ExitSide++
+			}
+			return false, nil
+		case uExit:
+			e.stats.TierSteps += uint64(i + 1)
+			e.stats.ExitExit++
+			return false, nil
+		default: // uErr
+			e.stats.TierSteps += uint64(i + 1)
+			e.stats.ExitError++
+			return false, fmt.Errorf("at %#x (%s): %w", mt.addr, mt.in, e.err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package tiered
+
+import (
+	"repro/internal/emu"
+)
+
+// translate lifts the superblock entered at entry into bound micro-op
+// closures, or returns nil when nothing is translatable there (the
+// negative result is cached: text bytes are immutable).
+//
+// A superblock is the straight-line run from entry: it extends through
+// not-taken conditional branches (a taken jcc is a side exit) and ends
+// at an unconditional transfer (JMP, CALL, RET), a terminal fault
+// producer (HLT, UD2, INT3), the page boundary (the decode plane is
+// per-page; a spanning instruction single-steps through the
+// interpreter's slow fetch), the maxBlockOps cap, or the first
+// instruction the binder declines. SYSCALL stays inside the block —
+// it returns to the next instruction.
+func (e *engine) translate(entry uint64) *block {
+	pa := entry &^ (emu.PageSize - 1)
+	pl := e.m.PagePlaneAt(pa)
+	if pl == nil {
+		return nil
+	}
+	b := &block{entry: entry}
+	addr := entry
+	for len(b.ops) < maxBlockOps && addr&^(emu.PageSize-1) == pa {
+		in, size, err := pl.Decode(int(addr - pa))
+		if err != nil {
+			break
+		}
+		u, term := bindOp(in, addr, size)
+		if u == nil {
+			break
+		}
+		b.ops = append(b.ops, u)
+		b.meta = append(b.meta, opMeta{in: in, addr: addr, size: size})
+		addr += uint64(size)
+		if term {
+			break
+		}
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	b.endFall = addr
+	e.stats.Translations++
+	e.stats.TransInsts += uint64(len(b.ops))
+	return b
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/emu"
 	"repro/internal/harden"
 	"repro/internal/instr"
 )
@@ -24,6 +25,11 @@ type Params struct {
 	// Validate requests a differentially-validated rewrite (?validate=1).
 	Validate bool
 
+	// Engine selects the validation emulator engine
+	// (?engine=auto|interpreter|tiered). Auto — the default — runs the
+	// tiered superblock engine; only validated rewrites consult it.
+	Engine emu.EngineKind
+
 	// Trace requests the span tree in the response (?trace=1).
 	Trace bool
 
@@ -38,8 +44,8 @@ type Params struct {
 // other failure is a plain client error (400).
 //
 //	ignore-ehframe=1  allow-noncet=1  validate=1  trace=1
-//	timeout=<duration>  budget-insts=<n>  budget-steps=<n>
-//	instrument=<pass,pass,...>
+//	engine=<auto|interpreter|tiered>  timeout=<duration>
+//	budget-insts=<n>  budget-steps=<n>  instrument=<pass,pass,...>
 func ParseQuery(q url.Values, budget harden.Budget, maxTimeout time.Duration) (Params, error) {
 	p := Params{
 		Options: core.Options{
@@ -50,6 +56,13 @@ func ParseQuery(q url.Values, budget harden.Budget, maxTimeout time.Duration) (P
 		Validate: q.Get("validate") == "1",
 		Trace:    q.Get("trace") == "1",
 		Timeout:  maxTimeout,
+	}
+	if v := q.Get("engine"); v != "" {
+		eng, err := emu.ParseEngine(v)
+		if err != nil {
+			return Params{}, fmt.Errorf("farm: bad engine %q (want auto, interpreter, or tiered)", v)
+		}
+		p.Engine = eng
 	}
 	if v := q.Get("instrument"); v != "" {
 		passes, err := instr.ParseList(v)

@@ -1,6 +1,10 @@
 package x86
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // Plane is a per-binary decode plane: a flat table indexed by byte
 // offset into one text slab that memoizes the result of Decode at each
@@ -27,10 +31,18 @@ import "sync/atomic"
 //     instructions are fetched millions of times — at the price of
 //     pointer-bearing chunks the GC must scan.
 //
-// Entry storage is chunked and allocated on first touch: superset
+// Entry storage is chunked and allocated on first touch. Flat chunks
+// are additionally sized on demand within the chunk: superset
 // disassembly decodes at instruction boundaries, not at every byte, so
-// an eager entry-per-byte table would spend more time zeroing memory
-// than the memoization saves on a cold build.
+// a flat chunk holds only a small index array up front (1KB of zeroing
+// instead of a full 32KB entry table) and appends real entries as
+// offsets are decoded — a cold single-pass build, the dominant CFG
+// shape, pays roughly one entry's worth of storage per decoded
+// instruction instead of 64 bytes per text byte. Boxed chunks keep the
+// direct entry-per-offset array: the emulator fetches each decoded
+// offset millions of times, so the hit path must be a single indexed
+// load with no indirection, and the chunk's one-time zeroing cost is
+// noise against the fetch volume it serves.
 type Plane struct {
 	text  []byte
 	flat  []*flatChunk
@@ -57,33 +69,93 @@ const (
 	planeChunkMask  = planeChunkLen - 1
 )
 
+// A boxed chunk stores one entry per offset with an inline state byte:
+// the emulator's fetch loop hits the same entries millions of times,
+// so the hit path is one indexed load and a branch.
 type boxedChunk struct {
 	ents [planeChunkLen]boxedEntry
 }
 
+// A flat chunk is an index array plus an append-grown entry slice. The
+// index encodes the entry state inline: 0 cold, 1 undecodable, 2
+// truncated, and >=planeFirst an offset+planeFirst into ents. Error
+// states need no entry at all, and successful decodes claim exactly
+// one slot each, so a chunk's footprint tracks the number of decoded
+// offsets instead of the chunk span.
 type flatChunk struct {
-	ents [planeChunkLen]flatEntry
+	idx  [planeChunkLen]uint16
+	ents []flatEntry
 }
 
-// Entry states. Decode can only fail with the two sentinel errors
+// planeEntsInit sizes the first entry block at a quarter chunk:
+// typical superset builds decode roughly a fifth to a third of a
+// chunk's offsets, so the first block usually suffices and pooled
+// chunks keep their grown capacity across builds. Growing from Go's
+// tiny default capacities instead was measurable on cold builds —
+// repeated growslice copies cost more than the decodes they cached.
+const planeEntsInit = planeChunkLen / 4
+
+// Flat-chunk recycling. A cold single-pass build stores entries
+// nothing ever reads back, so its real cost is the allocation rate: a
+// fresh chunk plus entry block per 512 text bytes, discarded with the
+// graph. Dead planes return their chunks here (via a GC cleanup
+// registered in NewPlane), and reuse only has to re-zero the 1KB
+// index — the index gates entry validity, so recycled entry memory is
+// adopted as-is with whatever stale bytes it holds. Boxed chunks are
+// not pooled: reuse would have to re-zero the full 32KB entry array,
+// which costs what the fresh allocation's zeroing costs.
+var flatChunkPool = sync.Pool{New: func() any { return &flatChunk{} }}
+
+func newFlatChunk() *flatChunk {
+	c := flatChunkPool.Get().(*flatChunk)
+	c.idx = [planeChunkLen]uint16{}
+	c.ents = c.ents[:0]
+	return c
+}
+
+// releaseChunks is the AddCleanup hook: it runs once the plane is
+// unreachable, so no goroutine can still be decoding through these
+// chunks. It captures the chunk index slice, not the plane (a
+// cleanup argument must not keep its object alive).
+func releaseChunks(flat []*flatChunk) {
+	for _, c := range flat {
+		if c != nil {
+			flatChunkPool.Put(c)
+		}
+	}
+}
+
+func (c *flatChunk) grow() {
+	next := planeEntsInit
+	if n := 2 * cap(c.ents); n > next {
+		next = n
+	}
+	ents := make([]flatEntry, len(c.ents), next)
+	copy(ents, c.ents)
+	c.ents = ents
+}
+
+// Index states. Decode can only fail with the two sentinel errors
 // (plus the >15-byte length check, which is ErrBadInstruction), so the
-// error is stored as a one-byte state instead of an interface.
+// error is folded into the flat index / boxed state byte instead of
+// stored as an interface.
 const (
-	planeCold byte = iota
-	planeOK
-	planeBad
-	planeTrunc
+	planeCold  uint16 = iota
+	planeBad          // decoded to ErrBadInstruction
+	planeTrunc        // decoded to ErrTruncated
+	planeFirst        // flat: first real entry, ents[idx-planeFirst]
+	planeOK           // boxed: successful decode stored inline
 )
 
 type boxedEntry struct {
 	inst  Inst
 	size  uint8
-	state byte
+	state uint16
 }
 
 // flatEntry is a pointer-free image of a decoded instruction. Operand
-// interfaces are collapsed into tagged unions so a populated chunk is
-// noscan memory.
+// interfaces are collapsed into tagged unions so a populated entry
+// slice is noscan memory.
 type flatEntry struct {
 	op    Op
 	cond  Cond
@@ -91,7 +163,6 @@ type flatEntry struct {
 	srcW  uint8
 	flags uint8 // bit0 HasImm3, bit1 NoTrack, bit2 LongBranch
 	size  uint8
-	state byte
 	imm3  int64
 	dst   flatArg
 	src   flatArg
@@ -106,14 +177,19 @@ const (
 	faRel
 )
 
+// flatArg packs one operand into 16 bytes: val doubles as the
+// immediate / relative value and the memory displacement (a Mem disp
+// is int32, so the int64 field holds it exactly). Entry size matters
+// here — a cold superset build allocates one entry per decoded offset
+// and never reads most of them back, so every byte of entry is a byte
+// of GC allocation rate on the cold path.
 type flatArg struct {
 	kind   byte
 	reg    Reg   // faReg: the register; faMem: the base
 	index  Reg   // faMem
 	scale  uint8 // faMem
 	mflags uint8 // faMem: bit0 Rip, bit1 Wide
-	disp   int32 // faMem
-	val    int64 // faImm / faRel
+	val    int64 // faImm / faRel value, faMem displacement
 }
 
 func flattenArg(a Arg, fa *flatArg) bool {
@@ -128,7 +204,7 @@ func flattenArg(a Arg, fa *flatArg) bool {
 		fa.kind, fa.val = faRel, int64(v)
 	case Mem:
 		fa.kind = faMem
-		fa.reg, fa.index, fa.scale, fa.disp = v.Base, v.Index, v.Scale, v.Disp
+		fa.reg, fa.index, fa.scale, fa.val = v.Base, v.Index, v.Scale, int64(v.Disp)
 		fa.mflags = 0
 		if v.Rip {
 			fa.mflags |= 1
@@ -151,7 +227,7 @@ func (fa *flatArg) arg() Arg {
 	case faRel:
 		return Rel(fa.val)
 	case faMem:
-		return Mem{Base: fa.reg, Index: fa.index, Scale: fa.scale, Disp: fa.disp,
+		return Mem{Base: fa.reg, Index: fa.index, Scale: fa.scale, Disp: int32(fa.val),
 			Rip: fa.mflags&1 != 0, Wide: fa.mflags&2 != 0}
 	}
 	return nil
@@ -191,7 +267,9 @@ func chunkCount(n int) int { return (n + planeChunkMask) >> planeChunkShift }
 // (GC-invisible) entry storage. Only the chunk index is allocated up
 // front; entry chunks materialize on first decode.
 func NewPlane(text []byte) *Plane {
-	return &Plane{text: text, flat: make([]*flatChunk, chunkCount(len(text)))}
+	p := &Plane{text: text, flat: make([]*flatChunk, chunkCount(len(text)))}
+	runtime.AddCleanup(p, releaseChunks, p.flat)
+	return p
 }
 
 // NewExecPlane builds a cold decode plane whose entries store the
@@ -228,28 +306,41 @@ func (p *Plane) decodeFlat(off int) (Inst, int, error) {
 			p.sharedMisses.Add(1)
 			return Decode(p.text[off:])
 		}
-		c = &flatChunk{}
+		c = newFlatChunk()
 		p.flat[off>>planeChunkShift] = c
 	}
-	e := &c.ents[off&planeChunkMask]
-	if e.state != planeCold {
+	switch ix := c.idx[off&planeChunkMask]; ix {
+	case planeCold:
+	case planeBad, planeTrunc:
 		p.count(true)
-		if e.state == planeOK {
-			return e.inst(), int(e.size), nil
-		}
-		return Inst{}, 0, planeErr(e.state)
+		return Inst{}, 0, planeErr(ix)
+	default:
+		p.count(true)
+		e := &c.ents[ix-planeFirst]
+		return e.inst(), int(e.size), nil
 	}
 	p.count(false)
 	in, n, err := Decode(p.text[off:])
 	if !p.frozen {
-		if err == nil {
-			if e.store(in, n) {
-				e.state = planeOK
+		switch {
+		case err == nil:
+			if cap(c.ents) == len(c.ents) {
+				c.grow()
 			}
-		} else if err == ErrTruncated {
-			e.state = planeTrunc
-		} else {
-			e.state = planeBad
+			// Store in place: the slot may hold stale bytes from a
+			// recycled chunk, but every field an entry's kind reads is
+			// written here, so no zeroing pass is needed.
+			slot := len(c.ents)
+			c.ents = c.ents[:slot+1]
+			if c.ents[slot].store(in, n) {
+				c.idx[off&planeChunkMask] = planeFirst + uint16(slot)
+			} else {
+				c.ents = c.ents[:slot]
+			}
+		case err == ErrTruncated:
+			c.idx[off&planeChunkMask] = planeTrunc
+		default:
+			c.idx[off&planeChunkMask] = planeBad
 		}
 	}
 	return in, n, err
@@ -276,13 +367,12 @@ func (p *Plane) decodeBoxed(off int) (Inst, int, error) {
 	p.count(false)
 	in, n, err := Decode(p.text[off:])
 	if !p.frozen {
-		if err == nil {
-			e.inst = in
-			e.size = uint8(n)
-			e.state = planeOK
-		} else if err == ErrTruncated {
+		switch {
+		case err == nil:
+			e.inst, e.size, e.state = in, uint8(n), planeOK
+		case err == ErrTruncated:
 			e.state = planeTrunc
-		} else {
+		default:
 			e.state = planeBad
 		}
 	}
@@ -305,7 +395,7 @@ func (p *Plane) count(hit bool) {
 	}
 }
 
-func planeErr(state byte) error {
+func planeErr(state uint16) error {
 	if state == planeTrunc {
 		return ErrTruncated
 	}

@@ -4,7 +4,9 @@
 # pipeline; farm is the concurrent rewrite pool + cache + HTTP layer;
 # harden's failpoints are armed via atomics; elfx parses hostile input;
 # instr runs concurrent instrumented rewrites over one frozen decode
-# plane; x86 and cfg share frozen decode planes across goroutines), the
+# plane; x86 and cfg share frozen decode planes across goroutines;
+# emu/tiered executes translated superblocks over shared frozen
+# planes), the
 # hot-path allocation gates (cached plane decode, emulator fetch span,
 # and arithmetic encode must stay allocation-free), one-iteration
 # benchmark smokes to keep the paired rewrite and instrumentation
@@ -41,6 +43,12 @@ go test -race ./internal/fleet/...
 # cache hit (TestE2EKillWorkerPrimary).
 go test -race -count=1 -run 'TestChaosSoak|TestE2EKillWorkerPrimary' ./internal/fleet/
 go test -race -run 'Plane|Frozen|Shared' ./internal/x86/... ./internal/cfg/...
+# Tiered-emulator race gate: concurrent machines executing translated
+# superblocks over one shared frozen decode plane
+# (TestConcurrentSharedPlanesTiered), plus translation-cache
+# invalidation across reloads (TestPlaneInvalidationBetweenRuns).
+go test -race -count=1 -run 'TestConcurrentSharedPlanesTiered|TestPlaneInvalidationBetweenRuns' \
+    ./internal/emu/tiered/
 go test -run 'Allocs$' -count=1 ./internal/x86/... ./internal/emu/...
 # Observability gates: the disabled paths (nil collector, live collector
 # without a flight recorder) must stay allocation-free, and the wire
@@ -49,6 +57,10 @@ go test -run 'Allocs$' -count=1 ./internal/x86/... ./internal/emu/...
 go test -run 'ZeroAlloc$' -count=1 ./internal/obs/
 go test -run 'Golden|Flight|Quantile' -count=1 ./internal/obs/ ./internal/emu/
 go test -run '^$' -bench 'Benchmark(Rewrite|RewriteLegacy|RewriteFlight)$' -benchtime=1x . >/dev/null
+# Tiered bench smoke: one iteration each of the engine ladder keeps the
+# interpreter-vs-tiered rows of bench.sh runnable.
+go test -run '^$' -bench 'Benchmark(EmulatorTiered|EmulatorHotInterp|EmulatorHotTiered|ValidateTiered)$' \
+    -benchtime=1x . >/dev/null
 go test -run '^$' -bench 'BenchmarkInstr(Rewrite|Run)(None|Coverage)$' -benchtime=1x \
     ./internal/instr >/dev/null
 go test -run 'TestCoverageArtifact' -count=1 ./internal/instr >/dev/null
