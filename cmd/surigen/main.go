@@ -5,7 +5,13 @@
 // Usage:
 //
 //	surigen [-seed 1] [-size small|medium|large] [-compiler gcc-11|gcc-13|clang-10|clang-13]
-//	        [-linker ld|gold] [-opt O0..Ofast] [-no-cet] [-no-ehframe] [-o prog.bin] [-inputs]
+//	        [-linker ld|gold] [-opt O0..Ofast] [-no-cet] [-no-ehframe] [-stripped]
+//	        [-rand] [-o prog.bin] [-inputs]
+//
+// With -rand the program is C++-shaped: the seed additionally selects a
+// mix of exception landing pads, vtable dispatch, thread-local storage,
+// and in-text data islands (internal/gen), matching what the corpus
+// fuzzer generates.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"os"
 
 	"repro/internal/cc"
+	"repro/internal/gen"
+	"repro/internal/mini"
 	"repro/internal/prog"
 )
 
@@ -26,16 +34,14 @@ func main() {
 	opt := flag.String("opt", "O2", "optimization level: O0|O1|O2|O3|Os|Ofast")
 	noCET := flag.Bool("no-cet", false, "build without CET markers")
 	noEh := flag.Bool("no-ehframe", false, "build without unwind tables")
+	stripped := flag.Bool("stripped", false, "strip .symtab/.strtab from the binary")
+	randomize := flag.Bool("rand", false, "inject seed-selected C++-shaped patterns (landing pads, vtables, TLS, in-text data)")
 	out := flag.String("o", "prog.bin", "output binary path")
 	inputs := flag.Bool("inputs", false, "also write <out>.input0.. files with the test inputs")
 	flag.Parse()
 
-	shape := map[string]prog.Shape{
-		"small":  {Funcs: 3, Switches: 1, Globals: 4, MainLoop: 12, Stmts: 6, NumInputs: 2},
-		"medium": {Funcs: 5, Switches: 2, Globals: 6, MainLoop: 18, Stmts: 9, NumInputs: 3},
-		"large":  {Funcs: 8, Switches: 3, Globals: 9, MainLoop: 24, Stmts: 12, NumInputs: 3},
-	}[*size]
-	if shape.Funcs == 0 {
+	shape, ok := prog.ShapeByName(*size)
+	if !ok {
 		fail(fmt.Errorf("unknown size %q", *size))
 	}
 
@@ -61,15 +67,28 @@ func main() {
 		fail(fmt.Errorf("unknown optimization level %q", *opt))
 	}
 	cfg.Opt = lvl
+	cfg.Stripped = *stripped
 
-	p := prog.Generate(fmt.Sprintf("gen_%d", *seed), *seed, shape)
-	bin, err := cc.Compile(p.Module, cfg)
+	name := fmt.Sprintf("gen_%d", *seed)
+	var module *mini.Module
+	var progInputs [][]int64
+	if *randomize {
+		_, feats := gen.DeriveCase(*seed)
+		feats.Stripped = *stripped
+		p := gen.Generate(name, *seed, shape, feats)
+		module, progInputs = p.Module, p.Inputs
+		fmt.Printf("features: %s\n", feats)
+	} else {
+		p := prog.Generate(name, *seed, shape)
+		module, progInputs = p.Module, p.Inputs
+	}
+	bin, err := cc.Compile(module, cfg)
 	fail(err)
 	fail(os.WriteFile(*out, bin, 0o755))
 	fmt.Printf("wrote %s (%d bytes, %s, seed %d)\n", *out, len(bin), cfg, *seed)
 
 	if *inputs {
-		for i, in := range p.Inputs {
+		for i, in := range progInputs {
 			buf := make([]byte, 0, len(in)*8)
 			for _, v := range in {
 				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))

@@ -4,9 +4,10 @@
 // function boundaries. Its policies reproduce the published failure modes
 // of the real tool organically:
 //
-//   - binaries without .eh_frame (or outside its model: overlapping code
-//     interpretations, ambiguous dispatch bases) are rejected with
-//     assertion failures (the ~5% completion gap of §4.2.2);
+//   - binaries without .eh_frame (or outside its model: C++ exception
+//     tables, overlapping code interpretations, ambiguous dispatch
+//     bases) are rejected with assertion failures (the ~5% completion
+//     gap of §4.2.2);
 //   - every RIP reference into the text section is symbolized as a code
 //     label, so the temporary pointers of composite expressions that
 //     target mid-function code (Figure 2 / S7) silently break once code
@@ -45,6 +46,12 @@ func (t *Tool) Rewrite(bin []byte) (*baseline.Result, error) {
 	}
 	if f.Section(".eh_frame") == nil {
 		return nil, fmt.Errorf("egalito: assertion failed: no unwind information")
+	}
+	// C++ exception tables are outside the model: the LSDA landing-pad
+	// encoding is not parsed, so moving code would silently strand the
+	// pads. The real tool aborts on such inputs (§4.2.2); so do we.
+	if f.Section(".gcc_except_table") != nil {
+		return nil, fmt.Errorf("egalito: assertion failed: C++ exception tables unsupported")
 	}
 	g, err := cfg.Build(f, cfg.Options{
 		UseEhFrame: true,

@@ -10,6 +10,7 @@ package cc
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mini"
 )
@@ -93,6 +94,13 @@ type Config struct {
 	// on the stack and around globals, with checks on every array access.
 	// This is the "ASan" comparator of Table 5.
 	ASan bool
+
+	// Stripped omits the .symtab/.strtab sections, modeling a
+	// production `strip`ped binary. Symbol tables are non-alloc
+	// metadata the rewriter never reads, so soundness must be
+	// unaffected — the Table 1 census is config-stable across this
+	// axis, while symbol-dependent baselines degrade.
+	Stripped bool
 }
 
 // DefaultConfig is the common modern build: CET on, unwind tables on.
@@ -112,7 +120,67 @@ func (c Config) String() string {
 	if c.ASan {
 		s += "/asan"
 	}
+	if c.Stripped {
+		s += "/stripped"
+	}
 	return s
+}
+
+// ParseConfig parses the String() form back into a Config (the format
+// surifuzz regression headers store). Unknown segments are errors.
+func ParseConfig(s string) (Config, error) {
+	var c Config
+	c.CET = true
+	c.EhFrame = true
+	parts := strings.Split(s, "/")
+	if len(parts) < 3 {
+		return Config{}, fmt.Errorf("cc: config %q: want compiler/linker/opt", s)
+	}
+	switch parts[0] {
+	case "gcc-11":
+		c.Compiler = GCC11
+	case "gcc-13":
+		c.Compiler = GCC13
+	case "clang-10":
+		c.Compiler = Clang10
+	case "clang-13":
+		c.Compiler = Clang13
+	default:
+		return Config{}, fmt.Errorf("cc: config %q: unknown compiler %q", s, parts[0])
+	}
+	switch parts[1] {
+	case "ld":
+		c.Linker = LD
+	case "gold":
+		c.Linker = Gold
+	default:
+		return Config{}, fmt.Errorf("cc: config %q: unknown linker %q", s, parts[1])
+	}
+	opt := -1
+	for i, n := range optNames {
+		if n == parts[2] {
+			opt = i
+		}
+	}
+	if opt < 0 {
+		return Config{}, fmt.Errorf("cc: config %q: unknown opt level %q", s, parts[2])
+	}
+	c.Opt = OptLevel(opt)
+	for _, p := range parts[3:] {
+		switch p {
+		case "nocet":
+			c.CET = false
+		case "nounwind":
+			c.EhFrame = false
+		case "asan":
+			c.ASan = true
+		case "stripped":
+			c.Stripped = true
+		default:
+			return Config{}, fmt.Errorf("cc: config %q: unknown flag %q", s, p)
+		}
+	}
+	return c, nil
 }
 
 // AllConfigs returns the paper's 48 build configurations (4 compilers ×
@@ -136,11 +204,11 @@ func AllConfigs() []Config {
 // Compile translates a MiniC module into a complete ELF binary image.
 func Compile(m *mini.Module, cfg Config) ([]byte, error) {
 	g := newGen(m, cfg)
-	prog, funcs, err := g.module()
+	prog, funcs, lsda, err := g.module()
 	if err != nil {
 		return nil, fmt.Errorf("cc: %s: %w", m.Name, err)
 	}
-	return link(prog, cfg, funcs)
+	return link(prog, cfg, funcs, lsda)
 }
 
 // jumpTableThreshold returns the minimum number of dense cases before the

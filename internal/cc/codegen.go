@@ -24,6 +24,11 @@ type gen struct {
 	data   *asm.Section
 	bss    *asm.Section
 
+	// gexcept (.gcc_except_table) and tdata (.tdata) are created lazily
+	// so binaries without exceptions or TLS keep their exact layout.
+	gexcept *asm.Section
+	tdata   *asm.Section
+
 	labelN int
 
 	// anchors are labels usable as composite-expression anchors: rodata
@@ -42,6 +47,26 @@ type gen struct {
 	epilogue string
 
 	funcRanges []string // names, in emission order, for .eh_frame
+
+	// Exception-handling state. usesEH is true when any function
+	// contains try/throw; the module then carries the __exc_* runtime
+	// globals and the __throw routine. lsdaByFunc maps a function to the
+	// "__lsda$<fn>" label at its first .gcc_except_table record, which
+	// link threads into the FDE's LSDA pointer. tryBody counts lexically
+	// enclosing try bodies (throw legality); tryAny additionally counts
+	// catch blocks (return legality: returning out of an armed try would
+	// leak the armed context).
+	usesEH     bool
+	lsdaByFunc map[string]string
+	lsdaSiteN  int
+	tryBody    int
+	tryAny     int
+
+	// TLS layout (x86-64 variant 2 local-exec): tlsOff maps each TLS
+	// global to its negative thread-pointer-relative displacement;
+	// tlsSize is the .tdata block size the offsets were computed against.
+	tlsOff  map[string]int64
+	tlsSize int64
 }
 
 type arrayInfo struct {
@@ -57,7 +82,88 @@ func newGen(m *mini.Module, cfg Config) *gen {
 	g.relro = g.prog.Section(".data.rel.ro", asm.Alloc|asm.Write)
 	g.data = g.prog.Section(".data", asm.Alloc|asm.Write)
 	g.bss = g.prog.Section(".bss", asm.Alloc|asm.Write|asm.Nobits)
+	g.usesEH = moduleUsesEH(m)
+	g.lsdaByFunc = make(map[string]string)
+	g.layoutTLS()
 	return g
+}
+
+// gexceptSec returns the .gcc_except_table section, creating it on first
+// use. Its contents are LSDA records: a relocated landing-pad quad (the
+// same S1 mechanism as vtables, so the rewriter's reloc retargeting moves
+// pads organically) followed by a site-id quad.
+func (g *gen) gexceptSec() *asm.Section {
+	if g.gexcept == nil {
+		g.gexcept = g.prog.Section(".gcc_except_table", asm.Alloc)
+	}
+	return g.gexcept
+}
+
+// tdataSec returns the .tdata section, creating it on first use.
+func (g *gen) tdataSec() *asm.Section {
+	if g.tdata == nil {
+		g.tdata = g.prog.Section(".tdata", asm.Alloc|asm.Write)
+	}
+	return g.tdata
+}
+
+// layoutTLS assigns thread-pointer-relative displacements to TLS globals.
+// Variant 2 places the block at [TP-size, TP), so each global's fs-segment
+// displacement is its block offset minus the total block size.
+func (g *gen) layoutTLS() {
+	g.tlsOff = make(map[string]int64)
+	cur := int64(0)
+	for _, gl := range g.mod.Globals {
+		if !gl.TLS {
+			continue
+		}
+		cur = (cur + int64(gl.Elem) - 1) &^ (int64(gl.Elem) - 1)
+		g.tlsOff[gl.Name] = cur
+		cur += gl.ByteSize()
+	}
+	g.tlsSize = (cur + 7) &^ 7
+	for name := range g.tlsOff {
+		g.tlsOff[name] -= g.tlsSize
+	}
+}
+
+// moduleUsesEH reports whether any function contains try or throw.
+func moduleUsesEH(m *mini.Module) bool {
+	var walk func(body []mini.Stmt) bool
+	walk = func(body []mini.Stmt) bool {
+		for _, s := range body {
+			switch v := s.(type) {
+			case mini.Try:
+				return true
+			case mini.Throw:
+				return true
+			case mini.If:
+				if walk(v.Then) || walk(v.Else) {
+					return true
+				}
+			case mini.While:
+				if walk(v.Body) {
+					return true
+				}
+			case mini.Switch:
+				for _, c := range v.Cases {
+					if walk(c.Body) {
+						return true
+					}
+				}
+				if walk(v.Default) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range m.Funcs {
+		if walk(f.Body) {
+			return true
+		}
+	}
+	return false
 }
 
 func (g *gen) label(prefix string) string {
@@ -79,44 +185,108 @@ func (g *gen) ripLea(dst x86.Reg, sym string, add int64) {
 	}, sym, add)
 }
 
-// module lowers the whole module and returns the program plus the ordered
+// module lowers the whole module and returns the program, the ordered
 // function names (for .eh_frame ranges: each name has a matching
-// "<name>$end" label).
-func (g *gen) module() (*asm.Program, []string, error) {
+// "<name>$end" label), and the per-function LSDA labels for functions
+// containing try regions.
+func (g *gen) module() (*asm.Program, []string, map[string]string, error) {
 	// A stable rodata anchor for composite accesses, before any tables.
 	g.rodata.L(".Lroanchor")
 	g.rodata.D4(0x1a5e40) // opaque filler; never read
 	g.anchors = append(g.anchors, ".Lroanchor")
 
+	// Data-in-text islands are interleaved between functions, the way
+	// -fwritable-literals / constant-island compilers place them.
+	islands, err := g.intextGlobals()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
 	// GCC-style builds link the runtime (crt) ahead of user code; Clang
 	// style places user code first. Either way _start remains the entry.
 	emitUser := func() error {
+		k := 0
 		for _, f := range g.mod.Funcs {
 			if err := g.function(f); err != nil {
 				return err
 			}
+			if k < len(islands) {
+				g.emitIsland(islands[k])
+				k++
+			}
+		}
+		for ; k < len(islands); k++ {
+			g.emitIsland(islands[k])
 		}
 		return nil
 	}
 	if g.cfg.Compiler.IsGCC() {
 		g.emitRuntime()
 		if err := emitUser(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	} else {
 		if err := emitUser(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		g.emitRuntime()
 	}
+	if g.usesEH {
+		g.emitExcGlobals()
+	}
 	asanEntries, err := g.globals()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if g.cfg.ASan {
 		g.asanGlobalTable(asanEntries)
 	}
-	return g.prog, g.funcRanges, nil
+	return g.prog, g.funcRanges, g.lsdaByFunc, nil
+}
+
+// intextGlobals validates and returns the module's data-in-text globals
+// in declaration order.
+func (g *gen) intextGlobals() ([]*mini.Global, error) {
+	var out []*mini.Global
+	for _, gl := range g.mod.Globals {
+		if !gl.InText {
+			continue
+		}
+		if !gl.ReadOnly {
+			return nil, fmt.Errorf("in-text global %s must be read-only (.text is not writable)", gl.Name)
+		}
+		if gl.TLS || gl.FuncTable != nil || gl.PtrInit != nil {
+			return nil, fmt.Errorf("in-text global %s cannot also be tls/table/pointer", gl.Name)
+		}
+		for _, v := range gl.Init {
+			if v < 0 || v >= 0x80 {
+				return nil, fmt.Errorf("in-text global %s: init value %d outside [0,0x80)", gl.Name, v)
+			}
+		}
+		out = append(out, gl)
+	}
+	return out, nil
+}
+
+// emitIsland places a read-only global's bytes directly in .text between
+// functions — the data-in-text pattern a sound reassembler must keep
+// byte-identical (any "instruction" decoded from it is an artifact of the
+// superset, never a real control-flow target).
+func (g *gen) emitIsland(gl *mini.Global) {
+	g.text.Align2(8)
+	g.text.L(gl.Name)
+	g.text.Raw(globalBytes(gl))
+}
+
+// emitExcGlobals lays out the exception runtime's context cells: the
+// armed LSDA record address and the register snapshot the landing-pad
+// transfer restores, plus the in-flight value.
+func (g *gen) emitExcGlobals() {
+	g.data.Align2(8)
+	for _, name := range []string{"__exc_lsda", "__exc_rsp", "__exc_rbp", "__exc_val"} {
+		g.data.L(name)
+		g.data.Raw(make([]byte, 8))
+	}
 }
 
 // globals lays out module globals into their sections. In sanitized
@@ -126,6 +296,18 @@ func (g *gen) globals() ([]asanGlobalEntry, error) {
 	var entries []asanGlobalEntry
 	for _, gl := range g.mod.Globals {
 		switch {
+		case gl.InText:
+			// Already emitted between functions; validated by intextGlobals.
+		case gl.TLS:
+			if gl.ReadOnly || gl.FuncTable != nil || gl.PtrInit != nil {
+				return nil, fmt.Errorf("tls global %s cannot also be ro/table/pointer", gl.Name)
+			}
+			// Emission order must mirror layoutTLS so the fs displacements
+			// line up with the .tdata image.
+			td := g.tdataSec()
+			td.Align2(uint64(gl.Elem))
+			td.L(gl.Name)
+			td.Raw(globalBytes(gl))
 		case gl.FuncTable != nil:
 			g.relro.Align2(8)
 			g.relro.L(gl.Name)
@@ -139,6 +321,9 @@ func (g *gen) globals() ([]asanGlobalEntry, error) {
 			tgt := g.mod.Global(gl.PtrInit.Target)
 			if tgt == nil {
 				return nil, fmt.Errorf("pointer %s references unknown global %q", gl.Name, gl.PtrInit.Target)
+			}
+			if tgt.TLS {
+				return nil, fmt.Errorf("pointer %s targets tls global %q (no link-time address)", gl.Name, gl.PtrInit.Target)
 			}
 			g.relro.Align2(8)
 			g.relro.L(gl.Name)
@@ -171,6 +356,21 @@ func (g *gen) globals() ([]asanGlobalEntry, error) {
 				buf = append(buf, make([]byte, asanRedzone)...)
 			}
 			sec.Raw(buf)
+		}
+	}
+	// Pad .tdata to the 8-aligned block size layoutTLS computed the
+	// displacements against; PT_TLS Memsz must match exactly.
+	if g.tdata != nil {
+		cur := int64(0)
+		for _, gl := range g.mod.Globals {
+			if !gl.TLS {
+				continue
+			}
+			cur = (cur + int64(gl.Elem) - 1) &^ (int64(gl.Elem) - 1)
+			cur += gl.ByteSize()
+		}
+		if pad := g.tlsSize - cur; pad > 0 {
+			g.tdata.Raw(make([]byte, pad))
 		}
 	}
 	return entries, nil
@@ -341,6 +541,9 @@ func (g *gen) stmt(s mini.Stmt) error {
 		if gl == nil {
 			return fmt.Errorf("%s: unknown global %q", g.fn.Name, v.G)
 		}
+		if gl.InText {
+			return fmt.Errorf("%s: store to read-only in-text global %q", g.fn.Name, v.G)
+		}
 		if err := g.expr(v.Idx); err != nil {
 			return err
 		}
@@ -349,6 +552,10 @@ func (g *gen) stmt(s mini.Stmt) error {
 			return err
 		}
 		g.t(x86.Inst{Op: x86.POP, Dst: x86.RCX})
+		if gl.TLS {
+			g.tlsAccess(storeInst, gl, x86.RCX, x86.RDX)
+			return nil
+		}
 		p := g.globalBase(x86.RDX, v.G) // RDX = &g (or a composite anchor)
 		g.asanCheckIndexed(x86.RDX, x86.RCX, gl.Elem)
 		g.access(storeInst(x86.Mem{Base: x86.RDX, Index: x86.RCX, Scale: uint8(gl.Elem)}, gl.Elem), p)
@@ -437,6 +644,11 @@ func (g *gen) stmt(s mini.Stmt) error {
 		return g.switchStmt(v)
 
 	case mini.Return:
+		if g.tryAny > 0 {
+			// Returning out of an armed try would leave __exc_* pointing
+			// into a dead frame; the language forbids it.
+			return fmt.Errorf("%s: return inside try/catch", g.fn.Name)
+		}
 		if v.E != nil {
 			if err := g.expr(v.E); err != nil {
 				return err
@@ -445,6 +657,25 @@ func (g *gen) stmt(s mini.Stmt) error {
 			g.t(x86.Inst{Op: x86.XOR, W: 4, Dst: x86.RAX, Src: x86.RAX})
 		}
 		g.ts(x86.Inst{Op: x86.JMP, Src: x86.Rel(0)}, g.epilogue, 0)
+		return nil
+
+	case mini.Try:
+		return g.tryStmt(v)
+
+	case mini.Throw:
+		if g.tryBody == 0 {
+			// Throws are same-function by construction: the landing-pad
+			// transfer never pops the shadow stack, so crossing a call
+			// frame would trip CET on the next return.
+			return fmt.Errorf("%s: throw outside try body", g.fn.Name)
+		}
+		if err := g.expr(v.E); err != nil {
+			return err
+		}
+		g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDI, Src: x86.RAX})
+		// A direct jmp, not a call: __throw transfers to the landing pad
+		// without growing the shadow stack.
+		g.ts(x86.Inst{Op: x86.JMP, Src: x86.Rel(0)}, "__throw", 0)
 		return nil
 
 	case mini.Print:
@@ -467,6 +698,89 @@ func (g *gen) stmt(s mini.Stmt) error {
 		return g.expr(v.E)
 	}
 	return fmt.Errorf("%s: unknown statement %T", g.fn.Name, s)
+}
+
+// tryStmt lowers a try/catch region the way C++ zero-cost EH looks on
+// disk: an LSDA record in .gcc_except_table whose first quad is the
+// relocated landing-pad address, referenced from the armed context. The
+// dynamic protocol is SJLJ-shaped (context cells in .data, restored by
+// __throw), but the artifact the rewriter must handle is identical to
+// GCC's: an absolute code pointer in an exception table that has to move
+// with the pad (Table 1's landing-pad cells).
+func (g *gen) tryStmt(v mini.Try) error {
+	if _, ok := g.slots[v.CatchVar]; !ok {
+		return fmt.Errorf("%s: catch variable %q not declared", g.fn.Name, v.CatchVar)
+	}
+	padL := g.label("Lpad")
+	endL := g.label("Ltrydone")
+	lsdaL := g.label("Llsda")
+
+	// LSDA record: [pad quad (relocated), site id]. The function's first
+	// record also carries the "__lsda$<fn>" label the FDE points at.
+	ge := g.gexceptSec()
+	ge.Align2(8)
+	if _, ok := g.lsdaByFunc[g.fn.Name]; !ok {
+		lbl := "__lsda$" + g.fn.Name
+		ge.L(lbl)
+		g.lsdaByFunc[g.fn.Name] = lbl
+	}
+	ge.L(lsdaL)
+	ge.Q(padL, 0)
+	g.lsdaSiteN++
+	ge.D8(uint64(g.lsdaSiteN))
+
+	// Save the outer context, then arm this region.
+	for _, cell := range []string{"__exc_lsda", "__exc_rsp", "__exc_rbp"} {
+		g.ts(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX,
+			Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}}, cell, 0)
+		g.t(x86.Inst{Op: x86.PUSH, Src: x86.RAX})
+	}
+	g.ripLea(x86.RAX, lsdaL, 0)
+	g.ts(x86.Inst{Op: x86.MOV, W: 8,
+		Dst: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}, Src: x86.RAX}, "__exc_lsda", 0)
+	g.ts(x86.Inst{Op: x86.MOV, W: 8,
+		Dst: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}, Src: x86.RSP}, "__exc_rsp", 0)
+	g.ts(x86.Inst{Op: x86.MOV, W: 8,
+		Dst: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}, Src: x86.RBP}, "__exc_rbp", 0)
+
+	g.tryBody++
+	g.tryAny++
+	err := g.stmts(v.Body)
+	g.tryBody--
+	if err != nil {
+		g.tryAny--
+		return err
+	}
+	g.emitExcRestore()
+	g.ts(x86.Inst{Op: x86.JMP, Src: x86.Rel(0)}, endL, 0)
+
+	// Landing pad: __throw re-enters here (indirect jmp through the LSDA
+	// quad) with RSP/RBP already restored to the armed snapshot.
+	g.text.L(padL)
+	if g.cfg.CET {
+		g.t(x86.Inst{Op: x86.ENDBR64})
+	}
+	g.ts(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX,
+		Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}}, "__exc_val", 0)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: g.slot(v.CatchVar), Src: x86.RAX})
+	g.emitExcRestore()
+	err = g.stmts(v.Catch)
+	g.tryAny--
+	if err != nil {
+		return err
+	}
+	g.text.L(endL)
+	return nil
+}
+
+// emitExcRestore pops the saved outer exception context (reverse of the
+// pushes in tryStmt) back into the __exc_* cells.
+func (g *gen) emitExcRestore() {
+	for _, cell := range []string{"__exc_rbp", "__exc_rsp", "__exc_lsda"} {
+		g.t(x86.Inst{Op: x86.POP, Dst: x86.RAX})
+		g.ts(x86.Inst{Op: x86.MOV, W: 8,
+			Dst: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}, Src: x86.RAX}, cell, 0)
+	}
 }
 
 // tryCmov lowers "if (a OP b) { x = p } else { x = q }" with trivial
@@ -569,6 +883,25 @@ func cmpCond(op mini.BinOp) (x86.Cond, bool) {
 	return 0, false
 }
 
+// tlsAccess emits one load/store of TLS global gl with the unscaled
+// index in idxReg. -O0 builds use the glibc TCB idiom — load the thread
+// pointer from fs:[0], then an ordinary base+index access through
+// scratch — while optimized builds fold the segment override into the
+// access itself (fs:[idx*elem + tpoff]). Both address the variant-2
+// block below the thread pointer, so the displacement is negative.
+// ASan redzones are not modeled for TLS (matching compilers, which
+// leave TLS blocks unpoisoned without a special runtime).
+func (g *gen) tlsAccess(mk func(x86.Mem, int) x86.Inst, gl *mini.Global, idxReg, scratch x86.Reg) {
+	off := g.tlsOff[gl.Name]
+	if g.cfg.Opt == O0 {
+		g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: scratch,
+			Src: x86.Mem{FS: true, Base: x86.NoReg, Index: x86.NoReg}})
+		g.t(mk(x86.Mem{Base: scratch, Index: idxReg, Scale: uint8(gl.Elem), Disp: int32(off)}, gl.Elem))
+		return
+	}
+	g.t(mk(x86.Mem{FS: true, Base: x86.NoReg, Index: idxReg, Scale: uint8(gl.Elem), Disp: int32(off)}, gl.Elem))
+}
+
 // pend carries a deferred composite displacement from globalBase to the
 // access instruction that consumes the base register.
 type pend struct {
@@ -588,7 +921,8 @@ func (g *gen) globalBase(dst x86.Reg, name string) pend {
 	// lives in .bss); other sections are addressed directly. This makes
 	// the trap program-dependent, as in real compiler output.
 	gl := g.mod.Global(name)
-	isBss := gl != nil && gl.FuncTable == nil && gl.PtrInit == nil && allZero(gl.Init)
+	isBss := gl != nil && gl.FuncTable == nil && gl.PtrInit == nil &&
+		!gl.TLS && !gl.InText && allZero(gl.Init)
 	if g.cfg.compositeAccess() && !g.cfg.ASan && isBss && len(g.anchors) > 0 && g.accessN%3 != 0 {
 		anchor := g.anchors[g.anchorIdx%len(g.anchors)]
 		g.anchorIdx++

@@ -1,0 +1,249 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/elfx"
+	"repro/internal/mini"
+)
+
+// cxxModule exercises every C++-shaped pattern the compiler emits:
+// try/throw landing pads (.gcc_except_table + FDE LSDA pointers),
+// vtable-style virtual dispatch through a pointer-to-table object,
+// thread-local globals (.tdata + PT_TLS, fs-relative access), and
+// read-only data islands placed between functions in .text.
+func cxxModule() *mini.Module {
+	return &mini.Module{
+		Name: "cxx",
+		Globals: []*mini.Global{
+			{Name: "tcount", Elem: 8, Count: 3, Init: []int64{100, 200, 300}, TLS: true},
+			{Name: "tflags", Elem: 1, Count: 8, Init: []int64{1, 2, 3}, TLS: true},
+			{Name: "magic", Elem: 1, Count: 16, Init: []int64{72, 105, 33}, ReadOnly: true, InText: true},
+			{Name: "mq", Elem: 8, Count: 2, Init: []int64{77, 8}, ReadOnly: true, InText: true},
+			{Name: "vtbl", FuncTable: []string{"vadd", "vmul", "vneg"}},
+			{Name: "obj", PtrInit: &mini.PtrInit{Target: "vtbl", ByteOff: 8}},
+		},
+		Funcs: []*mini.Func{
+			{Name: "vadd", NParams: 2, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Add, L: mini.Var("p0"), R: mini.Var("p1")}},
+			}},
+			{Name: "vmul", NParams: 2, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Mul, L: mini.Var("p0"), R: mini.Var("p1")}},
+			}},
+			{Name: "vneg", NParams: 1, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Sub, L: mini.Const(0), R: mini.Var("p0")}},
+			}},
+			{
+				Name:   "main",
+				Locals: []string{"e", "x", "i", "acc"},
+				Body: []mini.Stmt{
+					// Thread-local traffic: scalar and loop-indexed.
+					mini.Print{E: mini.LoadG{G: "tcount", Idx: mini.Const(1)}},
+					mini.StoreG{G: "tcount", Idx: mini.Const(2), E: mini.Const(42)},
+					mini.Print{E: mini.LoadG{G: "tcount", Idx: mini.Const(2)}},
+					mini.Assign{Name: "i", E: mini.Const(0)},
+					mini.Assign{Name: "acc", E: mini.Const(0)},
+					mini.While{
+						Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(3)},
+						Body: []mini.Stmt{
+							mini.Assign{Name: "acc", E: mini.Bin{Op: mini.Add, L: mini.Var("acc"),
+								R: mini.LoadG{G: "tcount", Idx: mini.Var("i")}}},
+							mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}},
+						},
+					},
+					mini.Print{E: mini.Var("acc")},
+					mini.Print{E: mini.LoadG{G: "tflags", Idx: mini.Const(1)}},
+					// Data-in-text islands.
+					mini.Print{E: mini.LoadG{G: "magic", Idx: mini.Const(0)}},
+					mini.Print{E: mini.LoadG{G: "magic", Idx: mini.Const(2)}},
+					mini.Print{E: mini.LoadG{G: "mq", Idx: mini.Const(0)}},
+					// Virtual dispatch: obj's vptr points 8 bytes into vtbl,
+					// so slot 0 is vmul and slot 1 is vneg.
+					mini.Print{E: mini.CallVirt{Obj: "obj", Idx: 0,
+						Args: []mini.Expr{mini.Const(6), mini.Const(7)}}},
+					mini.Print{E: mini.CallVirt{Obj: "obj", Idx: 1,
+						Args: []mini.Expr{mini.Const(5)}}},
+					// Input-dependent throw: only one arm of the try actually
+					// unwinds, keyed off the fuzz input stream.
+					mini.Try{
+						Body: []mini.Stmt{
+							mini.Assign{Name: "x", E: mini.Const(1)},
+							mini.If{
+								Cond: mini.Bin{Op: mini.Gt, L: mini.ReadInput{}, R: mini.Const(0)},
+								Then: []mini.Stmt{
+									mini.Throw{E: mini.Bin{Op: mini.Add, L: mini.Var("x"), R: mini.Const(41)}},
+								},
+							},
+							mini.Assign{Name: "x", E: mini.Const(2)},
+						},
+						CatchVar: "e",
+						Catch: []mini.Stmt{
+							mini.Print{E: mini.Var("e")},
+							mini.Assign{Name: "x", E: mini.Bin{Op: mini.Add, L: mini.Var("e"), R: mini.Const(100)}},
+						},
+					},
+					mini.Print{E: mini.Var("x")},
+					// Nested try with a rethrow from the inner catch.
+					mini.Try{
+						Body: []mini.Stmt{
+							mini.Try{
+								Body:     []mini.Stmt{mini.Throw{E: mini.Const(7)}},
+								CatchVar: "e",
+								Catch: []mini.Stmt{
+									mini.Print{E: mini.Var("e")},
+									mini.Throw{E: mini.Bin{Op: mini.Add, L: mini.Var("e"), R: mini.Const(1)}},
+								},
+							},
+						},
+						CatchVar: "e",
+						Catch:    []mini.Stmt{mini.Print{E: mini.Var("e")}},
+					},
+					mini.Return{E: mini.Const(0)},
+				},
+			},
+		},
+	}
+}
+
+func TestCxxPatternsAllConfigs(t *testing.T) {
+	m := cxxModule()
+	for _, cfg := range AllConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			for _, input := range [][]int64{{1}, {0}, {-5}} {
+				runBoth(t, m, cfg, input)
+			}
+		})
+	}
+}
+
+// TestCxxSections checks the on-disk artifacts: the exception table and
+// TLS image sections exist with the right flags, PT_TLS is present, and
+// the FDE chain carries an LSDA pointer for main.
+func TestCxxSections(t *testing.T) {
+	bin, err := Compile(cxxModule(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elfx.Read(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge := f.Section(".gcc_except_table")
+	if ge == nil || ge.Flags&elfx.SHFAlloc == 0 {
+		t.Fatalf(".gcc_except_table missing or non-alloc: %+v", ge)
+	}
+	td := f.Section(".tdata")
+	if td == nil || td.Flags&elfx.SHFTLS == 0 {
+		t.Fatalf(".tdata missing or lacks SHF_TLS: %+v", td)
+	}
+	var tls *elfx.Segment
+	for _, seg := range f.Segments {
+		if seg.Type == elfx.PTTLS {
+			tls = seg
+		}
+	}
+	if tls == nil {
+		t.Fatal("no PT_TLS segment")
+	}
+	if tls.Vaddr != td.Addr || tls.Memsz != td.Size {
+		t.Errorf("PT_TLS %#x+%#x does not cover .tdata %#x+%#x",
+			tls.Vaddr, tls.Memsz, td.Addr, td.Size)
+	}
+	if f.Section(".symtab") == nil || f.Section(".strtab") == nil {
+		t.Error("unstripped binary lacks .symtab/.strtab")
+	}
+}
+
+// TestStrippedAxis checks that Config.Stripped only drops the non-alloc
+// symbol tables: every alloc byte of the image is unchanged.
+func TestStrippedAxis(t *testing.T) {
+	m := cxxModule()
+	cfg := DefaultConfig()
+	plain, err := Compile(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stripped = true
+	stripped, err := Compile(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := elfx.Read(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := elfx.Read(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Section(".symtab") == nil {
+		t.Fatal("plain build lacks .symtab")
+	}
+	if fs.Section(".symtab") != nil || fs.Section(".strtab") != nil {
+		t.Fatal("stripped build still carries symbol tables")
+	}
+	for _, s := range fp.Sections {
+		if s.Flags&elfx.SHFAlloc == 0 {
+			continue
+		}
+		o := fs.Section(s.Name)
+		if o == nil {
+			t.Fatalf("stripped build lost alloc section %s", s.Name)
+		}
+		if o.Addr != s.Addr || o.Size != s.Size || string(o.Data) != string(s.Data) {
+			t.Errorf("alloc section %s differs across the stripped axis", s.Name)
+		}
+	}
+	// Stripped semantics are identical.
+	runBoth(t, m, cfg, []int64{1})
+}
+
+// TestCxxCompileErrors pins the static rules the generator relies on.
+func TestCxxCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *mini.Module
+	}{
+		{"throw outside try", &mini.Module{Name: "t1", Funcs: []*mini.Func{{
+			Name: "main", Body: []mini.Stmt{mini.Throw{E: mini.Const(1)}},
+		}}}},
+		{"return inside try", &mini.Module{Name: "t2", Funcs: []*mini.Func{{
+			Name: "main", Locals: []string{"e"},
+			Body: []mini.Stmt{mini.Try{
+				Body:     []mini.Stmt{mini.Return{E: mini.Const(1)}},
+				CatchVar: "e",
+			}},
+		}}}},
+		{"store to in-text", &mini.Module{Name: "t3",
+			Globals: []*mini.Global{{Name: "g", Elem: 8, Count: 1, Init: []int64{5}, ReadOnly: true, InText: true}},
+			Funcs: []*mini.Func{{
+				Name: "main", Body: []mini.Stmt{mini.StoreG{G: "g", Idx: mini.Const(0), E: mini.Const(1)}},
+			}}}},
+		{"writable in-text", &mini.Module{Name: "t4",
+			Globals: []*mini.Global{{Name: "g", Elem: 8, Count: 1, Init: []int64{5}, InText: true}},
+			Funcs:   []*mini.Func{{Name: "main"}}}},
+		{"pointer to tls", &mini.Module{Name: "t5",
+			Globals: []*mini.Global{
+				{Name: "tg", Elem: 8, Count: 2, Init: []int64{1}, TLS: true},
+				{Name: "p", PtrInit: &mini.PtrInit{Target: "tg"}},
+			},
+			Funcs: []*mini.Func{{Name: "main"}}}},
+		{"virtual slot out of range", &mini.Module{Name: "t6",
+			Globals: []*mini.Global{
+				{Name: "vt", FuncTable: []string{"f"}},
+				{Name: "o", PtrInit: &mini.PtrInit{Target: "vt"}},
+			},
+			Funcs: []*mini.Func{
+				{Name: "f"},
+				{Name: "main", Body: []mini.Stmt{
+					mini.ExprStmt{E: mini.CallVirt{Obj: "o", Idx: 3}},
+				}},
+			}}},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.m, DefaultConfig()); err == nil {
+			t.Errorf("%s: compile unexpectedly succeeded", tc.name)
+		}
+	}
+}

@@ -37,6 +37,10 @@ func (g *gen) expr(e mini.Expr) error {
 		if err := g.expr(v.Idx); err != nil {
 			return err
 		}
+		if gl.TLS {
+			g.tlsAccess(loadInst, gl, x86.RAX, x86.RCX)
+			return nil
+		}
 		p := g.globalBase(x86.RCX, v.G)
 		g.asanCheckIndexed(x86.RCX, x86.RAX, gl.Elem)
 		g.access(loadInst(x86.Mem{Base: x86.RCX, Index: x86.RAX, Scale: uint8(gl.Elem)}, gl.Elem), p)
@@ -121,6 +125,41 @@ func (g *gen) expr(e mini.Expr) error {
 		g.ripLea(x86.R10, v.Table, 0)
 		g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.R10,
 			Src: x86.Mem{Base: x86.R10, Index: x86.RAX, Scale: 8}})
+		g.t(x86.Inst{Op: x86.CALL, Src: x86.R10})
+		return nil
+
+	case mini.CallVirt:
+		gl := g.mod.Global(v.Obj)
+		if gl == nil || gl.PtrInit == nil {
+			return fmt.Errorf("%s: %q is not an object (pointer global)", g.fn.Name, v.Obj)
+		}
+		vt := g.mod.Global(gl.PtrInit.Target)
+		if vt == nil || vt.FuncTable == nil {
+			return fmt.Errorf("%s: %q does not point at a vtable", g.fn.Name, v.Obj)
+		}
+		if v.Idx < 0 || gl.PtrInit.ByteOff%8 != 0 ||
+			int64(v.Idx)+gl.PtrInit.ByteOff/8 >= int64(len(vt.FuncTable)) {
+			return fmt.Errorf("%s: virtual slot %d out of range for %q", g.fn.Name, v.Idx, v.Obj)
+		}
+		if len(v.Args) > len(argRegs) {
+			return fmt.Errorf("%s: too many arguments through %s", g.fn.Name, v.Obj)
+		}
+		for _, a := range v.Args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+			g.t(x86.Inst{Op: x86.PUSH, Src: x86.RAX})
+		}
+		for i := len(v.Args) - 1; i >= 0; i-- {
+			g.t(x86.Inst{Op: x86.POP, Dst: argRegs[i]})
+		}
+		// C++ virtual dispatch shape: load the object's vptr (an
+		// S2-relocated quad that may point into the middle of the vtable
+		// when ByteOff != 0), then the slot, then call through it.
+		g.ts(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.R10,
+			Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}}, v.Obj, 0)
+		g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.R10,
+			Src: x86.Mem{Base: x86.R10, Index: x86.NoReg, Disp: int32(8 * v.Idx)}})
 		g.t(x86.Inst{Op: x86.CALL, Src: x86.R10})
 		return nil
 

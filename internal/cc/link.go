@@ -12,8 +12,10 @@ const pageSize = elfx.PageSize
 
 // link assembles the program, lays sections out in the selected linker's
 // order, synthesizes the metadata sections (.eh_frame, .rela.dyn,
-// .dynamic, .note.gnu.property), and serializes the ELF file.
-func link(prog *asm.Program, cfg Config, funcs []string) ([]byte, error) {
+// .dynamic, .note.gnu.property, and — unless stripped — .symtab), and
+// serializes the ELF file. lsda maps functions with try regions to the
+// .gcc_except_table label their FDE's LSDA pointer references.
+func link(prog *asm.Program, cfg Config, funcs []string, lsda map[string]string) ([]byte, error) {
 	orderSections(prog, cfg.Linker)
 
 	res, err := asm.Assemble(prog, pageSize)
@@ -47,7 +49,15 @@ func link(prog *asm.Program, cfg Config, funcs []string) ([]byte, error) {
 			if !ok1 || !ok2 {
 				return nil, fmt.Errorf("function %s lacks start/end symbols", fn)
 			}
-			ranges = append(ranges, ehframe.FuncRange{Start: start, Size: end - start})
+			fr := ehframe.FuncRange{Start: start, Size: end - start}
+			if lbl, ok := lsda[fn]; ok {
+				addr, ok := res.Symbol(lbl)
+				if !ok {
+					return nil, fmt.Errorf("function %s lacks LSDA label %s", fn, lbl)
+				}
+				fr.LSDA = addr
+			}
+			ranges = append(ranges, fr)
 		}
 		ehData = ehframe.Build(ehAddr, ranges)
 		cursor = alignUp(ehAddr+uint64(len(ehData)), 8)
@@ -77,6 +87,7 @@ func link(prog *asm.Program, cfg Config, funcs []string) ([]byte, error) {
 
 	f := &elfx.File{Type: elfx.ETDyn, Entry: entry}
 
+	var tlsSec *elfx.Section
 	for _, s := range res.Sections {
 		sec := &elfx.Section{
 			Name:  s.Name,
@@ -96,6 +107,10 @@ func link(prog *asm.Program, cfg Config, funcs []string) ([]byte, error) {
 		if s.Flags&asm.Nobits != 0 {
 			sec.Type = elfx.SHTNobits
 			sec.Data = nil
+		}
+		if s.Name == ".tdata" {
+			sec.Flags |= elfx.SHFTLS
+			tlsSec = sec
 		}
 		f.Sections = append(f.Sections, sec)
 	}
@@ -140,8 +155,74 @@ func link(prog *asm.Program, cfg Config, funcs []string) ([]byte, error) {
 			Filesz: uint64(len(noteData)), Memsz: uint64(len(noteData)), Align: 8,
 		},
 	)
+	if tlsSec != nil {
+		// PT_TLS: the loader copies Filesz init bytes to the block end
+		// (variant 2) and sets FS there; Memsz equals the padded block
+		// size the compiler's displacements assume.
+		f.Segments = append(f.Segments, &elfx.Segment{
+			Type: elfx.PTTLS, Flags: elfx.PFR,
+			Off: tlsSec.Addr, Vaddr: tlsSec.Addr,
+			Filesz: tlsSec.Size, Memsz: tlsSec.Size, Align: 8,
+		})
+	}
+
+	if !cfg.Stripped {
+		addSymtab(f, res, funcs)
+	}
 
 	return elfx.Write(f)
+}
+
+// addSymtab appends non-alloc .symtab/.strtab sections carrying a FUNC
+// symbol per emitted function — the metadata `strip` removes. The
+// rewriter never reads them (its contract is sound without symbols), so
+// the Table 1 census is identical across the stripped axis; baselines
+// that lean on symbols lose them when Config.Stripped drops this call.
+func addSymtab(f *elfx.File, res *asm.Result, funcs []string) {
+	strtab := []byte{0}
+	symData := make([]byte, elfx.SymSize) // index 0: null symbol
+
+	// FUNC symbols reference the .text section header by index
+	// (+1 for the leading null section header).
+	textIdx := 0
+	for i, s := range f.Sections {
+		if s.Name == ".text" {
+			textIdx = i + 1
+		}
+	}
+	for _, fn := range funcs {
+		start, ok1 := res.Symbol(fn)
+		end, ok2 := res.Symbol(fn + "$end")
+		if !ok1 || !ok2 {
+			continue
+		}
+		sym := make([]byte, elfx.SymSize)
+		le.PutUint32(sym[0:], uint32(len(strtab)))
+		sym[4] = elfx.STGlobal<<4 | elfx.STTFunc
+		le.PutUint16(sym[6:], uint16(textIdx))
+		le.PutUint64(sym[8:], start)
+		le.PutUint64(sym[16:], end-start)
+		symData = append(symData, sym...)
+		strtab = append(strtab, fn...)
+		strtab = append(strtab, 0)
+	}
+
+	// Section header indices: null is 0, so .strtab ends up at
+	// len(f.Sections)+2 once both are appended.
+	strtabIdx := uint32(len(f.Sections) + 2)
+	f.Sections = append(f.Sections,
+		&elfx.Section{
+			Name: ".symtab", Type: elfx.SHTSymtab,
+			Size: uint64(len(symData)), Align: 8,
+			Link: strtabIdx, Info: 1, Entsize: elfx.SymSize,
+			Data: symData,
+		},
+		&elfx.Section{
+			Name: ".strtab", Type: elfx.SHTStrtab,
+			Size: uint64(len(strtab)), Align: 1,
+			Data: strtab,
+		},
+	)
 }
 
 // orderSections arranges the program's sections in the linker's layout
@@ -155,9 +236,9 @@ func orderSections(prog *asm.Program, linker LinkerStyle) {
 	switch linker {
 	case Gold:
 		// gold places read-only data ahead of code.
-		order = []string{".rodata", ".text", ".data.rel.ro", ".data", ".bss"}
+		order = []string{".rodata", ".gcc_except_table", ".text", ".data.rel.ro", ".tdata", ".data", ".bss"}
 	default:
-		order = []string{".text", ".rodata", ".data.rel.ro", ".data", ".bss"}
+		order = []string{".text", ".rodata", ".gcc_except_table", ".data.rel.ro", ".tdata", ".data", ".bss"}
 	}
 	var sections []*asm.Section
 	for _, name := range order {

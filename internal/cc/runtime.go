@@ -21,6 +21,9 @@ func (g *gen) emitRuntime() {
 	g.emitPrintI64()
 	g.emitPrintChar()
 	g.emitReadI64()
+	if g.usesEH {
+		g.emitThrow()
+	}
 	if g.cfg.ASan {
 		g.emitASanRuntime()
 	}
@@ -156,10 +159,41 @@ func (g *gen) emitReadI64() {
 	g.endFunc("read_i64")
 }
 
+// emitThrow emits the exception-dispatch routine. It is entered by a
+// direct jmp (never a call — the transfer must not grow the CET shadow
+// stack): RDI carries the thrown value. With no try armed the process
+// exits with the C++ std::terminate status (134 = 128+SIGABRT).
+// Otherwise it restores the armed RSP/RBP snapshot, loads the landing
+// pad from the armed LSDA record's first quad — a loader-relocated cell,
+// so a rewritten binary dispatches to the *moved* pad — and jumps there.
+func (g *gen) emitThrow() {
+	dead := ".Lthrow_dead"
+	g.beginFunc("__throw")
+	g.ts(x86.Inst{Op: x86.MOV, W: 8,
+		Dst: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}, Src: x86.RDI}, "__exc_val", 0)
+	g.ts(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX,
+		Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}}, "__exc_lsda", 0)
+	g.t(x86.Inst{Op: x86.TEST, W: 8, Dst: x86.RAX, Src: x86.RAX})
+	g.ts(x86.Inst{Op: x86.JCC, Cond: x86.CondE, Src: x86.Rel(0)}, dead, 0)
+	g.ts(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RSP,
+		Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}}, "__exc_rsp", 0)
+	g.ts(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RBP,
+		Src: x86.Mem{Base: x86.NoReg, Index: x86.NoReg, Rip: true}}, "__exc_rbp", 0)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX,
+		Src: x86.Mem{Base: x86.RAX, Index: x86.NoReg}})
+	g.t(x86.Inst{Op: x86.JMP, Src: x86.RAX})
+	g.text.L(dead)
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RDI, Src: x86.Imm(134)})
+	g.t(x86.Inst{Op: x86.MOV, W: 8, Dst: x86.RAX, Src: x86.Imm(SysExit)})
+	g.t(x86.Inst{Op: x86.SYSCALL})
+	g.t(x86.Inst{Op: x86.HLT}) // unreachable
+	g.endFunc("__throw")
+}
+
 // RuntimeFuncNames lists the reserved runtime symbols; workload
 // generators must not reuse them for user functions.
 func RuntimeFuncNames(asan bool) []string {
-	names := []string{"_start", "print_i64", "print_char", "read_i64"}
+	names := []string{"_start", "print_i64", "print_char", "read_i64", "__throw"}
 	if asan {
 		names = append(names, "asan_set", "asan_report", "asan_init")
 	}

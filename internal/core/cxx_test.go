@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/emu"
+	"repro/internal/mini"
+)
+
+// cxxTrapModule is the C++-shaped counterpart of trapModule: exception
+// landing pads (absolute code pointers in .gcc_except_table that must
+// move with the pad), vtable dispatch through a mid-table vptr,
+// thread-local storage, and a read-only data island inside .text.
+func cxxTrapModule() *mini.Module {
+	return &mini.Module{
+		Name: "cxxtraps",
+		Globals: []*mini.Global{
+			{Name: "tstate", Elem: 8, Count: 4, Init: []int64{11, 22, 33, 44}, TLS: true},
+			{Name: "island", Elem: 8, Count: 3, Init: []int64{64, 65, 66}, ReadOnly: true, InText: true},
+			{Name: "vt", FuncTable: []string{"addk", "mulk", "subk", "addk"}},
+			{Name: "ob", PtrInit: &mini.PtrInit{Target: "vt", ByteOff: 8}},
+			{Name: "sink", Elem: 8, Count: 4},
+		},
+		Funcs: []*mini.Func{
+			{Name: "addk", NParams: 2, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Add, L: mini.Var("p0"), R: mini.Var("p1")}}}},
+			{Name: "mulk", NParams: 2, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Mul, L: mini.Var("p0"), R: mini.Var("p1")}}}},
+			{Name: "subk", NParams: 2, Body: []mini.Stmt{
+				mini.Return{E: mini.Bin{Op: mini.Sub, L: mini.Var("p0"), R: mini.Var("p1")}}}},
+			{
+				Name:   "main",
+				Locals: []string{"i", "e", "x"},
+				Body: []mini.Stmt{
+					mini.Assign{Name: "i", E: mini.Const(0)},
+					mini.While{
+						Cond: mini.Bin{Op: mini.Lt, L: mini.Var("i"), R: mini.Const(8)},
+						Body: []mini.Stmt{
+							// TLS read-modify-write each iteration.
+							mini.StoreG{G: "tstate",
+								Idx: mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(3)},
+								E: mini.Bin{Op: mini.Add, L: mini.Var("i"),
+									R: mini.LoadG{G: "tstate", Idx: mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(3)}}}},
+							// Virtual dispatch: slots 1 and 2 of vt via the
+							// mid-table vptr.
+							mini.StoreG{G: "sink",
+								Idx: mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(3)},
+								E: mini.CallVirt{Obj: "ob", Idx: 0,
+									Args: []mini.Expr{mini.Var("i"), mini.Const(3)}}},
+							// Input-dependent throw in a loop-carried try.
+							mini.Try{
+								Body: []mini.Stmt{
+									mini.Assign{Name: "x", E: mini.ReadInput{}},
+									mini.If{
+										Cond: mini.Bin{Op: mini.Gt, L: mini.Var("x"), R: mini.Const(0)},
+										Then: []mini.Stmt{mini.Throw{E: mini.Bin{Op: mini.Add,
+											L: mini.Var("x"), R: mini.Var("i")}}},
+									},
+									mini.Assign{Name: "e", E: mini.Const(-1)},
+								},
+								CatchVar: "e",
+								Catch:    []mini.Stmt{mini.Print{E: mini.Var("e")}},
+							},
+							mini.Print{E: mini.Var("e")},
+							mini.Assign{Name: "i", E: mini.Bin{Op: mini.Add, L: mini.Var("i"), R: mini.Const(1)}},
+						},
+					},
+					mini.Print{E: mini.LoadG{G: "tstate", Idx: mini.Const(2)}},
+					mini.Print{E: mini.LoadG{G: "island", Idx: mini.Const(1)}},
+					mini.Print{E: mini.LoadG{G: "sink", Idx: mini.Const(3)}},
+					mini.Print{E: mini.CallVirt{Obj: "ob", Idx: 1,
+						Args: []mini.Expr{mini.Const(50), mini.Const(8)}}},
+					mini.Return{E: mini.Const(0)},
+				},
+			},
+		},
+	}
+}
+
+func TestRewriteCxxAllConfigs(t *testing.T) {
+	m := cxxTrapModule()
+	inputs := [][]int64{
+		{5, -1, 3, -2, 9, -4, 1, 0},
+		{-1, -2, -3, -4, -5, -6, -7, -8},
+	}
+	for _, ccfg := range cc.AllConfigs() {
+		ccfg := ccfg
+		t.Run(ccfg.String(), func(t *testing.T) {
+			rewriteAndCompare(t, m, ccfg, Options{}, inputs)
+		})
+	}
+}
+
+// TestRewriteCxxStripped covers the stripped axis end to end: the
+// rewriter needs no symbols, so stripping must not change the verdict
+// or the rewritten behaviour.
+func TestRewriteCxxStripped(t *testing.T) {
+	m := cxxTrapModule()
+	ccfg := cc.DefaultConfig()
+	ccfg.Stripped = true
+	rewriteAndCompare(t, m, ccfg, Options{}, [][]int64{{1, -1, 2, -2, 3, -3, 4, -4}})
+}
+
+// TestRewriteMovesLandingPads proves the landing-pad cells are live: the
+// rewritten .gcc_except_table relocations must dispatch into the NEW
+// text section, not the original pads.
+func TestRewriteMovesLandingPads(t *testing.T) {
+	m := cxxTrapModule()
+	bin, err := cc.Compile(m, cc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rewrite(bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputBytes([]int64{7, -1, -1, -1, -1, -1, -1, -1})
+	orig, err := emu.Run(bin, emu.Options{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := emu.Run(res.Binary, emu.Options{Input: in})
+	if err != nil {
+		t.Fatalf("rewritten cxx binary failed: %v\nstdout: %q", err, got.Stdout)
+	}
+	if !bytes.Equal(got.Stdout, orig.Stdout) || got.Exit != orig.Exit {
+		t.Fatalf("diverged: %q/%d vs %q/%d", got.Stdout, got.Exit, orig.Stdout, orig.Exit)
+	}
+}

@@ -28,10 +28,15 @@ var (
 	ErrOverflow  = errors.New("ehframe: LEB128 value overflows 64 bits")
 )
 
-// FuncRange describes one FDE: a function's code interval.
+// FuncRange describes one FDE: a function's code interval, plus the
+// address of its language-specific data area (0 = none). A non-zero
+// LSDA makes Build emit the C++-style "zLR" CIE with a pcrel|sdata4
+// LSDA pointer in each FDE's augmentation data — the .gcc_except_table
+// linkage real compilers produce for functions with landing pads.
 type FuncRange struct {
 	Start uint64
 	Size  uint64
+	LSDA  uint64
 }
 
 // Pointer encodings (subset).
@@ -121,13 +126,33 @@ func ReadSLEB(b []byte) (int64, int, error) {
 func Build(sectionAddr uint64, funcs []FuncRange) []byte {
 	var out []byte
 
+	// A module with any landing pads uses the C++-style "zLR" CIE, whose
+	// FDEs carry an LSDA pointer; a module without stays byte-identical
+	// to the historical "zR" form.
+	hasLSDA := false
+	for _, f := range funcs {
+		if f.LSDA != 0 {
+			hasLSDA = true
+			break
+		}
+	}
+
 	// CIE.
-	cie := []byte{1}                   // version
-	cie = append(cie, 'z', 'R', 0)     // augmentation
-	cie = AppendULEB(cie, 1)           // code alignment factor
-	cie = AppendSLEB(cie, -8)          // data alignment factor
-	cie = AppendULEB(cie, 16)          // return address register (RA)
-	cie = AppendULEB(cie, 1)           // augmentation data length
+	cie := []byte{1} // version
+	if hasLSDA {
+		cie = append(cie, 'z', 'L', 'R', 0) // augmentation
+	} else {
+		cie = append(cie, 'z', 'R', 0) // augmentation
+	}
+	cie = AppendULEB(cie, 1)  // code alignment factor
+	cie = AppendSLEB(cie, -8) // data alignment factor
+	cie = AppendULEB(cie, 16) // return address register (RA)
+	if hasLSDA {
+		cie = AppendULEB(cie, 2)    // augmentation data length
+		cie = append(cie, peFDEEnc) // LSDA pointer encoding
+	} else {
+		cie = AppendULEB(cie, 1) // augmentation data length
+	}
 	cie = append(cie, peFDEEnc)        // FDE pointer encoding
 	cie = append(cie, 0x0c, 0x07, 8)   // DW_CFA_def_cfa RSP+8
 	cie = append(cie, 0x90|0x10, 0x01) // DW_CFA_offset RA, cfa-8
@@ -147,7 +172,19 @@ func Build(sectionAddr uint64, funcs []FuncRange) []byte {
 		fieldAddr := sectionAddr + uint64(len(out)) + 8
 		fde = le.AppendUint32(fde, uint32(int32(int64(f.Start)-int64(fieldAddr))))
 		fde = le.AppendUint32(fde, uint32(f.Size))
-		fde = AppendULEB(fde, 0) // augmentation data length
+		if hasLSDA {
+			fde = AppendULEB(fde, 4) // augmentation data length
+			// LSDA pointer: pcrel sdata4 against its own field; the raw
+			// value 0 marks a function without one.
+			if f.LSDA != 0 {
+				lsdaField := fieldAddr + uint64(len(fde))
+				fde = le.AppendUint32(fde, uint32(int32(int64(f.LSDA)-int64(lsdaField))))
+			} else {
+				fde = le.AppendUint32(fde, 0)
+			}
+		} else {
+			fde = AppendULEB(fde, 0) // augmentation data length
+		}
 		for (len(fde)+8)%8 != 0 {
 			fde = append(fde, 0) // DW_CFA_nop
 		}
@@ -171,7 +208,6 @@ func Parse(sectionAddr uint64, data []byte) ([]FuncRange, error) {
 		return nil, fmt.Errorf("ehframe: %w", err)
 	}
 	var funcs []FuncRange
-	type cieInfo struct{ enc byte }
 	cies := make(map[uint64]cieInfo)
 
 	pos := uint64(0)
@@ -194,11 +230,11 @@ func Parse(sectionAddr uint64, data []byte) ([]FuncRange, error) {
 		}
 		id := le.Uint32(data[body:])
 		if id == 0 {
-			enc, err := parseCIE(data[body+4 : end])
+			ci, err := parseCIE(data[body+4 : end])
 			if err != nil {
 				return nil, fmt.Errorf("ehframe: CIE at %#x: %w", recStart, err)
 			}
-			cies[recStart] = cieInfo{enc: enc}
+			cies[recStart] = ci
 		} else {
 			cieStart := body - uint64(id)
 			ci, ok := cies[cieStart]
@@ -218,18 +254,42 @@ func Parse(sectionAddr uint64, data []byte) ([]FuncRange, error) {
 			if start+size < start {
 				return nil, fmt.Errorf("ehframe: FDE at %#x: pc-range [%#x, +%#x] overflows", recStart, start, size)
 			}
-			funcs = append(funcs, FuncRange{Start: start, Size: size})
+			fr := FuncRange{Start: start, Size: size}
+			if ci.hasLSDA {
+				augLen, n, err := ReadULEB(data[body+12 : end])
+				if err != nil {
+					return nil, fmt.Errorf("ehframe: FDE at %#x: augmentation length: %w", recStart, err)
+				}
+				lsdaField := body + 12 + uint64(n)
+				if augLen < 4 || lsdaField+4 > end {
+					return nil, fmt.Errorf("ehframe: FDE at %#x: LSDA field overruns record", recStart)
+				}
+				if raw := le.Uint32(data[lsdaField:]); raw != 0 {
+					fr.LSDA = uint64(int64(sectionAddr+lsdaField) + int64(int32(raw)))
+				}
+			}
+			funcs = append(funcs, fr)
 		}
 		pos = end
 	}
 	return funcs, nil
 }
 
-// parseCIE extracts the FDE pointer encoding from a CIE body (after the
-// id field).
-func parseCIE(b []byte) (byte, error) {
+// cieInfo is what Parse needs from a CIE: the FDE pointer encoding and
+// whether its FDEs carry an LSDA pointer ('L' augmentation).
+type cieInfo struct {
+	enc     byte
+	lsdaEnc byte
+	hasLSDA bool
+}
+
+// parseCIE extracts the FDE pointer encoding (and LSDA encoding, for
+// "zL..R" augmentations) from a CIE body (after the id field). The
+// augmentation data bytes are consumed in the order the augmentation
+// letters dictate.
+func parseCIE(b []byte) (cieInfo, error) {
 	if len(b) < 1 || b[0] != 1 {
-		return 0, fmt.Errorf("unsupported CIE version")
+		return cieInfo{}, fmt.Errorf("unsupported CIE version")
 	}
 	b = b[1:]
 	// Augmentation string.
@@ -241,53 +301,70 @@ func parseCIE(b []byte) (byte, error) {
 		}
 	}
 	if augEnd < 0 {
-		return 0, fmt.Errorf("unterminated augmentation string")
+		return cieInfo{}, fmt.Errorf("unterminated augmentation string")
 	}
 	aug := string(b[:augEnd])
 	b = b[augEnd+1:]
 
 	// code alignment, data alignment, return register.
 	if _, n, err := ReadULEB(b); err != nil {
-		return 0, err
+		return cieInfo{}, err
 	} else {
 		b = b[n:]
 	}
 	if _, n, err := ReadSLEB(b); err != nil {
-		return 0, err
+		return cieInfo{}, err
 	} else {
 		b = b[n:]
 	}
 	if _, n, err := ReadULEB(b); err != nil {
-		return 0, err
+		return cieInfo{}, err
 	} else {
 		b = b[n:]
 	}
 
 	if aug == "" {
-		return 0, fmt.Errorf("CIE without augmentation data")
+		return cieInfo{}, fmt.Errorf("CIE without augmentation data")
 	}
 	if aug[0] != 'z' {
-		return 0, fmt.Errorf("unsupported augmentation %q", aug)
+		return cieInfo{}, fmt.Errorf("unsupported augmentation %q", aug)
 	}
 	augLen, n, err := ReadULEB(b)
 	if err != nil {
-		return 0, err
+		return cieInfo{}, err
 	}
 	b = b[n:]
 	if uint64(len(b)) < augLen {
-		return 0, fmt.Errorf("augmentation data overruns CIE")
+		return cieInfo{}, fmt.Errorf("augmentation data overruns CIE")
 	}
 	augData := b[:augLen]
+	var ci cieInfo
+	sawR := false
 	for _, c := range aug[1:] {
 		switch c {
+		case 'L':
+			if len(augData) < 1 {
+				return cieInfo{}, fmt.Errorf("missing L encoding byte")
+			}
+			ci.lsdaEnc = augData[0]
+			ci.hasLSDA = true
+			augData = augData[1:]
+			if ci.lsdaEnc != peFDEEnc {
+				return cieInfo{}, fmt.Errorf("unsupported LSDA encoding %#x", ci.lsdaEnc)
+			}
 		case 'R':
 			if len(augData) < 1 {
-				return 0, fmt.Errorf("missing R encoding byte")
+				return cieInfo{}, fmt.Errorf("missing R encoding byte")
 			}
-			return augData[0], nil
+			ci.enc = augData[0]
+			augData = augData[1:]
+			sawR = true
 		default:
-			return 0, fmt.Errorf("unsupported augmentation letter %q", c)
+			return cieInfo{}, fmt.Errorf("unsupported augmentation letter %q", c)
 		}
 	}
-	return 0, fmt.Errorf("augmentation lacks R")
+	if !sawR {
+		return cieInfo{}, fmt.Errorf("augmentation lacks R")
+	}
+	return ci, nil
 }

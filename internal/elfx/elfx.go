@@ -23,6 +23,7 @@ const (
 	PTLoad        uint32 = 1
 	PTDynamic     uint32 = 2
 	PTNote        uint32 = 4
+	PTTLS         uint32 = 7
 	PTGNUProperty uint32 = 0x6474e553
 
 	// Program header flags.
@@ -44,6 +45,7 @@ const (
 	SHFWrite     uint64 = 1
 	SHFAlloc     uint64 = 2
 	SHFExecinstr uint64 = 4
+	SHFTLS       uint64 = 0x400
 
 	// Relocation types.
 	RX8664Relative uint32 = 8
@@ -60,6 +62,11 @@ const (
 	GNUPropertyX86Feature1And  uint32 = 0xc0000002
 	GNUPropertyX86FeatureIBT   uint32 = 1 << 0
 	GNUPropertyX86FeatureSHSTK uint32 = 1 << 1
+
+	// Symbol table encoding.
+	SymSize       = 24
+	STGlobal byte = 1
+	STTFunc  byte = 2
 
 	// Layout.
 	EhdrSize = 64

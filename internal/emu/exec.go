@@ -64,6 +64,9 @@ func (m *Machine) memAddr(mem x86.Mem, next uint64) uint64 {
 		return next + uint64(int64(mem.Disp))
 	}
 	addr := uint64(int64(mem.Disp))
+	if mem.FS {
+		addr += m.FSBase
+	}
 	if mem.Base.Valid() {
 		addr += m.Regs[mem.Base]
 	}

@@ -68,6 +68,11 @@ const (
 	// shadow byte for A is at 0x70000000 + A>>3).
 	ShadowStart = 0x7000_0000
 	ShadowEnd   = 0x7000_0000 + 0x1000_0000
+
+	// tlsTP is the thread pointer (FS base) for PT_TLS binaries: the
+	// TLS block occupies [tlsTP-memsz, tlsTP), below the stack region.
+	tlsTP       = 0x7FD0_0000
+	tlsAreaSize = 0x1_0000
 )
 
 // Load maps an ELF binary into a fresh machine, applies its relocations
@@ -195,6 +200,34 @@ func loadInto(m *Machine, f *elfx.File, opts Options) error {
 	// Stack.
 	m.Mem.Map(stackTop-stackSize, stackSize, PermR|PermW)
 	m.Regs[x86.RSP] = stackTop - 64
+
+	// Thread-local storage (x86-64 variant 2): the thread pointer (FS
+	// base) sits at the end of the thread's TLS block, so local-exec
+	// access is fs:[-offset]. Like the glibc TCB, [TP] holds the thread
+	// pointer itself, which compiled code loads (mov r, fs:[0]) to form
+	// ordinary base+index addresses into the block.
+	for _, seg := range f.Segments {
+		if seg.Type != elfx.PTTLS {
+			continue
+		}
+		if seg.Memsz > tlsAreaSize-16 {
+			return fmt.Errorf("emu: PT_TLS block of %d bytes exceeds the %d-byte TLS area", seg.Memsz, tlsAreaSize)
+		}
+		m.Mem.Map(tlsTP-tlsAreaSize, tlsAreaSize+PageSize, PermR|PermW)
+		if seg.Filesz > 0 {
+			if seg.Off+seg.Filesz > uint64(len(f.Raw)) {
+				return fmt.Errorf("emu: PT_TLS segment at %#x overruns file", seg.Vaddr)
+			}
+			if err := m.Mem.Write(tlsTP-seg.Memsz, f.Raw[seg.Off:seg.Off+seg.Filesz]); err != nil {
+				return err
+			}
+		}
+		if err := m.Mem.WriteU64(tlsTP, tlsTP, 8); err != nil {
+			return err
+		}
+		m.FSBase = tlsTP
+		break
+	}
 
 	if opts.Shadow {
 		m.Mem.AddAutoRW(Range{Start: ShadowStart, End: ShadowEnd})

@@ -31,6 +31,11 @@ type Machine struct {
 	RIP   uint64
 	Flags x86.Flags
 
+	// FSBase is the FS segment base (the TLS thread pointer). The
+	// loader points it at the thread block it maps for PT_TLS binaries;
+	// FS-override memory operands add it to their effective address.
+	FSBase uint64
+
 	// EnforceCET enables indirect-branch tracking and the shadow stack,
 	// as on CET hardware running a CET-enabled binary.
 	EnforceCET bool
@@ -137,6 +142,7 @@ func (m *Machine) Reset() {
 	m.Regs = [16]uint64{}
 	m.RIP = 0
 	m.Flags = x86.Flags{}
+	m.FSBase = 0
 	m.EnforceCET = false
 	m.MaxSteps = defaultMaxSteps
 	m.Steps = 0

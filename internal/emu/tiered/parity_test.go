@@ -8,6 +8,8 @@ import (
 	"repro/internal/cc"
 	"repro/internal/emu"
 	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/prog"
 	"repro/internal/x86"
 
 	_ "repro/internal/emu/tiered"
@@ -300,6 +302,50 @@ func TestParityRandomInstructions(t *testing.T) {
 		st := snapshot(mt, mt.Run())
 		if si != st {
 			t.Errorf("iteration %d diverged:\n  interp: %+v\n  tiered: %+v", iter, si, st)
+		}
+	}
+}
+
+// TestParityCxxAxes pins engine parity on C++-shaped binaries — landing
+// pads, vtable dispatch through mid-table pointers, TLS, in-text data —
+// across a slice of configurations that also spans the stripped and
+// no-unwind axes, which the 48-config corpus above does not reach.
+func TestParityCxxAxes(t *testing.T) {
+	configs := []string{
+		"gcc-11/ld/O2",
+		"gcc-13/gold/O1",
+		"clang-10/ld/O0",
+		"clang-13/gold/O3/stripped",
+		"gcc-11/ld/Os/nounwind",
+		"clang-13/ld/O2/stripped",
+	}
+	for ci, cs := range configs {
+		cfg, err := cc.ParseConfig(cs)
+		if err != nil {
+			t.Fatalf("config %q: %v", cs, err)
+		}
+		feats := gen.AllFeatures()
+		feats.Stripped = cfg.Stripped
+		p := gen.Generate("cxp", int64(ci+1), prog.Shapes["small"], feats)
+		bin, err := cc.Compile(p.Module, cfg)
+		if err != nil {
+			t.Fatalf("compile %s: %v", cs, err)
+		}
+		inputs := p.Inputs
+		if len(inputs) > 2 {
+			inputs = inputs[:2]
+		}
+		for _, vals := range inputs {
+			input := make([]byte, 0, len(vals)*8)
+			for _, v := range vals {
+				for b := 0; b < 8; b++ {
+					input = append(input, byte(uint64(v)>>(8*b)))
+				}
+			}
+			label := "cxx/" + cs
+			ires, ierr := emu.Run(bin, emu.Options{Input: input, Profile: true, Engine: emu.EngineInterpreter})
+			tres, terr := emu.Run(bin, emu.Options{Input: input, Profile: true, Engine: emu.EngineTiered})
+			compareResults(t, label, ires, tres, ierr, terr)
 		}
 	}
 }

@@ -260,6 +260,11 @@ func opWidth(w uint8) uint8 {
 // the error-state contract), so the closure sets it first; on success
 // ExecInst leaves RIP at the next instruction, which the dispatch
 // loop's fall-through exit agrees with.
+func memHasFS(a x86.Arg) bool {
+	m, ok := a.(x86.Mem)
+	return ok && m.FS
+}
+
 func bindGeneric(in x86.Inst, addr uint64, size int) uop {
 	return func(e *engine) int {
 		m := e.m
@@ -284,6 +289,14 @@ func bindGeneric(in x86.Inst, addr uint64, size int) uop {
 func bindOp(in x86.Inst, addr uint64, size int) (u uop, term bool) {
 	next := addr + uint64(size)
 	w := opWidth(in.W)
+
+	// FS-override operands (TLS access) resolve against the machine's
+	// FS base; the specialized address closures below don't model
+	// segmentation, so route them through the interpreter's own execute
+	// stage — parity by construction.
+	if memHasFS(in.Dst) || memHasFS(in.Src) {
+		return bindGeneric(in, addr, size), false
+	}
 
 	switch in.Op {
 	case x86.NOP, x86.ENDBR64:

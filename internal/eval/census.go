@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/elfx"
+)
+
+// Census is the Table 1 classification of a binary's symbolization
+// surface, computed from the on-disk artifacts alone (relocations,
+// sections, segments). It deliberately reads nothing the rewriter does
+// not: in particular no symbol tables, so the census is identical
+// across the stripped axis.
+type Census struct {
+	// S1 counts relocated cells whose target lies inside .text — code
+	// pointers the rewriter must retarget when code moves (function
+	// table entries, vtable slots, landing-pad records).
+	S1 int
+
+	// S2 counts relocated cells targeting data — pointers the
+	// fixed-layout strategy pins in place (including mid-object and
+	// past-the-end forms).
+	S2 int
+
+	// LandingPads counts the S1 cells that live inside
+	// .gcc_except_table: C++ exception landing-pad records, the
+	// pattern layout-agnostic rewriters reject (§4.2.2).
+	LandingPads int
+
+	// VTableRuns counts maximal runs of two or more adjacent S1 cells
+	// in data sections — the shape of vtables and function-pointer
+	// tables.
+	VTableRuns int
+
+	// VTableSlots is the total cell count across those runs.
+	VTableSlots int
+
+	// HasTLS reports a PT_TLS segment (thread-local storage image).
+	HasTLS bool
+
+	// CET reports the IBT+SHSTK GNU property note.
+	CET bool
+
+	// EhFrame reports DWARF call-frame information.
+	EhFrame bool
+
+	// Stripped reports the absence of .symtab. It is the only field
+	// allowed to differ across the stripped build axis.
+	Stripped bool
+}
+
+// String renders the census as a compact one-line summary.
+func (c Census) String() string {
+	return fmt.Sprintf("S1=%d S2=%d lp=%d vtruns=%d/%d tls=%v cet=%v eh=%v stripped=%v",
+		c.S1, c.S2, c.LandingPads, c.VTableRuns, c.VTableSlots,
+		c.HasTLS, c.CET, c.EhFrame, c.Stripped)
+}
+
+// SameModuloStripped reports whether two censuses agree on every field
+// the stripped axis must not perturb.
+func (c Census) SameModuloStripped(o Census) bool {
+	c.Stripped = false
+	o.Stripped = false
+	return c == o
+}
+
+// Classify computes the census of a compiled binary.
+func Classify(bin []byte) (Census, error) {
+	f, err := elfx.Read(bin)
+	if err != nil {
+		return Census{}, fmt.Errorf("census: %w", err)
+	}
+	var c Census
+	c.CET = f.HasCET()
+	c.EhFrame = f.Section(".eh_frame") != nil
+	c.Stripped = f.Section(".symtab") == nil
+	for _, seg := range f.Segments {
+		if seg.Type == elfx.PTTLS {
+			c.HasTLS = true
+		}
+	}
+
+	text := f.Section(".text")
+	if text == nil {
+		return Census{}, fmt.Errorf("census: no .text section")
+	}
+	relaSec := f.Section(".rela.dyn")
+	if relaSec == nil {
+		return c, nil
+	}
+
+	// Classify each relocated cell by target (code vs data) and by the
+	// section holding the cell itself.
+	inText := func(addr uint64) bool {
+		return addr >= text.Addr && addr < text.Addr+text.Size
+	}
+	section := func(addr uint64) *elfx.Section {
+		for _, s := range f.Sections {
+			if s.Flags&elfx.SHFAlloc != 0 && addr >= s.Addr && addr < s.Addr+s.Size {
+				return s
+			}
+		}
+		return nil
+	}
+	var codeCells []uint64
+	for _, r := range elfx.ParseRela(relaSec.Data) {
+		if r.Type != elfx.RX8664Relative {
+			continue
+		}
+		if !inText(uint64(r.Addend)) {
+			c.S2++
+			continue
+		}
+		c.S1++
+		cell := section(r.Off)
+		if cell == nil {
+			continue
+		}
+		if cell.Name == ".gcc_except_table" {
+			c.LandingPads++
+			continue
+		}
+		codeCells = append(codeCells, r.Off)
+	}
+
+	// Adjacent 8-byte code-pointer cells form table runs.
+	sort.Slice(codeCells, func(i, j int) bool { return codeCells[i] < codeCells[j] })
+	run := 1
+	flush := func() {
+		if run >= 2 {
+			c.VTableRuns++
+			c.VTableSlots += run
+		}
+		run = 1
+	}
+	for i := 1; i < len(codeCells); i++ {
+		if codeCells[i] == codeCells[i-1]+8 {
+			run++
+			continue
+		}
+		flush()
+	}
+	if len(codeCells) > 0 {
+		flush()
+	}
+	return c, nil
+}

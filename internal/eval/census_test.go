@@ -1,0 +1,120 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/emu"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/mini"
+	"repro/internal/prog"
+)
+
+// TestCensusCxxPatterns checks that every C++-shaped pattern the
+// generator emits is visible in the Table 1 census: landing pads in
+// .gcc_except_table, vtable-shaped code-pointer runs, TLS segments, and
+// both symbolization classes.
+func TestCensusCxxPatterns(t *testing.T) {
+	p := gen.Generate("census", 42, prog.Shapes["small"], gen.AllFeatures())
+	bin, err := cc.Compile(p.Module, cc.DefaultConfig())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	c, err := eval.Classify(bin)
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	if c.LandingPads == 0 {
+		t.Errorf("census %v: no landing pads despite EH injection", c)
+	}
+	if c.VTableRuns == 0 || c.VTableSlots < 2 {
+		t.Errorf("census %v: no vtable-shaped runs despite vtable injection", c)
+	}
+	if !c.HasTLS {
+		t.Errorf("census %v: no PT_TLS despite TLS injection", c)
+	}
+	if c.S1 == 0 || c.S2 == 0 {
+		t.Errorf("census %v: both symbolization classes must appear", c)
+	}
+	if !c.CET || !c.EhFrame || c.Stripped {
+		t.Errorf("census %v: build axes misread for default config", c)
+	}
+}
+
+// TestCensusConfigStability checks the census is identical across the
+// stripped axis except for the Stripped bit itself: classification must
+// come from relocations and headers, never symbols.
+func TestCensusConfigStability(t *testing.T) {
+	p := gen.Generate("census", 7, prog.Shapes["small"], gen.AllFeatures())
+	cfg := cc.DefaultConfig()
+	scfg := cfg
+	scfg.Stripped = true
+	bin, err := cc.Compile(p.Module, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sbin, err := cc.Compile(p.Module, scfg)
+	if err != nil {
+		t.Fatalf("compile stripped: %v", err)
+	}
+	c, err := eval.Classify(bin)
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	sc, err := eval.Classify(sbin)
+	if err != nil {
+		t.Fatalf("classify stripped: %v", err)
+	}
+	if c.Stripped || !sc.Stripped {
+		t.Fatalf("stripped bit wrong: %v vs %v", c, sc)
+	}
+	if !c.SameModuloStripped(sc) {
+		t.Fatalf("census not config-stable:\n  full:     %v\n  stripped: %v", c, sc)
+	}
+}
+
+// TestCensusStrippedSuriSoundEgalitoRejects is the stripped-coverage
+// baseline comparison: on a stripped C++-shaped binary SURI rewrites
+// soundly while the layout-agnostic baseline refuses the input.
+func TestCensusStrippedSuriSoundEgalitoRejects(t *testing.T) {
+	p := gen.Generate("census", 11, prog.Shapes["small"], gen.AllFeatures())
+	cfg := cc.DefaultConfig()
+	cfg.Stripped = true
+	bin, err := cc.Compile(p.Module, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	res, err := eval.SURI().Rewrite(bin)
+	if err != nil {
+		t.Fatalf("suri rewrite: %v", err)
+	}
+	for i, in := range p.Inputs {
+		want, err := mini.Run(p.Module, in)
+		if err != nil {
+			t.Fatalf("interp input %d: %v", i, err)
+		}
+		buf := make([]byte, 0, len(in)*8)
+		for _, v := range in {
+			for b := 0; b < 8; b++ {
+				buf = append(buf, byte(uint64(v)>>(8*b)))
+			}
+		}
+		got, err := emu.Run(res.Binary, emu.Options{Input: buf})
+		if err != nil {
+			t.Fatalf("emu input %d: %v", i, err)
+		}
+		if got.Exit != want.Exit || string(got.Stdout) != string(want.Output) {
+			t.Fatalf("input %d: rewritten exit=%d stdout=%q, want exit=%d stdout=%q",
+				i, got.Exit, got.Stdout, want.Exit, want.Output)
+		}
+	}
+
+	if _, err := eval.Egalito().Rewrite(bin); err == nil {
+		t.Fatalf("egalito accepted a C++ exception-table binary")
+	} else if !strings.Contains(err.Error(), "assertion failed") {
+		t.Fatalf("egalito rejected for the wrong reason: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harden"
+	"repro/internal/mini"
+	"repro/internal/prog"
+)
+
+// TestFuzzFindsSeededBug is the minimizer proof: with the repair stage
+// forced to fail, a one-seed campaign must observe the pipeline falling
+// back, shrink the case well below the generated program, and write a
+// regression file that replays once the fault is gone.
+func TestFuzzFindsSeededBug(t *testing.T) {
+	outDir := t.TempDir()
+	seed := int64(101) // known-sound from TestFuzzDeterministic
+
+	disarm := harden.NewPlan(harden.Fault{Point: harden.FPRepair}).Arm()
+	rep := Fuzz(FuzzOptions{
+		Seeds:          1,
+		Start:          seed,
+		Shape:          prog.Shapes["small"],
+		OutDir:         outDir,
+		MinimizeBudget: 40,
+	})
+	disarm()
+
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings=%d, want 1: %+v", len(rep.Findings), rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Kind != "rewrite-fallback" {
+		t.Fatalf("kind=%q, want rewrite-fallback (detail: %s)", f.Kind, f.Detail)
+	}
+
+	// The minimizer must have shrunk the module well below the original.
+	_, feats := DeriveCase(seed)
+	orig := len(mini.Format(Generate("fz_101", seed, prog.Shapes["small"], feats).Module))
+	if len(f.Minimized) >= orig*3/4 {
+		t.Fatalf("minimized %d bytes, want < 3/4 of original %d", len(f.Minimized), orig)
+	}
+
+	// The regression file must exist, parse, and — with the fault
+	// disarmed — replay cleanly through the full pipeline.
+	if f.Path == "" {
+		t.Fatalf("no regression file written")
+	}
+	src, err := os.ReadFile(f.Path)
+	if err != nil {
+		t.Fatalf("read regression: %v", err)
+	}
+	if string(src) != f.Minimized {
+		t.Fatalf("file content differs from finding")
+	}
+	c, err := ParseRegression(string(src))
+	if err != nil {
+		t.Fatalf("parse regression: %v", err)
+	}
+	if kind, detail := Reproduce(c); kind != "" {
+		t.Fatalf("regression still failing after disarm: %s (%s)", kind, detail)
+	}
+
+	// Re-arming must reproduce the original kind from the minimized case.
+	disarm = harden.NewPlan(harden.Fault{Point: harden.FPRepair}).Arm()
+	kind, _ := Reproduce(c)
+	disarm()
+	if kind != "rewrite-fallback" {
+		t.Fatalf("minimized case does not reproduce under fault: %q", kind)
+	}
+}
+
+// TestRegressionRoundTrip: format → parse must preserve the case.
+func TestRegressionRoundTrip(t *testing.T) {
+	p := Generate("rt", 5, prog.Shapes["small"], AllFeatures())
+	cfg, _ := DeriveCase(5)
+	c := ShrinkCase{Module: p.Module, Config: cfg, Inputs: p.Inputs}
+	src := FormatRegression("rt", c)
+	got, err := ParseRegression(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Config != cfg {
+		t.Fatalf("config %v != %v", got.Config, cfg)
+	}
+	if mini.Format(got.Module) != mini.Format(p.Module) {
+		t.Fatalf("module changed across round trip")
+	}
+	if len(got.Inputs) != len(p.Inputs) {
+		t.Fatalf("inputs %d != %d", len(got.Inputs), len(p.Inputs))
+	}
+	for i := range got.Inputs {
+		for j := range got.Inputs[i] {
+			if got.Inputs[i][j] != p.Inputs[i][j] {
+				t.Fatalf("input %d differs", i)
+			}
+		}
+	}
+}
+
+// TestCheckedInRegressions replays every regression under testdata:
+// each must parse and run sound end to end (they document bugs that are
+// fixed, or shapes that once degraded the pipeline).
+func TestCheckedInRegressions(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "regress", "*.mini"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no checked-in regressions found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(src), "// surifuzz regression:") {
+				t.Fatalf("missing regression header")
+			}
+			c, err := ParseRegression(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if kind, detail := Reproduce(c); kind != "" {
+				t.Fatalf("regression fails: %s (%s)", kind, detail)
+			}
+		})
+	}
+}

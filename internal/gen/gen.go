@@ -1,0 +1,313 @@
+// Package gen grows C++-shaped MiniC programs for the differential
+// corpus fuzzer. It wraps the benchmark generator (internal/prog) with a
+// deterministic post-pass that injects the binary patterns of modern
+// C++ toolchains — exception landing pads whose absolute addresses live
+// in .gcc_except_table, vtable-style dispatch through pointers into
+// function-pointer tables, thread-local storage, and read-only data
+// islands inside .text — so the fuzzer (Fuzz) exercises exactly the
+// symbolization surface the paper's hardest inputs exhibit. Every
+// generated program is validated against the reference interpreter
+// before it is returned, and the same seed always yields the same
+// program.
+package gen
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/mini"
+	"repro/internal/prog"
+)
+
+// Features selects which C++-shaped patterns the post-pass injects.
+// Stripped is a build-configuration axis rather than module content; it
+// rides here so a seed fully determines the generated case.
+type Features struct {
+	// LandingPads injects try/throw regions: each try emits an
+	// .gcc_except_table record holding the landing pad's absolute
+	// address, the pattern a sound rewriter must transport when code
+	// moves.
+	LandingPads bool
+
+	// VTables injects a function-pointer table plus an object pointer
+	// that targets the table mid-way (a vptr to a secondary base), with
+	// virtual-dispatch indirect calls through it.
+	VTables bool
+
+	// TLS injects thread-local globals (.tdata + PT_TLS) with
+	// fs-relative accesses.
+	TLS bool
+
+	// DataInText injects read-only constant islands placed between
+	// functions inside .text.
+	DataInText bool
+
+	// Stripped builds the binary without .symtab/.strtab.
+	Stripped bool
+}
+
+// AllFeatures enables every pattern.
+func AllFeatures() Features {
+	return Features{LandingPads: true, VTables: true, TLS: true, DataInText: true, Stripped: true}
+}
+
+// String renders a compact feature tag like "lp+vt+tls".
+func (f Features) String() string {
+	var parts []string
+	add := func(on bool, tag string) {
+		if on {
+			parts = append(parts, tag)
+		}
+	}
+	add(f.LandingPads, "lp")
+	add(f.VTables, "vt")
+	add(f.TLS, "tls")
+	add(f.DataInText, "dit")
+	add(f.Stripped, "strip")
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Program is a generated C++-shaped program with its test inputs.
+type Program struct {
+	Name     string
+	Seed     int64
+	Module   *mini.Module
+	Inputs   [][]int64
+	Features Features
+}
+
+// Generate builds a deterministic C++-shaped program: a base benchmark
+// program from internal/prog, decorated with the selected features. The
+// result is validated against the reference interpreter on all inputs;
+// the retry salt mirrors prog.Generate so a seed always terminates with
+// a well-defined program.
+func Generate(name string, seed int64, shape prog.Shape, feats Features) *Program {
+	for attempt := 0; ; attempt++ {
+		salt := int64(attempt) * 7919
+		base := prog.Generate(name, seed+salt, shape)
+		r := rand.New(rand.NewSource((seed ^ 0x5eedc0de) + salt))
+		inject(base.Module, r, feats)
+		ok := true
+		for _, in := range base.Inputs {
+			if _, err := mini.Run(base.Module, in); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &Program{
+				Name:     name,
+				Seed:     seed,
+				Module:   base.Module,
+				Inputs:   base.Inputs,
+				Features: feats,
+			}
+		}
+	}
+}
+
+// inject decorates a prog-generated module in place. Injected names use
+// the cx_ prefix, which the base generator never produces, and the new
+// statements run between the base program's main loop and its final
+// return so base behaviour is preserved verbatim.
+func inject(m *mini.Module, r *rand.Rand, feats Features) {
+	main := findFunc(m, "main")
+	var sts []mini.Stmt
+	if feats.TLS {
+		sts = append(sts, injectTLS(m, r)...)
+	}
+	if feats.DataInText {
+		sts = append(sts, injectIslands(m, r)...)
+	}
+	if feats.VTables {
+		sts = append(sts, injectVTable(m, r)...)
+	}
+	if feats.LandingPads {
+		main.Locals = append(main.Locals, "exv")
+		sts = append(sts, injectEH(r)...)
+	}
+	if len(sts) == 0 {
+		return
+	}
+	// Insert before the final return so main's exit status is untouched.
+	idx := len(main.Body)
+	for i := len(main.Body) - 1; i >= 0; i-- {
+		if _, ok := main.Body[i].(mini.Return); ok {
+			idx = i
+			break
+		}
+	}
+	body := make([]mini.Stmt, 0, len(main.Body)+len(sts))
+	body = append(body, main.Body[:idx]...)
+	body = append(body, sts...)
+	body = append(body, main.Body[idx:]...)
+	main.Body = body
+}
+
+// injectTLS adds two thread-local globals (word and byte element sizes,
+// exercising both access scalings) and read/write traffic through them.
+func injectTLS(m *mini.Module, r *rand.Rand) []mini.Stmt {
+	count := 4 << r.Intn(2) // 4 or 8: power of two for masking
+	init := make([]int64, count)
+	for i := range init {
+		init[i] = int64(r.Intn(500) - 250)
+	}
+	m.Globals = append(m.Globals,
+		&mini.Global{Name: "cx_tls", Elem: 8, Count: count, Init: init, TLS: true},
+		&mini.Global{Name: "cx_tb", Elem: 1, Count: 8, TLS: true,
+			Init: []int64{int64(r.Intn(100)), int64(r.Intn(100)), int64(r.Intn(100))}},
+	)
+	// Only i and acc are read here: the base generator may leave a raw
+	// function address in x (FuncRef), whose numeric value is
+	// representation-dependent and must never reach an observable
+	// computation.
+	mask := mini.Const(int64(count - 1))
+	slot := mini.Bin{Op: mini.And, L: mini.Var("acc"), R: mask}
+	return []mini.Stmt{
+		mini.Print{E: mini.LoadG{G: "cx_tls", Idx: mini.Const(int64(r.Intn(count)))}},
+		mini.StoreG{G: "cx_tls", Idx: slot,
+			E: mini.Bin{Op: mini.Add, L: boundedAbs(mini.Var("acc")),
+				R: mini.LoadG{G: "cx_tls", Idx: slot}}},
+		mini.Print{E: mini.LoadG{G: "cx_tls", Idx: slot}},
+		mini.Print{E: mini.LoadG{G: "cx_tb", Idx: mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(7)}}},
+	}
+}
+
+// injectIslands adds read-only constants placed inside .text (between
+// functions) and reads through them. In-text initializers must stay in
+// [0, 0x80) so the island bytes cannot be mistaken for code prefixes
+// the superset disassembler would chase.
+func injectIslands(m *mini.Module, r *rand.Rand) []mini.Stmt {
+	init := make([]int64, 8)
+	for i := range init {
+		init[i] = int64(r.Intn(0x80))
+	}
+	binit := make([]int64, 8)
+	for i := range binit {
+		binit[i] = int64(r.Intn(0x80))
+	}
+	m.Globals = append(m.Globals,
+		&mini.Global{Name: "cx_isl", Elem: 8, Count: 8, Init: init, ReadOnly: true, InText: true},
+		&mini.Global{Name: "cx_ib", Elem: 1, Count: 8, Init: binit, ReadOnly: true, InText: true},
+	)
+	return []mini.Stmt{
+		mini.Print{E: mini.LoadG{G: "cx_isl", Idx: mini.Const(int64(r.Intn(8)))}},
+		mini.Print{E: mini.Bin{Op: mini.Add,
+			L: mini.LoadG{G: "cx_isl", Idx: mini.Bin{Op: mini.And, L: mini.Var("i"), R: mini.Const(7)}},
+			R: mini.LoadG{G: "cx_ib", Idx: mini.Bin{Op: mini.And, L: mini.Var("acc"), R: mini.Const(7)}}}},
+	}
+}
+
+// injectVTable builds a function-pointer table from the base program's
+// leaf functions, points an object pointer into it at a random byte
+// offset (the multiple-inheritance secondary-base shape), and dispatches
+// through every reachable slot.
+func injectVTable(m *mini.Module, r *rand.Rand) []mini.Stmt {
+	var leaves []*mini.Func
+	for _, f := range m.Funcs {
+		if strings.HasPrefix(f.Name, "f") && f.NParams >= 1 {
+			leaves = append(leaves, f)
+		}
+	}
+	if len(leaves) == 0 {
+		return nil
+	}
+	n := 2 + r.Intn(3) // 2..4 slots
+	members := make([]*mini.Func, n)
+	names := make([]string, n)
+	for i := range members {
+		members[i] = leaves[r.Intn(len(leaves))]
+		names[i] = members[i].Name
+	}
+	byteOff := 8 * int64(r.Intn(n))
+	m.Globals = append(m.Globals,
+		&mini.Global{Name: "cx_vt", FuncTable: names},
+		&mini.Global{Name: "cx_obj", PtrInit: &mini.PtrInit{Target: "cx_vt", ByteOff: byteOff}},
+	)
+	var sts []mini.Stmt
+	for j := int(byteOff / 8); j < n; j++ {
+		fn := members[j]
+		args := make([]mini.Expr, fn.NParams)
+		for k := range args {
+			switch r.Intn(3) {
+			case 0:
+				args[k] = mini.Const(int64(r.Intn(64) - 32))
+			case 1:
+				args[k] = mini.Var("i")
+			default:
+				args[k] = boundedAbs(mini.Var("acc"))
+			}
+		}
+		sts = append(sts, mini.Print{E: wrapPrint(mini.CallVirt{
+			Obj: "cx_obj", Idx: j - int(byteOff/8), Args: args,
+		})})
+	}
+	return sts
+}
+
+// injectEH adds an input-dependent try/throw region — and, half the
+// time, a nested try whose inner catch rethrows to the outer pad. Each
+// try materializes a landing-pad address in .gcc_except_table.
+func injectEH(r *rand.Rand) []mini.Stmt {
+	// As in injectTLS, only i and acc are read: x may hold a raw
+	// function address whose numeric value is representation-dependent.
+	k := int64(r.Intn(200) + 1)
+	cond := mini.Bin{Op: mini.Eq,
+		L: mini.Bin{Op: mini.And, L: mini.Var("acc"), R: mini.Const(int64(1 + r.Intn(3)))},
+		R: mini.Const(int64(r.Intn(2)))}
+	sts := []mini.Stmt{
+		mini.Try{
+			Body: []mini.Stmt{
+				mini.If{Cond: cond, Then: []mini.Stmt{
+					mini.Throw{E: mini.Bin{Op: mini.Add,
+						L: mini.Bin{Op: mini.And, L: mini.Var("acc"), R: mini.Const(0xFF)},
+						R: mini.Const(k)}},
+				}},
+				mini.Assign{Name: "exv", E: mini.Const(-k)},
+			},
+			CatchVar: "exv",
+			Catch:    []mini.Stmt{mini.Print{E: mini.Var("exv")}},
+		},
+		mini.Print{E: mini.Var("exv")},
+	}
+	if r.Intn(2) == 0 {
+		sts = append(sts, mini.Try{
+			Body: []mini.Stmt{
+				mini.Try{
+					Body:     []mini.Stmt{mini.Throw{E: mini.Const(k + 1)}},
+					CatchVar: "exv",
+					Catch: []mini.Stmt{
+						mini.Print{E: mini.Var("exv")},
+						mini.Throw{E: mini.Bin{Op: mini.Add, L: mini.Var("exv"), R: mini.Const(1)}},
+					},
+				},
+			},
+			CatchVar: "exv",
+			Catch:    []mini.Stmt{mini.Print{E: mini.Var("exv")}},
+		})
+	}
+	return sts
+}
+
+func findFunc(m *mini.Module, name string) *mini.Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic("gen: module lacks function " + name)
+}
+
+// wrapPrint keeps printed values away from the int64 extremes (the
+// decimal printer, like C's, is undefined only for INT64_MIN).
+func wrapPrint(e mini.Expr) mini.Expr {
+	return mini.Bin{Op: mini.Mod, L: e, R: mini.Const(1_000_000_007)}
+}
+
+// boundedAbs yields a small non-negative value from any expression.
+func boundedAbs(e mini.Expr) mini.Expr {
+	return mini.Bin{Op: mini.And, L: e, R: mini.Const(0x7FFF)}
+}

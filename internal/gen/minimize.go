@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"repro/internal/cc"
+	"repro/internal/mini"
+)
+
+// ShrinkCase is a minimization candidate: the module plus everything
+// else needed to reproduce a finding.
+type ShrinkCase struct {
+	Module *mini.Module
+	Config cc.Config
+	Inputs [][]int64
+}
+
+// size orders candidates; smaller is better. The build configuration
+// does not contribute, so configuration simplification is judged
+// separately (it never grows the case).
+func (c ShrinkCase) size() int {
+	n := len(mini.Format(c.Module))
+	for _, in := range c.Inputs {
+		n += 8 * len(in)
+	}
+	return n
+}
+
+// clone deep-copies the case via the exact textual round trip, so every
+// candidate the minimizer hands to the predicate is also guaranteed to
+// be representable as a checked-in .mini regression.
+func (c ShrinkCase) clone() ShrinkCase {
+	m, err := mini.Parse(c.Module.Name, mini.Format(c.Module))
+	if err != nil {
+		panic("gen: module failed format/parse round trip: " + err.Error())
+	}
+	ins := make([][]int64, len(c.Inputs))
+	for i, in := range c.Inputs {
+		ins[i] = append([]int64(nil), in...)
+	}
+	return ShrinkCase{Module: m, Config: c.Config, Inputs: ins}
+}
+
+// Minimize greedily shrinks a failing case while the predicate keeps
+// reproducing the finding, spending at most budget predicate
+// evaluations. Passes run to fixpoint: drop inputs, drop whole
+// functions and globals, delta-debug statement chunks within each body,
+// flatten control structures into their children, and simplify the
+// build configuration toward the default.
+func Minimize(c ShrinkCase, budget int, failing func(ShrinkCase) bool) ShrinkCase {
+	best := c.clone()
+	calls := 0
+
+	// attempt adopts cand when it is strictly smaller (or, for config
+	// steps, equal-sized with a simpler configuration) and still fails.
+	attempt := func(cand ShrinkCase, allowEqual bool) bool {
+		if calls >= budget {
+			return false
+		}
+		if cand.size() > best.size() || (!allowEqual && cand.size() == best.size()) {
+			return false
+		}
+		calls++
+		if !failing(cand) {
+			return false
+		}
+		best = cand
+		return true
+	}
+	smaller := func(cand ShrinkCase) bool { return attempt(cand, false) }
+
+	for changed := true; changed && calls < budget; {
+		changed = false
+		if shrinkInputs(&best, smaller) {
+			changed = true
+		}
+		if shrinkFuncs(&best, smaller) {
+			changed = true
+		}
+		if shrinkGlobals(&best, smaller) {
+			changed = true
+		}
+		if shrinkStmts(&best, smaller) {
+			changed = true
+		}
+		if shrinkConfig(&best, func(cand ShrinkCase) bool { return attempt(cand, true) }) {
+			changed = true
+		}
+	}
+	return best
+}
+
+// shrinkInputs drops trailing inputs, then individual ones.
+func shrinkInputs(best *ShrinkCase, attempt func(ShrinkCase) bool) bool {
+	changed := false
+	if len(best.Inputs) > 1 {
+		cand := best.clone()
+		cand.Inputs = cand.Inputs[:1]
+		if attempt(cand) {
+			changed = true
+		}
+	}
+	for i := len(best.Inputs) - 1; i >= 0 && len(best.Inputs) > 1; i-- {
+		if i >= len(best.Inputs) {
+			continue
+		}
+		cand := best.clone()
+		cand.Inputs = append(cand.Inputs[:i], cand.Inputs[i+1:]...)
+		if attempt(cand) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shrinkFuncs drops whole functions (never main); calls to a dropped
+// function make the candidate invalid and the predicate rejects it.
+func shrinkFuncs(best *ShrinkCase, attempt func(ShrinkCase) bool) bool {
+	changed := false
+	for i := len(best.Module.Funcs) - 1; i >= 0; i-- {
+		if i >= len(best.Module.Funcs) {
+			continue
+		}
+		if best.Module.Funcs[i].Name == "main" {
+			continue
+		}
+		cand := best.clone()
+		cand.Module.Funcs = append(cand.Module.Funcs[:i], cand.Module.Funcs[i+1:]...)
+		if attempt(cand) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shrinkGlobals drops whole globals.
+func shrinkGlobals(best *ShrinkCase, attempt func(ShrinkCase) bool) bool {
+	changed := false
+	for i := len(best.Module.Globals) - 1; i >= 0; i-- {
+		if i >= len(best.Module.Globals) {
+			continue
+		}
+		cand := best.clone()
+		cand.Module.Globals = append(cand.Module.Globals[:i], cand.Module.Globals[i+1:]...)
+		if attempt(cand) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shrinkStmts delta-debugs each function body: removes chunks of
+// statements (halving the chunk size down to 1), and flattens compound
+// statements into their child bodies.
+func shrinkStmts(best *ShrinkCase, attempt func(ShrinkCase) bool) bool {
+	changed := false
+	for fi := 0; fi < len(best.Module.Funcs); fi++ {
+		for chunk := len(best.Module.Funcs[fi].Body) / 2; chunk >= 1; chunk /= 2 {
+			for start := 0; start < len(best.Module.Funcs[fi].Body); start += chunk {
+				cur := best.Module.Funcs[fi].Body
+				end := start + chunk
+				if end > len(cur) {
+					end = len(cur)
+				}
+				cand := best.clone()
+				cb := cand.Module.Funcs[fi].Body
+				cand.Module.Funcs[fi].Body = append(append([]mini.Stmt{}, cb[:start]...), cb[end:]...)
+				if attempt(cand) {
+					changed = true
+					start -= chunk
+				}
+			}
+		}
+		// Flatten compounds: replace each control statement by its children.
+		for si := 0; si < len(best.Module.Funcs[fi].Body); si++ {
+			var inner []mini.Stmt
+			switch s := best.Module.Funcs[fi].Body[si].(type) {
+			case mini.If:
+				inner = append(append([]mini.Stmt{}, s.Then...), s.Else...)
+			case mini.While:
+				inner = s.Body
+			case mini.Try:
+				inner = append(append([]mini.Stmt{}, s.Body...), s.Catch...)
+			default:
+				continue
+			}
+			cand := best.clone()
+			cb := cand.Module.Funcs[fi].Body
+			nb := append([]mini.Stmt{}, cb[:si]...)
+			nb = append(nb, inner...)
+			nb = append(nb, cb[si+1:]...)
+			cand.Module.Funcs[fi].Body = nb
+			if attempt(cand) {
+				changed = true
+				si--
+			}
+		}
+	}
+	return changed
+}
+
+// shrinkConfig walks the build configuration toward the default, one
+// axis at a time, keeping any step that still reproduces.
+func shrinkConfig(best *ShrinkCase, attempt func(ShrinkCase) bool) bool {
+	changed := false
+	def := cc.DefaultConfig()
+	steps := []func(*cc.Config){
+		func(c *cc.Config) { c.Stripped = false },
+		func(c *cc.Config) { c.ASan = false },
+		func(c *cc.Config) { c.EhFrame = def.EhFrame },
+		func(c *cc.Config) { c.CET = def.CET },
+		func(c *cc.Config) { c.Opt = def.Opt },
+		func(c *cc.Config) { c.Linker = def.Linker },
+		func(c *cc.Config) { c.Compiler = def.Compiler },
+	}
+	for _, step := range steps {
+		cand := best.clone()
+		step(&cand.Config)
+		if cand.Config == best.Config {
+			continue
+		}
+		if attempt(cand) {
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/mini"
+)
+
+// Regression files are MiniC modules with a small comment header that
+// records how to rebuild the failing case:
+//
+//	// surifuzz regression: fz_17
+//	// config: gcc-11/ld/O2/stripped
+//	// inputs: 5 -1 3; 2 2
+//	func main() { ... }
+//
+// The header lines are comments, so the body after them is exactly what
+// mini.Parse consumes.
+
+// FormatRegression renders a minimized case as a regression file.
+func FormatRegression(name string, c ShrinkCase) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// surifuzz regression: %s\n", name)
+	fmt.Fprintf(&b, "// config: %s\n", c.Config)
+	var ins []string
+	for _, in := range c.Inputs {
+		var vals []string
+		for _, v := range in {
+			vals = append(vals, strconv.FormatInt(v, 10))
+		}
+		ins = append(ins, strings.Join(vals, " "))
+	}
+	fmt.Fprintf(&b, "// inputs: %s\n", strings.Join(ins, "; "))
+	b.WriteString(mini.Format(c.Module))
+	return b.String()
+}
+
+// ParseRegression reads a regression file back into a runnable case.
+func ParseRegression(src string) (ShrinkCase, error) {
+	var c ShrinkCase
+	var body []string
+	sawConfig := false
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(t, "// config:"):
+			cfg, err := cc.ParseConfig(strings.TrimSpace(strings.TrimPrefix(t, "// config:")))
+			if err != nil {
+				return ShrinkCase{}, fmt.Errorf("regression: %w", err)
+			}
+			c.Config = cfg
+			sawConfig = true
+		case strings.HasPrefix(t, "// inputs:"):
+			spec := strings.TrimSpace(strings.TrimPrefix(t, "// inputs:"))
+			for _, group := range strings.Split(spec, ";") {
+				fields := strings.Fields(group)
+				if len(fields) == 0 {
+					continue
+				}
+				in := make([]int64, 0, len(fields))
+				for _, f := range fields {
+					v, err := strconv.ParseInt(f, 10, 64)
+					if err != nil {
+						return ShrinkCase{}, fmt.Errorf("regression: bad input %q: %w", f, err)
+					}
+					in = append(in, v)
+				}
+				c.Inputs = append(c.Inputs, in)
+			}
+		case strings.HasPrefix(t, "//"):
+			// other comment lines (title etc.)
+		default:
+			body = append(body, line)
+		}
+	}
+	if !sawConfig {
+		return ShrinkCase{}, fmt.Errorf("regression: missing // config: header")
+	}
+	m, err := mini.Parse("regress", strings.Join(body, "\n"))
+	if err != nil {
+		return ShrinkCase{}, fmt.Errorf("regression: %w", err)
+	}
+	c.Module = m
+	return c, nil
+}
+
+// Reproduce replays a regression case through the full differential
+// pipeline and returns the finding kind ("" when the case is sound) and
+// a human-readable detail.
+func Reproduce(c ShrinkCase) (string, string) {
+	run := runCase(c.Module, c.Config, c.Inputs, core.Options{})
+	return run.kind, run.detail
+}

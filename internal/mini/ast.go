@@ -30,6 +30,19 @@ type Global struct {
 	Init     []int64 // leading initial values; nil/short means zero
 	ReadOnly bool
 
+	// TLS places the global in thread-local storage (.tdata + PT_TLS).
+	// Compiled access goes through the FS segment (x86-64 local-exec
+	// model). Mutually exclusive with ReadOnly, InText, FuncTable and
+	// PtrInit.
+	TLS bool
+
+	// InText places the (necessarily read-only) global inside .text — a
+	// data-in-text island between functions, the classic misdissassembly
+	// trap. Initial values should keep every byte below 0x80 so island
+	// bytes can never look like an endbr64 marker to the rewriter's
+	// relocation retargeting. Requires ReadOnly.
+	InText bool
+
 	// FuncTable, when non-nil, makes this a table of function pointers
 	// (Elem/Count are implied). Compiled to .data.rel.ro with relocated
 	// entries — the S1 form.
@@ -158,6 +171,27 @@ type ExprStmt struct {
 	E Expr
 }
 
+// Try runs Body; if a Throw executes (lexically) inside Body, control
+// transfers to Catch with the thrown value bound to the local CatchVar.
+// This is the C++-exception shape: compiled code registers a
+// .gcc_except_table LSDA record for the try region and the throw
+// transfers to an address-significant landing pad. Throws do not unwind
+// across function calls (the generator only emits Throw lexically inside
+// a Try of the same function), so the compiled form never pops frames —
+// it is a longjmp to the armed landing-pad context.
+type Try struct {
+	Body     []Stmt
+	CatchVar string // a declared local of the function
+	Catch    []Stmt
+}
+
+// Throw transfers control to the innermost enclosing Try of the same
+// function, binding E's value to its CatchVar. A Throw with no enclosing
+// Try in the current function is a program fault.
+type Throw struct {
+	E Expr
+}
+
 func (Assign) isStmt()    {}
 func (StoreG) isStmt()    {}
 func (StoreL) isStmt()    {}
@@ -169,6 +203,8 @@ func (Return) isStmt()    {}
 func (Print) isStmt()     {}
 func (PrintChar) isStmt() {}
 func (ExprStmt) isStmt()  {}
+func (Try) isStmt()       {}
+func (Throw) isStmt()     {}
 
 // Expr is an expression; every value is a signed 64-bit integer.
 type Expr interface{ isExpr() }
@@ -255,6 +291,17 @@ type CallVal struct {
 	Args []Expr
 }
 
+// CallVirt is a virtual-dispatch-style call: Obj names a pointer global
+// whose static initializer points at a function-pointer table (the
+// "vtable" in .data.rel.ro), and the call loads the object's table
+// pointer, indexes slot Idx, and calls through it — two levels of
+// indirection, exactly the compiled shape of C++ `obj->vmethod(args)`.
+type CallVirt struct {
+	Obj  string // pointer global with PtrInit targeting a FuncTable global
+	Idx  int    // constant vtable slot
+	Args []Expr
+}
+
 // ReadInput consumes the next 64-bit value from the program's input.
 type ReadInput struct{}
 
@@ -268,6 +315,7 @@ func (Call) isExpr()      {}
 func (CallPtr) isExpr()   {}
 func (FuncRef) isExpr()   {}
 func (CallVal) isExpr()   {}
+func (CallVirt) isExpr()  {}
 func (ReadInput) isExpr() {}
 
 // Global returns the named global, or nil.

@@ -103,6 +103,11 @@ func (in *interp) call(f *Func, args []int64) (int64, error) {
 		fr.elems[a.Name] = a.Elem
 	}
 	if err := in.stmts(f, fr, f.Body); err != nil {
+		if t, ok := err.(*thrown); ok {
+			// A throw escaping its function is a fault, not a catchable
+			// error: rewrap so an outer frame's Try cannot intercept it.
+			return 0, fmt.Errorf("mini: %s: throw %d without enclosing try", f.Name, t.val)
+		}
 		return 0, err
 	}
 	return fr.ret, nil
@@ -260,8 +265,36 @@ func (in *interp) stmt(f *Func, fr *frame, s Stmt) error {
 	case ExprStmt:
 		_, err := in.eval(f, fr, v.E)
 		return err
+	case Try:
+		err := in.stmts(f, fr, v.Body)
+		t, ok := err.(*thrown)
+		if !ok {
+			return err
+		}
+		if _, declared := fr.vars[v.CatchVar]; !declared {
+			return fmt.Errorf("mini: %s: catch binds undefined %q", f.Name, v.CatchVar)
+		}
+		fr.vars[v.CatchVar] = t.val
+		return in.stmts(f, fr, v.Catch)
+	case Throw:
+		val, err := in.eval(f, fr, v.E)
+		if err != nil {
+			return err
+		}
+		return &thrown{val: val}
 	}
 	return fmt.Errorf("mini: %s: unknown statement %T", f.Name, s)
+}
+
+// thrown is the in-flight value of a Throw, propagated as an error until
+// the innermost Try of the same call frame intercepts it. The call
+// boundary converts an escaping thrown into a plain fault, so a Try can
+// never catch a throw from a callee — matching the compiled form, where
+// unwinding across a live CET shadow-stack frame would trap.
+type thrown struct{ val int64 }
+
+func (t *thrown) Error() string {
+	return fmt.Sprintf("mini: uncaught throw %d", t.val)
 }
 
 func (in *interp) eval(f *Func, fr *frame, e Expr) (int64, error) {
@@ -383,6 +416,28 @@ func (in *interp) eval(f *Func, fr *frame, e Expr) (int64, error) {
 			return 0, err
 		}
 		return in.call(in.mod.Funcs[idx], args)
+	case CallVirt:
+		pi, ok := in.ptrs[v.Obj]
+		if !ok {
+			return 0, fmt.Errorf("mini: %s: %q is not an object pointer", f.Name, v.Obj)
+		}
+		vt := in.mod.Global(pi.Target)
+		if vt == nil || vt.FuncTable == nil {
+			return 0, fmt.Errorf("mini: %s: %s does not point at a vtable", f.Name, v.Obj)
+		}
+		slot := int64(v.Idx) + pi.ByteOff/8
+		if slot < 0 || slot >= int64(len(vt.FuncTable)) {
+			return 0, fmt.Errorf("mini: %s: vtable slot %d out of bounds in %s", f.Name, slot, pi.Target)
+		}
+		callee := in.mod.Func(vt.FuncTable[slot])
+		if callee == nil {
+			return 0, fmt.Errorf("mini: %s: vtable entry %q undefined", f.Name, vt.FuncTable[slot])
+		}
+		args, err := in.evalArgs(f, fr, v.Args)
+		if err != nil {
+			return 0, err
+		}
+		return in.call(callee, args)
 	case ReadInput:
 		if in.inPos < len(in.input) {
 			val := in.input[in.inPos]

@@ -12,10 +12,13 @@ import (
 // Grammar sketch:
 //
 //	module    := (global | ptr | functable | func)*
-//	global    := "global" name "[" int "]" ("i8"|"i32"|"i64") ["ro"] ["=" "{" ints "}"] ";"
+//	global    := "global" name "[" int "]" ("i8"|"i32"|"i64") ("ro"|"tls"|"intext")* ["=" "{" ints "}"] ";"
 //	ptr       := "ptr" name "=" "&" name "+" int ";"
 //	functable := "functable" name "=" "{" names "}" ";"
 //	func      := "func" name "(" params ")" "{" decls stmts "}"
+//	try       := "try" "{" stmts "}" "catch" name "{" stmts "}"
+//	throw     := "throw" expr ";"
+//	virtcall  := "virt" name "[" int "]" "(" args ")"
 //
 // Globals and function tables must be declared before use; functions may
 // be referenced before their definition.
@@ -238,8 +241,19 @@ func (p *parser) global() error {
 		return err
 	}
 	g := &Global{Name: name, Elem: elem, Count: int(count)}
-	if p.accept("ro") {
-		g.ReadOnly = true
+	for {
+		switch {
+		case p.accept("ro"):
+			g.ReadOnly = true
+			continue
+		case p.accept("tls"):
+			g.TLS = true
+			continue
+		case p.accept("intext"):
+			g.InText = true
+			continue
+		}
+		break
 	}
 	if p.accept("=") {
 		if err := p.expect("{"); err != nil {
@@ -471,6 +485,33 @@ func (p *parser) stmt() (Stmt, error) {
 
 	case "switch":
 		return p.switchStmt()
+
+	case "try":
+		p.next()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("catch"); err != nil {
+			return nil, err
+		}
+		cv, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		catch, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return Try{Body: body, CatchVar: cv, Catch: catch}, nil
+
+	case "throw":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Throw{E: e}, p.expect(";")
 
 	case "return":
 		p.next()
@@ -764,6 +805,27 @@ func (p *parser) primary() (Expr, error) {
 				return nil, err
 			}
 			return ReadInput{}, p.expect(")")
+		}
+		if name == "virt" {
+			obj, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("["); err != nil {
+				return nil, err
+			}
+			slot, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return CallVirt{Obj: obj, Idx: int(slot), Args: args}, nil
 		}
 		switch p.cur().text {
 		case "(":

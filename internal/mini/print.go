@@ -35,6 +35,12 @@ func printGlobal(g *Global) string {
 		if g.ReadOnly {
 			s += " ro"
 		}
+		if g.TLS {
+			s += " tls"
+		}
+		if g.InText {
+			s += " intext"
+		}
 		if len(g.Init) > 0 {
 			vals := make([]string, len(g.Init))
 			for i, v := range g.Init {
@@ -126,6 +132,18 @@ func printStmt(s Stmt, ind string) string {
 		return fmt.Sprintf("%sputc %s;\n", ind, printExpr(v.E))
 	case ExprStmt:
 		return fmt.Sprintf("%s%s;\n", ind, printExpr(v.E))
+	case Try:
+		out := ind + "try {\n"
+		for _, t := range v.Body {
+			out += printStmt(t, ind+"  ")
+		}
+		out += fmt.Sprintf("%s} catch %s {\n", ind, v.CatchVar)
+		for _, t := range v.Catch {
+			out += printStmt(t, ind+"  ")
+		}
+		return out + ind + "}\n"
+	case Throw:
+		return fmt.Sprintf("%sthrow %s;\n", ind, printExpr(v.E))
 	}
 	return ind + "/* unknown */\n"
 }
@@ -156,6 +174,8 @@ func printExpr(e Expr) string {
 		return fmt.Sprintf("%s[%s](%s)", v.Table, printExpr(v.Idx), printArgs(v.Args))
 	case CallVal:
 		return fmt.Sprintf("(%s)(%s)", printExpr(v.F), printArgs(v.Args))
+	case CallVirt:
+		return fmt.Sprintf("virt %s[%d](%s)", v.Obj, v.Idx, printArgs(v.Args))
 	case FuncRef:
 		return "&" + v.Name
 	case ReadInput:

@@ -50,6 +50,19 @@ var (
 	largeShape  = Shape{Funcs: 8, Switches: 3, Globals: 9, MainLoop: 24, Stmts: 12, NumInputs: 3}
 )
 
+// Shapes names the canonical suite shapes, for CLI flags and the fuzzer.
+var Shapes = map[string]Shape{
+	"small":  smallShape,
+	"medium": mediumShape,
+	"large":  largeShape,
+}
+
+// ShapeByName looks up a canonical shape by flavour name.
+func ShapeByName(name string) (Shape, bool) {
+	s, ok := Shapes[name]
+	return s, ok
+}
+
 // Generate builds a deterministic program from a seed. The result is
 // validated against the reference interpreter on all inputs; seeds whose
 // programs would trip well-definedness checks are skipped internally, so

@@ -41,6 +41,7 @@ type decoder struct {
 	opSize  bool // 0x66 prefix
 	notrack bool // 0x3E prefix
 	rep     bool // 0xF3 prefix
+	fs      bool // 0x64 prefix (FS segment override, TLS access)
 }
 
 func (d *decoder) u8() (byte, error) {
@@ -215,14 +216,39 @@ func (d *decoder) decode() (Inst, error) {
 		case 0xF3:
 			d.rep = true
 			continue
+		case 0x64:
+			d.fs = true
+			continue
 		}
 		if op&0xF0 == 0x40 { // REX
 			d.rex = op & 0x0F
 			d.hasRex = true
 			continue
 		}
-		return d.decodeOp(op)
+		in, err := d.decodeOp(op)
+		if err == nil && d.fs {
+			in, err = applyFS(in)
+		}
+		return in, err
 	}
+}
+
+// applyFS attaches a decoded 0x64 prefix to the instruction's memory
+// operand. An FS prefix on an instruction without one would be silently
+// dropped on re-encode, breaking decode/encode byte-stability, so it is
+// rejected instead.
+func applyFS(in Inst) (Inst, error) {
+	if m, ok := in.Dst.(Mem); ok {
+		m.FS = true
+		in.Dst = m
+		return in, nil
+	}
+	if m, ok := in.Src.(Mem); ok {
+		m.FS = true
+		in.Src = m
+		return in, nil
+	}
+	return Inst{}, ErrBadInstruction
 }
 
 func (d *decoder) decodeOp(op byte) (Inst, error) {

@@ -53,7 +53,7 @@ const maxInstLen = 15
 // encoder accumulates the pieces of one instruction encoding in fixed
 // buffers, so encoding performs no heap allocation.
 type encoder struct {
-	prefix  [2]byte
+	prefix  [3]byte
 	nprefix uint8
 	rex     byte // REX bits beyond 0x40; see needRex
 	needRex bool // force emission of a REX prefix even if rex == 0
@@ -182,6 +182,12 @@ func (e *encoder) setRM(a Arg, w uint8) error {
 
 func (e *encoder) setMem(m Mem) error {
 	e.hasMod = true
+	if m.FS {
+		if m.Rip {
+			return fmt.Errorf("FS override cannot combine with RIP-relative addressing")
+		}
+		e.addPrefix(0x64)
+	}
 	if m.Rip {
 		if m.Base.Valid() || m.Index.Valid() {
 			return fmt.Errorf("RIP-relative operand cannot have base or index")

@@ -36,6 +36,11 @@ type Mem struct {
 	Disp  int32
 	Rip   bool // RIP-relative; Base and Index must be NoReg
 
+	// FS marks an FS-segment-relative operand (0x64 prefix): the
+	// effective address is fs_base + the usual base/index/disp sum.
+	// x86-64 TLS access (local-exec model) is the only producer.
+	FS bool
+
 	// Wide forces the disp32 encoding even for displacements that fit in
 	// disp8 (or zero). The assembler uses it for operands whose final
 	// displacement is a link-time symbol difference, so the encoded size
@@ -48,6 +53,9 @@ func (Mem) isArg() {}
 
 func (m Mem) argString(uint8) string {
 	var b strings.Builder
+	if m.FS {
+		b.WriteString("FS:")
+	}
 	b.WriteByte('[')
 	sep := ""
 	if m.Rip {

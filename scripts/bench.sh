@@ -468,3 +468,23 @@ if [ "$SCALE_SECTION" != "0" ]; then
 
 	echo "bench.sh: wrote $SCALEOUT"
 fi
+
+# Fifth section (BENCH_fuzz.json): corpus-fuzzer throughput. surifuzz
+# generates, compiles, rewrites, and differentially executes one
+# C++-shaped program per seed on both emulator engines; -json records
+# the campaign report (verdict counts, coverage keys, per-seed coverage
+# growth) plus wall-clock programs/sec. The campaign is fixed-seed, so
+# everything except the timing figures is byte-stable across runs.
+# FUZZSEEDS/FUZZSHAPE/FUZZOUT override independently.
+FUZZSEEDS="${FUZZSEEDS:-40}"
+FUZZSHAPE="${FUZZSHAPE:-small}"
+FUZZOUT="${FUZZOUT:-BENCH_fuzz.json}"
+
+fuzzbin=$(mktemp -d)
+trap 'rm -rf "$fuzzbin"' EXIT
+go build -o "$fuzzbin/surifuzz" ./cmd/surifuzz
+"$fuzzbin/surifuzz" -seeds "$FUZZSEEDS" -start 1 -shape "$FUZZSHAPE" -json >"$FUZZOUT"
+trap - EXIT
+rm -rf "$fuzzbin"
+
+echo "bench.sh: wrote $FUZZOUT"

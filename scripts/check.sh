@@ -66,4 +66,18 @@ go test -run '^$' -bench 'BenchmarkInstr(Rewrite|Run)(None|Coverage)$' -benchtim
 go test -run 'TestCoverageArtifact' -count=1 ./internal/instr >/dev/null
 go test -run=Fuzz ./internal/elfx/... ./internal/ehframe/... \
     ./internal/x86/... ./internal/core/...
+# Corpus-fuzzer gate: the C++-shaped generator and its minimizer under
+# the race detector (the fuzzer drives the whole pipeline, including
+# the seeded-FPRepair minimization proof and the checked-in regression
+# replays), then a fixed-seed surifuzz soak — 25 seeds through both
+# emulator engines must produce zero divergences, and running the same
+# campaign twice must produce byte-identical reports.
+go test -race -count=1 ./internal/gen/
+fuzzdir=$(mktemp -d)
+trap 'rm -rf "$fuzzdir"' EXIT
+go build -o "$fuzzdir/surifuzz" ./cmd/surifuzz
+"$fuzzdir/surifuzz" -seeds 25 -start 1 -shape small > "$fuzzdir/run1.txt"
+"$fuzzdir/surifuzz" -seeds 25 -start 1 -shape small > "$fuzzdir/run2.txt"
+cmp "$fuzzdir/run1.txt" "$fuzzdir/run2.txt"
+grep -q '^findings: 0$' "$fuzzdir/run1.txt"
 echo "check.sh: OK"
